@@ -1,0 +1,83 @@
+//! Criterion benches regenerating every table and figure of the paper's
+//! evaluation. Each bench both *times* the experiment and asserts its
+//! headline shape, so `cargo bench` doubles as a reproduction check.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_access_times");
+    g.sample_size(10);
+    g.bench_function("all_rows", |b| {
+        b.iter(|| {
+            let rows = mm_bench::table1();
+            assert_eq!(rows[0].read_measured, 3, "local hit read");
+            assert_eq!(rows[0].write_measured, 2, "local hit write");
+            rows
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_timeline");
+    g.sample_size(10);
+    g.bench_function("remote_read", |b| b.iter(|| mm_bench::fig9(false)));
+    g.bench_function("remote_write", |b| b.iter(|| mm_bench::fig9(true)));
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_stencil");
+    g.sample_size(10);
+    g.bench_function("all_variants", |b| {
+        b.iter(|| {
+            let rows = mm_bench::fig5();
+            assert!(rows.iter().all(|r| r.correct), "stencil results wrong");
+            rows
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_barrier");
+    g.sample_size(10);
+    g.bench_function("loops_100", |b| b.iter(|| mm_bench::fig6(100)));
+    g.finish();
+}
+
+fn bench_interleave(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vthread_interleave");
+    g.sample_size(10);
+    g.bench_function("1_to_4_threads", |b| b.iter(mm_bench::interleave));
+    g.finish();
+}
+
+fn bench_network(c: &mut Criterion) {
+    c.bench_function("network_hop_sweep", |b| b.iter(mm_bench::network_sweep));
+}
+
+fn bench_model(c: &mut Criterion) {
+    c.bench_function("section1_model", |b| b.iter(mm_model::section1_claims));
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("sdram_page_mode", |b| b.iter(mm_bench::page_mode_ablation));
+    g.bench_function("send_throttling", |b| b.iter(mm_bench::throttle_ablation));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_fig9,
+    bench_fig5,
+    bench_fig6,
+    bench_interleave,
+    bench_network,
+    bench_model,
+    bench_ablations
+);
+criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p mm-bench --release --bin reproduce            # everything
+//! cargo run -p mm-bench --release --bin reproduce -- table1  # one artifact
+//! ```
+
+use mm_bench::{
+    fig5, fig6, fig9, interleave, network_sweep, page_mode_ablation, table1, throttle_ablation,
+};
+
+fn print_table1() {
+    println!("== Table 1: local and remote access times (cycles) ==");
+    println!(
+        "{:<22} {:>10} {:>10} {:>11} {:>11}",
+        "Access Type", "read(pap)", "read(sim)", "write(pap)", "write(sim)"
+    );
+    for row in table1() {
+        println!(
+            "{:<22} {:>10} {:>10} {:>11} {:>11}",
+            row.access, row.read_paper, row.read_measured, row.write_paper, row.write_measured
+        );
+    }
+    println!();
+}
+
+fn print_fig9() {
+    for write in [false, true] {
+        let title = if write { "REMOTE WRITE" } else { "REMOTE READ" };
+        println!("== Fig. 9 timeline: {title} ==");
+        println!(
+            "{:<42} {:>5} {:>11} {:>11}",
+            "phase", "node", "paper(cyc)", "sim(cyc)"
+        );
+        for p in fig9(write) {
+            println!(
+                "{:<42} {:>5} {:>11} {:>11}",
+                p.label, p.node, p.paper, p.measured
+            );
+        }
+        println!();
+    }
+}
+
+fn print_fig5() {
+    println!("== Fig. 5 / §3.1: stencil on multiple H-Threads ==");
+    println!(
+        "{:<10} {:>8} {:>11} {:>11} {:>8} {:>8}",
+        "stencil", "threads", "depth(pap)", "depth(sim)", "cycles", "correct"
+    );
+    for r in fig5() {
+        let name = if r.neighbours == 6 { "7-point" } else { "27-point" };
+        let paper = r
+            .depth_paper
+            .map_or_else(|| "-".to_owned(), |d| d.to_string());
+        println!(
+            "{:<10} {:>8} {:>11} {:>11} {:>8} {:>8}",
+            name, r.threads, paper, r.depth_measured, r.cycles, r.correct
+        );
+    }
+    println!();
+}
+
+fn print_fig6() {
+    let r = fig6(100);
+    println!("== Fig. 6: CC-register loop synchronization ==");
+    println!(
+        "2 H-Threads : {} cycles / {} iterations = {:.1} cycles/iteration",
+        r.pair_cycles,
+        r.iterations,
+        r.pair_cycles as f64 / r.iterations as f64
+    );
+    println!(
+        "4 H-Threads : {} cycles / {} iterations = {:.1} cycles/iteration (barrier)",
+        r.barrier4_cycles,
+        r.iterations,
+        r.barrier4_cycles as f64 / r.iterations as f64
+    );
+    println!();
+}
+
+fn print_interleave() {
+    println!("== Fig. 4 semantics: V-Thread interleaving masks FP latency ==");
+    println!(
+        "{:>9} {:>8} {:>12}",
+        "V-Threads", "cycles", "FP ops/cycle"
+    );
+    for r in interleave() {
+        println!("{:>9} {:>8} {:>12.3}", r.vthreads, r.cycles, r.throughput);
+    }
+    println!();
+}
+
+fn print_network() {
+    println!("== §4.2: message latency vs distance (3-word message) ==");
+    println!("{:>5} {:>9}", "hops", "cycles");
+    for r in network_sweep() {
+        println!("{:>5} {:>9}", r.hops, r.latency);
+    }
+    println!("(paper: 5 cycles to a neighbour)\n");
+}
+
+fn print_model() {
+    println!("== §1/§5 area & peak-performance model ==");
+    println!("{:<46} {:>9} {:>9}", "claim", "paper", "derived");
+    for r in mm_model::section1_claims() {
+        println!("{:<46} {:>9.2} {:>9.2}", r.claim, r.paper, r.derived);
+    }
+    println!();
+}
+
+fn print_ablations() {
+    let pm = page_mode_ablation();
+    println!("== Ablation: SDRAM page mode (local cache-miss read) ==");
+    println!("page mode on : {:>4} cycles", pm.read_on);
+    println!("page mode off: {:>4} cycles", pm.read_off);
+    println!();
+    let th = throttle_ablation();
+    println!("== Ablation: send-credit throttling (24-message burst) ==");
+    println!("16 credits: {:>6} cycles", th.cycles_credits_16);
+    println!(" 2 credits: {:>6} cycles", th.cycles_credits_2);
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty();
+    let want = |k: &str| all || args.iter().any(|a| a.trim_start_matches('-') == k);
+
+    println!("M-Machine reproduction — regenerating the paper's evaluation\n");
+    if want("table1") {
+        print_table1();
+    }
+    if want("fig9") {
+        print_fig9();
+    }
+    if want("fig5") {
+        print_fig5();
+    }
+    if want("fig6") {
+        print_fig6();
+    }
+    if want("interleave") {
+        print_interleave();
+    }
+    if want("network") {
+        print_network();
+    }
+    if want("model") {
+        print_model();
+    }
+    if want("ablations") {
+        print_ablations();
+    }
+}

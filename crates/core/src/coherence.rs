@@ -1,0 +1,346 @@
+//! The software-coherence layer of §4.3, as cycle-charged firmware.
+//!
+//! The paper *sketches* this policy without handler code or measured
+//! numbers: block-status faults trap to software, which asks the home
+//! node for the 8-word block; "the home node logs the requesting node in
+//! a software managed directory and sends the block back"; arriving data
+//! is copied into local DRAM and the status bits marked valid; writes
+//! mark blocks DIRTY. We implement the full mechanism — home directory,
+//! fetch-on-demand, write invalidation, dirty write-back, local DRAM
+//! frames with per-block status — as *firmware*: Rust handlers that stand
+//! in for the event H-Thread, charging configurable cycle costs
+//! (documented substitution, DESIGN.md §7).
+//!
+//! Memory-synchronizing faults (the other class-0 event) are handled here
+//! too: the faulted access is simply retried after a backoff, which gives
+//! producer/consumer code the paper's "thread does not block until it
+//! needs the data" behaviour.
+
+use mm_isa::word::Word;
+use mm_mem::ltlb::{BlockStatus, LtlbEntry, BLOCK_WORDS, PAGE_WORDS};
+use mm_sim::event::{decode_record, EventKind};
+use mm_sim::Node;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Cycle charges for the firmware coherence handlers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoherenceConfig {
+    /// Fault → block-arrival latency when the home copy is clean
+    /// (block-status handler + request message + home handler + 8-word
+    /// block reply + install).
+    pub fetch_cycles: u64,
+    /// Extra cycles per sharer invalidated on a write fault.
+    pub invalidate_cycles: u64,
+    /// Backoff before retrying a synchronizing fault.
+    pub sync_retry_cycles: u64,
+    /// First physical page each node uses for remote-block frames.
+    pub frame_base_ppn: u64,
+}
+
+impl Default for CoherenceConfig {
+    fn default() -> CoherenceConfig {
+        CoherenceConfig {
+            fetch_cycles: 60,
+            invalidate_cycles: 20,
+            sync_retry_cycles: 16,
+            frame_base_ppn: 512,
+        }
+    }
+}
+
+/// Directory state for one 8-word block (kept at its home node in the
+/// real design; centralized here for the firmware).
+#[derive(Debug, Clone, Default)]
+struct DirEntry {
+    sharers: BTreeSet<usize>,
+    owner: Option<usize>,
+}
+
+/// A firmware action scheduled for a future cycle.
+#[derive(Debug, Clone)]
+struct PendingGrant {
+    due: u64,
+    node: usize,
+    record: [Word; 3],
+}
+
+/// Coherence statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoherenceStats {
+    /// Blocks fetched from their home node.
+    pub block_fetches: u64,
+    /// Sharer copies invalidated.
+    pub invalidations: u64,
+    /// Dirty blocks written back to their home.
+    pub writebacks: u64,
+    /// Synchronizing-fault retries issued.
+    pub sync_retries: u64,
+}
+
+/// The machine-level coherence engine.
+#[derive(Debug, Clone, Default)]
+pub struct CoherenceEngine {
+    cfg: CoherenceConfig,
+    directory: BTreeMap<u64, DirEntry>,
+    pending: Vec<PendingGrant>,
+    next_frame: Vec<u64>,
+    /// Per (node, vpn) remote-frame LPT slot, so repeat faults reuse it.
+    frames: BTreeMap<(usize, u64), u64>,
+    stats: CoherenceStats,
+}
+
+impl CoherenceEngine {
+    /// An engine for `nodes` nodes.
+    #[must_use]
+    pub fn new(cfg: CoherenceConfig, nodes: usize) -> CoherenceEngine {
+        CoherenceEngine {
+            next_frame: vec![cfg.frame_base_ppn; nodes],
+            cfg,
+            directory: BTreeMap::new(),
+            pending: Vec::new(),
+            frames: BTreeMap::new(),
+            stats: CoherenceStats::default(),
+        }
+    }
+
+    /// Statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> CoherenceStats {
+        self.stats
+    }
+
+    /// One firmware step: drain class-0 event records from every node,
+    /// schedule grants, and apply any grants that are due.
+    ///
+    /// `home_of` maps a virtual address to its home node index.
+    pub fn step<F: Fn(u64) -> Option<usize>>(
+        &mut self,
+        now: u64,
+        nodes: &mut [Node],
+        home_of: F,
+    ) {
+        // Drain new faults.
+        for i in 0..nodes.len() {
+            while let Some(record) = nodes[i].pop_event_record(0) {
+                let Some(kind) = EventKind::from_bits(record[0].bits()) else {
+                    continue;
+                };
+                match kind {
+                    EventKind::SyncFault => {
+                        self.stats.sync_retries += 1;
+                        self.pending.push(PendingGrant {
+                            due: now + self.cfg.sync_retry_cycles,
+                            node: i,
+                            record,
+                        });
+                    }
+                    EventKind::BlockStatus => {
+                        let write = record[0].bits() & (1 << 4) != 0;
+                        let va = record[1].bits();
+                        let block = va & !(BLOCK_WORDS - 1);
+                        let Some(home) = home_of(va) else { continue };
+                        let sharer_cost = self.service_fault(nodes, i, home, block, write);
+                        self.pending.push(PendingGrant {
+                            due: now + self.cfg.fetch_cycles + sharer_cost,
+                            node: i,
+                            record,
+                        });
+                    }
+                    EventKind::LtlbMiss | EventKind::EccError => {
+                        // Not ours (LTLB misses go to class 1; ECC errors
+                        // are reported, not repaired).
+                    }
+                }
+            }
+        }
+
+        // Apply due grants: replay the faulted access.
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].due <= now {
+                let g = self.pending.swap_remove(i);
+                if let Some(req) = decode_record(g.record[0], g.record[1], g.record[2], 0) {
+                    // If the bank is busy, retry next cycle.
+                    if let Err(_req) = nodes[g.node].firmware_restart(req) {
+                        self.pending.push(PendingGrant {
+                            due: now + 1,
+                            ..g
+                        });
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Move data and update directory/status bits for one fault.
+    /// Returns the extra cycle charge from invalidating sharers.
+    fn service_fault(
+        &mut self,
+        nodes: &mut [Node],
+        requester: usize,
+        home: usize,
+        block_va: u64,
+        write: bool,
+    ) -> u64 {
+        let mut extra = 0;
+        let entry = self.directory.entry(block_va).or_default();
+        let entry_snapshot: (Vec<usize>, Option<usize>) =
+            (entry.sharers.iter().copied().collect(), entry.owner);
+
+        // 1. Pull the freshest data back to the home's memory.
+        if let Some(owner) = entry_snapshot.1 {
+            if owner != home && owner != requester {
+                Self::write_back(nodes, owner, home, block_va);
+                Self::set_status(nodes, owner, block_va, BlockStatus::Invalid);
+                self.stats.writebacks += 1;
+                extra += self.cfg.invalidate_cycles;
+            }
+        }
+        nodes[home].mem.flush_block(block_va);
+
+        if write {
+            // 2a. Invalidate every other copy.
+            for s in entry_snapshot.0 {
+                if s != requester {
+                    Self::set_status(nodes, s, block_va, BlockStatus::Invalid);
+                    self.stats.invalidations += 1;
+                    extra += self.cfg.invalidate_cycles;
+                }
+            }
+            let e = self.directory.get_mut(&block_va).expect("entry exists");
+            e.sharers.clear();
+            e.sharers.insert(requester);
+            e.owner = Some(requester);
+        } else {
+            if let Some(owner) = entry_snapshot.1 {
+                if owner != requester {
+                    // Downgrade the exclusive owner.
+                    Self::set_status(nodes, owner, block_va, BlockStatus::ReadOnly);
+                }
+            }
+            let e = self.directory.get_mut(&block_va).expect("entry exists");
+            e.owner = None;
+            e.sharers.insert(requester);
+        }
+
+        // 3. Deliver the block to the requester's local frame.
+        let status = if write {
+            BlockStatus::ReadWrite
+        } else {
+            BlockStatus::ReadOnly
+        };
+        self.install_block(nodes, requester, home, block_va, status);
+        self.stats.block_fetches += 1;
+        extra
+    }
+
+    /// Copy a dirty block from `owner`'s local frame back to `home`.
+    fn write_back(nodes: &mut [Node], owner: usize, home: usize, block_va: u64) {
+        nodes[owner].mem.flush_block(block_va);
+        for k in 0..BLOCK_WORDS {
+            let va = block_va + k;
+            if let Some(w) = nodes[owner].mem.peek_va(va) {
+                let pa = nodes[home]
+                    .mem
+                    .translate(va)
+                    .expect("home page mapped");
+                nodes[home].mem.poke_phys(pa, w);
+            }
+        }
+    }
+
+    /// Mark a block's status in a node's LTLB/LPT entry and drop any
+    /// cached line.
+    fn set_status(nodes: &mut [Node], node: usize, block_va: u64, status: BlockStatus) {
+        nodes[node].mem.flush_block(block_va);
+        let vpn = block_va / PAGE_WORDS;
+        let block = (block_va % PAGE_WORDS) / BLOCK_WORDS;
+        if let Some(e) = nodes[node].mem.ltlb_entry_mut(vpn) {
+            e.set_block_status(block, status);
+        } else if let Some(lpt) = nodes[node].mem.lpt() {
+            let sdram = nodes[node].mem.sdram_mut();
+            if let Some(mut e) = lpt.lookup(sdram, vpn) {
+                e.set_block_status(block, status);
+                lpt.write_back(sdram, &e);
+            }
+        }
+    }
+
+    /// Ensure `requester` has a local frame for the block's page, copy the
+    /// home data in, and set the block's status bits.
+    fn install_block(
+        &mut self,
+        nodes: &mut [Node],
+        requester: usize,
+        home: usize,
+        block_va: u64,
+        status: BlockStatus,
+    ) {
+        let vpn = block_va / PAGE_WORDS;
+        let block = (block_va % PAGE_WORDS) / BLOCK_WORDS;
+
+        // Drop any stale cached line (e.g. a read-only copy being
+        // upgraded): the refill re-derives the writable bit from the new
+        // block status.
+        nodes[requester].mem.flush_block(block_va);
+
+        // "If the virtual page containing the block is not mapped to a
+        // local physical page, a new page table entry is created and only
+        // the newly arrived block is marked valid" (§4.3).
+        let slot = match self.frames.get(&(requester, vpn)) {
+            Some(&slot) => slot,
+            None => {
+                let lpt = nodes[requester].mem.lpt().expect("booted node");
+                let ppn = self.next_frame[requester];
+                self.next_frame[requester] += 1;
+                let entry = LtlbEntry::uniform(vpn, ppn, BlockStatus::Invalid, 0);
+                let slot = lpt
+                    .insert(nodes[requester].mem.sdram_mut(), &entry)
+                    .expect("LPT space for remote frame");
+                self.frames.insert((requester, vpn), slot);
+                slot
+            }
+        };
+        // (Re)install into the LTLB so status updates land in one place.
+        if nodes[requester].mem.ltlb_probe(vpn).is_none() {
+            assert!(nodes[requester].mem.tlb_install(slot));
+        }
+
+        // Copy the 8 words from home memory into the local frame.
+        for k in 0..BLOCK_WORDS {
+            let va = block_va + k;
+            let w = {
+                let pa = nodes[home].mem.translate(va).expect("home page mapped");
+                nodes[home].mem.peek_phys(pa)
+            };
+            let e = nodes[requester]
+                .mem
+                .ltlb_probe(vpn)
+                .expect("just installed");
+            let pa = e.translate(va % PAGE_WORDS);
+            nodes[requester].mem.poke_phys(pa, w);
+        }
+        Self::set_status_local(nodes, requester, vpn, block, status);
+    }
+
+    fn set_status_local(nodes: &mut [Node], node: usize, vpn: u64, block: u64, status: BlockStatus) {
+        if let Some(e) = nodes[node].mem.ltlb_entry_mut(vpn) {
+            e.set_block_status(block, status);
+        }
+        // Keep the LPT copy coherent too.
+        if let Some(lpt) = nodes[node].mem.lpt() {
+            let snapshot = nodes[node].mem.ltlb_probe(vpn).copied();
+            if let Some(e) = snapshot {
+                lpt.write_back(nodes[node].mem.sdram_mut(), &e);
+            }
+        }
+    }
+
+    /// Any grants still outstanding?
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_empty()
+    }
+}

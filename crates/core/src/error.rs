@@ -1,0 +1,58 @@
+//! Machine-level errors.
+
+use std::fmt;
+
+/// Errors from building or driving an [`crate::machine::MMachine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// The configuration is inconsistent.
+    BadConfig(String),
+    /// A run loop exhausted its cycle budget.
+    Timeout {
+        /// The budget.
+        limit: u64,
+        /// The machine cycle when it gave up.
+        at: u64,
+    },
+    /// Assembly failed while preparing a program.
+    Asm(mm_isa::AsmError),
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::BadConfig(s) => write!(f, "bad machine configuration: {s}"),
+            MachineError::Timeout { limit, at } => {
+                write!(f, "run did not finish within {limit} cycles (at cycle {at})")
+            }
+            MachineError::Asm(e) => write!(f, "assembly failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MachineError::Asm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mm_isa::AsmError> for MachineError {
+    fn from(e: mm_isa::AsmError) -> MachineError {
+        MachineError::Asm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(MachineError::BadConfig("x".into()).to_string().contains("x"));
+        let t = MachineError::Timeout { limit: 5, at: 9 };
+        assert!(t.to_string().contains('5'));
+    }
+}

@@ -1,0 +1,526 @@
+//! The M-Machine: a 3-D mesh of MAP nodes under one clock.
+
+use crate::coherence::{CoherenceConfig, CoherenceEngine, CoherenceStats};
+use crate::error::MachineError;
+use crate::timeline::{PacketKind, Phase, Timeline};
+use mm_isa::instr::Program;
+use mm_isa::pointer::{GuardedPointer, Perm};
+use mm_isa::reg::Reg;
+use mm_isa::word::Word;
+use mm_net::fabric::{Fabric, FabricConfig, FabricStats};
+use mm_net::gtlb::GLOBAL_PAGE_WORDS;
+use mm_net::message::{Message, NodeCoord, Packet};
+use mm_runtime::image::{boot_node, BootInfo, BootSpec, RuntimeImage};
+use mm_sim::{HState, Node, NodeConfig, NUM_CLUSTERS, USER_SLOTS};
+use std::sync::Arc;
+
+/// Machine-wide configuration.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Mesh dimensions (powers of two).
+    pub dims: (u8, u8, u8),
+    /// Per-node configuration.
+    pub node: NodeConfig,
+    /// Router hop latency.
+    pub hop_latency: u64,
+    /// Global (1024-word) pages owned per node.
+    pub local_pages: u64,
+    /// LPT slots per node.
+    pub lpt_slots: u64,
+    /// Hardware backoff before re-injecting a returned message. (The
+    /// paper resends from software "at a later time"; we model the same
+    /// net effect in the interface — DESIGN.md §7.)
+    pub resend_delay: u64,
+    /// Firmware coherence charges.
+    pub coherence: CoherenceConfig,
+    /// Record phase events into the timeline.
+    pub trace: bool,
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig::small()
+    }
+}
+
+impl MachineConfig {
+    /// A 2×1×1 machine — the smallest configuration with a remote node
+    /// (what Table 1 and Fig. 9 measure).
+    #[must_use]
+    pub fn small() -> MachineConfig {
+        MachineConfig {
+            dims: (2, 1, 1),
+            node: NodeConfig::default(),
+            hop_latency: 2,
+            local_pages: 8,
+            lpt_slots: 256,
+            resend_delay: 32,
+            coherence: CoherenceConfig::default(),
+            trace: true,
+        }
+    }
+
+    /// A machine with the given mesh dimensions.
+    #[must_use]
+    pub fn with_dims(x: u8, y: u8, z: u8) -> MachineConfig {
+        MachineConfig {
+            dims: (x, y, z),
+            ..MachineConfig::small()
+        }
+    }
+}
+
+/// Aggregate statistics across the machine.
+#[derive(Debug, Clone, Default)]
+pub struct MachineStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions issued, summed over nodes.
+    pub instructions: u64,
+    /// Messages sent, summed over nodes.
+    pub messages: u64,
+    /// Fabric counters.
+    pub fabric: FabricStats,
+    /// Coherence counters.
+    pub coherence: CoherenceStats,
+}
+
+/// The whole multicomputer.
+#[derive(Debug)]
+pub struct MMachine {
+    cfg: MachineConfig,
+    spec: BootSpec,
+    image: RuntimeImage,
+    nodes: Vec<Node>,
+    fabric: Fabric,
+    coherence: CoherenceEngine,
+    timeline: Timeline,
+    boot_info: Vec<BootInfo>,
+    resends: Vec<(u64, usize, Message)>,
+    prev_events: Vec<[u64; NUM_CLUSTERS]>,
+    halted_seen: Vec<[[bool; 6]; NUM_CLUSTERS]>,
+    cycle: u64,
+}
+
+impl MMachine {
+    /// Build and boot a machine.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::BadConfig`] when dimensions or sizes are not
+    /// powers of two.
+    pub fn build(cfg: MachineConfig) -> Result<MMachine, MachineError> {
+        let (x, y, z) = cfg.dims;
+        for (name, v) in [("x", x), ("y", y), ("z", z)] {
+            if v == 0 || !v.is_power_of_two() {
+                return Err(MachineError::BadConfig(format!(
+                    "dimension {name}={v} must be a non-zero power of two"
+                )));
+            }
+        }
+        if !cfg.local_pages.is_power_of_two() || !cfg.lpt_slots.is_power_of_two() {
+            return Err(MachineError::BadConfig(
+                "local_pages and lpt_slots must be powers of two".into(),
+            ));
+        }
+        let spec = BootSpec {
+            dims: cfg.dims,
+            local_pages: cfg.local_pages,
+            lpt_slots: cfg.lpt_slots,
+        };
+        let image = RuntimeImage::build();
+        let mut nodes = Vec::new();
+        let mut boot_info = Vec::new();
+        for zc in 0..z {
+            for yc in 0..y {
+                for xc in 0..x {
+                    let coord = NodeCoord::new(xc, yc, zc);
+                    let mut node = Node::new(cfg.node.clone(), coord);
+                    let index = spec.linear_index(coord);
+                    boot_info.push(boot_node(&mut node, index, &spec, &image));
+                    nodes.push(node);
+                }
+            }
+        }
+        // The loop above pushes x-fastest, matching linear_index order.
+        let fabric = Fabric::new(FabricConfig {
+            dims: cfg.dims,
+            hop_latency: cfg.hop_latency,
+            loopback_latency: cfg.hop_latency,
+        });
+        let n = nodes.len();
+        Ok(MMachine {
+            coherence: CoherenceEngine::new(cfg.coherence, n),
+            spec,
+            image,
+            nodes,
+            fabric,
+            timeline: Timeline::new(),
+            boot_info,
+            resends: Vec::new(),
+            prev_events: vec![[0; NUM_CLUSTERS]; n],
+            halted_seen: vec![[[false; 6]; NUM_CLUSTERS]; n],
+            cycle: 0,
+            cfg,
+        })
+    }
+
+    /// Nodes in the machine.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All node indices.
+    #[must_use]
+    pub fn node_ids(&self) -> Vec<usize> {
+        (0..self.nodes.len()).collect()
+    }
+
+    /// A node by linear index.
+    #[must_use]
+    pub fn node(&self, idx: usize) -> &Node {
+        &self.nodes[idx]
+    }
+
+    /// Mutable node access (loaders, experiment setup).
+    pub fn node_mut(&mut self, idx: usize) -> &mut Node {
+        &mut self.nodes[idx]
+    }
+
+    /// The boot layout.
+    #[must_use]
+    pub fn spec(&self) -> &BootSpec {
+        &self.spec
+    }
+
+    /// The runtime image (handler DIPs).
+    #[must_use]
+    pub fn image(&self) -> &RuntimeImage {
+        &self.image
+    }
+
+    /// Per-node boot info.
+    #[must_use]
+    pub fn boot_info(&self, idx: usize) -> &BootInfo {
+        &self.boot_info[idx]
+    }
+
+    /// The current cycle.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The recorded timeline.
+    #[must_use]
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Clear the timeline (start of a measured experiment).
+    pub fn clear_timeline(&mut self) {
+        self.timeline.clear();
+    }
+
+    /// Aggregate statistics.
+    #[must_use]
+    pub fn stats(&self) -> MachineStats {
+        let mut s = MachineStats {
+            cycles: self.cycle,
+            fabric: self.fabric.stats(),
+            coherence: self.coherence.stats(),
+            ..MachineStats::default()
+        };
+        for n in &self.nodes {
+            s.instructions += n.stats().instructions;
+            s.messages += n.stats().sends;
+        }
+        s
+    }
+
+    /// A read-write pointer to node `idx`'s `page`-th local global page.
+    #[must_use]
+    pub fn home_ptr(&self, idx: usize, page: u64) -> Word {
+        Word::from_pointer(self.spec.data_ptr(idx as u64, page))
+    }
+
+    /// The virtual address of node `idx`'s `page`-th local global page.
+    #[must_use]
+    pub fn home_va(&self, idx: usize, page: u64) -> u64 {
+        self.spec.home_va(idx as u64, page)
+    }
+
+    /// Load a single-H-Thread user program onto cluster 0 of `node` in
+    /// user slot `slot`.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::BadConfig`] for non-user slots.
+    pub fn load_user_program(
+        &mut self,
+        node: usize,
+        slot: usize,
+        program: &Program,
+    ) -> Result<(), MachineError> {
+        self.load_vthread(node, slot, std::slice::from_ref(program))
+    }
+
+    /// Load a V-Thread: up to four programs, one per cluster.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::BadConfig`] for non-user slots or too many
+    /// programs.
+    pub fn load_vthread(
+        &mut self,
+        node: usize,
+        slot: usize,
+        programs: &[Program],
+    ) -> Result<(), MachineError> {
+        if slot >= USER_SLOTS {
+            return Err(MachineError::BadConfig(format!(
+                "slot {slot} is not a user slot"
+            )));
+        }
+        if programs.len() > NUM_CLUSTERS {
+            return Err(MachineError::BadConfig(
+                "a V-Thread has at most four H-Threads".into(),
+            ));
+        }
+        for (c, p) in programs.iter().enumerate() {
+            self.nodes[node].load_program(c, slot, Arc::new(p.clone()), 0);
+            self.halted_seen[node][c][slot] = false;
+        }
+        Ok(())
+    }
+
+    /// Read an integer register of a user H-Thread.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::BadConfig`] on out-of-range indices.
+    pub fn user_reg(
+        &self,
+        node: usize,
+        cluster: usize,
+        slot: usize,
+        reg: u8,
+    ) -> Result<Word, MachineError> {
+        if node >= self.nodes.len() || cluster >= NUM_CLUSTERS || slot >= USER_SLOTS {
+            return Err(MachineError::BadConfig("register coordinates".into()));
+        }
+        Ok(self.nodes[node].read_reg(cluster, slot, Reg::Int(reg)))
+    }
+
+    /// Write a register of a user H-Thread (experiment setup).
+    pub fn set_user_reg(&mut self, node: usize, cluster: usize, slot: usize, reg: Reg, v: Word) {
+        self.nodes[node].write_reg(cluster, slot, reg, v);
+    }
+
+    /// A pointer word for arbitrary experiment data.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::BadConfig`] if the address does not fit.
+    pub fn make_ptr(&self, perm: Perm, log2_len: u8, va: u64) -> Result<Word, MachineError> {
+        GuardedPointer::new(perm, log2_len, va)
+            .map(Word::from_pointer)
+            .map_err(|e| MachineError::BadConfig(e.to_string()))
+    }
+
+    /// Advance the whole machine one cycle.
+    pub fn step(&mut self) {
+        let now = self.cycle;
+
+        // 1. Every node computes.
+        for n in &mut self.nodes {
+            n.step(now);
+        }
+
+        // 2. Firmware coherence (class-0 events).
+        let spec = self.spec;
+        self.coherence.step(now, &mut self.nodes, |va| {
+            let page = va / GLOBAL_PAGE_WORDS;
+            let entry = self.fabric.config();
+            let _ = entry;
+            // Cyclic layout: page p lives on node p mod N.
+            let n = spec.total_nodes();
+            if page / n >= spec.local_pages {
+                None
+            } else {
+                Some((page % n) as usize)
+            }
+        });
+
+        // 3. Drain outboxes into the fabric.
+        for i in 0..self.nodes.len() {
+            for p in self.nodes[i].net.take_outbox() {
+                self.trace_packet(now, i, &p, true);
+                self.fabric.inject(now, p);
+            }
+        }
+
+        // 4. Deliver due packets (responses may stage more packets).
+        for p in self.fabric.deliveries(now) {
+            let d = self.spec.linear_index(p.dest()) as usize;
+            self.trace_packet(now, d, &p, false);
+            self.nodes[d].net.deliver(p);
+            for out in self.nodes[d].net.take_outbox() {
+                self.trace_packet(now, d, &out, true);
+                self.fabric.inject(now, out);
+            }
+        }
+
+        // 5. Returned messages: hardware backoff, then re-inject.
+        for i in 0..self.nodes.len() {
+            while let Some(m) = self.nodes[i].net.pop_returned() {
+                self.resends.push((now + self.cfg.resend_delay, i, m));
+            }
+        }
+        let mut k = 0;
+        while k < self.resends.len() {
+            if self.resends[k].0 <= now {
+                let (_, i, m) = self.resends.swap_remove(k);
+                self.nodes[i].net.resend(m);
+            } else {
+                k += 1;
+            }
+        }
+
+        // 6. Trace bookkeeping: event enqueues and user-thread halts.
+        if self.cfg.trace {
+            for (i, n) in self.nodes.iter().enumerate() {
+                for class in 0..NUM_CLUSTERS {
+                    let count = n.stats().events_enqueued[class];
+                    if count > self.prev_events[i][class] {
+                        self.timeline
+                            .record(now, Phase::EventEnqueued { node: i, class });
+                        self.prev_events[i][class] = count;
+                    }
+                }
+                for c in 0..NUM_CLUSTERS {
+                    for slot in 0..USER_SLOTS {
+                        if n.thread_state(c, slot) == HState::Halted
+                            && !self.halted_seen[i][c][slot]
+                        {
+                            self.halted_seen[i][c][slot] = true;
+                            self.timeline.record(
+                                now,
+                                Phase::UserHalted {
+                                    node: i,
+                                    cluster: c,
+                                    slot,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        self.cycle += 1;
+    }
+
+    fn trace_packet(&mut self, now: u64, node: usize, p: &Packet, inject: bool) {
+        if !self.cfg.trace {
+            return;
+        }
+        let kind = match p {
+            Packet::User(_) => PacketKind::Message,
+            Packet::Credit { .. } => PacketKind::Credit,
+            Packet::Return(_) => PacketKind::Return,
+        };
+        let phase = if inject {
+            Phase::PacketInjected {
+                node,
+                priority: p.priority(),
+                kind,
+            }
+        } else {
+            Phase::PacketDelivered {
+                node,
+                priority: p.priority(),
+                kind,
+            }
+        };
+        self.timeline.record(now, phase);
+    }
+
+    /// Run `cycles` machine cycles.
+    pub fn run_cycles(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Run until `pred` holds, at most `limit` cycles.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::Timeout`] if the predicate never held.
+    pub fn run_until<F: Fn(&MMachine) -> bool>(
+        &mut self,
+        limit: u64,
+        pred: F,
+    ) -> Result<u64, MachineError> {
+        let start = self.cycle;
+        while self.cycle - start < limit {
+            if pred(self) {
+                return Ok(self.cycle);
+            }
+            self.step();
+        }
+        Err(MachineError::Timeout {
+            limit,
+            at: self.cycle,
+        })
+    }
+
+    /// Run until every loaded user H-Thread on every node has halted or
+    /// faulted, then drain in-flight work.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::Timeout`] if user threads never finish.
+    pub fn run_until_halt(&mut self, limit: u64) -> Result<u64, MachineError> {
+        // Done when no user H-Thread anywhere is still running, and at
+        // least one was loaded (nodes without user work don't count).
+        let done = self.run_until(limit, |m| {
+            let mut any = false;
+            for n in &m.nodes {
+                for c in 0..NUM_CLUSTERS {
+                    for s in 0..USER_SLOTS {
+                        match n.thread_state(c, s) {
+                            HState::Running => return false,
+                            HState::Halted | HState::Faulted(_) => any = true,
+                            HState::Idle => {}
+                        }
+                    }
+                }
+            }
+            any
+        })?;
+        // Drain stragglers (in-flight responses, replies, credits).
+        for _ in 0..64 {
+            self.step();
+        }
+        Ok(done)
+    }
+
+    /// Do any user threads sit in a faulted state?
+    #[must_use]
+    pub fn faulted_threads(&self) -> Vec<(usize, usize, usize, mm_sim::Fault)> {
+        let mut out = Vec::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            for c in 0..NUM_CLUSTERS {
+                for s in 0..USER_SLOTS {
+                    if let HState::Faulted(f) = n.thread_state(c, s) {
+                        out.push((i, c, s, f));
+                    }
+                }
+            }
+        }
+        out
+    }
+}

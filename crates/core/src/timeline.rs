@@ -1,0 +1,153 @@
+//! Phase-event capture for the paper's Fig. 9 timelines.
+//!
+//! The machine pump records externally observable phase transitions —
+//! event-record enqueues, packet injections and deliveries, thread
+//! completions — with their cycle stamps. The Fig. 9 harness replays a
+//! remote read/write and prints the reconstructed two-node timeline.
+
+use mm_isa::op::Priority;
+use std::fmt;
+
+/// What kind of packet crossed the network interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// A user/system message.
+    Message,
+    /// A throttling credit.
+    Credit,
+    /// A returned (bounced) message.
+    Return,
+}
+
+/// One observable phase transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// An event record entered a node's handler-class queue.
+    EventEnqueued {
+        /// Node index.
+        node: usize,
+        /// Handler class (cluster of the handler H-Thread).
+        class: usize,
+    },
+    /// A packet left a node's network interface.
+    PacketInjected {
+        /// Source node index.
+        node: usize,
+        /// Network priority.
+        priority: Priority,
+        /// Packet kind.
+        kind: PacketKind,
+    },
+    /// A packet arrived at a node's network interface.
+    PacketDelivered {
+        /// Destination node index.
+        node: usize,
+        /// Network priority.
+        priority: Priority,
+        /// Packet kind.
+        kind: PacketKind,
+    },
+    /// A user H-Thread halted.
+    UserHalted {
+        /// Node index.
+        node: usize,
+        /// Cluster.
+        cluster: usize,
+        /// V-Thread slot.
+        slot: usize,
+    },
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::EventEnqueued { node, class } => {
+                write!(f, "node {node}: event enqueued (handler class {class})")
+            }
+            Phase::PacketInjected {
+                node,
+                priority,
+                kind,
+            } => write!(f, "node {node}: {kind:?} injected at {priority:?}"),
+            Phase::PacketDelivered {
+                node,
+                priority,
+                kind,
+            } => write!(f, "node {node}: {kind:?} delivered at {priority:?}"),
+            Phase::UserHalted {
+                node,
+                cluster,
+                slot,
+            } => write!(f, "node {node}: user thread ({cluster},{slot}) halted"),
+        }
+    }
+}
+
+/// A cycle-stamped sequence of phase transitions.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    events: Vec<(u64, Phase)>,
+}
+
+impl Timeline {
+    /// An empty timeline.
+    #[must_use]
+    pub fn new() -> Timeline {
+        Timeline::default()
+    }
+
+    /// Record a phase at `cycle`.
+    pub fn record(&mut self, cycle: u64, phase: Phase) {
+        self.events.push((cycle, phase));
+    }
+
+    /// All recorded events in order.
+    #[must_use]
+    pub fn events(&self) -> &[(u64, Phase)] {
+        &self.events
+    }
+
+    /// The first cycle at which `pred` matches.
+    pub fn first_cycle<F: Fn(&Phase) -> bool>(&self, pred: F) -> Option<u64> {
+        self.events
+            .iter()
+            .find(|(_, p)| pred(p))
+            .map(|(c, _)| *c)
+    }
+
+    /// Clear all events (start of a measured experiment).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Render the timeline relative to `origin`, Fig.-9 style.
+    #[must_use]
+    pub fn render(&self, origin: u64) -> String {
+        let mut out = String::new();
+        for (cycle, phase) in &self.events {
+            out.push_str(&format!("{:>6}  {}\n", cycle.saturating_sub(origin), phase));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut t = Timeline::new();
+        t.record(5, Phase::EventEnqueued { node: 0, class: 1 });
+        t.record(9, Phase::UserHalted { node: 0, cluster: 0, slot: 0 });
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(
+            t.first_cycle(|p| matches!(p, Phase::UserHalted { .. })),
+            Some(9)
+        );
+        assert_eq!(t.first_cycle(|p| matches!(p, Phase::PacketInjected { .. })), None);
+        assert!(t.render(5).contains("event enqueued"));
+        t.clear();
+        assert!(t.events().is_empty());
+    }
+}

@@ -1,0 +1,291 @@
+//! End-to-end machine tests: remote memory through the real assembly
+//! handlers (the Table 1 scenario), message passing (Fig. 7), throttling
+//! and coherence.
+
+use mm_core::machine::{MMachine, MachineConfig};
+use mm_isa::assemble;
+use mm_isa::reg::Reg;
+use mm_isa::word::Word;
+use mm_mem::MemWord;
+use mm_sim::HState;
+
+fn machine() -> MMachine {
+    MMachine::build(MachineConfig::small()).expect("valid config")
+}
+
+#[test]
+fn local_load_through_boot_mapping() {
+    let mut m = machine();
+    // Node 0's page 0 starts at VA 0; fill a word via backdoor.
+    let va = m.home_va(0, 0) + 5;
+    let pa_ok = m.node_mut(0).mem.poke_va(va, MemWord::new(Word::from_u64(123)));
+    assert!(pa_ok, "boot mapping covers the home page");
+
+    let prog = assemble("ld [r1+#5], r2\n add r2, #1, r3\n halt\n").unwrap();
+    let ptr = m.home_ptr(0, 0);
+    m.load_user_program(0, 0, &prog).unwrap();
+    m.set_user_reg(0, 0, 0, Reg::Int(1), ptr);
+    m.run_until_halt(10_000).unwrap();
+    assert_eq!(m.user_reg(0, 0, 0, 3).unwrap().bits(), 124);
+    assert!(m.faulted_threads().is_empty());
+}
+
+#[test]
+fn remote_load_completes_through_handlers() {
+    let mut m = machine();
+    // Put data on node 1's home page.
+    let va = m.home_va(1, 0) + 7;
+    assert!(m.node_mut(1).mem.poke_va(va, MemWord::new(Word::from_u64(777))));
+
+    // Node 0 loads it: LTLB miss → remote read message → reply → wrreg.
+    let prog = assemble("ld [r1+#7], r2\n add r2, #1, r3\n halt\n").unwrap();
+    m.load_user_program(0, 0, &prog).unwrap();
+    m.set_user_reg(0, 0, 0, Reg::Int(1), m.home_ptr(1, 0));
+    let t = m.run_until_halt(50_000).unwrap();
+    assert_eq!(m.user_reg(0, 0, 0, 3).unwrap().bits(), 778);
+    assert!(m.faulted_threads().is_empty());
+    // Remote read is slow but bounded (paper: 138–202 cycles).
+    assert!(t > 30, "suspiciously fast remote read: {t}");
+    assert!(t < 600, "remote read too slow: {t}");
+}
+
+#[test]
+fn remote_store_fig7_completes() {
+    let mut m = machine();
+    let va = m.home_va(1, 0) + 3;
+
+    let prog = assemble("st r2, [r1+#3]\n halt\n").unwrap();
+    m.load_user_program(0, 0, &prog).unwrap();
+    m.set_user_reg(0, 0, 0, Reg::Int(1), m.home_ptr(1, 0));
+    m.set_user_reg(0, 0, 0, Reg::Int(2), Word::from_u64(4242));
+    m.run_until_halt(50_000).unwrap();
+    // Give the write time to land remotely, then check node 1's memory.
+    m.run_cycles(300);
+    let got = m.node(1).mem.peek_va(va).expect("mapped at home");
+    assert_eq!(got.word.bits(), 4242, "Fig. 7 remote store did not land");
+    assert!(m.faulted_threads().is_empty());
+}
+
+#[test]
+fn remote_read_then_local_hit_is_fast() {
+    // After the LTLB-miss path completes once, the *home* node's own
+    // accesses still hit locally; and a second remote read from node 0
+    // takes the remote path again (non-cached shared memory, §4.2).
+    let mut m = machine();
+    let va = m.home_va(1, 0);
+    assert!(m.node_mut(1).mem.poke_va(va, MemWord::new(Word::from_u64(5))));
+
+    let prog = assemble("ld [r1], r2\n add r2, #0, r3\n halt\n").unwrap();
+    m.load_user_program(0, 0, &prog).unwrap();
+    m.set_user_reg(0, 0, 0, Reg::Int(1), m.home_ptr(1, 0));
+    m.run_until_halt(50_000).unwrap();
+    assert_eq!(m.user_reg(0, 0, 0, 3).unwrap().bits(), 5);
+
+    // Second access from a different user slot.
+    let prog2 = assemble("ld [r1], r2\n add r2, #0, r3\n halt\n").unwrap();
+    m.load_user_program(0, 1, &prog2).unwrap();
+    m.set_user_reg(0, 0, 1, Reg::Int(1), m.home_ptr(1, 0));
+    m.run_until_halt(50_000).unwrap();
+    assert_eq!(m.user_reg(0, 0, 1, 3).unwrap().bits(), 5);
+}
+
+#[test]
+fn user_level_message_round_trip() {
+    // A user thread on node 0 sends a message carrying a word to node 1's
+    // address space; the remote-write handler (Fig. 7b) performs it; the
+    // sender then reads it back remotely.
+    let mut m = machine();
+    let target = m.home_va(1, 1) + 9;
+
+    let send_prog = assemble(
+        "mov #31337, mc1\n send r10, r11, #1\n halt\n",
+    )
+    .unwrap();
+    m.load_user_program(0, 0, &send_prog).unwrap();
+    let ptr = m.make_ptr(mm_isa::Perm::ReadWrite, 0, target).unwrap();
+    m.set_user_reg(0, 0, 0, Reg::Int(10), ptr);
+    let write_dip = m.image().write_dip;
+    m.set_user_reg(0, 0, 0, Reg::Int(11), write_dip);
+    m.run_until_halt(50_000).unwrap();
+    m.run_cycles(300);
+
+    let got = m.node(1).mem.peek_va(target).expect("mapped");
+    assert_eq!(got.word.bits(), 31337);
+    assert!(m.faulted_threads().is_empty());
+}
+
+#[test]
+fn timeline_captures_remote_read_phases() {
+    use mm_core::timeline::Phase;
+    let mut m = machine();
+    let va = m.home_va(1, 0);
+    assert!(m.node_mut(1).mem.poke_va(va, MemWord::new(Word::from_u64(1))));
+
+    let prog = assemble("ld [r1], r2\n add r2, #0, r3\n halt\n").unwrap();
+    m.load_user_program(0, 0, &prog).unwrap();
+    m.set_user_reg(0, 0, 0, Reg::Int(1), m.home_ptr(1, 0));
+    m.clear_timeline();
+    m.run_until_halt(50_000).unwrap();
+
+    let tl = m.timeline();
+    let miss = tl
+        .first_cycle(|p| matches!(p, Phase::EventEnqueued { node: 0, class: 1 }))
+        .expect("LTLB miss event");
+    let req_sent = tl
+        .first_cycle(|p| {
+            matches!(
+                p,
+                Phase::PacketInjected {
+                    node: 0,
+                    priority: mm_isa::op::Priority::P0,
+                    kind: mm_core::timeline::PacketKind::Message
+                }
+            )
+        })
+        .expect("request injected");
+    let req_arrived = tl
+        .first_cycle(|p| {
+            matches!(
+                p,
+                Phase::PacketDelivered {
+                    node: 1,
+                    kind: mm_core::timeline::PacketKind::Message,
+                    ..
+                }
+            )
+        })
+        .expect("request delivered");
+    let reply_sent = tl
+        .first_cycle(|p| {
+            matches!(
+                p,
+                Phase::PacketInjected {
+                    node: 1,
+                    priority: mm_isa::op::Priority::P1,
+                    kind: mm_core::timeline::PacketKind::Message
+                }
+            )
+        })
+        .expect("reply injected");
+    let done = tl
+        .first_cycle(|p| matches!(p, Phase::UserHalted { node: 0, .. }))
+        .expect("user finished");
+    assert!(miss < req_sent, "handler runs after the event");
+    assert!(req_sent < req_arrived);
+    assert!(req_arrived < reply_sent);
+    assert!(reply_sent < done);
+    // Network transit ≈5 cycles to a neighbour (§4.2).
+    assert!(req_arrived - req_sent <= 8, "transit {}", req_arrived - req_sent);
+}
+
+#[test]
+fn coherence_read_share_then_write_invalidate() {
+    // Node 0 marks a block INVALID locally... exercised via the firmware:
+    // node 0 *caches* node 1's block by reading through the coherence
+    // path (block-status fault), then node 1 writes it, invalidating
+    // node 0's copy.
+    let mut m = machine();
+    let va = m.home_va(1, 2); // block 0 of node 1's page 2
+    assert!(m.node_mut(1).mem.poke_va(va, MemWord::new(Word::from_u64(66))));
+
+    // Force node 0 to take the coherent path: install a local frame for
+    // the page with every block INVALID — exactly the state after boot
+    // for locally-cached remote pages (§4.3).
+    use mm_mem::ltlb::{BlockStatus, LtlbEntry};
+    let vpn = va / 512;
+    {
+        let node0 = m.node_mut(0);
+        let lpt = node0.mem.lpt().unwrap();
+        let entry = LtlbEntry::uniform(vpn, 600, BlockStatus::Invalid, 0);
+        let slot = lpt.insert(node0.mem.sdram_mut(), &entry).unwrap();
+        assert!(node0.mem.tlb_install(slot));
+    }
+
+    let prog = assemble("ld [r1], r2\n add r2, #0, r3\n halt\n").unwrap();
+    m.load_user_program(0, 0, &prog).unwrap();
+    m.set_user_reg(0, 0, 0, Reg::Int(1), m.home_ptr(1, 2));
+    m.run_until_halt(50_000).unwrap();
+    assert_eq!(m.user_reg(0, 0, 0, 3).unwrap().bits(), 66, "block fetched");
+    assert!(m.stats().coherence.block_fetches >= 1);
+
+    // The block is now READ-ONLY at node 0: a local write faults into the
+    // coherence engine, which upgrades it (invalidating nobody else) —
+    // and the write proceeds.
+    let wprog = assemble("st r2, [r1]\n halt\n").unwrap();
+    m.load_user_program(0, 1, &wprog).unwrap();
+    m.set_user_reg(0, 0, 1, Reg::Int(1), m.home_ptr(1, 2));
+    m.set_user_reg(0, 0, 1, Reg::Int(2), Word::from_u64(67));
+    m.run_until_halt(50_000).unwrap();
+    m.run_cycles(300);
+    assert_eq!(
+        m.node(0).mem.peek_va(va).unwrap().word.bits(),
+        67,
+        "upgraded write landed in the local cached copy"
+    );
+}
+
+#[test]
+fn throttling_send_flood_makes_progress() {
+    // Flood node 1's queue from node 0; with capacity 16 and returns,
+    // every message must eventually be deliverable (the consumer drains).
+    let mut m = machine();
+    // Consumer on node 1 cluster 2 is the message dispatcher; user sends
+    // use the remote-write DIP so the dispatcher consumes them.
+    let mut src = String::new();
+    for i in 0..24 {
+        src.push_str(&format!("mov #{}, mc1\n send r10, r11, #1\n", 1000 + i));
+    }
+    src.push_str("halt\n");
+    let prog = assemble(&src).unwrap();
+    m.load_user_program(0, 0, &prog).unwrap();
+    let target = m.home_va(1, 3);
+    let ptr = m.make_ptr(mm_isa::Perm::ReadWrite, 0, target).unwrap();
+    m.set_user_reg(0, 0, 0, Reg::Int(10), ptr);
+    let write_dip = m.image().write_dip;
+    m.set_user_reg(0, 0, 0, Reg::Int(11), write_dip);
+    m.run_until_halt(200_000).unwrap();
+    m.run_cycles(5_000);
+    // All 24 stores to the same word: the last value observed must be one
+    // of the sent values, and the handler must have consumed all of them.
+    assert_eq!(m.node(1).net.stats().received, 24);
+    let got = m.node(1).mem.peek_va(target).unwrap().word.bits();
+    assert!((1000..1024).contains(&got), "unexpected value {got}");
+    assert!(m.faulted_threads().is_empty());
+}
+
+#[test]
+fn four_node_machine_runs() {
+    let mut m = MMachine::build(MachineConfig::with_dims(2, 2, 1)).unwrap();
+    assert_eq!(m.node_count(), 4);
+    // Every node computes locally; node 3 reads node 0's memory remotely.
+    for i in 0..4 {
+        let prog = assemble(&format!("add r0, #{}, r1\n halt\n", i + 1)).unwrap();
+        m.load_user_program(i, 0, &prog).unwrap();
+    }
+    let va = m.home_va(0, 1);
+    assert!(m.node_mut(0).mem.poke_va(va, MemWord::new(Word::from_u64(55))));
+    let rprog = assemble("ld [r2], r4\n add r4, #0, r5\n halt\n").unwrap();
+    m.load_user_program(3, 1, &rprog).unwrap();
+    m.set_user_reg(3, 0, 1, Reg::Int(2), m.home_ptr(0, 1));
+    m.run_until_halt(100_000).unwrap();
+    for i in 0..4 {
+        assert_eq!(m.user_reg(i, 0, 0, 1).unwrap().bits(), i as u64 + 1);
+    }
+    assert_eq!(m.user_reg(3, 0, 1, 5).unwrap().bits(), 55);
+    assert!(m.faulted_threads().is_empty());
+}
+
+#[test]
+fn event_handlers_stay_resident() {
+    let mut m = machine();
+    m.run_cycles(100);
+    for i in 0..2 {
+        for c in 1..4 {
+            assert_eq!(
+                m.node(i).thread_state(c, mm_sim::EVENT_SLOT),
+                HState::Running,
+                "handler on node {i} cluster {c} died"
+            );
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Error types for the ISA crate.
+
+use std::fmt;
+
+/// Errors raised while constructing or manipulating guarded pointers.
+///
+/// These correspond to the protection violations the MAP detects in the
+/// first execution cycle (handled synchronously, §3.3 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PointerError {
+    /// The address does not fit in the 54-bit address field.
+    AddressTooLarge {
+        /// The offending address.
+        addr: u64,
+    },
+    /// The segment length exponent exceeds the 54-bit address space.
+    SegmentTooLarge {
+        /// The offending exponent.
+        log2_len: u8,
+    },
+    /// Pointer arithmetic left the pointer's segment.
+    OutOfSegment {
+        /// Segment base address.
+        base: u64,
+        /// Segment length exponent.
+        log2_len: u8,
+        /// The escaping target address.
+        attempted: i128,
+    },
+    /// The word is not tagged as a pointer.
+    NotAPointer,
+    /// The operation is not allowed by the pointer's permission field.
+    PermissionDenied {
+        /// The pointer's permission.
+        perm: crate::pointer::Perm,
+        /// The access that was attempted.
+        needed: &'static str,
+    },
+}
+
+impl fmt::Display for PointerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PointerError::AddressTooLarge { addr } => {
+                write!(f, "address {addr:#x} does not fit in 54 bits")
+            }
+            PointerError::SegmentTooLarge { log2_len } => {
+                write!(f, "segment length 2^{log2_len} exceeds the address space")
+            }
+            PointerError::OutOfSegment {
+                base,
+                log2_len,
+                attempted,
+            } => write!(
+                f,
+                "pointer arithmetic to {attempted:#x} escapes segment [{base:#x}, {base:#x}+2^{log2_len})"
+            ),
+            PointerError::NotAPointer => write!(f, "word is not tagged as a pointer"),
+            PointerError::PermissionDenied { perm, needed } => {
+                write!(f, "permission {perm:?} does not allow {needed}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PointerError {}
+
+/// Errors raised by the two-pass assembler, with 1-based source line numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: AsmErrorKind,
+}
+
+/// The specific assembler failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmErrorKind {
+    /// An opcode mnemonic that the assembler does not know.
+    UnknownMnemonic(String),
+    /// A malformed operand token.
+    BadOperand(String),
+    /// Wrong number of operands for the mnemonic.
+    WrongArity {
+        /// The mnemonic in question.
+        mnemonic: String,
+        /// Human-readable expected count.
+        expected: &'static str,
+        /// Operands actually supplied.
+        got: usize,
+    },
+    /// A label used but never defined.
+    UndefinedLabel(String),
+    /// A label defined more than once.
+    DuplicateLabel(String),
+    /// More operations than execution units can accept in one instruction.
+    TooManyOps(String),
+    /// Operand not valid in this position (e.g. immediate as a destination).
+    BadDestination(String),
+    /// Register index out of range.
+    RegisterRange(String),
+    /// An immediate failed to parse.
+    BadImmediate(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            AsmErrorKind::UnknownMnemonic(m) => write!(f, "unknown mnemonic `{m}`"),
+            AsmErrorKind::BadOperand(t) => write!(f, "bad operand `{t}`"),
+            AsmErrorKind::WrongArity {
+                mnemonic,
+                expected,
+                got,
+            } => write!(
+                f,
+                "`{mnemonic}` expects {expected} operand(s), got {got}"
+            ),
+            AsmErrorKind::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmErrorKind::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmErrorKind::TooManyOps(m) => {
+                write!(f, "no free execution unit for `{m}` in this instruction")
+            }
+            AsmErrorKind::BadDestination(t) => write!(f, "invalid destination `{t}`"),
+            AsmErrorKind::RegisterRange(t) => write!(f, "register out of range `{t}`"),
+            AsmErrorKind::BadImmediate(t) => write!(f, "bad immediate `{t}`"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}

@@ -1,0 +1,184 @@
+//! The 3-wide MAP instruction and assembled programs.
+
+use crate::op::{FpOp, IntOp, MemSlotOp};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One MAP instruction: up to three operations, one per execution unit,
+/// which "issue together but may complete out of order" (§2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Instruction {
+    /// Operation for the integer unit.
+    pub int_op: Option<IntOp>,
+    /// Operation for the memory unit (a memory access or any integer op).
+    pub mem_op: Option<MemSlotOp>,
+    /// Operation for the floating-point unit.
+    pub fp_op: Option<FpOp>,
+}
+
+impl Instruction {
+    /// An instruction with no operations (issues and retires immediately).
+    #[must_use]
+    pub fn empty() -> Instruction {
+        Instruction::default()
+    }
+
+    /// Number of operations carried (0..=3).
+    #[must_use]
+    pub fn op_count(&self) -> usize {
+        usize::from(self.int_op.is_some())
+            + usize::from(self.mem_op.is_some())
+            + usize::from(self.fp_op.is_some())
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        let sep = |f: &mut fmt::Formatter<'_>, first: &mut bool| -> fmt::Result {
+            if !*first {
+                f.write_str(" | ")?;
+            }
+            *first = false;
+            Ok(())
+        };
+        if let Some(op) = &self.int_op {
+            sep(f, &mut first)?;
+            write!(f, "{op}")?;
+        }
+        if let Some(op) = &self.mem_op {
+            sep(f, &mut first)?;
+            write!(f, "{op}")?;
+        }
+        if let Some(op) = &self.fp_op {
+            sep(f, &mut first)?;
+            write!(f, "{op}")?;
+        }
+        if first {
+            f.write_str("nop")?;
+        }
+        Ok(())
+    }
+}
+
+/// An assembled program: a sequence of instructions plus the label table.
+///
+/// Programs are loaded into a cluster's instruction space; branch targets
+/// and exported symbols are instruction indices within the program.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// The instructions, in order.
+    pub instrs: Vec<Instruction>,
+    /// Label name → instruction index.
+    pub symbols: BTreeMap<String, u32>,
+}
+
+impl Program {
+    /// A program with no instructions.
+    #[must_use]
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Instruction count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Is the program empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Look up a label's instruction index.
+    #[must_use]
+    pub fn entry(&self, label: &str) -> Option<u32> {
+        self.symbols.get(label).copied()
+    }
+}
+
+impl fmt::Display for Program {
+    /// Renders assembly that re-assembles to an equal program (labels are
+    /// emitted on their own lines before the instruction they name).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut by_index: BTreeMap<u32, Vec<&str>> = BTreeMap::new();
+        for (name, &idx) in &self.symbols {
+            by_index.entry(idx).or_default().push(name);
+        }
+        for (i, instr) in self.instrs.iter().enumerate() {
+            #[allow(clippy::cast_possible_truncation)]
+            if let Some(labels) = by_index.get(&(i as u32)) {
+                for l in labels {
+                    writeln!(f, "{l}:")?;
+                }
+            }
+            writeln!(f, "    {instr}")?;
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        if let Some(labels) = by_index.get(&(self.instrs.len() as u32)) {
+            for l in labels {
+                writeln!(f, "{l}:")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{AluKind, IntOp};
+    use crate::reg::{Dst, Reg, Src};
+
+    fn add() -> IntOp {
+        IntOp::Alu {
+            kind: AluKind::Add,
+            a: Src::Reg(Reg::Int(1)),
+            b: Src::Imm(1),
+            dst: Dst::Local(Reg::Int(1)),
+        }
+    }
+
+    #[test]
+    fn op_count() {
+        let mut i = Instruction::empty();
+        assert_eq!(i.op_count(), 0);
+        i.int_op = Some(add());
+        assert_eq!(i.op_count(), 1);
+        i.fp_op = Some(FpOp::Nop);
+        assert_eq!(i.op_count(), 2);
+    }
+
+    #[test]
+    fn display_empty_instruction() {
+        assert_eq!(Instruction::empty().to_string(), "nop");
+    }
+
+    #[test]
+    fn display_joins_ops() {
+        let i = Instruction {
+            int_op: Some(add()),
+            mem_op: None,
+            fp_op: Some(FpOp::Nop),
+        };
+        assert_eq!(i.to_string(), "add r1, #1, r1 | fnop");
+    }
+
+    #[test]
+    fn program_symbols() {
+        let mut p = Program::new();
+        p.instrs.push(Instruction::empty());
+        p.symbols.insert("start".into(), 0);
+        p.symbols.insert("end".into(), 1);
+        assert_eq!(p.entry("start"), Some(0));
+        assert_eq!(p.entry("end"), Some(1));
+        assert_eq!(p.entry("nope"), None);
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+        let text = p.to_string();
+        assert!(text.contains("start:"));
+        assert!(text.contains("end:"));
+    }
+}

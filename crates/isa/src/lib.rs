@@ -1,0 +1,44 @@
+//! # mm-isa — the MAP instruction set
+//!
+//! Words, guarded pointers, registers, operations, instructions and the
+//! assembler for the M-Machine's MAP processor, as described in
+//! *The M-Machine Multicomputer* (Fillo et al., 1995).
+//!
+//! The MAP is a 64-bit machine whose words carry a pointer tag
+//! ([`word::Word`]); protection comes from the guarded-pointer capability
+//! system ([`pointer::GuardedPointer`]). Each instruction
+//! ([`instr::Instruction`]) carries up to three operations — integer,
+//! memory, floating-point ([`op`]) — that issue together on one cluster.
+//! Assembly text is turned into [`instr::Program`]s by [`asm::assemble`].
+//!
+//! ```
+//! use mm_isa::assemble;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = assemble(
+//!     "loop: add r1, #1, r1 | ld [r2+#1], r3 | fadd f1, f2, f3\n\
+//!      eq r1, #10, gcc1\n\
+//!      brf gcc1, loop\n\
+//!      halt\n",
+//! )?;
+//! assert_eq!(program.len(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod error;
+pub mod instr;
+pub mod op;
+pub mod pointer;
+pub mod reg;
+pub mod word;
+
+pub use asm::assemble;
+pub use error::{AsmError, PointerError};
+pub use instr::{Instruction, Program};
+pub use pointer::{GuardedPointer, Perm};
+pub use reg::{Dst, Reg, RegAddr, Src};
+pub use word::Word;

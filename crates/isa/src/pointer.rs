@@ -1,0 +1,410 @@
+//! Guarded pointers: the M-Machine's light-weight capability system.
+//!
+//! The paper (§2, citing Carter, Keckler & Dally, ASPLOS-VI 1994) protects
+//! the single global virtual address space with *guarded pointers*: every
+//! 64-bit word carries a hardware tag bit; tagged words hold a pointer whose
+//! bits encode a 4-bit permission field, a 6-bit log₂ segment length, and a
+//! 54-bit address. Pointer arithmetic (`LEA`) checks that the result stays
+//! inside the segment, so no separate segment table is needed and protection
+//! works on variable-size segments independently of paging.
+//!
+//! Addresses here are **word addresses** (the M-Machine is a 64-bit word
+//! machine; cache and DRAM in this reproduction are word-granular).
+
+use crate::error::PointerError;
+use std::fmt;
+
+/// Number of address bits in a guarded pointer.
+pub const ADDR_BITS: u32 = 54;
+/// Mask of the 54-bit address field.
+pub const ADDR_MASK: u64 = (1 << ADDR_BITS) - 1;
+/// Number of segment-length bits.
+pub const SEGLEN_BITS: u32 = 6;
+/// Number of permission bits.
+pub const PERM_BITS: u32 = 4;
+
+/// Permission field of a guarded pointer.
+///
+/// The variants follow the capability types of the guarded-pointer paper
+/// that the M-Machine cites for its protection model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+#[repr(u8)]
+pub enum Perm {
+    /// No access; dereferencing faults.
+    #[default]
+    None = 0,
+    /// Data may be read through the pointer.
+    Read = 1,
+    /// Data may be read and written.
+    ReadWrite = 2,
+    /// Instructions may be fetched; also readable.
+    Execute = 3,
+    /// An opaque entry point: may only be jumped to (message DIPs).
+    Enter = 4,
+    /// An unforgeable key for software use; not dereferenceable.
+    Key = 5,
+    /// Physical address; bypasses translation (system software only).
+    Physical = 6,
+    /// An error value produced by faulted operations.
+    ErrVal = 7,
+}
+
+impl Perm {
+    /// Decode a 4-bit permission field.
+    ///
+    /// Unknown encodings decode to [`Perm::None`].
+    #[must_use]
+    pub fn from_bits(bits: u8) -> Perm {
+        match bits & 0xF {
+            1 => Perm::Read,
+            2 => Perm::ReadWrite,
+            3 => Perm::Execute,
+            4 => Perm::Enter,
+            5 => Perm::Key,
+            6 => Perm::Physical,
+            7 => Perm::ErrVal,
+            _ => Perm::None,
+        }
+    }
+
+    /// The 4-bit encoding of this permission.
+    #[must_use]
+    pub fn bits(self) -> u8 {
+        self as u8
+    }
+
+    /// May data be loaded through a pointer with this permission?
+    #[must_use]
+    pub fn can_read(self) -> bool {
+        matches!(self, Perm::Read | Perm::ReadWrite | Perm::Execute | Perm::Physical)
+    }
+
+    /// May data be stored through a pointer with this permission?
+    #[must_use]
+    pub fn can_write(self) -> bool {
+        matches!(self, Perm::ReadWrite | Perm::Physical)
+    }
+
+    /// May instructions be fetched / jumped to through this permission?
+    #[must_use]
+    pub fn can_execute(self) -> bool {
+        matches!(self, Perm::Execute | Perm::Enter)
+    }
+}
+
+impl fmt::Display for Perm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Perm::None => "none",
+            Perm::Read => "r",
+            Perm::ReadWrite => "rw",
+            Perm::Execute => "x",
+            Perm::Enter => "enter",
+            Perm::Key => "key",
+            Perm::Physical => "phys",
+            Perm::ErrVal => "err",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A guarded pointer: `[perm:4][log2_len:6][addr:54]` packed in 64 bits.
+///
+/// The segment is the naturally aligned block of `2^log2_len` words that
+/// contains `addr`. Arithmetic that would leave the segment is rejected with
+/// [`PointerError::OutOfSegment`] — this is the hardware bounds check that
+/// makes forged out-of-object references impossible without a privileged
+/// `SETPTR`.
+///
+/// # Examples
+///
+/// ```
+/// use mm_isa::pointer::{GuardedPointer, Perm};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = GuardedPointer::new(Perm::ReadWrite, 4, 0x1000)?; // 16-word segment
+/// let q = p.offset(15)?;
+/// assert_eq!(q.addr(), 0x100F);
+/// assert!(p.offset(16).is_err()); // escapes the segment
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GuardedPointer {
+    perm: Perm,
+    log2_len: u8,
+    addr: u64,
+}
+
+impl GuardedPointer {
+    /// Create a pointer with `perm`, a segment of `2^log2_len` words, and
+    /// word address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// * [`PointerError::AddressTooLarge`] if `addr` needs more than 54 bits.
+    /// * [`PointerError::SegmentTooLarge`] if `log2_len > 54`.
+    pub fn new(perm: Perm, log2_len: u8, addr: u64) -> Result<GuardedPointer, PointerError> {
+        if addr > ADDR_MASK {
+            return Err(PointerError::AddressTooLarge { addr });
+        }
+        if u32::from(log2_len) > ADDR_BITS {
+            return Err(PointerError::SegmentTooLarge { log2_len });
+        }
+        Ok(GuardedPointer {
+            perm,
+            log2_len,
+            addr,
+        })
+    }
+
+    /// The permission field.
+    #[must_use]
+    pub fn perm(self) -> Perm {
+        self.perm
+    }
+
+    /// The log₂ of the segment length in words.
+    #[must_use]
+    pub fn log2_len(self) -> u8 {
+        self.log2_len
+    }
+
+    /// The 54-bit word address.
+    #[must_use]
+    pub fn addr(self) -> u64 {
+        self.addr
+    }
+
+    /// The lowest address of the pointer's segment.
+    #[must_use]
+    pub fn segment_base(self) -> u64 {
+        self.addr & !(self.segment_len() - 1)
+    }
+
+    /// Segment length in words (`2^log2_len`).
+    #[must_use]
+    pub fn segment_len(self) -> u64 {
+        1u64 << self.log2_len
+    }
+
+    /// Does `addr` fall inside this pointer's segment?
+    #[must_use]
+    pub fn segment_contains(self, addr: u64) -> bool {
+        let base = self.segment_base();
+        addr >= base && addr - base < self.segment_len()
+    }
+
+    /// Pointer arithmetic with the hardware bounds check (`LEA`).
+    ///
+    /// Returns a pointer to `addr + delta` with the same permission and
+    /// segment.
+    ///
+    /// # Errors
+    ///
+    /// [`PointerError::OutOfSegment`] if the result would leave the segment.
+    pub fn offset(self, delta: i64) -> Result<GuardedPointer, PointerError> {
+        let target = i128::from(self.addr) + i128::from(delta);
+        let base = self.segment_base();
+        let inside =
+            target >= i128::from(base) && target < i128::from(base) + i128::from(self.segment_len());
+        if !inside {
+            return Err(PointerError::OutOfSegment {
+                base,
+                log2_len: self.log2_len,
+                attempted: target,
+            });
+        }
+        #[allow(clippy::cast_sign_loss)]
+        Ok(GuardedPointer {
+            perm: self.perm,
+            log2_len: self.log2_len,
+            addr: target as u64,
+        })
+    }
+
+    /// Check that this pointer allows loads.
+    ///
+    /// # Errors
+    ///
+    /// [`PointerError::PermissionDenied`] when the permission forbids reads.
+    pub fn check_read(self) -> Result<(), PointerError> {
+        if self.perm.can_read() {
+            Ok(())
+        } else {
+            Err(PointerError::PermissionDenied {
+                perm: self.perm,
+                needed: "read",
+            })
+        }
+    }
+
+    /// Check that this pointer allows stores.
+    ///
+    /// # Errors
+    ///
+    /// [`PointerError::PermissionDenied`] when the permission forbids writes.
+    pub fn check_write(self) -> Result<(), PointerError> {
+        if self.perm.can_write() {
+            Ok(())
+        } else {
+            Err(PointerError::PermissionDenied {
+                perm: self.perm,
+                needed: "write",
+            })
+        }
+    }
+
+    /// Check that this pointer may be jumped to.
+    ///
+    /// # Errors
+    ///
+    /// [`PointerError::PermissionDenied`] when the permission forbids
+    /// instruction fetch.
+    pub fn check_execute(self) -> Result<(), PointerError> {
+        if self.perm.can_execute() {
+            Ok(())
+        } else {
+            Err(PointerError::PermissionDenied {
+                perm: self.perm,
+                needed: "execute",
+            })
+        }
+    }
+
+    /// Pack into the 64 data bits of a word (tag bit lives in [`crate::word::Word`]).
+    #[must_use]
+    pub fn to_bits(self) -> u64 {
+        (u64::from(self.perm.bits()) << (ADDR_BITS + SEGLEN_BITS))
+            | (u64::from(self.log2_len) << ADDR_BITS)
+            | self.addr
+    }
+
+    /// Unpack from 64 data bits.
+    ///
+    /// Always succeeds: every bit pattern decodes to *some* pointer (the MAP
+    /// trusts the tag bit, not the payload, to identify pointers).
+    #[must_use]
+    pub fn from_bits(bits: u64) -> GuardedPointer {
+        let perm = Perm::from_bits(((bits >> (ADDR_BITS + SEGLEN_BITS)) & 0xF) as u8);
+        let log2_len = ((bits >> ADDR_BITS) & ((1 << SEGLEN_BITS) - 1)) as u8;
+        let log2_len = log2_len.min(ADDR_BITS as u8);
+        GuardedPointer {
+            perm,
+            log2_len,
+            addr: bits & ADDR_MASK,
+        }
+    }
+}
+
+impl fmt::Display for GuardedPointer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "<{}:{:#x}+2^{}>",
+            self.perm, self.addr, self.log2_len
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_oversized_address() {
+        assert!(matches!(
+            GuardedPointer::new(Perm::Read, 0, 1 << 54),
+            Err(PointerError::AddressTooLarge { .. })
+        ));
+        assert!(GuardedPointer::new(Perm::Read, 0, (1 << 54) - 1).is_ok());
+    }
+
+    #[test]
+    fn new_rejects_oversized_segment() {
+        assert!(matches!(
+            GuardedPointer::new(Perm::Read, 55, 0),
+            Err(PointerError::SegmentTooLarge { .. })
+        ));
+        assert!(GuardedPointer::new(Perm::Read, 54, 0).is_ok());
+    }
+
+    #[test]
+    fn segment_geometry() {
+        let p = GuardedPointer::new(Perm::Read, 4, 0x1234).unwrap();
+        assert_eq!(p.segment_len(), 16);
+        assert_eq!(p.segment_base(), 0x1230);
+        assert!(p.segment_contains(0x1230));
+        assert!(p.segment_contains(0x123F));
+        assert!(!p.segment_contains(0x1240));
+        assert!(!p.segment_contains(0x122F));
+    }
+
+    #[test]
+    fn offset_stays_inside() {
+        let p = GuardedPointer::new(Perm::ReadWrite, 3, 0x100).unwrap();
+        assert_eq!(p.offset(7).unwrap().addr(), 0x107);
+        assert_eq!(p.offset(0).unwrap(), p);
+        assert!(p.offset(8).is_err());
+        assert!(p.offset(-1).is_err());
+    }
+
+    #[test]
+    fn offset_negative_within_segment() {
+        let p = GuardedPointer::new(Perm::Read, 4, 0x1238).unwrap();
+        assert_eq!(p.offset(-8).unwrap().addr(), 0x1230);
+        assert!(p.offset(-9).is_err());
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        let p = GuardedPointer::new(Perm::Enter, 12, 0x3FFF_FFFF_FFFF).unwrap();
+        assert_eq!(GuardedPointer::from_bits(p.to_bits()), p);
+    }
+
+    #[test]
+    fn permissions() {
+        assert!(Perm::Read.can_read());
+        assert!(!Perm::Read.can_write());
+        assert!(Perm::ReadWrite.can_write());
+        assert!(Perm::Execute.can_execute());
+        assert!(Perm::Enter.can_execute());
+        assert!(!Perm::Enter.can_write());
+        assert!(!Perm::Key.can_read());
+        assert!(Perm::Physical.can_write());
+    }
+
+    #[test]
+    fn perm_bits_round_trip() {
+        for p in [
+            Perm::None,
+            Perm::Read,
+            Perm::ReadWrite,
+            Perm::Execute,
+            Perm::Enter,
+            Perm::Key,
+            Perm::Physical,
+            Perm::ErrVal,
+        ] {
+            assert_eq!(Perm::from_bits(p.bits()), p);
+        }
+    }
+
+    #[test]
+    fn check_accessors() {
+        let p = GuardedPointer::new(Perm::Read, 0, 0).unwrap();
+        assert!(p.check_read().is_ok());
+        assert!(p.check_write().is_err());
+        assert!(p.check_execute().is_err());
+        let e = GuardedPointer::new(Perm::Enter, 0, 0).unwrap();
+        assert!(e.check_execute().is_ok());
+        assert!(e.check_read().is_err());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let p = GuardedPointer::new(Perm::Read, 2, 64).unwrap();
+        assert!(!format!("{p}").is_empty());
+        assert!(!format!("{p:?}").is_empty());
+    }
+}

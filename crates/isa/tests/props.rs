@@ -1,0 +1,136 @@
+//! Property-based tests for the ISA crate's core invariants.
+
+use mm_isa::asm::assemble;
+use mm_isa::pointer::{GuardedPointer, Perm, ADDR_MASK};
+use mm_isa::reg::{Reg, RegAddr};
+use mm_isa::word::Word;
+use proptest::prelude::*;
+
+fn arb_perm() -> impl Strategy<Value = Perm> {
+    prop_oneof![
+        Just(Perm::None),
+        Just(Perm::Read),
+        Just(Perm::ReadWrite),
+        Just(Perm::Execute),
+        Just(Perm::Enter),
+        Just(Perm::Key),
+        Just(Perm::Physical),
+        Just(Perm::ErrVal),
+    ]
+}
+
+proptest! {
+    /// Pointer arithmetic never produces an address outside the segment.
+    #[test]
+    fn offset_never_escapes_segment(
+        perm in arb_perm(),
+        log2_len in 0u8..=54,
+        addr in 0u64..=ADDR_MASK,
+        delta in any::<i32>(),
+    ) {
+        let p = GuardedPointer::new(perm, log2_len, addr).unwrap();
+        match p.offset(i64::from(delta)) {
+            Ok(q) => {
+                prop_assert!(p.segment_contains(q.addr()));
+                prop_assert_eq!(q.segment_base(), p.segment_base());
+                prop_assert_eq!(q.perm(), p.perm());
+            }
+            Err(_) => {
+                // The target really is outside the segment.
+                let target = i128::from(addr) + i128::from(delta);
+                let base = i128::from(p.segment_base());
+                let len = i128::from(p.segment_len());
+                prop_assert!(target < base || target >= base + len);
+            }
+        }
+    }
+
+    /// Guarded pointers survive packing into word bits and back.
+    #[test]
+    fn pointer_bits_round_trip(
+        perm in arb_perm(),
+        log2_len in 0u8..=54,
+        addr in 0u64..=ADDR_MASK,
+    ) {
+        let p = GuardedPointer::new(perm, log2_len, addr).unwrap();
+        prop_assert_eq!(GuardedPointer::from_bits(p.to_bits()), p);
+        let w = Word::from_pointer(p);
+        prop_assert_eq!(w.pointer().unwrap(), p);
+    }
+
+    /// Decoding arbitrary bits never panics and re-encodes identically.
+    #[test]
+    fn pointer_decode_total(bits in any::<u64>()) {
+        let p = GuardedPointer::from_bits(bits);
+        // Re-encoding may canonicalize unknown permission encodings, but a
+        // second round trip must be a fixpoint.
+        let q = GuardedPointer::from_bits(p.to_bits());
+        prop_assert_eq!(p, q);
+    }
+
+    /// Register-address encodings round-trip for all valid triples.
+    #[test]
+    fn reg_addr_round_trip(
+        slot in 0u8..6,
+        cluster in 0u8..4,
+        kind in 0u8..4,
+        idx in 0u8..8,
+    ) {
+        let reg = match kind {
+            0 => Reg::Int(idx),
+            1 => Reg::Fp(idx),
+            2 => Reg::Gcc(idx),
+            _ => Reg::Mc(idx),
+        };
+        let a = RegAddr { slot, cluster, reg };
+        prop_assert_eq!(RegAddr::decode(a.encode()), Some(a));
+    }
+
+    /// Words preserve integer and float payloads exactly.
+    #[test]
+    fn word_round_trips(v in any::<i64>(), x in any::<f64>()) {
+        prop_assert_eq!(Word::from_i64(v).as_i64(), v);
+        let w = Word::from_f64(x);
+        if x.is_nan() {
+            prop_assert!(w.as_f64().is_nan());
+        } else {
+            prop_assert_eq!(w.as_f64(), x);
+        }
+    }
+}
+
+/// A generator for small random-but-valid assembly programs.
+fn arb_program_text() -> impl Strategy<Value = String> {
+    let line = prop_oneof![
+        (0u8..16, 0u8..16, 1u8..16).prop_map(|(a, b, d)| format!("add r{a}, r{b}, r{d}")),
+        (0u8..16, any::<i16>(), 1u8..16).prop_map(|(a, v, d)| format!("sub r{a}, #{v}, r{d}")),
+        (0u8..16, 0i16..64, 1u8..16).prop_map(|(b, o, d)| format!("ld [r{b}+#{o}], r{d}")),
+        (0u8..16, 0u8..16).prop_map(|(s, b)| format!("st r{s}, [r{b}]")),
+        (0u8..16, 0u8..16, 0u8..16).prop_map(|(a, b, d)| format!("fmul f{a}, f{b}, f{d}")),
+        (0u8..16, 0u8..16, 0u8..8).prop_map(|(a, b, d)| format!("eq r{a}, r{b}, gcc{d}")),
+        (1u8..16,).prop_map(|(r,)| format!("empty r{r}")),
+        (0u8..4, 0u8..16, 0u8..16).prop_map(|(c, s, d)| format!("mov r{s}, h{c}.r{d}")),
+        Just("nop".to_owned()),
+        Just("halt".to_owned()),
+    ];
+    prop::collection::vec(line, 1..12).prop_map(|ls| {
+        let mut s = String::new();
+        for l in ls {
+            s.push_str(&l);
+            s.push('\n');
+        }
+        s
+    })
+}
+
+proptest! {
+    /// `Display` of an assembled program re-assembles to an equal program
+    /// (the assembler/disassembler pair is a round trip).
+    #[test]
+    fn assemble_display_fixpoint(src in arb_program_text()) {
+        let p1 = assemble(&src).expect("generated source must assemble");
+        let printed = p1.to_string();
+        let p2 = assemble(&printed).expect("printed source must re-assemble");
+        prop_assert_eq!(p1, p2);
+    }
+}

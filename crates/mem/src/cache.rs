@@ -1,0 +1,473 @@
+//! The on-chip cache: four word-interleaved, virtually-addressed banks.
+//!
+//! "The on-chip cache is organized as four word-interleaved 4KW (32KB)
+//! banks to permit four consecutive word accesses to proceed in parallel.
+//! The cache is virtually addressed and tagged. The cache banks are
+//! pipelined with a three-cycle read latency, including switch traversal"
+//! (§2). Lines are 8 words — the same granularity as the block-status
+//! bits — so coherence invalidations map one block to one line.
+//!
+//! Consecutive words live in different banks (`bank = va mod 4`); a line
+//! spans all four banks, two words in each. Tag and state are kept once
+//! per line. Each line carries a `writable` bit derived from the page's
+//! block-status bits at fill time, so stores to locally-cached READ-ONLY
+//! remote data fault even on a cache hit.
+
+use crate::dram::MemWord;
+
+/// Words per cache line (= words per block-status block).
+pub const LINE_WORDS: u64 = 8;
+
+/// Cache geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of banks (fixed at 4 on the MAP; configurable for ablations).
+    pub banks: u64,
+    /// Words per bank (4 KW on the MAP).
+    pub words_per_bank: u64,
+}
+
+impl CacheConfig {
+    /// Total lines in the cache.
+    #[must_use]
+    pub fn num_lines(&self) -> u64 {
+        self.banks * self.words_per_bank / LINE_WORDS
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig {
+            banks: 4,
+            words_per_bank: 4096,
+        }
+    }
+}
+
+/// One direct-mapped cache line.
+#[derive(Debug, Clone)]
+struct Line {
+    valid: bool,
+    tag: u64,
+    dirty: bool,
+    writable: bool,
+    /// Physical address of the line base, captured at fill time so dirty
+    /// victims can be written back without re-translating (the cache is
+    /// virtually tagged; the victim's LTLB entry may be gone).
+    pa_base: u64,
+    data: Vec<MemWord>,
+}
+
+impl Line {
+    fn empty() -> Line {
+        Line {
+            valid: false,
+            tag: 0,
+            dirty: false,
+            writable: false,
+            pa_base: 0,
+            data: vec![MemWord::default(); LINE_WORDS as usize],
+        }
+    }
+}
+
+/// Result of attempting a store hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreOutcome {
+    /// The word was written (line now dirty).
+    Written,
+    /// The line is present but not writable (block-status fault).
+    NotWritable,
+    /// The line is not present.
+    Miss,
+}
+
+/// A dirty line evicted by a fill, to be written back to DRAM.
+#[derive(Debug, Clone)]
+pub struct Victim {
+    /// Virtual address of the first word of the victim line.
+    pub va: u64,
+    /// Physical address of the first word of the victim line.
+    pub pa: u64,
+    /// The eight words of the line.
+    pub data: Vec<MemWord>,
+}
+
+/// Counters for the cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read hits.
+    pub read_hits: u64,
+    /// Read misses.
+    pub read_misses: u64,
+    /// Write hits.
+    pub write_hits: u64,
+    /// Write misses.
+    pub write_misses: u64,
+    /// Dirty lines written back.
+    pub writebacks: u64,
+}
+
+/// The four-bank, direct-mapped, virtually-tagged cache.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Line>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Build an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry yields zero lines or a non-power-of-two line
+    /// count.
+    #[must_use]
+    pub fn new(cfg: CacheConfig) -> Cache {
+        let n = cfg.num_lines();
+        assert!(n > 0 && n.is_power_of_two(), "line count must be a power of two");
+        Cache {
+            lines: (0..n).map(|_| Line::empty()).collect(),
+            cfg,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The geometry in use.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The bank serving virtual address `va` (word-interleaved).
+    #[must_use]
+    pub fn bank_of(&self, va: u64) -> usize {
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            (va % self.cfg.banks) as usize
+        }
+    }
+
+    fn index_of(&self, va: u64) -> usize {
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            ((va / LINE_WORDS) % self.cfg.num_lines()) as usize
+        }
+    }
+
+    fn tag_of(&self, va: u64) -> u64 {
+        va / LINE_WORDS / self.cfg.num_lines()
+    }
+
+    fn line_base(&self, va: u64) -> u64 {
+        va & !(LINE_WORDS - 1)
+    }
+
+    /// Is the word at `va` present?
+    #[must_use]
+    pub fn contains(&self, va: u64) -> bool {
+        let line = &self.lines[self.index_of(va)];
+        line.valid && line.tag == self.tag_of(va)
+    }
+
+    /// Read a word on a hit. Counts a read hit or miss.
+    pub fn read(&mut self, va: u64) -> Option<MemWord> {
+        let idx = self.index_of(va);
+        let tag = self.tag_of(va);
+        let line = &self.lines[idx];
+        if line.valid && line.tag == tag {
+            self.stats.read_hits += 1;
+            Some(line.data[(va % LINE_WORDS) as usize])
+        } else {
+            self.stats.read_misses += 1;
+            None
+        }
+    }
+
+    /// Write a word on a hit. Counts a write hit or miss.
+    pub fn write(&mut self, va: u64, w: MemWord) -> StoreOutcome {
+        let idx = self.index_of(va);
+        let tag = self.tag_of(va);
+        let line = &mut self.lines[idx];
+        if line.valid && line.tag == tag {
+            if !line.writable {
+                return StoreOutcome::NotWritable;
+            }
+            self.stats.write_hits += 1;
+            line.data[(va % LINE_WORDS) as usize] = w;
+            line.dirty = true;
+            StoreOutcome::Written
+        } else {
+            self.stats.write_misses += 1;
+            StoreOutcome::Miss
+        }
+    }
+
+    /// Update only the synchronization bit of a resident word (used by
+    /// synchronizing loads; requires a writable line, like any mutation).
+    pub fn set_sync(&mut self, va: u64, sync: bool) -> StoreOutcome {
+        let idx = self.index_of(va);
+        let tag = self.tag_of(va);
+        let line = &mut self.lines[idx];
+        if line.valid && line.tag == tag {
+            if !line.writable {
+                return StoreOutcome::NotWritable;
+            }
+            line.data[(va % LINE_WORDS) as usize].sync = sync;
+            line.dirty = true;
+            StoreOutcome::Written
+        } else {
+            StoreOutcome::Miss
+        }
+    }
+
+    /// Install the line containing `va`, whose physical base is `pa_base`.
+    /// Returns the evicted dirty line, if any, for write-back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly [`LINE_WORDS`] long.
+    pub fn fill(
+        &mut self,
+        va: u64,
+        pa_base: u64,
+        data: Vec<MemWord>,
+        writable: bool,
+    ) -> Option<Victim> {
+        assert_eq!(data.len() as u64, LINE_WORDS, "fill must be a whole line");
+        let idx = self.index_of(va);
+        let tag = self.tag_of(va);
+        let num_lines = self.cfg.num_lines();
+        let line = &mut self.lines[idx];
+        let victim = if line.valid && line.dirty {
+            self.stats.writebacks += 1;
+            let victim_va = (line.tag * num_lines + idx as u64) * LINE_WORDS;
+            Some(Victim {
+                va: victim_va,
+                pa: line.pa_base,
+                data: std::mem::take(&mut line.data),
+            })
+        } else {
+            None
+        };
+        *line = Line {
+            valid: true,
+            tag,
+            dirty: false,
+            writable,
+            pa_base: pa_base & !(LINE_WORDS - 1),
+            data,
+        };
+        victim
+    }
+
+    /// Read a resident word without touching statistics (backdoor for
+    /// loaders, sync-precondition checks and firmware).
+    #[must_use]
+    pub fn peek(&self, va: u64) -> Option<MemWord> {
+        let line = &self.lines[self.index_of(va)];
+        if line.valid && line.tag == self.tag_of(va) {
+            Some(line.data[(va % LINE_WORDS) as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Overwrite a resident word without touching statistics or the
+    /// writable bit (backdoor for loaders and firmware).
+    pub fn poke(&mut self, va: u64, w: MemWord) -> bool {
+        let idx = self.index_of(va);
+        let tag = self.tag_of(va);
+        let line = &mut self.lines[idx];
+        if line.valid && line.tag == tag {
+            line.data[(va % LINE_WORDS) as usize] = w;
+            line.dirty = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Invalidate the line containing `va` (coherence). Returns the line's
+    /// contents if it was dirty, so the caller can write it back.
+    pub fn invalidate(&mut self, va: u64) -> Option<Victim> {
+        let idx = self.index_of(va);
+        let tag = self.tag_of(va);
+        let base = self.line_base(va);
+        let line = &mut self.lines[idx];
+        if line.valid && line.tag == tag {
+            let dirty = line.dirty;
+            line.valid = false;
+            line.dirty = false;
+            if dirty {
+                self.stats.writebacks += 1;
+                return Some(Victim {
+                    va: base,
+                    pa: line.pa_base,
+                    data: std::mem::take(&mut line.data),
+                });
+            }
+        }
+        None
+    }
+
+    /// Downgrade the line containing `va` to read-only (coherence), if
+    /// present. Returns its contents if it was dirty (for write-back).
+    pub fn downgrade(&mut self, va: u64) -> Option<Victim> {
+        let idx = self.index_of(va);
+        let tag = self.tag_of(va);
+        let base = self.line_base(va);
+        let line = &mut self.lines[idx];
+        if line.valid && line.tag == tag {
+            line.writable = false;
+            if line.dirty {
+                line.dirty = false;
+                self.stats.writebacks += 1;
+                return Some(Victim {
+                    va: base,
+                    pa: line.pa_base,
+                    data: line.data.clone(),
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_isa::word::Word;
+
+    fn mk(v: u64) -> MemWord {
+        MemWord::new(Word::from_u64(v))
+    }
+
+    fn line(vals: std::ops::Range<u64>) -> Vec<MemWord> {
+        vals.map(mk).collect()
+    }
+
+    fn cache() -> Cache {
+        Cache::new(CacheConfig {
+            banks: 4,
+            words_per_bank: 64, // 256 words, 32 lines — small for tests
+        })
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = cache();
+        assert_eq!(c.read(8), None);
+        assert!(c.fill(8, 8, line(0..8), true).is_none());
+        assert_eq!(c.read(9).unwrap().word.bits(), 1);
+        assert!(c.contains(15));
+        assert!(!c.contains(16));
+        assert_eq!(c.stats().read_hits, 1);
+        assert_eq!(c.stats().read_misses, 1);
+    }
+
+    #[test]
+    fn bank_interleaving() {
+        let c = cache();
+        assert_eq!(c.bank_of(0), 0);
+        assert_eq!(c.bank_of(1), 1);
+        assert_eq!(c.bank_of(5), 1);
+        assert_eq!(c.bank_of(7), 3);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty_and_evicts() {
+        let mut c = cache();
+        c.fill(0, 0, line(0..8), true);
+        assert_eq!(c.write(3, mk(99)), StoreOutcome::Written);
+        assert_eq!(c.read(3).unwrap().word.bits(), 99);
+        //
+
+        // Fill a conflicting line: 32 lines * 8 words = 256-word stride.
+        let victim = c.fill(256, 256, line(100..108), true).expect("dirty victim");
+        assert_eq!(victim.va, 0);
+        assert_eq!(victim.data[3].word.bits(), 99);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_returns_no_victim() {
+        let mut c = cache();
+        c.fill(0, 0, line(0..8), true);
+        assert!(c.fill(256, 256, line(0..8), true).is_none());
+    }
+
+    #[test]
+    fn read_only_line_rejects_stores() {
+        let mut c = cache();
+        c.fill(0, 0, line(0..8), false);
+        assert_eq!(c.write(0, mk(1)), StoreOutcome::NotWritable);
+        assert_eq!(c.set_sync(0, true), StoreOutcome::NotWritable);
+        // Reads still fine.
+        assert!(c.read(0).is_some());
+    }
+
+    #[test]
+    fn store_miss_reported() {
+        let mut c = cache();
+        assert_eq!(c.write(40, mk(1)), StoreOutcome::Miss);
+        assert_eq!(c.stats().write_misses, 1);
+    }
+
+    #[test]
+    fn sync_bit_update() {
+        let mut c = cache();
+        c.fill(0, 0, line(0..8), true);
+        assert_eq!(c.set_sync(2, true), StoreOutcome::Written);
+        assert!(c.read(2).unwrap().sync);
+    }
+
+    #[test]
+    fn invalidate_returns_dirty_contents() {
+        let mut c = cache();
+        c.fill(0, 0, line(0..8), true);
+        c.write(1, mk(55));
+        let v = c.invalidate(0).expect("dirty line returned");
+        assert_eq!(v.va, 0);
+        assert_eq!(v.data[1].word.bits(), 55);
+        assert!(!c.contains(0));
+        // Invalidating again is a no-op.
+        assert!(c.invalidate(0).is_none());
+    }
+
+    #[test]
+    fn invalidate_clean_line_silent() {
+        let mut c = cache();
+        c.fill(0, 0, line(0..8), true);
+        assert!(c.invalidate(0).is_none());
+        assert!(!c.contains(0));
+    }
+
+    #[test]
+    fn downgrade_blocks_later_stores() {
+        let mut c = cache();
+        c.fill(0, 0, line(0..8), true);
+        c.write(1, mk(5));
+        let v = c.downgrade(0).expect("was dirty");
+        assert_eq!(v.data[1].word.bits(), 5);
+        assert_eq!(c.write(1, mk(6)), StoreOutcome::NotWritable);
+        assert!(c.contains(0));
+    }
+
+    #[test]
+    fn distinct_tags_conflict_correctly() {
+        let mut c = cache();
+        c.fill(0, 0, line(0..8), true);
+        c.fill(256, 256, line(8..16), true); // same index, different tag
+        assert!(!c.contains(0));
+        assert!(c.contains(256));
+        assert_eq!(c.read(256).unwrap().word.bits(), 8);
+    }
+}

@@ -1,0 +1,376 @@
+//! The Local Translation Lookaside Buffer and per-block status bits.
+//!
+//! The LTLB caches local page table (LPT) entries; pages are 512 words
+//! (64 blocks of 8 words) (§2). "In addition to the virtual to physical
+//! mapping, each LTLB (and LPT) entry contains 2 status bits for each
+//! cache block in the page", providing the fine-grained INVALID /
+//! READ-ONLY / READ/WRITE / DIRTY states that let local DRAM cache remote
+//! data (§4.3).
+
+/// Words per local page.
+pub const PAGE_WORDS: u64 = 512;
+/// 8-word blocks per page.
+pub const BLOCKS_PER_PAGE: u64 = 64;
+/// Words per block (= cache line).
+pub const BLOCK_WORDS: u64 = 8;
+
+/// The four block states encoded by the two status bits (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum BlockStatus {
+    /// "The block may not be read, written, or placed in the hardware cache."
+    Invalid = 0,
+    /// "The block may be read, but not written."
+    ReadOnly = 1,
+    /// "The block may be read or written."
+    ReadWrite = 2,
+    /// "The block may be read or written, and it has been written since
+    /// being copied to the local node."
+    Dirty = 3,
+}
+
+impl BlockStatus {
+    /// Decode from two bits.
+    #[must_use]
+    pub fn from_bits(bits: u8) -> BlockStatus {
+        match bits & 0b11 {
+            0 => BlockStatus::Invalid,
+            1 => BlockStatus::ReadOnly,
+            2 => BlockStatus::ReadWrite,
+            _ => BlockStatus::Dirty,
+        }
+    }
+
+    /// The two-bit encoding.
+    #[must_use]
+    pub fn bits(self) -> u8 {
+        self as u8
+    }
+
+    /// May the block be read?
+    #[must_use]
+    pub fn readable(self) -> bool {
+        self != BlockStatus::Invalid
+    }
+
+    /// May the block be written?
+    #[must_use]
+    pub fn writable(self) -> bool {
+        matches!(self, BlockStatus::ReadWrite | BlockStatus::Dirty)
+    }
+}
+
+/// One LTLB entry: a virtual→physical page mapping plus 64 × 2 status
+/// bits, packed exactly as the 4-word in-memory LPT entry (see
+/// [`crate::lpt`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LtlbEntry {
+    /// Virtual page number (`va / 512`).
+    pub vpn: u64,
+    /// Physical page number.
+    pub ppn: u64,
+    /// Status bits for blocks 0..32 (2 bits each, block 0 in bits 1:0).
+    pub status_lo: u64,
+    /// Status bits for blocks 32..64.
+    pub status_hi: u64,
+    /// Physical word address of this entry's LPT slot, for write-back of
+    /// modified status bits on eviction.
+    pub lpt_addr: u64,
+}
+
+impl LtlbEntry {
+    /// An entry with every block in the given state.
+    #[must_use]
+    pub fn uniform(vpn: u64, ppn: u64, status: BlockStatus, lpt_addr: u64) -> LtlbEntry {
+        let two = u64::from(status.bits());
+        let mut packed = 0u64;
+        for b in 0..32 {
+            packed |= two << (2 * b);
+        }
+        LtlbEntry {
+            vpn,
+            ppn,
+            status_lo: packed,
+            status_hi: packed,
+            lpt_addr,
+        }
+    }
+
+    /// Status of block `block` (0..64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block >= 64`.
+    #[must_use]
+    pub fn block_status(&self, block: u64) -> BlockStatus {
+        assert!(block < BLOCKS_PER_PAGE);
+        let (word, idx) = if block < 32 {
+            (self.status_lo, block)
+        } else {
+            (self.status_hi, block - 32)
+        };
+        #[allow(clippy::cast_possible_truncation)]
+        BlockStatus::from_bits(((word >> (2 * idx)) & 0b11) as u8)
+    }
+
+    /// Set the status of block `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block >= 64`.
+    pub fn set_block_status(&mut self, block: u64, status: BlockStatus) {
+        assert!(block < BLOCKS_PER_PAGE);
+        let two = u64::from(status.bits());
+        let (word, idx) = if block < 32 {
+            (&mut self.status_lo, block)
+        } else {
+            (&mut self.status_hi, block - 32)
+        };
+        *word = (*word & !(0b11 << (2 * idx))) | (two << (2 * idx));
+    }
+
+    /// Status of the block containing page-offset word `offset` (0..512).
+    #[must_use]
+    pub fn status_for_offset(&self, offset: u64) -> BlockStatus {
+        self.block_status(offset / BLOCK_WORDS)
+    }
+
+    /// Physical address of page-offset word `offset`.
+    #[must_use]
+    pub fn translate(&self, offset: u64) -> u64 {
+        self.ppn * PAGE_WORDS + offset
+    }
+}
+
+/// Statistics for the LTLB.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LtlbStats {
+    /// Lookup hits.
+    pub hits: u64,
+    /// Lookup misses.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+/// The fully-associative LTLB with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Ltlb {
+    entries: Vec<Option<LtlbEntry>>,
+    last_use: Vec<u64>,
+    clock: u64,
+    stats: LtlbStats,
+}
+
+impl Ltlb {
+    /// An empty LTLB with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Ltlb {
+        assert!(capacity > 0, "LTLB needs at least one entry");
+        Ltlb {
+            entries: vec![None; capacity],
+            last_use: vec![0; capacity],
+            clock: 0,
+            stats: LtlbStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> LtlbStats {
+        self.stats
+    }
+
+    /// Look up a virtual page number, updating LRU state and counters.
+    pub fn lookup(&mut self, vpn: u64) -> Option<&mut LtlbEntry> {
+        self.clock += 1;
+        let clock = self.clock;
+        for (i, slot) in self.entries.iter_mut().enumerate() {
+            if let Some(e) = slot {
+                if e.vpn == vpn {
+                    self.stats.hits += 1;
+                    self.last_use[i] = clock;
+                    return self.entries[i].as_mut();
+                }
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Mutable access without touching LRU state or counters (firmware
+    /// coherence updates, dirty-bit marking).
+    pub fn find_mut(&mut self, vpn: u64) -> Option<&mut LtlbEntry> {
+        self.entries
+            .iter_mut()
+            .flatten()
+            .find(|e| e.vpn == vpn)
+    }
+
+    /// Peek without touching LRU state or counters.
+    #[must_use]
+    pub fn probe(&self, vpn: u64) -> Option<&LtlbEntry> {
+        self.entries
+            .iter()
+            .flatten()
+            .find(|e| e.vpn == vpn)
+    }
+
+    /// Insert an entry, replacing any existing mapping for the same vpn,
+    /// otherwise evicting the LRU victim. The evicted entry is returned so
+    /// the memory system can write its (possibly dirtied) status bits back
+    /// to the LPT.
+    pub fn insert(&mut self, entry: LtlbEntry) -> Option<LtlbEntry> {
+        self.clock += 1;
+        // Same-vpn replacement.
+        for (i, slot) in self.entries.iter_mut().enumerate() {
+            if slot.as_ref().is_some_and(|e| e.vpn == entry.vpn) {
+                let old = slot.replace(entry);
+                self.last_use[i] = self.clock;
+                return old;
+            }
+        }
+        // Free slot.
+        for (i, slot) in self.entries.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(entry);
+                self.last_use[i] = self.clock;
+                return None;
+            }
+        }
+        // LRU eviction.
+        let victim = self
+            .last_use
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .map(|(i, _)| i)
+            .expect("non-empty LTLB");
+        self.stats.evictions += 1;
+        let old = self.entries[victim].replace(entry);
+        self.last_use[victim] = self.clock;
+        old
+    }
+
+    /// Drop the mapping for `vpn`, returning it (for LPT write-back).
+    pub fn invalidate(&mut self, vpn: u64) -> Option<LtlbEntry> {
+        for slot in &mut self.entries {
+            if slot.as_ref().is_some_and(|e| e.vpn == vpn) {
+                return slot.take();
+            }
+        }
+        None
+    }
+
+    /// Iterate over resident entries.
+    pub fn iter(&self) -> impl Iterator<Item = &LtlbEntry> {
+        self.entries.iter().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_status_bits_round_trip() {
+        for s in [
+            BlockStatus::Invalid,
+            BlockStatus::ReadOnly,
+            BlockStatus::ReadWrite,
+            BlockStatus::Dirty,
+        ] {
+            assert_eq!(BlockStatus::from_bits(s.bits()), s);
+        }
+    }
+
+    #[test]
+    fn permissions() {
+        assert!(!BlockStatus::Invalid.readable());
+        assert!(BlockStatus::ReadOnly.readable());
+        assert!(!BlockStatus::ReadOnly.writable());
+        assert!(BlockStatus::ReadWrite.writable());
+        assert!(BlockStatus::Dirty.writable());
+    }
+
+    #[test]
+    fn entry_status_accessors() {
+        let mut e = LtlbEntry::uniform(1, 2, BlockStatus::ReadWrite, 0);
+        assert_eq!(e.block_status(0), BlockStatus::ReadWrite);
+        assert_eq!(e.block_status(63), BlockStatus::ReadWrite);
+        e.set_block_status(0, BlockStatus::Invalid);
+        e.set_block_status(33, BlockStatus::Dirty);
+        assert_eq!(e.block_status(0), BlockStatus::Invalid);
+        assert_eq!(e.block_status(1), BlockStatus::ReadWrite);
+        assert_eq!(e.block_status(33), BlockStatus::Dirty);
+        assert_eq!(e.status_for_offset(0), BlockStatus::Invalid);
+        assert_eq!(e.status_for_offset(8), BlockStatus::ReadWrite);
+        assert_eq!(e.status_for_offset(33 * 8 + 3), BlockStatus::Dirty);
+    }
+
+    #[test]
+    fn entry_translate() {
+        let e = LtlbEntry::uniform(7, 3, BlockStatus::ReadWrite, 0);
+        assert_eq!(e.translate(0), 3 * 512);
+        assert_eq!(e.translate(511), 3 * 512 + 511);
+    }
+
+    #[test]
+    fn lookup_hit_and_miss() {
+        let mut t = Ltlb::new(4);
+        assert!(t.lookup(5).is_none());
+        t.insert(LtlbEntry::uniform(5, 1, BlockStatus::ReadWrite, 0));
+        assert!(t.lookup(5).is_some());
+        assert_eq!(t.stats().hits, 1);
+        assert_eq!(t.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = Ltlb::new(2);
+        t.insert(LtlbEntry::uniform(1, 1, BlockStatus::ReadWrite, 0));
+        t.insert(LtlbEntry::uniform(2, 2, BlockStatus::ReadWrite, 0));
+        let _ = t.lookup(1); // make 2 the LRU
+        let evicted = t
+            .insert(LtlbEntry::uniform(3, 3, BlockStatus::ReadWrite, 0))
+            .expect("eviction");
+        assert_eq!(evicted.vpn, 2);
+        assert!(t.probe(1).is_some());
+        assert!(t.probe(3).is_some());
+        assert_eq!(t.stats().evictions, 1);
+    }
+
+    #[test]
+    fn same_vpn_replaces() {
+        let mut t = Ltlb::new(2);
+        t.insert(LtlbEntry::uniform(1, 1, BlockStatus::ReadWrite, 0));
+        let old = t
+            .insert(LtlbEntry::uniform(1, 9, BlockStatus::ReadOnly, 0))
+            .expect("old mapping returned");
+        assert_eq!(old.ppn, 1);
+        assert_eq!(t.probe(1).unwrap().ppn, 9);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut t = Ltlb::new(2);
+        t.insert(LtlbEntry::uniform(1, 1, BlockStatus::ReadWrite, 0));
+        assert!(t.invalidate(1).is_some());
+        assert!(t.probe(1).is_none());
+        assert!(t.invalidate(1).is_none());
+    }
+
+    #[test]
+    fn mutation_through_lookup_persists() {
+        let mut t = Ltlb::new(2);
+        t.insert(LtlbEntry::uniform(1, 1, BlockStatus::ReadWrite, 0));
+        t.lookup(1)
+            .unwrap()
+            .set_block_status(5, BlockStatus::Dirty);
+        assert_eq!(t.probe(1).unwrap().block_status(5), BlockStatus::Dirty);
+    }
+}

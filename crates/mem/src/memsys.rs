@@ -1,0 +1,716 @@
+//! The node memory system: banked cache front-end, LTLB translation,
+//! block-status checks, SDRAM fills and event generation.
+//!
+//! Requests arrive from the clusters over the M-Switch (modelled by the
+//! per-bank input queues — consecutive addresses land in different banks,
+//! §2), hits answer over the C-Switch after the pipelined bank latency,
+//! and misses run through LTLB translation and block-status checks before
+//! an SDRAM line fill. Anything the hardware cannot finish — LTLB miss,
+//! block-status fault, synchronizing fault — becomes an asynchronous
+//! *event* for the software handlers (§3.3).
+
+use crate::cache::{Cache, CacheConfig, CacheStats, StoreOutcome, LINE_WORDS};
+use crate::dram::{MemWord, Sdram, SdramConfig, SdramStats};
+use crate::lpt::Lpt;
+use crate::ltlb::{BlockStatus, Ltlb, LtlbEntry, LtlbStats, PAGE_WORDS};
+use mm_isa::op::{SyncPost, SyncPre};
+use mm_isa::pointer::{GuardedPointer, Perm};
+use mm_isa::word::Word;
+use std::collections::VecDeque;
+
+/// Load or store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A read.
+    Load,
+    /// A write.
+    Store,
+}
+
+/// A memory request as it leaves a cluster's memory unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Caller-assigned identifier, echoed in the response.
+    pub id: u64,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Virtual word address (physical when `phys` is set).
+    pub va: u64,
+    /// Store data (ignored for loads).
+    pub data: Word,
+    /// Whether the stored word carries the pointer tag.
+    pub data_ptr_tag: bool,
+    /// Synchronization-bit precondition.
+    pub pre: SyncPre,
+    /// Synchronization-bit postcondition.
+    pub post: SyncPost,
+    /// Opaque routing tag (the simulator packs the destination register
+    /// address here so replies and event records can name it).
+    pub tag: u64,
+    /// Physical addressing: bypass translation and the cache with a fixed
+    /// short latency. Used by system software whose data structures the
+    /// paper assumes to cache-hit (§4.2).
+    pub phys: bool,
+}
+
+impl MemRequest {
+    /// A plain virtual-address load.
+    #[must_use]
+    pub fn load(id: u64, va: u64, tag: u64) -> MemRequest {
+        MemRequest {
+            id,
+            kind: AccessKind::Load,
+            va,
+            data: Word::ZERO,
+            data_ptr_tag: false,
+            pre: SyncPre::Any,
+            post: SyncPost::Unchanged,
+            tag,
+            phys: false,
+        }
+    }
+
+    /// A plain virtual-address store.
+    #[must_use]
+    pub fn store(id: u64, va: u64, data: Word, tag: u64) -> MemRequest {
+        MemRequest {
+            id,
+            kind: AccessKind::Store,
+            va,
+            data,
+            data_ptr_tag: data.is_pointer(),
+            pre: SyncPre::Any,
+            post: SyncPost::Unchanged,
+            tag,
+            phys: false,
+        }
+    }
+}
+
+/// A completed request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemResponse {
+    /// The originating request.
+    pub req: MemRequest,
+    /// Loaded value (stores echo the stored value).
+    pub value: Word,
+    /// Cycle at which the result is architecturally visible (register
+    /// written / line fully loaded).
+    pub ready: u64,
+}
+
+/// Why the hardware punted to software.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemEventKind {
+    /// No LTLB entry for the page: the software handler walks the LPT or
+    /// discovers the page is remote (§4.2).
+    LtlbMiss,
+    /// The block's status bits forbid the access (§4.3).
+    BlockStatusFault {
+        /// The offending block's current status.
+        status: BlockStatus,
+    },
+    /// A synchronizing load/store found the wrong full/empty state (§2).
+    SyncFault {
+        /// The synchronization bit's value at the time of the access.
+        sync_was: bool,
+    },
+    /// SECDED detected an uncorrectable error in the fetched line.
+    EccError,
+}
+
+/// An asynchronous event record destined for the event V-Thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemEvent {
+    /// Cycle at which the event was enqueued.
+    pub at: u64,
+    /// What happened.
+    pub kind: MemEventKind,
+    /// The faulting request, preserved so the handler can complete or
+    /// replay it ("the faulting operation and its operands are
+    /// specifically identified in the event record", §3.3).
+    pub req: MemRequest,
+}
+
+/// Latency and capacity configuration for the whole memory system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemConfig {
+    /// Cache geometry.
+    pub cache: CacheConfig,
+    /// SDRAM geometry and timing.
+    pub sdram: SdramConfig,
+    /// LTLB entries.
+    pub ltlb_entries: usize,
+    /// Cycles from submission to a load hit's register write (paper: 3,
+    /// "including switch traversal").
+    pub read_hit_latency: u64,
+    /// Cycles from submission to a store hit's completion (paper: 2).
+    pub write_hit_latency: u64,
+    /// Cycles to determine a miss (Fig. 9: "accesses the cache and
+    /// misses (2 cycles)").
+    pub miss_detect: u64,
+    /// Cycles for the LTLB lookup + block-status check on the miss path.
+    pub translate_latency: u64,
+    /// Fixed latency of physical-addressed system accesses (the paper
+    /// assumes handler data structures cache-hit, §4.2).
+    pub phys_read_latency: u64,
+    /// Fixed latency of physical-addressed system stores.
+    pub phys_write_latency: u64,
+    /// Depth of each bank's input queue; a full queue stalls the memory
+    /// unit (structural hazard).
+    pub bank_queue_depth: usize,
+}
+
+impl Default for MemConfig {
+    fn default() -> MemConfig {
+        MemConfig {
+            cache: CacheConfig::default(),
+            sdram: SdramConfig::default(),
+            ltlb_entries: 64,
+            read_hit_latency: 3,
+            write_hit_latency: 2,
+            miss_detect: 2,
+            translate_latency: 1,
+            phys_read_latency: 3,
+            phys_write_latency: 2,
+            bank_queue_depth: 4,
+        }
+    }
+}
+
+/// Aggregated statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemStats {
+    /// Requests accepted.
+    pub requests: u64,
+    /// Responses produced.
+    pub responses: u64,
+    /// Events raised, by rough class.
+    pub ltlb_miss_events: u64,
+    /// Block-status fault events.
+    pub block_status_events: u64,
+    /// Synchronizing fault events.
+    pub sync_fault_events: u64,
+    /// Uncorrectable ECC events.
+    pub ecc_events: u64,
+    /// Requests rejected because a bank queue was full.
+    pub bank_stalls: u64,
+}
+
+/// The complete per-node memory system.
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    cfg: MemConfig,
+    cache: Cache,
+    ltlb: Ltlb,
+    sdram: Sdram,
+    lpt: Option<Lpt>,
+    bank_q: Vec<VecDeque<MemRequest>>,
+    miss_q: VecDeque<(u64, MemRequest)>,
+    responses: Vec<MemResponse>,
+    events: Vec<MemEvent>,
+    stats: MemStats,
+}
+
+impl MemorySystem {
+    /// Build an idle memory system.
+    #[must_use]
+    pub fn new(cfg: MemConfig) -> MemorySystem {
+        let banks = cfg.cache.banks as usize;
+        MemorySystem {
+            cache: Cache::new(cfg.cache.clone()),
+            ltlb: Ltlb::new(cfg.ltlb_entries),
+            sdram: Sdram::new(cfg.sdram.clone()),
+            lpt: None,
+            bank_q: (0..banks).map(|_| VecDeque::new()).collect(),
+            miss_q: VecDeque::new(),
+            responses: Vec::new(),
+            events: Vec::new(),
+            stats: MemStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    /// Attach the node's LPT (done at boot). Needed for LTLB-eviction
+    /// write-back and the `tlbwr` refill path.
+    pub fn set_lpt(&mut self, lpt: Lpt) {
+        self.lpt = Some(lpt);
+    }
+
+    /// The attached LPT, if booted.
+    #[must_use]
+    pub fn lpt(&self) -> Option<Lpt> {
+        self.lpt
+    }
+
+    /// Statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    /// Cache statistics snapshot.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// LTLB statistics snapshot.
+    #[must_use]
+    pub fn ltlb_stats(&self) -> LtlbStats {
+        self.ltlb.stats()
+    }
+
+    /// SDRAM statistics snapshot.
+    #[must_use]
+    pub fn sdram_stats(&self) -> SdramStats {
+        self.sdram.stats()
+    }
+
+    /// Would a request for `va` be accepted right now? (The issue stage's
+    /// structural-hazard check.)
+    #[must_use]
+    pub fn can_accept(&self, va: u64, phys: bool) -> bool {
+        let bank = if phys { 0 } else { self.cache.bank_of(va) };
+        self.bank_q[bank].len() < self.cfg.bank_queue_depth
+    }
+
+    /// Submit a request during cycle `now`. Returns the request back if
+    /// the target bank's queue is full (the memory unit must retry).
+    ///
+    /// # Errors
+    ///
+    /// The rejected request is returned unchanged.
+    pub fn submit(&mut self, req: MemRequest) -> Result<(), MemRequest> {
+        let bank = if req.phys {
+            0 // physical accesses ride bank 0's port
+        } else {
+            self.cache.bank_of(req.va)
+        };
+        if self.bank_q[bank].len() >= self.cfg.bank_queue_depth {
+            self.stats.bank_stalls += 1;
+            return Err(req);
+        }
+        self.stats.requests += 1;
+        self.bank_q[bank].push_back(req);
+        Ok(())
+    }
+
+    /// Advance one cycle: banks each retire one request, the miss engine
+    /// services due misses, and completed responses/events are returned.
+    pub fn step(&mut self, now: u64) -> (Vec<MemResponse>, Vec<MemEvent>) {
+        for bank in 0..self.bank_q.len() {
+            if let Some(req) = self.bank_q[bank].pop_front() {
+                self.access(now, req);
+            }
+        }
+        while let Some(&(ready, req)) = self.miss_q.front() {
+            if ready > now {
+                break;
+            }
+            self.miss_q.pop_front();
+            self.handle_miss(ready.max(now), req);
+        }
+        let ready_resps: Vec<MemResponse> = {
+            let mut out = Vec::new();
+            let mut i = 0;
+            while i < self.responses.len() {
+                if self.responses[i].ready <= now {
+                    out.push(self.responses.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            out
+        };
+        self.stats.responses += ready_resps.len() as u64;
+        let events = std::mem::take(&mut self.events);
+        (ready_resps, events)
+    }
+
+    /// Are all queues drained (useful for run-to-idle loops)?
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.bank_q.iter().all(VecDeque::is_empty)
+            && self.miss_q.is_empty()
+            && self.responses.is_empty()
+            && self.events.is_empty()
+    }
+
+    fn respond(&mut self, req: MemRequest, value: Word, ready: u64) {
+        self.responses.push(MemResponse { req, value, ready });
+    }
+
+    fn raise(&mut self, at: u64, kind: MemEventKind, req: MemRequest) {
+        match kind {
+            MemEventKind::LtlbMiss => self.stats.ltlb_miss_events += 1,
+            MemEventKind::BlockStatusFault { .. } => self.stats.block_status_events += 1,
+            MemEventKind::SyncFault { .. } => self.stats.sync_fault_events += 1,
+            MemEventKind::EccError => self.stats.ecc_events += 1,
+        }
+        self.events.push(MemEvent { at, kind, req });
+    }
+
+    /// Does the sync precondition hold for a word whose bit is `sync`?
+    fn pre_ok(pre: SyncPre, sync: bool) -> bool {
+        match pre {
+            SyncPre::Any => true,
+            SyncPre::Full => sync,
+            SyncPre::Empty => !sync,
+        }
+    }
+
+    fn post_sync(post: SyncPost, old: bool) -> bool {
+        match post {
+            SyncPost::Unchanged => old,
+            SyncPost::SetFull => true,
+            SyncPost::SetEmpty => false,
+        }
+    }
+
+    /// First-stage (bank) access.
+    fn access(&mut self, now: u64, req: MemRequest) {
+        if req.phys {
+            self.phys_access(now, req);
+            return;
+        }
+        match req.kind {
+            AccessKind::Load => match self.cache.read(req.va) {
+                Some(mw) => {
+                    if !Self::pre_ok(req.pre, mw.sync) {
+                        self.raise(
+                            now + self.cfg.miss_detect,
+                            MemEventKind::SyncFault { sync_was: mw.sync },
+                            req,
+                        );
+                        return;
+                    }
+                    if req.post != SyncPost::Unchanged {
+                        match self.cache.set_sync(req.va, Self::post_sync(req.post, mw.sync)) {
+                            StoreOutcome::Written => {}
+                            _ => {
+                                self.raise(
+                                    now + self.cfg.miss_detect,
+                                    MemEventKind::BlockStatusFault {
+                                        status: self.block_status_of(req.va),
+                                    },
+                                    req,
+                                );
+                                return;
+                            }
+                        }
+                    }
+                    self.respond(req, mw.word, now + self.cfg.read_hit_latency);
+                }
+                None => self.enqueue_miss(now, req),
+            },
+            AccessKind::Store => {
+                // Peek first: sync precondition applies to the old word.
+                match self.cache.peek(req.va) {
+                    Some(old) => {
+                        if !Self::pre_ok(req.pre, old.sync) {
+                            self.raise(
+                                now + self.cfg.miss_detect,
+                                MemEventKind::SyncFault { sync_was: old.sync },
+                                req,
+                            );
+                            return;
+                        }
+                        let new = MemWord::with_sync(
+                            Word::from_raw(req.data.bits(), req.data_ptr_tag),
+                            Self::post_sync(req.post, old.sync),
+                        );
+                        match self.cache.write(req.va, new) {
+                            StoreOutcome::Written => {
+                                self.mark_dirty(req.va);
+                                self.respond(req, req.data, now + self.cfg.write_hit_latency);
+                            }
+                            StoreOutcome::NotWritable => {
+                                self.raise(
+                                    now + self.cfg.miss_detect,
+                                    MemEventKind::BlockStatusFault {
+                                        status: self.block_status_of(req.va),
+                                    },
+                                    req,
+                                );
+                            }
+                            StoreOutcome::Miss => self.enqueue_miss(now, req),
+                        }
+                    }
+                    None => self.enqueue_miss(now, req),
+                }
+            }
+        }
+    }
+
+    /// Physical accesses: fixed-latency, uncached backdoor used by system
+    /// software (charged, but bypassing translation).
+    fn phys_access(&mut self, now: u64, req: MemRequest) {
+        match req.kind {
+            AccessKind::Load => {
+                let mw = self.sdram.peek(req.va);
+                if !Self::pre_ok(req.pre, mw.sync) {
+                    self.raise(now, MemEventKind::SyncFault { sync_was: mw.sync }, req);
+                    return;
+                }
+                if req.post != SyncPost::Unchanged {
+                    let mut cell = mw;
+                    cell.sync = Self::post_sync(req.post, mw.sync);
+                    self.sdram.poke(req.va, cell);
+                }
+                self.respond(req, mw.word, now + self.cfg.phys_read_latency);
+            }
+            AccessKind::Store => {
+                let old = self.sdram.peek(req.va);
+                if !Self::pre_ok(req.pre, old.sync) {
+                    self.raise(now, MemEventKind::SyncFault { sync_was: old.sync }, req);
+                    return;
+                }
+                let cell = MemWord::with_sync(
+                    Word::from_raw(req.data.bits(), req.data_ptr_tag),
+                    Self::post_sync(req.post, old.sync),
+                );
+                self.sdram.poke(req.va, cell);
+                self.respond(req, req.data, now + self.cfg.phys_write_latency);
+            }
+        }
+    }
+
+    fn enqueue_miss(&mut self, now: u64, req: MemRequest) {
+        self.miss_q
+            .push_back((now + self.cfg.miss_detect + self.cfg.translate_latency, req));
+    }
+
+    /// Block status of `va` as recorded in the LTLB (for fault reporting).
+    fn block_status_of(&self, va: u64) -> BlockStatus {
+        self.ltlb
+            .probe(va / PAGE_WORDS)
+            .map_or(BlockStatus::Invalid, |e| {
+                e.status_for_offset(va % PAGE_WORDS)
+            })
+    }
+
+    /// Second-stage miss handling: translate, check, fill.
+    fn handle_miss(&mut self, now: u64, req: MemRequest) {
+        // The line may have been filled by an earlier miss to the same block.
+        if self.cache.contains(req.va) {
+            self.access(now, req);
+            return;
+        }
+        let vpn = req.va / PAGE_WORDS;
+        let offset = req.va % PAGE_WORDS;
+        let Some(entry) = self.ltlb.lookup(vpn).copied() else {
+            self.raise(now, MemEventKind::LtlbMiss, req);
+            return;
+        };
+        let status = entry.status_for_offset(offset);
+        let allowed = match req.kind {
+            AccessKind::Load => status.readable(),
+            AccessKind::Store => status.writable(),
+        };
+        if !allowed {
+            self.raise(now, MemEventKind::BlockStatusFault { status }, req);
+            return;
+        }
+
+        let pa = entry.translate(offset);
+        let pa_line = pa & !(LINE_WORDS - 1);
+        let va_line = req.va & !(LINE_WORDS - 1);
+        let (first, last, raw) = self.sdram.read(now, pa_line, LINE_WORDS);
+        let mut line = Vec::with_capacity(LINE_WORDS as usize);
+        let mut ecc_fail = false;
+        for w in raw {
+            match w {
+                Some(mw) => line.push(mw),
+                None => {
+                    ecc_fail = true;
+                    line.push(MemWord::default());
+                }
+            }
+        }
+        if ecc_fail {
+            self.raise(now, MemEventKind::EccError, req);
+            let err = GuardedPointer::new(Perm::ErrVal, 0, req.va & ((1 << 54) - 1))
+                .map(Word::from_pointer)
+                .unwrap_or(Word::ZERO);
+            self.respond(req, err, first + 1);
+            return;
+        }
+
+        let word_in_line = (req.va % LINE_WORDS) as usize;
+        let fetched = line[word_in_line];
+
+        // Sync precondition applies to the word as read from memory.
+        if !Self::pre_ok(req.pre, fetched.sync) {
+            self.raise(now, MemEventKind::SyncFault { sync_was: fetched.sync }, req);
+            return;
+        }
+
+        let writable = status.writable();
+        if let Some(victim) = self.cache.fill(va_line, pa_line, line, writable) {
+            // Write the dirty victim back after the fill burst.
+            self.sdram.write(last, victim.pa, &victim.data);
+        }
+
+        match req.kind {
+            AccessKind::Load => {
+                if req.post != SyncPost::Unchanged {
+                    let _ = self
+                        .cache
+                        .set_sync(req.va, Self::post_sync(req.post, fetched.sync));
+                }
+                // Critical-word-first: the register is written one cycle
+                // after the first burst word arrives.
+                self.respond(req, fetched.word, first + 1);
+            }
+            AccessKind::Store => {
+                let new = MemWord::with_sync(
+                    Word::from_raw(req.data.bits(), req.data_ptr_tag),
+                    Self::post_sync(req.post, fetched.sync),
+                );
+                let _ = self.cache.write(req.va, new);
+                self.mark_dirty(req.va);
+                // "A write is completed when the line containing the data
+                // has been fully loaded into the cache" (Table 1).
+                self.respond(req, req.data, last);
+            }
+        }
+    }
+
+    /// Record a write in the page's block-status bits (READ/WRITE → DIRTY,
+    /// §4.3: "modifications to the data will automatically mark the block
+    /// state dirty").
+    fn mark_dirty(&mut self, va: u64) {
+        let vpn = va / PAGE_WORDS;
+        let block = (va % PAGE_WORDS) / crate::ltlb::BLOCK_WORDS;
+        if let Some(e) = self.ltlb.find_mut(vpn) {
+            if e.block_status(block) == BlockStatus::ReadWrite {
+                e.set_block_status(block, BlockStatus::Dirty);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Privileged / firmware interfaces
+    // ------------------------------------------------------------------
+
+    /// Install the LPT entry at physical address `lpt_slot_addr` into the
+    /// LTLB (the `tlbwr` operation). Evicted entries are written back to
+    /// the LPT. Returns `false` if the slot does not hold a valid entry.
+    pub fn tlb_install(&mut self, lpt_slot_addr: u64) -> bool {
+        let Some(lpt) = self.lpt else { return false };
+        let Some(entry) = lpt.read_entry(&self.sdram, lpt_slot_addr) else {
+            return false;
+        };
+        if let Some(evicted) = self.ltlb.insert(entry) {
+            lpt.write_back(&mut self.sdram, &evicted);
+        }
+        true
+    }
+
+    /// Drop the LTLB entry for `vpn`, writing its status bits back to the
+    /// LPT (used when coherence changes a page's block states).
+    pub fn tlb_invalidate(&mut self, vpn: u64) {
+        if let Some(entry) = self.ltlb.invalidate(vpn) {
+            if let Some(lpt) = self.lpt {
+                lpt.write_back(&mut self.sdram, &entry);
+            }
+        }
+    }
+
+    /// Direct LTLB probe (no stats).
+    #[must_use]
+    pub fn ltlb_probe(&self, vpn: u64) -> Option<&LtlbEntry> {
+        self.ltlb.probe(vpn)
+    }
+
+    /// Mutable LTLB access for firmware coherence handlers.
+    pub fn ltlb_entry_mut(&mut self, vpn: u64) -> Option<&mut LtlbEntry> {
+        self.ltlb.find_mut(vpn)
+    }
+
+    /// Translate a virtual address using LTLB, then LPT. `None` if unmapped.
+    #[must_use]
+    pub fn translate(&self, va: u64) -> Option<u64> {
+        let vpn = va / PAGE_WORDS;
+        let offset = va % PAGE_WORDS;
+        if let Some(e) = self.ltlb.probe(vpn) {
+            return Some(e.translate(offset));
+        }
+        let lpt = self.lpt?;
+        lpt.lookup(&self.sdram, vpn).map(|e| e.translate(offset))
+    }
+
+    /// Zero-time virtual read for loaders/firmware: cache first, then
+    /// translated DRAM.
+    #[must_use]
+    pub fn peek_va(&self, va: u64) -> Option<MemWord> {
+        if let Some(w) = self.cache.peek(va) {
+            return Some(w);
+        }
+        self.translate(va).map(|pa| self.sdram.peek(pa))
+    }
+
+    /// Zero-time virtual write for loaders/firmware: updates the cached
+    /// copy if present, else translated DRAM.
+    pub fn poke_va(&mut self, va: u64, w: MemWord) -> bool {
+        if self.cache.poke(va, w) {
+            return true;
+        }
+        match self.translate(va) {
+            Some(pa) => {
+                self.sdram.poke(pa, w);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Invalidate the cache line holding `va`, writing dirty data back to
+    /// DRAM (coherence firmware; zero-time, the handler charges cycles).
+    pub fn flush_block(&mut self, va: u64) {
+        if let Some(victim) = self.cache.invalidate(va) {
+            for (i, w) in victim.data.iter().enumerate() {
+                self.sdram.poke(victim.pa + i as u64, *w);
+            }
+        }
+    }
+
+    /// Downgrade the cache line holding `va` to read-only, writing dirty
+    /// data back (coherence firmware).
+    pub fn downgrade_block(&mut self, va: u64) {
+        if let Some(victim) = self.cache.downgrade(va) {
+            for (i, w) in victim.data.iter().enumerate() {
+                self.sdram.poke(victim.pa + i as u64, *w);
+            }
+        }
+    }
+
+    /// Direct physical read (zero-time).
+    #[must_use]
+    pub fn peek_phys(&self, pa: u64) -> MemWord {
+        self.sdram.peek(pa)
+    }
+
+    /// Direct physical write (zero-time).
+    pub fn poke_phys(&mut self, pa: u64, w: MemWord) {
+        self.sdram.poke(pa, w);
+    }
+
+    /// Mutable SDRAM handle (boot-time table construction).
+    pub fn sdram_mut(&mut self) -> &mut Sdram {
+        &mut self.sdram
+    }
+
+    /// Shared SDRAM handle.
+    #[must_use]
+    pub fn sdram(&self) -> &Sdram {
+        &self.sdram
+    }
+}

@@ -1,0 +1,213 @@
+//! (72,64) SECDED error control for the SDRAM controller.
+//!
+//! The MAP's external memory interface "performs SECDED error control"
+//! (§2): single-error-correcting, double-error-detecting. This module
+//! implements the classic Hsiao-style extended Hamming code over 64 data
+//! bits with 8 check bits, plus a fault-injection API used by the tests
+//! and the reliability ablation bench.
+
+/// Number of data bits protected.
+pub const DATA_BITS: u32 = 64;
+/// Number of check bits (7 Hamming + 1 overall parity).
+pub const CHECK_BITS: u32 = 8;
+
+/// Outcome of decoding a (data, check) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decoded {
+    /// No error detected; payload is the stored data.
+    Clean(u64),
+    /// A single-bit error was corrected; payload is the corrected data and
+    /// the flipped code-word position.
+    Corrected {
+        /// The repaired data word.
+        data: u64,
+        /// Code-word bit position that was flipped (1-based Hamming
+        /// position; positions that are powers of two are check bits).
+        position: u32,
+    },
+    /// An uncorrectable (double-bit) error was detected.
+    DoubleError,
+}
+
+impl Decoded {
+    /// The data word, if the read was usable.
+    #[must_use]
+    pub fn data(self) -> Option<u64> {
+        match self {
+            Decoded::Clean(d) | Decoded::Corrected { data: d, .. } => Some(d),
+            Decoded::DoubleError => None,
+        }
+    }
+}
+
+/// Hamming position (1-based) of data bit `i` — skipping power-of-two
+/// positions, which hold check bits.
+fn data_position(i: u32) -> u32 {
+    // Positions 1,2,4,8,... are check bits; data fills the rest in order.
+    let mut pos: u32 = 0;
+    let mut remaining = i + 1;
+    while remaining > 0 {
+        pos += 1;
+        if !pos.is_power_of_two() {
+            remaining -= 1;
+        }
+    }
+    pos
+}
+
+/// Precomputed positions for the 64 data bits.
+fn positions() -> [u32; 64] {
+    let mut p = [0u32; 64];
+    for (i, slot) in p.iter_mut().enumerate() {
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            *slot = data_position(i as u32);
+        }
+    }
+    p
+}
+
+/// Compute the 8 check bits for a data word.
+#[must_use]
+pub fn encode(data: u64) -> u8 {
+    let pos = positions();
+    let mut syndrome: u32 = 0;
+    for (i, &p) in pos.iter().enumerate() {
+        if (data >> i) & 1 == 1 {
+            syndrome ^= p;
+        }
+    }
+    // 7 Hamming check bits from the syndrome.
+    let mut check: u8 = 0;
+    for k in 0..7 {
+        if (syndrome >> k) & 1 == 1 {
+            check |= 1 << k;
+        }
+    }
+    // Overall parity (bit 7) over data + 7 check bits for double detection.
+    let parity =
+        (data.count_ones() + u32::from(check & 0x7F).count_ones()) & 1;
+    #[allow(clippy::cast_possible_truncation)]
+    {
+        check | ((parity as u8) << 7)
+    }
+}
+
+/// Decode a (data, check) pair, correcting single-bit errors.
+#[must_use]
+pub fn decode(data: u64, check: u8) -> Decoded {
+    // Hamming syndrome over the *received* word: XOR of the positions of
+    // set data bits, compared against the received check bits.
+    let pos = positions();
+    let mut hamming: u32 = 0;
+    for (i, &p) in pos.iter().enumerate() {
+        if (data >> i) & 1 == 1 {
+            hamming ^= p;
+        }
+    }
+    let mut received_check: u32 = 0;
+    for k in 0..7 {
+        if (check >> k) & 1 == 1 {
+            received_check |= 1 << k;
+        }
+    }
+    let syndrome = hamming ^ received_check;
+
+    // Overall parity of the received code word (data + 7 check bits +
+    // parity bit). Zero when clean or after an even number of flips.
+    let total_parity = (data.count_ones() + u32::from(check).count_ones()) & 1;
+    let parity_err = total_parity == 1;
+
+    if syndrome == 0 && !parity_err {
+        return Decoded::Clean(data);
+    }
+    if syndrome != 0 && !parity_err {
+        // Even number of flips with a non-zero syndrome: uncorrectable.
+        return Decoded::DoubleError;
+    }
+    if syndrome == 0 && parity_err {
+        // The overall parity bit itself flipped; data is intact.
+        return Decoded::Corrected {
+            data,
+            position: 128,
+        };
+    }
+    // Single error at Hamming position `syndrome`.
+    if syndrome.is_power_of_two() {
+        // A check bit flipped; data is intact.
+        return Decoded::Corrected {
+            data,
+            position: syndrome,
+        };
+    }
+    // A data bit flipped: find which data index has this position.
+    let pos = positions();
+    for (i, &p) in pos.iter().enumerate() {
+        if p == syndrome {
+            return Decoded::Corrected {
+                data: data ^ (1u64 << i),
+                position: syndrome,
+            };
+        }
+    }
+    Decoded::DoubleError
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_round_trip() {
+        for data in [0u64, 1, u64::MAX, 0xDEAD_BEEF_CAFE_F00D, 1 << 63] {
+            let c = encode(data);
+            assert_eq!(decode(data, c), Decoded::Clean(data));
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_data_bit_flip() {
+        let data = 0xA5A5_5A5A_0F0F_F0F0u64;
+        let check = encode(data);
+        for bit in 0..64 {
+            let corrupted = data ^ (1u64 << bit);
+            match decode(corrupted, check) {
+                Decoded::Corrected { data: fixed, .. } => assert_eq!(fixed, data),
+                other => panic!("bit {bit}: expected correction, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrects_check_bit_flips() {
+        let data = 0x0123_4567_89AB_CDEFu64;
+        let check = encode(data);
+        for bit in 0..8 {
+            let bad_check = check ^ (1u8 << bit);
+            match decode(data, bad_check) {
+                Decoded::Corrected { data: fixed, .. } => assert_eq!(fixed, data),
+                other => panic!("check bit {bit}: expected correction, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn detects_double_data_flips() {
+        let data = 0x1111_2222_3333_4444u64;
+        let check = encode(data);
+        for (a, b) in [(0u32, 1u32), (5, 40), (62, 63), (10, 11), (0, 63)] {
+            let corrupted = data ^ (1u64 << a) ^ (1u64 << b);
+            assert_eq!(
+                decode(corrupted, check),
+                Decoded::DoubleError,
+                "bits {a},{b}"
+            );
+        }
+    }
+
+    #[test]
+    fn decoded_data_accessor() {
+        assert_eq!(Decoded::Clean(5).data(), Some(5));
+        assert_eq!(Decoded::DoubleError.data(), None);
+    }
+}

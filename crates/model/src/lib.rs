@@ -1,0 +1,225 @@
+//! # mm-model — the paper's §1/§5 technology and area model
+//!
+//! *The M-Machine Multicomputer* motivates its architecture with λ²-area
+//! arithmetic: VLSI area is dominated by memory, so devoting more area to
+//! processors improves peak-performance per unit area. This crate
+//! reimplements that arithmetic so the claims can be regenerated:
+//!
+//! * a 64-bit processor with pipelined FPU is 400 Mλ² — 11 % of a 3.6 Gλ²
+//!   1993 (0.5 µm) chip, 4 % of a 10 Gλ² 1996 (0.35 µm) chip;
+//! * in a 64 MB (1993) / 256 MB (1996) system the processor is 0.52 % /
+//!   0.13 % of all silicon;
+//! * a MAP chip (5 Gλ²) spends 32 % of its area on four clusters — 11 %
+//!   of an 8 MB six-chip node;
+//! * a 32-node M-Machine with 256 MB beats the 1996 uniprocessor by 128×
+//!   in peak performance at 1.5× the area — an ~85:1 improvement in
+//!   peak-performance/area.
+
+#![warn(missing_docs)]
+
+/// Area of a 64-bit, 3-issue processor cluster with pipelined FPU, in Mλ².
+pub const CLUSTER_AREA_MLAMBDA2: f64 = 400.0;
+/// Area of the 1993 0.5 µm chip, in Gλ².
+pub const CHIP_1993_GLAMBDA2: f64 = 3.6;
+/// Area of the 1996 0.35 µm chip, in Gλ².
+pub const CHIP_1996_GLAMBDA2: f64 = 10.0;
+/// Area of the MAP chip, in Gλ².
+pub const MAP_CHIP_GLAMBDA2: f64 = 5.0;
+/// Clusters on a MAP chip.
+pub const MAP_CLUSTERS: u32 = 4;
+
+/// Memory-system silicon (DRAM + cache + TLB + controllers) per MByte,
+/// in Gλ². Derived from the paper's own figures: a 64 MB 1993 system in
+/// which a 400 Mλ² processor is 0.52 % of the silicon has
+/// `400e-3 / 0.0052 ≈ 76.9 Gλ²` total, i.e. ≈ 1.2 Gλ²/MB; the 256 MB
+/// 1996 point gives the same density.
+pub const MEMORY_GLAMBDA2_PER_MB: f64 = 1.2;
+
+/// One technology/system design point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemPoint {
+    /// Label for reports.
+    pub name: &'static str,
+    /// Processor silicon, Gλ².
+    pub processor_area: f64,
+    /// Total silicon (processors + memory system), Gλ².
+    pub total_area: f64,
+    /// Peak performance in cluster-equivalents (one 3-issue cluster = 1).
+    pub peak_perf: f64,
+}
+
+impl SystemPoint {
+    /// Fraction of system silicon that is processor.
+    #[must_use]
+    pub fn processor_fraction(&self) -> f64 {
+        self.processor_area / self.total_area
+    }
+
+    /// Peak performance per Gλ² of silicon.
+    #[must_use]
+    pub fn perf_per_area(&self) -> f64 {
+        self.peak_perf / self.total_area
+    }
+}
+
+/// The 1993 uniprocessor with 64 MB of DRAM.
+#[must_use]
+pub fn uniprocessor_1993() -> SystemPoint {
+    SystemPoint {
+        name: "1993 uniprocessor, 64 MB",
+        processor_area: CLUSTER_AREA_MLAMBDA2 / 1000.0,
+        total_area: CLUSTER_AREA_MLAMBDA2 / 1000.0 + 64.0 * MEMORY_GLAMBDA2_PER_MB,
+        peak_perf: 1.0,
+    }
+}
+
+/// The 1996 uniprocessor with 256 MB of DRAM.
+#[must_use]
+pub fn uniprocessor_1996() -> SystemPoint {
+    SystemPoint {
+        name: "1996 uniprocessor, 256 MB",
+        processor_area: CLUSTER_AREA_MLAMBDA2 / 1000.0,
+        total_area: CLUSTER_AREA_MLAMBDA2 / 1000.0 + 256.0 * MEMORY_GLAMBDA2_PER_MB,
+        peak_perf: 1.0,
+    }
+}
+
+/// One M-Machine node: a MAP chip plus `mbytes` of SDRAM.
+#[must_use]
+pub fn mmachine_node(mbytes: f64) -> SystemPoint {
+    SystemPoint {
+        name: "M-Machine node, 8 MB",
+        processor_area: f64::from(MAP_CLUSTERS) * CLUSTER_AREA_MLAMBDA2 / 1000.0,
+        total_area: MAP_CHIP_GLAMBDA2 + mbytes * MEMORY_GLAMBDA2_PER_MB,
+        peak_perf: f64::from(MAP_CLUSTERS),
+    }
+}
+
+/// An M-Machine of `nodes` nodes with 8 MB each.
+#[must_use]
+pub fn mmachine(nodes: u32) -> SystemPoint {
+    let node = mmachine_node(8.0);
+    SystemPoint {
+        name: "32-node M-Machine, 256 MB",
+        processor_area: node.processor_area * f64::from(nodes),
+        total_area: node.total_area * f64::from(nodes),
+        peak_perf: node.peak_perf * f64::from(nodes),
+    }
+}
+
+/// A row of the regenerated §1 comparison.
+#[derive(Debug, Clone)]
+pub struct ModelRow {
+    /// Claim description.
+    pub claim: &'static str,
+    /// The paper's number.
+    pub paper: f64,
+    /// Our derived number.
+    pub derived: f64,
+}
+
+/// Regenerate every §1/§5 headline number.
+#[must_use]
+pub fn section1_claims() -> Vec<ModelRow> {
+    let m = mmachine(32);
+    let u96 = uniprocessor_1996();
+    vec![
+        ModelRow {
+            claim: "processor fraction of 1993 chip (%)",
+            paper: 11.0,
+            derived: 100.0 * (CLUSTER_AREA_MLAMBDA2 / 1000.0) / CHIP_1993_GLAMBDA2,
+        },
+        ModelRow {
+            claim: "processor fraction of 1996 chip (%)",
+            paper: 4.0,
+            derived: 100.0 * (CLUSTER_AREA_MLAMBDA2 / 1000.0) / CHIP_1996_GLAMBDA2,
+        },
+        ModelRow {
+            claim: "processor fraction of 1993 system (%)",
+            paper: 0.52,
+            derived: 100.0 * uniprocessor_1993().processor_fraction(),
+        },
+        ModelRow {
+            claim: "processor fraction of 1996 system (%)",
+            paper: 0.13,
+            derived: 100.0 * u96.processor_fraction(),
+        },
+        ModelRow {
+            claim: "cluster fraction of MAP chip (%)",
+            paper: 32.0,
+            derived: 100.0 * f64::from(MAP_CLUSTERS) * (CLUSTER_AREA_MLAMBDA2 / 1000.0)
+                / MAP_CHIP_GLAMBDA2,
+        },
+        ModelRow {
+            claim: "processor fraction of M-Machine node (%)",
+            paper: 11.0,
+            derived: 100.0 * mmachine_node(8.0).processor_fraction(),
+        },
+        ModelRow {
+            claim: "peak performance vs 1996 uniprocessor (x)",
+            paper: 128.0,
+            derived: m.peak_perf / u96.peak_perf,
+        },
+        ModelRow {
+            claim: "area vs 1996 uniprocessor (x)",
+            paper: 1.5,
+            derived: m.total_area / u96.total_area,
+        },
+        ModelRow {
+            claim: "peak-performance/area improvement (x)",
+            paper: 85.0,
+            derived: m.perf_per_area() / u96.perf_per_area(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * b.abs().max(1e-12)
+    }
+
+    #[test]
+    fn chip_fractions_match_paper() {
+        let rows = section1_claims();
+        assert!(close(rows[0].derived, 11.0, 0.05), "{:?}", rows[0]);
+        assert!(close(rows[1].derived, 4.0, 0.05), "{:?}", rows[1]);
+    }
+
+    #[test]
+    fn system_fractions_match_paper() {
+        let rows = section1_claims();
+        assert!(close(rows[2].derived, 0.52, 0.05), "{:?}", rows[2]);
+        assert!(close(rows[3].derived, 0.13, 0.05), "{:?}", rows[3]);
+    }
+
+    #[test]
+    fn map_fractions_match_paper() {
+        let rows = section1_claims();
+        assert!(close(rows[4].derived, 32.0, 0.05), "{:?}", rows[4]);
+        assert!(close(rows[5].derived, 11.0, 0.06), "{:?}", rows[5]);
+    }
+
+    #[test]
+    fn headline_ratio_is_about_85() {
+        let rows = section1_claims();
+        assert!(close(rows[6].derived, 128.0, 0.01), "{:?}", rows[6]);
+        assert!(close(rows[7].derived, 1.5, 0.05), "{:?}", rows[7]);
+        assert!((80.0..=90.0).contains(&rows[8].derived), "{:?}", rows[8]);
+    }
+
+    #[test]
+    fn every_claim_within_ten_percent() {
+        for row in section1_claims() {
+            assert!(
+                close(row.derived, row.paper, 0.10),
+                "{} derived {:.3} vs paper {:.3}",
+                row.claim,
+                row.derived,
+                row.paper
+            );
+        }
+    }
+}

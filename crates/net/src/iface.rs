@@ -1,0 +1,445 @@
+//! The per-node network interface: register-mapped message queues, the
+//! GTLB on the output side, and the return-to-sender throttling counter.
+//!
+//! "Arriving messages are queued in a register-mapped hardware FIFO
+//! readable by a system-level message handler. Two network priorities are
+//! provided" (§2). On the output side, a SEND first translates its
+//! destination virtual address through the GTLB; the node's credit counter
+//! implements the throttling protocol of §4.1.
+
+use crate::gtlb::Gtlb;
+use crate::message::{Message, NodeCoord, Packet};
+use mm_isa::op::Priority;
+use mm_isa::word::Word;
+use std::collections::VecDeque;
+
+/// Interface configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IfaceConfig {
+    /// Messages each priority queue can hold before returning to sender.
+    pub msg_queue_capacity: usize,
+    /// Initial send credits (= reserved return-buffer slots, §4.1).
+    pub send_credits: u32,
+    /// Cached GTLB entries.
+    pub gtlb_capacity: usize,
+}
+
+impl Default for IfaceConfig {
+    fn default() -> IfaceConfig {
+        IfaceConfig {
+            msg_queue_capacity: 16,
+            send_credits: 16,
+            gtlb_capacity: 16,
+        }
+    }
+}
+
+/// Result of a SEND attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// Injected; the value is the fabric delivery cycle.
+    Sent(u64),
+    /// The credit counter is zero — "threads attempting to execute a SEND
+    /// instruction will stall" (§4.1).
+    NoCredit,
+    /// The GTLB has no mapping for the destination address — the sending
+    /// thread faults before the message leaves (§4.1 protection).
+    Unmapped,
+}
+
+/// Interface statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IfaceStats {
+    /// User messages sent.
+    pub sent: u64,
+    /// Messages accepted into the local queues.
+    pub received: u64,
+    /// SENDs stalled for lack of credit.
+    pub credit_stalls: u64,
+    /// Messages bounced back to their senders (queue full here).
+    pub returned_here: u64,
+    /// Our messages that came back and await software resend.
+    pub returns_received: u64,
+}
+
+/// One priority's register-mapped FIFO, word-granular like the real
+/// `Rnet` head register.
+#[derive(Debug, Clone, Default)]
+struct MsgQueue {
+    words: VecDeque<(Word, bool)>, // (word, is-last-of-message)
+    messages: usize,
+}
+
+/// The node's network interface.
+#[derive(Debug, Clone)]
+pub struct NodeNet {
+    coord: NodeCoord,
+    cfg: IfaceConfig,
+    gtlb: Gtlb,
+    queues: [MsgQueue; 2],
+    credits: u32,
+    returned: VecDeque<Message>,
+    outbox: Vec<Packet>,
+    stats: IfaceStats,
+}
+
+impl NodeNet {
+    /// A fresh interface for the node at `coord`.
+    #[must_use]
+    pub fn new(coord: NodeCoord, cfg: IfaceConfig) -> NodeNet {
+        NodeNet {
+            coord,
+            gtlb: Gtlb::new(cfg.gtlb_capacity),
+            queues: [MsgQueue::default(), MsgQueue::default()],
+            credits: cfg.send_credits,
+            returned: VecDeque::new(),
+            outbox: Vec::new(),
+            stats: IfaceStats::default(),
+            cfg,
+        }
+    }
+
+    /// This node's coordinates.
+    #[must_use]
+    pub fn coord(&self) -> NodeCoord {
+        self.coord
+    }
+
+    /// Statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> IfaceStats {
+        self.stats
+    }
+
+    /// Remaining send credits.
+    #[must_use]
+    pub fn credits(&self) -> u32 {
+        self.credits
+    }
+
+    /// The GTLB (system software installs GDT entries here).
+    pub fn gtlb_mut(&mut self) -> &mut Gtlb {
+        &mut self.gtlb
+    }
+
+    /// Shared GTLB access.
+    #[must_use]
+    pub fn gtlb(&self) -> &Gtlb {
+        &self.gtlb
+    }
+
+    /// Attempt a user-level SEND: translate `addr_va` through the GTLB,
+    /// check credits, stage the packet for injection. `addr` is the full
+    /// destination-address *word* (normally a guarded pointer — the
+    /// capability travels in the message, so Fig. 7's receive handler can
+    /// store through it). The caller drains staged packets with
+    /// [`NodeNet::take_outbox`] and injects them into the fabric.
+    pub fn send(
+        &mut self,
+        dip: Word,
+        addr: Word,
+        addr_va: u64,
+        body: Vec<Word>,
+        priority: Priority,
+    ) -> SendOutcome {
+        let Some(dest) = self.gtlb.probe(addr_va) else {
+            return SendOutcome::Unmapped;
+        };
+        if priority == Priority::P0 {
+            if self.credits == 0 {
+                self.stats.credit_stalls += 1;
+                return SendOutcome::NoCredit;
+            }
+            self.credits -= 1;
+        }
+        let msg = Message {
+            priority,
+            src: self.coord,
+            dest,
+            dip,
+            addr,
+            body,
+        };
+        self.stats.sent += 1;
+        self.outbox.push(Packet::User(msg));
+        SendOutcome::Sent(0)
+    }
+
+    /// Re-inject a previously returned message (its buffer slot is still
+    /// reserved, so no new credit is consumed).
+    pub fn resend(&mut self, msg: Message) {
+        self.outbox.push(Packet::User(msg));
+    }
+
+    /// Packets staged for fabric injection this cycle.
+    pub fn take_outbox(&mut self) -> Vec<Packet> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Handle a packet delivered by the fabric. Acceptance of a user
+    /// message stages a credit reply; overflow stages a return-to-sender.
+    pub fn deliver(&mut self, packet: Packet) {
+        match packet {
+            Packet::User(msg) => {
+                let pri = msg.priority.index();
+                if self.queues[pri].messages >= self.cfg.msg_queue_capacity {
+                    // No space: bounce the whole message back (§4.1).
+                    self.stats.returned_here += 1;
+                    self.outbox.push(Packet::Return(msg));
+                    return;
+                }
+                self.stats.received += 1;
+                let words = msg.delivered_words();
+                let last = words.len() - 1;
+                let q = &mut self.queues[pri];
+                for (i, w) in words.into_iter().enumerate() {
+                    q.words.push_back((w, i == last));
+                }
+                q.messages += 1;
+                if msg.src != self.coord {
+                    // Acceptance reply increments the sender's counter.
+                    self.outbox.push(Packet::Credit {
+                        dest: msg.src,
+                        from: self.coord,
+                    });
+                } else {
+                    // Loopback: credit immediately.
+                    self.credits += 1;
+                }
+            }
+            Packet::Credit { .. } => {
+                self.credits += 1;
+            }
+            Packet::Return(msg) => {
+                self.stats.returns_received += 1;
+                self.returned.push_back(msg);
+            }
+        }
+    }
+
+    /// Is a word available on the priority-`pri` queue? (The scoreboard
+    /// for the register-mapped `Rnet` head.)
+    #[must_use]
+    pub fn queue_ready(&self, pri: Priority) -> bool {
+        !self.queues[pri.index()].words.is_empty()
+    }
+
+    /// Messages currently queued at priority `pri`.
+    #[must_use]
+    pub fn queue_len(&self, pri: Priority) -> usize {
+        self.queues[pri.index()].messages
+    }
+
+    /// Words currently readable from the priority-`pri` queue.
+    #[must_use]
+    pub fn words_available(&self, pri: Priority) -> usize {
+        self.queues[pri.index()].words.len()
+    }
+
+    /// Dequeue one word from the priority-`pri` queue (a read of `Rnet`).
+    pub fn pop_word(&mut self, pri: Priority) -> Option<Word> {
+        let q = &mut self.queues[pri.index()];
+        let (w, last) = q.words.pop_front()?;
+        if last {
+            q.messages -= 1;
+        }
+        Some(w)
+    }
+
+    /// A returned message awaiting software resend, if any.
+    pub fn pop_returned(&mut self) -> Option<Message> {
+        self.returned.pop_front()
+    }
+
+    /// Number of returned messages awaiting resend.
+    #[must_use]
+    pub fn returned_len(&self) -> usize {
+        self.returned.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gtlb::{GdtEntry, GLOBAL_PAGE_WORDS};
+
+    fn iface_at(x: u8) -> NodeNet {
+        let mut n = NodeNet::new(NodeCoord::new(x, 0, 0), IfaceConfig::default());
+        // Pages 0..16 alternate between nodes (0,0,0) and (1,0,0).
+        n.gtlb_mut().add_entry(GdtEntry::new(
+            0,
+            NodeCoord::new(0, 0, 0),
+            (1, 0, 0),
+            4,
+            0,
+        ));
+        n
+    }
+
+    #[test]
+    fn send_translates_and_stages() {
+        let mut n = iface_at(0);
+        let out = n.send(
+            Word::from_u64(9),
+            Word::from_u64(GLOBAL_PAGE_WORDS),
+            GLOBAL_PAGE_WORDS, // page 1 → node (1,0,0)
+            vec![Word::from_u64(5)],
+            Priority::P0,
+        );
+        assert!(matches!(out, SendOutcome::Sent(_)));
+        let pkts = n.take_outbox();
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].dest(), NodeCoord::new(1, 0, 0));
+        assert_eq!(n.credits(), IfaceConfig::default().send_credits - 1);
+    }
+
+    #[test]
+    fn unmapped_send_faults() {
+        let mut n = iface_at(0);
+        let out = n.send(
+            Word::ZERO,
+            Word::ZERO,
+            1000 * GLOBAL_PAGE_WORDS,
+            vec![],
+            Priority::P0,
+        );
+        assert_eq!(out, SendOutcome::Unmapped);
+        assert!(n.take_outbox().is_empty());
+    }
+
+    #[test]
+    fn credits_run_out_and_replies_restore() {
+        let mut cfg = IfaceConfig::default();
+        cfg.send_credits = 2;
+        let mut n = NodeNet::new(NodeCoord::new(0, 0, 0), cfg);
+        n.gtlb_mut().add_entry(GdtEntry::new(
+            0,
+            NodeCoord::new(1, 0, 0),
+            (0, 0, 0),
+            4,
+            0,
+        ));
+        assert!(matches!(n.send(Word::ZERO, Word::ZERO, 0, vec![], Priority::P0), SendOutcome::Sent(_)));
+        assert!(matches!(n.send(Word::ZERO, Word::ZERO, 0, vec![], Priority::P0), SendOutcome::Sent(_)));
+        assert_eq!(n.send(Word::ZERO, Word::ZERO, 0, vec![], Priority::P0), SendOutcome::NoCredit);
+        assert_eq!(n.stats().credit_stalls, 1);
+        n.deliver(Packet::Credit {
+            dest: NodeCoord::new(0, 0, 0),
+            from: NodeCoord::new(1, 0, 0),
+        });
+        assert!(matches!(n.send(Word::ZERO, Word::ZERO, 0, vec![], Priority::P0), SendOutcome::Sent(_)));
+    }
+
+    #[test]
+    fn p1_sends_bypass_throttling() {
+        let mut cfg = IfaceConfig::default();
+        cfg.send_credits = 0;
+        let mut n = NodeNet::new(NodeCoord::new(0, 0, 0), cfg);
+        n.gtlb_mut().add_entry(GdtEntry::new(
+            0,
+            NodeCoord::new(1, 0, 0),
+            (0, 0, 0),
+            4,
+            0,
+        ));
+        assert!(matches!(n.send(Word::ZERO, Word::ZERO, 0, vec![], Priority::P1), SendOutcome::Sent(_)));
+    }
+
+    fn user_msg(src: NodeCoord, dest: NodeCoord, pri: Priority) -> Packet {
+        Packet::User(Message {
+            priority: pri,
+            src,
+            dest,
+            dip: Word::from_u64(11),
+            addr: Word::from_u64(22),
+            body: vec![Word::from_u64(33)],
+        })
+    }
+
+    #[test]
+    fn delivery_enqueues_and_credits_sender() {
+        let mut n = iface_at(1);
+        n.deliver(user_msg(
+            NodeCoord::new(0, 0, 0),
+            NodeCoord::new(1, 0, 0),
+            Priority::P0,
+        ));
+        assert!(n.queue_ready(Priority::P0));
+        assert!(!n.queue_ready(Priority::P1));
+        assert_eq!(n.queue_len(Priority::P0), 1);
+        // Word order: DIP, addr, body; boundaries tracked.
+        assert_eq!(n.pop_word(Priority::P0).unwrap().bits(), 11);
+        assert_eq!(n.pop_word(Priority::P0).unwrap().bits(), 22);
+        assert_eq!(n.queue_len(Priority::P0), 1, "message not done yet");
+        assert_eq!(n.pop_word(Priority::P0).unwrap().bits(), 33);
+        assert_eq!(n.queue_len(Priority::P0), 0);
+        assert!(n.pop_word(Priority::P0).is_none());
+        // A credit reply was staged for the sender.
+        let out = n.take_outbox();
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0], Packet::Credit { .. }));
+        assert_eq!(out[0].dest(), NodeCoord::new(0, 0, 0));
+    }
+
+    #[test]
+    fn overflow_returns_to_sender() {
+        let mut cfg = IfaceConfig::default();
+        cfg.msg_queue_capacity = 1;
+        let mut n = NodeNet::new(NodeCoord::new(1, 0, 0), cfg);
+        n.deliver(user_msg(
+            NodeCoord::new(0, 0, 0),
+            NodeCoord::new(1, 0, 0),
+            Priority::P0,
+        ));
+        let _ = n.take_outbox();
+        n.deliver(user_msg(
+            NodeCoord::new(0, 0, 0),
+            NodeCoord::new(1, 0, 0),
+            Priority::P0,
+        ));
+        let out = n.take_outbox();
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0], Packet::Return(_)));
+        assert_eq!(out[0].dest(), NodeCoord::new(0, 0, 0));
+        assert_eq!(n.stats().returned_here, 1);
+    }
+
+    #[test]
+    fn returned_messages_buffer_for_resend() {
+        let mut n = iface_at(0);
+        let m = Message {
+            priority: Priority::P0,
+            src: NodeCoord::new(0, 0, 0),
+            dest: NodeCoord::new(1, 0, 0),
+            dip: Word::ZERO,
+            addr: Word::ZERO,
+            body: vec![],
+        };
+        n.deliver(Packet::Return(m.clone()));
+        assert_eq!(n.returned_len(), 1);
+        let got = n.pop_returned().unwrap();
+        assert_eq!(got, m);
+        // Resend does not consume a fresh credit.
+        let before = n.credits();
+        n.resend(got);
+        assert_eq!(n.credits(), before);
+        assert_eq!(n.take_outbox().len(), 1);
+    }
+
+    #[test]
+    fn priorities_have_separate_queues() {
+        let mut n = iface_at(1);
+        n.deliver(user_msg(
+            NodeCoord::new(0, 0, 0),
+            NodeCoord::new(1, 0, 0),
+            Priority::P0,
+        ));
+        n.deliver(user_msg(
+            NodeCoord::new(0, 0, 0),
+            NodeCoord::new(1, 0, 0),
+            Priority::P1,
+        ));
+        assert_eq!(n.queue_len(Priority::P0), 1);
+        assert_eq!(n.queue_len(Priority::P1), 1);
+    }
+}

@@ -1,0 +1,228 @@
+//! Messages and node coordinates.
+//!
+//! A message is "composed in the general registers of a cluster and
+//! launched atomically using a user-level SEND instruction" (§2). Hardware
+//! prepends the destination address and the dispatch instruction pointer
+//! (DIP) to the body, so the receiver's register-mapped queue yields
+//! `[DIP, dest-VA, body...]` — exactly the order Fig. 7's handler consumes.
+
+use mm_isa::op::Priority;
+use mm_isa::word::Word;
+use std::fmt;
+
+/// A node's position in the 3-D mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct NodeCoord {
+    /// X coordinate.
+    pub x: u8,
+    /// Y coordinate.
+    pub y: u8,
+    /// Z coordinate.
+    pub z: u8,
+}
+
+impl NodeCoord {
+    /// Construct from coordinates.
+    #[must_use]
+    pub fn new(x: u8, y: u8, z: u8) -> NodeCoord {
+        NodeCoord { x, y, z }
+    }
+
+    /// Pack into the 15-bit `x | y<<5 | z<<10` form used in node-id words
+    /// and the GTLB's 16-bit starting-node field.
+    #[must_use]
+    pub fn encode(self) -> u64 {
+        u64::from(self.x) | (u64::from(self.y) << 5) | (u64::from(self.z) << 10)
+    }
+
+    /// Unpack from the encoded form.
+    #[must_use]
+    pub fn decode(bits: u64) -> NodeCoord {
+        NodeCoord {
+            x: (bits & 0x1F) as u8,
+            y: ((bits >> 5) & 0x1F) as u8,
+            z: ((bits >> 10) & 0x1F) as u8,
+        }
+    }
+
+    /// Manhattan distance (= dimension-order hop count) to `other`.
+    #[must_use]
+    pub fn hops_to(self, other: NodeCoord) -> u64 {
+        u64::from(self.x.abs_diff(other.x))
+            + u64::from(self.y.abs_diff(other.y))
+            + u64::from(self.z.abs_diff(other.z))
+    }
+}
+
+impl fmt::Display for NodeCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{},{})", self.x, self.y, self.z)
+    }
+}
+
+/// A message as carried by the network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Network priority (0 = requests, 1 = replies).
+    pub priority: Priority,
+    /// Sender.
+    pub src: NodeCoord,
+    /// Receiver.
+    pub dest: NodeCoord,
+    /// Dispatch instruction pointer (first word delivered).
+    pub dip: Word,
+    /// Destination virtual address (second word delivered).
+    pub addr: Word,
+    /// Body words (`mc1..=mc{len}` at the sender).
+    pub body: Vec<Word>,
+}
+
+impl Message {
+    /// Words delivered into the receiver's queue: DIP + address + body.
+    #[must_use]
+    pub fn delivered_words(&self) -> Vec<Word> {
+        let mut v = Vec::with_capacity(2 + self.body.len());
+        v.push(self.dip);
+        v.push(self.addr);
+        v.extend_from_slice(&self.body);
+        v
+    }
+
+    /// Length on the wire in flits (one word per flit: DIP + address +
+    /// body; the routing header pipelines with the first flit).
+    #[must_use]
+    pub fn wire_flits(&self) -> u64 {
+        2 + self.body.len() as u64
+    }
+}
+
+/// What travels point-to-point: user messages plus the two hardware
+/// control packets of the return-to-sender throttling protocol (§4.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Packet {
+    /// An ordinary message, delivered to the receiver's message queue.
+    User(Message),
+    /// "The reply instructs the source processor to increment its
+    /// counter" — sent by the receiving interface when a message is
+    /// accepted; consumed silently by the sender's interface.
+    Credit {
+        /// Node being credited (the original sender).
+        dest: NodeCoord,
+        /// Node that accepted the message.
+        from: NodeCoord,
+    },
+    /// "The reply contains the contents of the original message which are
+    /// copied into the buffer and resent at a later time" — the receiver
+    /// had no queue space.
+    Return(Message),
+}
+
+impl Packet {
+    /// Destination node of this packet.
+    #[must_use]
+    pub fn dest(&self) -> NodeCoord {
+        match self {
+            Packet::User(m) => m.dest,
+            Packet::Credit { dest, .. } => *dest,
+            Packet::Return(m) => m.src,
+        }
+    }
+
+    /// Source node of this packet.
+    #[must_use]
+    pub fn src(&self) -> NodeCoord {
+        match self {
+            Packet::User(m) => m.src,
+            Packet::Credit { from, .. } => *from,
+            Packet::Return(m) => m.dest,
+        }
+    }
+
+    /// Flits on the wire.
+    #[must_use]
+    pub fn wire_flits(&self) -> u64 {
+        match self {
+            Packet::User(m) | Packet::Return(m) => m.wire_flits(),
+            Packet::Credit { .. } => 1,
+        }
+    }
+
+    /// Control packets and returns travel at priority 1 so they can always
+    /// drain ahead of new requests (§4.1 deadlock avoidance).
+    #[must_use]
+    pub fn priority(&self) -> Priority {
+        match self {
+            Packet::User(m) => m.priority,
+            Packet::Credit { .. } | Packet::Return(_) => Priority::P1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coord_encode_round_trip() {
+        for c in [
+            NodeCoord::new(0, 0, 0),
+            NodeCoord::new(31, 0, 7),
+            NodeCoord::new(1, 2, 3),
+        ] {
+            assert_eq!(NodeCoord::decode(c.encode()), c);
+        }
+    }
+
+    #[test]
+    fn hops() {
+        let a = NodeCoord::new(0, 0, 0);
+        let b = NodeCoord::new(2, 1, 3);
+        assert_eq!(a.hops_to(b), 6);
+        assert_eq!(b.hops_to(a), 6);
+        assert_eq!(a.hops_to(a), 0);
+    }
+
+    fn msg(body: usize) -> Message {
+        Message {
+            priority: Priority::P0,
+            src: NodeCoord::new(0, 0, 0),
+            dest: NodeCoord::new(1, 0, 0),
+            dip: Word::from_u64(100),
+            addr: Word::from_u64(200),
+            body: vec![Word::from_u64(7); body],
+        }
+    }
+
+    #[test]
+    fn delivered_word_order_matches_fig7() {
+        let m = msg(1);
+        let words = m.delivered_words();
+        assert_eq!(words.len(), 3);
+        assert_eq!(words[0].bits(), 100, "DIP first");
+        assert_eq!(words[1].bits(), 200, "address second");
+        assert_eq!(words[2].bits(), 7, "body last");
+    }
+
+    #[test]
+    fn wire_flits() {
+        assert_eq!(msg(1).wire_flits(), 3);
+        assert_eq!(msg(0).wire_flits(), 2);
+        let p = Packet::Credit {
+            dest: NodeCoord::new(0, 0, 0),
+            from: NodeCoord::new(1, 0, 0),
+        };
+        assert_eq!(p.wire_flits(), 1);
+        assert_eq!(p.priority(), Priority::P1);
+    }
+
+    #[test]
+    fn packet_endpoints() {
+        let m = msg(1);
+        let p = Packet::User(m.clone());
+        assert_eq!(p.dest(), m.dest);
+        assert_eq!(p.src(), m.src);
+        let r = Packet::Return(m.clone());
+        assert_eq!(r.dest(), m.src, "returns go back to the sender");
+        assert_eq!(r.src(), m.dest);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property tests for the network crate: GTLB encoding and translation
+//! invariants, minimal dimension-order routes, and end-to-end queue
+//! conservation under random traffic.
+
+use mm_isa::op::Priority;
+use mm_isa::word::Word;
+use mm_net::fabric::{Fabric, FabricConfig};
+use mm_net::gtlb::{GdtEntry, GLOBAL_PAGE_WORDS};
+use mm_net::iface::{IfaceConfig, NodeNet};
+use mm_net::message::{Message, NodeCoord, Packet};
+use proptest::prelude::*;
+
+proptest! {
+    /// Fig. 8 encoding round-trips for all field values.
+    #[test]
+    fn gdt_entry_encode_round_trip(
+        vpage in 0u64..(1 << 42),
+        sx in 0u8..8, sy in 0u8..8, sz in 0u8..8,
+        ex in 0u8..4, ey in 0u8..4, ez in 0u8..4,
+        glen in 0u8..16,
+        ppn in 0u8..8,
+    ) {
+        let e = GdtEntry::new(vpage, NodeCoord::new(sx, sy, sz), (ex, ey, ez), glen, ppn);
+        prop_assert_eq!(GdtEntry::decode(e.encode()), e);
+        prop_assert!(e.encode() < (1u128 << 79), "fits the 79-bit Fig. 8 format");
+    }
+
+    /// Translation always lands inside the entry's 3-D region, and every
+    /// address in the page-group translates.
+    #[test]
+    fn gdt_translation_stays_in_region(
+        ex in 0u8..3, ey in 0u8..3, ez in 0u8..3,
+        glen in 0u8..8,
+        ppn in 0u8..4,
+        page in 0u64..256,
+    ) {
+        let start = NodeCoord::new(1, 2, 3);
+        let e = GdtEntry::new(0, start, (ex, ey, ez), glen, ppn);
+        let va = page * GLOBAL_PAGE_WORDS;
+        match e.translate(va) {
+            Some(node) => {
+                prop_assert!(page < e.group_pages());
+                prop_assert!(u64::from(node.x - start.x) < (1 << ex));
+                prop_assert!(u64::from(node.y - start.y) < (1 << ey));
+                prop_assert!(u64::from(node.z - start.z) < (1 << ez));
+            }
+            None => prop_assert!(page >= e.group_pages()),
+        }
+    }
+
+    /// Consecutive `2^ppn` pages map to the same node (block interleaving).
+    #[test]
+    fn pages_per_node_blocks_are_contiguous(
+        ppn in 0u8..4,
+        chunk in 0u64..16,
+    ) {
+        let e = GdtEntry::new(0, NodeCoord::new(0, 0, 0), (2, 2, 0), 10, ppn);
+        let pages_per = 1u64 << ppn;
+        let first = e.translate(chunk * pages_per * GLOBAL_PAGE_WORDS).unwrap();
+        for k in 1..pages_per {
+            let page = chunk * pages_per + k;
+            prop_assert_eq!(e.translate(page * GLOBAL_PAGE_WORDS).unwrap(), first);
+        }
+    }
+
+    /// Dimension-order routes are minimal (length = Manhattan distance)
+    /// and uncontended latency is hops*hop_latency + flits.
+    #[test]
+    fn routes_are_minimal(
+        sx in 0u8..4, sy in 0u8..4, sz in 0u8..4,
+        dx in 0u8..4, dy in 0u8..4, dz in 0u8..4,
+        body in 0usize..6,
+    ) {
+        let src = NodeCoord::new(sx, sy, sz);
+        let dest = NodeCoord::new(dx, dy, dz);
+        let route = Fabric::route(src, dest);
+        prop_assert_eq!(route.len() as u64, src.hops_to(dest));
+
+        prop_assume!(src != dest);
+        let mut f = Fabric::new(FabricConfig { dims: (4, 4, 4), hop_latency: 2, loopback_latency: 2 });
+        let t = f.inject(0, Packet::User(Message {
+            priority: Priority::P0,
+            src,
+            dest,
+            dip: Word::ZERO,
+            addr: Word::ZERO,
+            body: vec![Word::ZERO; body],
+        }));
+        prop_assert_eq!(t, src.hops_to(dest) * 2 + 2 + body as u64);
+    }
+
+    /// Under random traffic, every injected message is eventually either
+    /// consumed or returned — nothing is lost or duplicated, and credits
+    /// are conserved.
+    #[test]
+    fn traffic_conservation(
+        sends in prop::collection::vec((0u8..2, 0u8..2, 0usize..3), 1..40),
+    ) {
+        let dims = (2u8, 2u8, 1u8);
+        let mut fabric = Fabric::new(FabricConfig { dims, hop_latency: 2, loopback_latency: 2 });
+        let mut nodes: Vec<NodeNet> = Vec::new();
+        let mut cfg = IfaceConfig::default();
+        cfg.msg_queue_capacity = 2; // force some returns
+        cfg.send_credits = 64;
+        for y in 0..dims.1 {
+            for x in 0..dims.0 {
+                let mut n = NodeNet::new(NodeCoord::new(x, y, 0), cfg.clone());
+                // Page p → node (p%2, (p/2)%2, 0), cyclic.
+                n.gtlb_mut().add_entry(GdtEntry::new(
+                    0, NodeCoord::new(0, 0, 0), (1, 1, 0), 8, 0,
+                ));
+                nodes.push(n);
+            }
+        }
+        let idx = |c: NodeCoord| (usize::from(c.y) * 2 + usize::from(c.x));
+
+        let mut injected = 0u64;
+        for (i, &(src, page, body)) in sends.iter().enumerate() {
+            let n = &mut nodes[usize::from(src)];
+            let out = n.send(
+                Word::from_u64(i as u64),
+                Word::from_u64(u64::from(page) * GLOBAL_PAGE_WORDS),
+                u64::from(page) * GLOBAL_PAGE_WORDS,
+                vec![Word::ZERO; body],
+                Priority::P0,
+            );
+            prop_assert!(matches!(out, mm_net::iface::SendOutcome::Sent(_)));
+            injected += 1;
+            for p in n.take_outbox() {
+                fabric.inject(i as u64, p);
+            }
+        }
+
+        // Pump until quiescent.
+        let mut cycle = 0u64;
+        while !fabric.is_idle() {
+            prop_assert!(cycle < 100_000, "network did not quiesce");
+            for p in fabric.deliveries(cycle) {
+                let d = idx(p.dest());
+                nodes[d].deliver(p);
+                for out in nodes[d].take_outbox() {
+                    fabric.inject(cycle, out);
+                }
+            }
+            cycle += 1;
+        }
+
+        let consumed: u64 = nodes
+            .iter()
+            .map(|n| n.queue_len(Priority::P0) as u64)
+            .sum();
+        let returned: u64 = nodes.iter().map(|n| n.returned_len() as u64).sum();
+        prop_assert_eq!(consumed + returned, injected, "messages lost or duplicated");
+    }
+}

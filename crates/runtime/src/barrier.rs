@@ -1,0 +1,109 @@
+//! Loop-synchronization codegen: the paper's Fig. 6 protocol and its
+//! extension to a 4-H-Thread barrier using the replicated global CC
+//! registers (no combining or distribution trees, §3.1).
+
+use mm_isa::asm::assemble;
+use mm_isa::instr::Program;
+
+/// The Fig. 6 two-H-Thread interlocked loop, `iterations` times.
+///
+/// H-Thread 0 computes a counter, compares it against the bound and
+/// broadcasts the result on `gcc1`; H-Thread 1 consumes `gcc1`, empties
+/// it, and notifies back on `gcc3`. The two-register interlock "ensures
+/// that neither H-Thread rolls over into the next loop iteration".
+///
+/// Returns `[program_h0, program_h1]` for clusters 0 and 1.
+///
+/// # Panics
+///
+/// Panics if codegen fails to assemble (a bug).
+#[must_use]
+pub fn fig6_loop_pair(iterations: u64) -> [Program; 2] {
+    let h0 = format!(
+        "empty gcc3
+loop0: add r1, #1, r1
+ eq r1, #{iterations}, gcc1
+ mov gcc3, r2
+ empty gcc3
+ brf gcc1, loop0
+ halt
+"
+    );
+    let h1 = format!(
+        "empty gcc1
+loop1: add r3, #1, r3
+ mov gcc1, r2
+ empty gcc1
+ mov #1, gcc3
+ brf r2, loop1
+ halt
+"
+    );
+    [
+        assemble(&h0).expect("fig6 h0 assembles"),
+        assemble(&h1).expect("fig6 h1 assembles"),
+    ]
+}
+
+/// A 4-H-Thread barrier loop: every cluster owns a CC pair, so workers
+/// signal on `gcc{2c}` and cluster 0 broadcasts "go" on `gcc0` — a fast
+/// barrier "without combining or distribution trees" (§3.1).
+///
+/// Each thread runs `iterations` barrier episodes; thread `c` increments
+/// `r1` once per episode so tests can verify lockstep.
+///
+/// # Panics
+///
+/// Panics if codegen fails to assemble (a bug).
+#[must_use]
+pub fn barrier4_programs(iterations: u64) -> [Program; 4] {
+    // Cluster 0: collect gcc2/gcc4/gcc6, then broadcast gcc0.
+    let coordinator = format!(
+        "empty gcc2, gcc4, gcc6
+loop: add r1, #1, r1
+ mov gcc2, r0
+ mov gcc4, r0
+ mov gcc6, r0
+ empty gcc2, gcc4, gcc6
+ eq r1, #{iterations}, gcc0
+ brf gcc0, loop
+ halt
+"
+    );
+    let mut programs = vec![assemble(&coordinator).expect("barrier coordinator assembles")];
+    for c in 1..4 {
+        let worker = format!(
+            "empty gcc0
+loop: add r1, #1, r1
+ mov #1, gcc{signal}
+ mov gcc0, r2
+ empty gcc0
+ brf r2, loop
+ halt
+",
+            signal = 2 * c,
+        );
+        programs.push(assemble(&worker).expect("barrier worker assembles"));
+    }
+    programs.try_into().expect("exactly four programs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_pair_assembles_with_loops() {
+        let [h0, h1] = fig6_loop_pair(5);
+        assert!(h0.entry("loop0").is_some());
+        assert!(h1.entry("loop1").is_some());
+    }
+
+    #[test]
+    fn barrier4_assembles() {
+        let ps = barrier4_programs(3);
+        for p in &ps {
+            assert!(p.entry("loop").is_some());
+        }
+    }
+}

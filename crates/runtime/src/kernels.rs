@@ -1,0 +1,239 @@
+//! Stencil kernel generators for the paper's Fig. 5 experiment.
+//!
+//! The smoothing operator `u* = u_c + a·r_c + b·(Σ neighbour residuals)`
+//! on a 3-D grid, scheduled for 1, 2 or 4 H-Threads. The paper reports
+//! static instruction depths of 12 → 8 for the 7-point stencil on 1 → 2
+//! H-Threads (Fig. 5), and 36 → 17 for the 27-point stencil on 1 → 4
+//! (§3.1, §5).
+//!
+//! The multi-thread split follows Fig. 5(b): since `b` distributes over
+//! partial sums, every thread multiplies its own chunk's sum by `b`
+//! locally; thread 0 additionally folds in `u_c + a·r_c`, and all
+//! partials combine on the *finisher* thread via direct C-Switch register
+//! writes (prepared with `empty`).
+//!
+//! Memory layout expected in `r1` (a pointer): `neighbours[0..n]`, then
+//! `r_c` (centre residual), `u_c`, then the output word. Constants live
+//! in `f14` (= a) and `f15` (= b).
+
+use mm_isa::asm::assemble;
+use mm_isa::instr::Program;
+
+/// Rotating window of load destination registers (`f1..f8`).
+const LOAD_WINDOW: usize = 8;
+
+/// A generated multi-H-Thread kernel.
+#[derive(Debug, Clone)]
+pub struct StencilKernel {
+    /// One program per participating H-Thread (cluster index = position).
+    pub programs: Vec<Program>,
+    /// Static instruction depth: the longest program, excluding `halt`
+    /// (the number the paper's Fig. 5 counts).
+    pub static_depth: usize,
+    /// Neighbours in the stencil (6 or 26).
+    pub neighbours: usize,
+}
+
+/// Word offsets within the tile pointed to by `r1`.
+#[must_use]
+pub fn tile_words(neighbours: usize) -> usize {
+    neighbours + 3 // neighbours, r_c, u_c, output
+}
+
+/// Build one thread's instruction list.
+///
+/// `chunk`: this thread's neighbour offsets. `role` distinguishes the
+/// thread that owns `r_c`/`u_c` (alpha), the one that combines and
+/// stores (finisher, which is also alpha when `threads == 1`), and plain
+/// partial-sum workers.
+struct ThreadPlan {
+    chunk_start: usize,
+    chunk_len: usize,
+    is_alpha: bool,
+    is_finisher: bool,
+    partners: usize, // partials the finisher receives
+    finisher_cluster: usize,
+    thread_index: usize,
+}
+
+fn emit_thread(plan: &ThreadPlan, neighbours: usize) -> String {
+    let rc_off = neighbours;
+    let uc_off = neighbours + 1;
+    let out_off = neighbours + 2;
+    let load_reg = |i: usize| format!("f{}", 1 + (i % LOAD_WINDOW));
+
+    // The FP stream, in dependence order. Pairing places op k alongside
+    // load k+2 (Fig. 5's two-behind schedule), overflowing to fp-only
+    // instructions after the loads run out.
+    let mut fp: Vec<String> = Vec::new();
+    for i in 1..plan.chunk_len {
+        if i == 1 {
+            fp.push(format!("fadd {}, {}, f9", load_reg(0), load_reg(1)));
+        } else {
+            fp.push(format!("fadd f9, {}, f9", load_reg(i)));
+        }
+    }
+    if plan.chunk_len == 1 {
+        fp.push(format!("fmov {}, f9", load_reg(0)));
+    }
+    let send_dst = format!(
+        "h{}.f{}",
+        plan.finisher_cluster,
+        10 + plan.thread_index
+    );
+    if plan.is_alpha && !plan.is_finisher {
+        // Fig. 5(b)'s H-Thread 0: fold u_c + a·r_c into the partial and
+        // fuse the final add with the C-Switch send ("H1.t2 = t1 + t2").
+        fp.push("fmul f15, f9, f9".to_owned()); // b · chunk sum
+        fp.push("fmul f14, f12, f11".to_owned()); // a · r_c
+        fp.push("fadd f13, f11, f11".to_owned()); // u_c + a·r_c
+        fp.push(format!("fadd f11, f9, {send_dst}"));
+    } else if plan.is_finisher {
+        fp.push("fmul f15, f9, f9".to_owned()); // b · chunk sum
+        if plan.is_alpha {
+            fp.push("fmul f14, f12, f11".to_owned());
+            fp.push("fadd f13, f11, f11".to_owned());
+            fp.push("fadd f11, f9, f9".to_owned());
+        }
+        for p in 0..plan.partners {
+            fp.push(format!("fadd f9, f{}, f9", 10 + p));
+        }
+    } else {
+        // Plain worker: fuse the b-multiply with the send.
+        fp.push(format!("fmul f15, f9, {send_dst}"));
+    }
+
+    // Loads: the chunk, plus r_c and u_c on the alpha thread.
+    let mut loads: Vec<(usize, String)> = (0..plan.chunk_len)
+        .map(|i| (plan.chunk_start + i, load_reg(i)))
+        .collect();
+    if plan.is_alpha {
+        loads.push((rc_off, "f12".to_owned()));
+        loads.push((uc_off, "f13".to_owned()));
+    }
+
+    let mut lines: Vec<String> = Vec::new();
+    let mut fp_iter = fp.into_iter();
+    for (i, (off, dst)) in loads.iter().enumerate() {
+        let mut line = format!("ld [r1+#{off}], {dst}");
+        if i == 0 && plan.is_finisher && plan.partners > 0 {
+            let regs: Vec<String> = (0..plan.partners).map(|p| format!("f{}", 10 + p)).collect();
+            line.push_str(&format!(" | empty {}", regs.join(", ")));
+        } else if i >= 2 {
+            if let Some(op) = fp_iter.next() {
+                line.push_str(&format!(" | {op}"));
+            }
+        }
+        lines.push(line);
+    }
+    for op in fp_iter {
+        lines.push(op);
+    }
+    if plan.is_finisher {
+        lines.push(format!("st f9, [r1+#{out_off}]"));
+    }
+    lines.push("halt".to_owned());
+    lines.join("\n")
+}
+
+/// Generate the smoothing kernel for `neighbours` ∈ {6, 26} residuals on
+/// `threads` ∈ {1, 2, 4} H-Threads.
+///
+/// # Panics
+///
+/// Panics for unsupported thread counts or if generated code fails to
+/// assemble (a bug).
+#[must_use]
+pub fn stencil_kernel(neighbours: usize, threads: usize) -> StencilKernel {
+    assert!(matches!(threads, 1 | 2 | 4), "1, 2 or 4 H-Threads");
+    assert!(neighbours >= threads, "degenerate split");
+    let finisher = threads - 1;
+
+    // Contiguous chunks. The alpha thread also loads r_c and u_c, so it
+    // takes a chunk two smaller to balance memory-unit work (the paper's
+    // H-Thread 0 loads only r_u and r_d).
+    let mut chunk_lens = vec![0usize; threads];
+    if threads == 1 {
+        chunk_lens[0] = neighbours;
+    } else {
+        let target = (neighbours + 2).div_ceil(threads);
+        chunk_lens[0] = target.saturating_sub(2).max(1);
+        let rest = neighbours - chunk_lens[0];
+        let base = rest / (threads - 1);
+        let extra = rest % (threads - 1);
+        for t in 1..threads {
+            chunk_lens[t] = base + usize::from(t - 1 < extra);
+        }
+    }
+    let mut programs = Vec::new();
+    let mut cursor = 0;
+    for t in 0..threads {
+        let len = chunk_lens[t];
+        let plan = ThreadPlan {
+            chunk_start: cursor,
+            chunk_len: len,
+            is_alpha: t == 0,
+            is_finisher: t == finisher,
+            partners: if t == finisher { threads - 1 } else { 0 },
+            finisher_cluster: finisher,
+            thread_index: t,
+        };
+        cursor += len;
+        let src = emit_thread(&plan, neighbours);
+        programs
+            .push(assemble(&src).unwrap_or_else(|e| panic!("stencil codegen bug: {e}\n{src}")));
+    }
+
+    let static_depth = programs.iter().map(|p| p.len() - 1).max().unwrap_or(0);
+    StencilKernel {
+        programs,
+        static_depth,
+        neighbours,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_point_depths_match_paper() {
+        // Paper Fig. 5: 12 instructions on 1 H-Thread, 8 on 2.
+        let k1 = stencil_kernel(6, 1);
+        assert_eq!(k1.static_depth, 12, "\n{}", k1.programs[0]);
+        let k2 = stencil_kernel(6, 2);
+        assert_eq!(k2.static_depth, 8, "\n{}\n{}", k2.programs[0], k2.programs[1]);
+    }
+
+    #[test]
+    fn twenty_seven_point_depths_shrink_like_paper() {
+        // Paper §3.1: 36 → 17 on 1 → 4 H-Threads. Our scheduler pairs
+        // more aggressively, so absolute depths are a little lower, but
+        // the ≥2× reduction holds (documented in EXPERIMENTS.md).
+        let k1 = stencil_kernel(26, 1);
+        assert!(
+            (30..=36).contains(&k1.static_depth),
+            "1-thread depth {} not ≈36",
+            k1.static_depth
+        );
+        let k4 = stencil_kernel(26, 4);
+        assert!(
+            (11..=17).contains(&k4.static_depth),
+            "4-thread depth {} not ≈17",
+            k4.static_depth
+        );
+        assert!(k1.static_depth >= 2 * k4.static_depth, "reduction below 2x");
+    }
+
+    #[test]
+    fn all_variants_assemble() {
+        for n in [6, 26] {
+            for t in [1, 2, 4] {
+                let k = stencil_kernel(n, t);
+                assert_eq!(k.programs.len(), t);
+                assert_eq!(k.neighbours, n);
+                assert!(tile_words(n) > n);
+            }
+        }
+    }
+}

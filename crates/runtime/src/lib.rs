@@ -1,0 +1,17 @@
+//! # mm-runtime — boot image, event/message handlers and kernels
+//!
+//! The software layer of the M-Machine reproduction: the assembled
+//! event-V-Thread handler programs and boot procedure ([`image`]) — the
+//! paper's "prototype runtime system consisting of primitive message and
+//! event handlers" (§5) — plus the Fig. 5 stencil kernel generators
+//! ([`kernels`]) and the Fig. 6 loop-synchronization codegen
+//! ([`barrier`]).
+
+#![warn(missing_docs)]
+
+pub mod barrier;
+pub mod image;
+pub mod kernels;
+
+pub use image::{boot_node, BootInfo, BootSpec, RuntimeImage};
+pub use kernels::{stencil_kernel, StencilKernel};

@@ -1,0 +1,198 @@
+//! Event records: the word-level format handlers read from `evq`.
+//!
+//! "Exceptions that occur outside the map cluster are handled
+//! asynchronously by generating an event record and placing it in a
+//! hardware event queue... the faulting operation and its operands are
+//! specifically identified in the event record" (§3.3). A record is three
+//! words: a descriptor, the faulting virtual address, and the store data.
+//!
+//! Handler classes follow §3.3: "Memory synchronization and status faults
+//! are run on cluster 0, local TLB misses are run on cluster 1, and
+//! arriving messages are run on clusters 2 and 3".
+
+use mm_isa::word::Word;
+use mm_mem::memsys::{AccessKind, MemEvent, MemEventKind, MemRequest};
+use mm_isa::op::{SyncPost, SyncPre};
+
+/// Event kinds as encoded in descriptor bits 3:0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// LTLB miss (class 1).
+    LtlbMiss = 1,
+    /// Block-status fault (class 0).
+    BlockStatus = 2,
+    /// Memory synchronizing fault (class 0).
+    SyncFault = 3,
+    /// Uncorrectable memory error (class 0).
+    EccError = 4,
+}
+
+impl EventKind {
+    /// Decode descriptor bits 3:0.
+    #[must_use]
+    pub fn from_bits(bits: u64) -> Option<EventKind> {
+        match bits & 0xF {
+            1 => Some(EventKind::LtlbMiss),
+            2 => Some(EventKind::BlockStatus),
+            3 => Some(EventKind::SyncFault),
+            4 => Some(EventKind::EccError),
+            _ => None,
+        }
+    }
+
+    /// The handler class (event-queue index = cluster of the handler
+    /// H-Thread) for this kind.
+    #[must_use]
+    pub fn handler_class(self) -> usize {
+        match self {
+            EventKind::LtlbMiss => 1,
+            EventKind::BlockStatus | EventKind::SyncFault | EventKind::EccError => 0,
+        }
+    }
+}
+
+/// Descriptor bit layout:
+///
+/// | bits  | field |
+/// |-------|-------|
+/// | 3:0   | [`EventKind`] |
+/// | 4     | op: 0 = load, 1 = store |
+/// | 6:5   | sync precondition |
+/// | 8:7   | sync postcondition |
+/// | 9     | store data carries the pointer tag |
+/// | 31:12 | the request's routing tag (register address) |
+#[must_use]
+pub fn encode_desc(kind: EventKind, req: &MemRequest) -> Word {
+    let mut bits: u64 = kind as u64;
+    if req.kind == AccessKind::Store {
+        bits |= 1 << 4;
+    }
+    bits |= match req.pre {
+        SyncPre::Any => 0,
+        SyncPre::Full => 1,
+        SyncPre::Empty => 2,
+    } << 5;
+    bits |= match req.post {
+        SyncPost::Unchanged => 0,
+        SyncPost::SetFull => 1,
+        SyncPost::SetEmpty => 2,
+    } << 7;
+    if req.data_ptr_tag {
+        bits |= 1 << 9;
+    }
+    bits |= (req.tag & 0xF_FFFF) << 12;
+    Word::from_u64(bits)
+}
+
+/// Rebuild a memory request from a record's (descriptor, vaddr, data)
+/// triple — the `mrestart` operation.
+#[must_use]
+pub fn decode_record(desc: Word, vaddr: Word, data: Word, new_id: u64) -> Option<MemRequest> {
+    let bits = desc.bits();
+    let _ = EventKind::from_bits(bits)?;
+    let kind = if bits & (1 << 4) != 0 {
+        AccessKind::Store
+    } else {
+        AccessKind::Load
+    };
+    let pre = match (bits >> 5) & 3 {
+        0 => SyncPre::Any,
+        1 => SyncPre::Full,
+        _ => SyncPre::Empty,
+    };
+    let post = match (bits >> 7) & 3 {
+        0 => SyncPost::Unchanged,
+        1 => SyncPost::SetFull,
+        _ => SyncPost::SetEmpty,
+    };
+    Some(MemRequest {
+        id: new_id,
+        kind,
+        va: vaddr.bits(),
+        data,
+        data_ptr_tag: bits & (1 << 9) != 0,
+        pre,
+        post,
+        tag: (bits >> 12) & 0xF_FFFF,
+        phys: false,
+    })
+}
+
+/// Format a memory event into its three record words.
+#[must_use]
+pub fn format_event(ev: &MemEvent) -> (EventKind, [Word; 3]) {
+    let kind = match ev.kind {
+        MemEventKind::LtlbMiss => EventKind::LtlbMiss,
+        MemEventKind::BlockStatusFault { .. } => EventKind::BlockStatus,
+        MemEventKind::SyncFault { .. } => EventKind::SyncFault,
+        MemEventKind::EccError => EventKind::EccError,
+    };
+    let desc = encode_desc(kind, &ev.req);
+    (
+        kind,
+        [desc, Word::from_u64(ev.req.va), ev.req.data],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_isa::word::Word;
+
+    fn store_req() -> MemRequest {
+        MemRequest {
+            id: 7,
+            kind: AccessKind::Store,
+            va: 0x1234,
+            data: Word::from_u64(55),
+            data_ptr_tag: true,
+            pre: SyncPre::Empty,
+            post: SyncPost::SetFull,
+            tag: 0xABCD,
+            phys: false,
+        }
+    }
+
+    #[test]
+    fn desc_round_trips_through_mrestart() {
+        let req = store_req();
+        let desc = encode_desc(EventKind::LtlbMiss, &req);
+        let rebuilt =
+            decode_record(desc, Word::from_u64(req.va), req.data, 99).expect("valid record");
+        assert_eq!(rebuilt.kind, req.kind);
+        assert_eq!(rebuilt.va, req.va);
+        assert_eq!(rebuilt.pre, req.pre);
+        assert_eq!(rebuilt.post, req.post);
+        assert_eq!(rebuilt.tag, req.tag);
+        assert_eq!(rebuilt.data_ptr_tag, req.data_ptr_tag);
+        assert_eq!(rebuilt.id, 99);
+        assert!(!rebuilt.phys);
+    }
+
+    #[test]
+    fn kinds_route_to_the_right_cluster() {
+        assert_eq!(EventKind::LtlbMiss.handler_class(), 1);
+        assert_eq!(EventKind::SyncFault.handler_class(), 0);
+        assert_eq!(EventKind::BlockStatus.handler_class(), 0);
+        assert_eq!(EventKind::EccError.handler_class(), 0);
+    }
+
+    #[test]
+    fn garbage_desc_rejected() {
+        assert!(decode_record(Word::ZERO, Word::ZERO, Word::ZERO, 1).is_none());
+    }
+
+    #[test]
+    fn format_event_kinds() {
+        let ev = MemEvent {
+            at: 5,
+            kind: MemEventKind::LtlbMiss,
+            req: store_req(),
+        };
+        let (kind, words) = format_event(&ev);
+        assert_eq!(kind, EventKind::LtlbMiss);
+        assert_eq!(words[1].bits(), 0x1234);
+        assert_eq!(words[2].bits(), 55);
+    }
+}

@@ -1,0 +1,1156 @@
+//! The MAP node: four clusters, the synchronization (issue) stage,
+//! M-/C-Switch plumbing, event queues and privileged operations.
+//!
+//! Every cycle, each cluster's synchronization stage "holds the next
+//! instruction to be issued from each of the six V-Threads until all of
+//! its operands are present and all of the required resources are
+//! available... At every cycle this stage decides which instruction to
+//! issue from those which are ready to run" (§3.2). Selection is
+//! round-robin among ready H-Threads, so a lone thread issues every cycle
+//! (fast single-thread execution) while multiple threads interleave with
+//! zero switch cost.
+
+use crate::config::{NodeConfig, EVENT_SLOT, EXCEPTION_SLOT, NUM_CLUSTERS, NUM_SLOTS};
+use crate::event::{decode_record, format_event};
+use crate::regfile::ThreadRegs;
+use mm_isa::instr::{Instruction, Program};
+use mm_isa::op::{
+    AluKind, BranchCond, CmpKind, FpKind, FpOp, IntOp, MemOp, MemSlotOp, Priority,
+};
+use mm_isa::pointer::{GuardedPointer, Perm};
+use mm_isa::reg::{Dst, Reg, RegAddr, Src};
+use mm_isa::word::Word;
+use mm_mem::memsys::{AccessKind, MemRequest, MemorySystem};
+use mm_net::iface::{NodeNet, SendOutcome};
+use mm_net::message::NodeCoord;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Why an H-Thread stopped with a synchronous fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// An address operand was not a tagged pointer.
+    NotAPointer,
+    /// The pointer's permission forbade the access.
+    Permission,
+    /// Pointer arithmetic escaped its segment.
+    OutOfSegment,
+    /// A privileged operation in a user thread slot.
+    Privilege,
+    /// SEND to an address outside every page-group.
+    UnmappedSend,
+    /// SEND with a DIP lacking Enter/Execute permission.
+    BadDip,
+    /// Integer division by zero.
+    DivByZero,
+    /// The PC ran off the end of the program.
+    PcOutOfRange,
+    /// Read of `rnet`/`evq` from the wrong thread slot or cluster.
+    BadQueueAccess,
+    /// Write to a global CC register in a pair not owned by this cluster.
+    GccOwnership,
+}
+
+/// An H-Thread's run state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HState {
+    /// No program loaded.
+    Idle,
+    /// Eligible for issue.
+    Running,
+    /// Executed `halt`.
+    Halted,
+    /// Stopped by a synchronous fault.
+    Faulted(Fault),
+}
+
+/// One H-Thread's control state.
+#[derive(Debug, Clone)]
+struct HThread {
+    program: Option<Arc<Program>>,
+    pc: u32,
+    state: HState,
+    bubble: u64,
+}
+
+impl HThread {
+    fn idle() -> HThread {
+        HThread {
+            program: None,
+            pc: 0,
+            state: HState::Idle,
+            bubble: 0,
+        }
+    }
+}
+
+/// One execution cluster: register files and H-Thread slots.
+#[derive(Debug, Clone)]
+struct Cluster {
+    regs: Vec<ThreadRegs>,
+    threads: Vec<HThread>,
+    rr: usize,
+}
+
+impl Cluster {
+    fn new() -> Cluster {
+        Cluster {
+            regs: (0..NUM_SLOTS).map(|_| ThreadRegs::new()).collect(),
+            threads: (0..NUM_SLOTS).map(|_| HThread::idle()).collect(),
+            rr: 0,
+        }
+    }
+}
+
+/// A scheduled local register write (a unit's writeback).
+#[derive(Debug, Clone, Copy)]
+struct PendingWrite {
+    ready: u64,
+    cluster: usize,
+    slot: usize,
+    reg: Reg,
+    value: Word,
+}
+
+/// A C-Switch transfer in flight.
+#[derive(Debug, Clone, Copy)]
+struct CswTransfer {
+    ready: u64,
+    seq: u64,
+    target: CswTarget,
+    value: Word,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum CswTarget {
+    Reg {
+        cluster: usize,
+        slot: usize,
+        reg: Reg,
+    },
+    GccBroadcast {
+        slot: usize,
+        reg: Reg,
+    },
+}
+
+/// Per-node statistics.
+#[derive(Debug, Clone, Default)]
+pub struct NodeStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions issued (whole 1–3-op instructions).
+    pub instructions: u64,
+    /// Integer operations executed (either integer unit).
+    pub int_ops: u64,
+    /// Memory operations (loads + stores + sends).
+    pub mem_ops: u64,
+    /// FP operations executed.
+    pub fp_ops: u64,
+    /// Loads issued.
+    pub loads: u64,
+    /// Stores issued.
+    pub stores: u64,
+    /// Messages sent.
+    pub sends: u64,
+    /// Taken branches.
+    pub branches_taken: u64,
+    /// Synchronous faults raised.
+    pub faults: u64,
+    /// Event records enqueued, per handler class (cluster).
+    pub events_enqueued: [u64; NUM_CLUSTERS],
+    /// Event records dropped because a class queue was full.
+    pub events_dropped: u64,
+    /// Instructions issued per (cluster, slot).
+    pub issued_per_slot: [[u64; NUM_SLOTS]; NUM_CLUSTERS],
+    /// C-Switch transfers delivered.
+    pub cswitch_transfers: u64,
+    /// Cycle of the most recent memory-response completion (benches use
+    /// this to time store completion, which no register observes).
+    pub last_response_cycle: u64,
+    /// Memory responses applied.
+    pub responses: u64,
+}
+
+/// A complete MAP node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    cfg: NodeConfig,
+    coord: NodeCoord,
+    clusters: Vec<Cluster>,
+    /// The memory system (public for boot/firmware access).
+    pub mem: MemorySystem,
+    /// The network interface (public for the machine pump).
+    pub net: NodeNet,
+    event_q: Vec<VecDeque<Word>>,
+    event_records: Vec<usize>,
+    exc_q: Vec<VecDeque<Word>>,
+    local_writes: Vec<PendingWrite>,
+    csw: Vec<CswTransfer>,
+    csw_seq: u64,
+    next_req_id: u64,
+    stats: NodeStats,
+}
+
+impl Node {
+    /// Build an idle node at `coord`.
+    #[must_use]
+    pub fn new(cfg: NodeConfig, coord: NodeCoord) -> Node {
+        Node {
+            mem: MemorySystem::new(cfg.mem.clone()),
+            net: NodeNet::new(coord, cfg.iface.clone()),
+            clusters: (0..NUM_CLUSTERS).map(|_| Cluster::new()).collect(),
+            event_q: (0..NUM_CLUSTERS).map(|_| VecDeque::new()).collect(),
+            event_records: vec![0; NUM_CLUSTERS],
+            exc_q: (0..NUM_CLUSTERS).map(|_| VecDeque::new()).collect(),
+            local_writes: Vec::new(),
+            csw: Vec::new(),
+            csw_seq: 0,
+            next_req_id: 0,
+            stats: NodeStats::default(),
+            cfg,
+            coord,
+        }
+    }
+
+    /// This node's mesh coordinates.
+    #[must_use]
+    pub fn coord(&self) -> NodeCoord {
+        self.coord
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &NodeConfig {
+        &self.cfg
+    }
+
+    /// Statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> &NodeStats {
+        &self.stats
+    }
+
+    /// Load `program` into `(cluster, slot)` starting at instruction
+    /// `entry`, and mark the H-Thread runnable.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range cluster/slot.
+    pub fn load_program(&mut self, cluster: usize, slot: usize, program: Arc<Program>, entry: u32) {
+        let t = &mut self.clusters[cluster].threads[slot];
+        t.program = Some(program);
+        t.pc = entry;
+        t.state = HState::Running;
+        t.bubble = 0;
+    }
+
+    /// Stop and unload the H-Thread at `(cluster, slot)`.
+    pub fn unload_program(&mut self, cluster: usize, slot: usize) {
+        self.clusters[cluster].threads[slot] = HThread::idle();
+    }
+
+    /// The H-Thread's state.
+    #[must_use]
+    pub fn thread_state(&self, cluster: usize, slot: usize) -> HState {
+        self.clusters[cluster].threads[slot].state
+    }
+
+    /// The H-Thread's current PC.
+    #[must_use]
+    pub fn thread_pc(&self, cluster: usize, slot: usize) -> u32 {
+        self.clusters[cluster].threads[slot].pc
+    }
+
+    /// Read a register (tests, loaders, result extraction).
+    #[must_use]
+    pub fn read_reg(&self, cluster: usize, slot: usize, reg: Reg) -> Word {
+        self.clusters[cluster].regs[slot].read(reg)
+    }
+
+    /// Write a register directly (boot-time setup).
+    pub fn write_reg(&mut self, cluster: usize, slot: usize, reg: Reg, value: Word) {
+        self.clusters[cluster].regs[slot].write(reg, value);
+    }
+
+    /// Are all user-slot H-Threads with programs finished (halted or
+    /// faulted), with at least one having run?
+    #[must_use]
+    pub fn user_threads_done(&self) -> bool {
+        let mut any = false;
+        for c in &self.clusters {
+            for slot in 0..crate::config::USER_SLOTS {
+                match c.threads[slot].state {
+                    HState::Running => return false,
+                    HState::Halted | HState::Faulted(_) => any = true,
+                    HState::Idle => {}
+                }
+            }
+        }
+        any
+    }
+
+    /// Words waiting in the event queue of handler class `cluster`.
+    #[must_use]
+    pub fn event_queue_len(&self, cluster: usize) -> usize {
+        self.event_q[cluster].len()
+    }
+
+    /// Words waiting in the exception queue of `cluster`.
+    #[must_use]
+    pub fn exception_queue_len(&self, cluster: usize) -> usize {
+        self.exc_q[cluster].len()
+    }
+
+    /// Pop a whole 3-word event record from handler class `cluster`
+    /// (used by firmware handlers that stand in for an event H-Thread;
+    /// see the coherence layer in `mm-core`).
+    pub fn pop_event_record(&mut self, cluster: usize) -> Option<[Word; 3]> {
+        if self.event_q[cluster].len() < 3 {
+            return None;
+        }
+        let q = &mut self.event_q[cluster];
+        let rec = [
+            q.pop_front().unwrap(),
+            q.pop_front().unwrap(),
+            q.pop_front().unwrap(),
+        ];
+        self.event_records[cluster] = self.event_records[cluster].saturating_sub(1);
+        Some(rec)
+    }
+
+    /// Re-submit a rebuilt memory request (firmware replay, the Rust-side
+    /// equivalent of `mrestart`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the request if the bank queue is full.
+    pub fn firmware_restart(&mut self, mut req: MemRequest) -> Result<(), MemRequest> {
+        req.id = self.fresh_id();
+        self.mem.submit(req)
+    }
+
+    /// Anything still in flight inside the node?
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.local_writes.is_empty() && self.csw.is_empty() && self.mem.is_idle()
+    }
+
+    // ==================================================================
+    // The cycle
+    // ==================================================================
+
+    /// Advance one cycle. The machine-level pump handles fabric
+    /// injection/delivery around this call.
+    pub fn step(&mut self, now: u64) {
+        self.stats.cycles += 1;
+
+        // Phase 1: memory responses and events (submissions from earlier
+        // cycles pop through the bank stage here).
+        let (resps, events) = self.mem.step(now);
+        for r in resps {
+            self.stats.responses += 1;
+            self.stats.last_response_cycle = self.stats.last_response_cycle.max(r.ready);
+            if r.req.kind == AccessKind::Load {
+                if let Some(ra) = RegAddr::decode(r.req.tag) {
+                    self.clusters[ra.cluster as usize].regs[ra.slot as usize]
+                        .write(ra.reg, r.value);
+                }
+            }
+        }
+        for ev in events {
+            let (kind, words) = format_event(&ev);
+            let class = kind.handler_class();
+            if self.event_records[class] >= self.cfg.event_queue_records {
+                self.stats.events_dropped += 1;
+                continue;
+            }
+            for w in words {
+                self.event_q[class].push_back(w);
+            }
+            self.event_records[class] += 1;
+            self.stats.events_enqueued[class] += 1;
+        }
+
+        // Phase 2: local unit writebacks due this cycle.
+        let mut i = 0;
+        while i < self.local_writes.len() {
+            if self.local_writes[i].ready <= now {
+                let w = self.local_writes.swap_remove(i);
+                self.clusters[w.cluster].regs[w.slot].write(w.reg, w.value);
+            } else {
+                i += 1;
+            }
+        }
+
+        // Phase 3: C-Switch — up to `cswitch_width` transfers per cycle.
+        self.csw.sort_by_key(|t| (t.ready, t.seq));
+        let mut delivered = 0;
+        let mut j = 0;
+        while j < self.csw.len() && delivered < self.cfg.cswitch_width {
+            if self.csw[j].ready <= now {
+                let t = self.csw.remove(j);
+                match t.target {
+                    CswTarget::Reg { cluster, slot, reg } => {
+                        self.clusters[cluster].regs[slot].write(reg, t.value);
+                    }
+                    CswTarget::GccBroadcast { slot, reg } => {
+                        for c in &mut self.clusters {
+                            c.regs[slot].write(reg, t.value);
+                        }
+                    }
+                }
+                self.stats.cswitch_transfers += 1;
+                delivered += 1;
+            } else {
+                j += 1;
+            }
+        }
+
+        // Phase 4: the synchronization stage issues at most one
+        // instruction per cluster.
+        for c in 0..NUM_CLUSTERS {
+            for t in &mut self.clusters[c].threads {
+                if t.bubble > 0 {
+                    t.bubble -= 1;
+                }
+            }
+            self.issue_cluster(now, c);
+        }
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        self.next_req_id += 1;
+        self.next_req_id
+    }
+
+    // ==================================================================
+    // Issue
+    // ==================================================================
+
+    fn issue_cluster(&mut self, now: u64, c: usize) {
+        let rr = self.clusters[c].rr;
+        for k in 0..NUM_SLOTS {
+            let slot = (rr + k) % NUM_SLOTS;
+            let (instr, pc_valid) = {
+                let t = &self.clusters[c].threads[slot];
+                if t.state != HState::Running || t.bubble > 0 {
+                    continue;
+                }
+                let Some(prog) = &t.program else { continue };
+                match prog.instrs.get(t.pc as usize) {
+                    Some(i) => (i.clone(), true),
+                    None => (Instruction::empty(), false),
+                }
+            };
+            if !pc_valid {
+                self.fault(now, c, slot, Fault::PcOutOfRange);
+                continue;
+            }
+            if !self.instr_ready(c, slot, &instr) {
+                continue;
+            }
+            self.execute(now, c, slot, &instr);
+            self.clusters[c].rr = (slot + 1) % NUM_SLOTS;
+            self.stats.instructions += 1;
+            self.stats.issued_per_slot[c][slot] += 1;
+            break;
+        }
+    }
+
+    /// Is a queue-backed register readable from `(cluster, slot)`?
+    fn queue_words_available(&self, c: usize, slot: usize, reg: Reg) -> Option<usize> {
+        match reg {
+            Reg::NetIn => {
+                if slot != EVENT_SLOT || (c != 2 && c != 3) {
+                    return None;
+                }
+                let pri = if c == 2 { Priority::P0 } else { Priority::P1 };
+                Some(self.net.words_available(pri))
+            }
+            Reg::EvQ => match slot {
+                EVENT_SLOT => Some(self.event_q[c].len()),
+                EXCEPTION_SLOT => Some(self.exc_q[c].len()),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    fn src_ready(&self, c: usize, slot: usize, src: &Src, queue_needs: &mut [usize; 2]) -> bool {
+        match src {
+            Src::Imm(_) => true,
+            Src::Reg(r) => self.reg_ready(c, slot, *r, queue_needs),
+        }
+    }
+
+    fn reg_ready(&self, c: usize, slot: usize, reg: Reg, queue_needs: &mut [usize; 2]) -> bool {
+        if reg.is_queue() {
+            let idx = usize::from(reg == Reg::EvQ);
+            queue_needs[idx] += 1;
+            match self.queue_words_available(c, slot, reg) {
+                // Wrong slot/cluster: let it issue, then fault in execute.
+                None => true,
+                Some(avail) => avail >= queue_needs[idx],
+            }
+        } else {
+            self.clusters[c].regs[slot].is_full(reg)
+        }
+    }
+
+    /// Local destinations must be full to issue (WAW protection and the
+    /// empty/fill receive protocol, §3.1).
+    fn dst_ready(&self, c: usize, slot: usize, dst: &Dst) -> bool {
+        match dst {
+            Dst::Local(reg) if !reg.is_queue() => self.clusters[c].regs[slot].is_full(*reg),
+            _ => true,
+        }
+    }
+
+    fn int_op_ready(&self, c: usize, slot: usize, op: &IntOp, qn: &mut [usize; 2]) -> bool {
+        match op {
+            IntOp::Alu { a, b, dst, .. } | IntOp::Cmp { a, b, dst, .. } => {
+                self.src_ready(c, slot, a, qn)
+                    && self.src_ready(c, slot, b, qn)
+                    && self.dst_ready(c, slot, dst)
+            }
+            IntOp::Mov { src, dst } => {
+                self.src_ready(c, slot, src, qn) && self.dst_ready(c, slot, dst)
+            }
+            IntOp::Lea { base, offset, dst } => {
+                self.reg_ready(c, slot, *base, qn)
+                    && self.src_ready(c, slot, offset, qn)
+                    && self.dst_ready(c, slot, dst)
+            }
+            IntOp::SetPtr {
+                perm,
+                log2_len,
+                addr,
+                dst,
+            } => {
+                self.src_ready(c, slot, perm, qn)
+                    && self.src_ready(c, slot, log2_len, qn)
+                    && self.src_ready(c, slot, addr, qn)
+                    && self.dst_ready(c, slot, dst)
+            }
+            IntOp::Branch { cond, .. } => match cond {
+                BranchCond::Always => true,
+                BranchCond::IfTrue(r) | BranchCond::IfFalse(r) => self.reg_ready(c, slot, *r, qn),
+            },
+            IntOp::JmpReg { target } => self.reg_ready(c, slot, *target, qn),
+            IntOp::Empty { .. } | IntOp::Halt | IntOp::Nop => true,
+            IntOp::WrReg { addr, value } => {
+                self.src_ready(c, slot, addr, qn) && self.src_ready(c, slot, value, qn)
+            }
+            IntOp::GProbe { va, dst } => {
+                self.src_ready(c, slot, va, qn) && self.dst_ready(c, slot, dst)
+            }
+            IntOp::TlbWr { entry_ptr } => self.reg_ready(c, slot, *entry_ptr, qn),
+            IntOp::MRestart { desc, vaddr, data } => {
+                self.reg_ready(c, slot, *desc, qn)
+                    && self.reg_ready(c, slot, *vaddr, qn)
+                    && self.reg_ready(c, slot, *data, qn)
+                    && self
+                        .mem
+                        .can_accept(self.clusters[c].regs[slot].read(*vaddr).bits(), false)
+            }
+            IntOp::NodeId { dst } => self.dst_ready(c, slot, dst),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn instr_ready(&self, c: usize, slot: usize, instr: &Instruction) -> bool {
+        let mut qn = [0usize; 2];
+        let mut ready = true;
+
+        if let Some(op) = &instr.int_op {
+            ready &= self.int_op_ready(c, slot, op, &mut qn);
+        }
+        if ready {
+            if let Some(slot_op) = &instr.mem_op {
+                match slot_op {
+                    MemSlotOp::Int(op) => ready &= self.int_op_ready(c, slot, op, &mut qn),
+                    MemSlotOp::Mem(op) => match op {
+                        MemOp::Load { base, dst, .. } => {
+                            ready &= self.reg_ready(c, slot, *base, &mut qn)
+                                && self.dst_ready(c, slot, dst)
+                                && self.mem_can_accept_via(c, slot, *base);
+                        }
+                        MemOp::Store { src, base, .. } => {
+                            ready &= self.src_ready(c, slot, src, &mut qn)
+                                && self.reg_ready(c, slot, *base, &mut qn)
+                                && self.mem_can_accept_via(c, slot, *base);
+                        }
+                        MemOp::Send {
+                            dest,
+                            dip,
+                            len,
+                            priority,
+                        } => {
+                            ready &= self.reg_ready(c, slot, *dest, &mut qn)
+                                && self.reg_ready(c, slot, *dip, &mut qn);
+                            for i in 1..=*len {
+                                ready &= self.reg_ready(c, slot, Reg::Mc(i), &mut qn);
+                            }
+                            if *priority == Priority::P0 && self.net.credits() == 0 {
+                                // "Threads attempting to execute a SEND
+                                // instruction will stall" (§4.1).
+                                ready = false;
+                            }
+                        }
+                    },
+                }
+            }
+        }
+        if ready {
+            if let Some(op) = &instr.fp_op {
+                ready &= match op {
+                    FpOp::Alu { a, b, dst, .. } | FpOp::Cmp { a, b, dst, .. } => {
+                        self.src_ready(c, slot, a, &mut qn)
+                            && self.src_ready(c, slot, b, &mut qn)
+                            && self.dst_ready(c, slot, dst)
+                    }
+                    FpOp::Madd { a, b, c: cc, dst } => {
+                        self.src_ready(c, slot, a, &mut qn)
+                            && self.src_ready(c, slot, b, &mut qn)
+                            && self.src_ready(c, slot, cc, &mut qn)
+                            && self.dst_ready(c, slot, dst)
+                    }
+                    FpOp::Mov { src, dst }
+                    | FpOp::Itof { src, dst }
+                    | FpOp::Ftoi { src, dst } => {
+                        self.src_ready(c, slot, src, &mut qn) && self.dst_ready(c, slot, dst)
+                    }
+                    FpOp::Empty { .. } | FpOp::Nop => true,
+                };
+            }
+        }
+        ready
+    }
+
+    /// Can the memory system take a request through the pointer in `base`?
+    fn mem_can_accept_via(&self, c: usize, slot: usize, base: Reg) -> bool {
+        let w = self.clusters[c].regs[slot].read(base);
+        match w.pointer() {
+            Ok(p) => self
+                .mem
+                .can_accept(p.addr(), p.perm() == Perm::Physical),
+            Err(_) => true, // will fault at execute, not stall
+        }
+    }
+
+    // ==================================================================
+    // Execute
+    // ==================================================================
+
+    fn fault(&mut self, now: u64, c: usize, slot: usize, fault: Fault) {
+        self.stats.faults += 1;
+        let t = &mut self.clusters[c].threads[slot];
+        let pc = t.pc;
+        t.state = HState::Faulted(fault);
+        // Synchronous exception record for the exception V-Thread (§3.3).
+        let desc = (fault as u64) | ((slot as u64) << 8) | ((c as u64) << 12);
+        if self.exc_q[c].len() < 3 * self.cfg.event_queue_records {
+            self.exc_q[c].push_back(Word::from_u64(desc));
+            self.exc_q[c].push_back(Word::from_u64(u64::from(pc)));
+            self.exc_q[c].push_back(Word::from_u64(now));
+        }
+    }
+
+    fn read_src(&mut self, c: usize, slot: usize, src: &Src) -> Result<Word, Fault> {
+        match src {
+            Src::Imm(v) => Ok(Word::from_i64(*v)),
+            Src::Reg(r) => self.read_reg_dyn(c, slot, *r),
+        }
+    }
+
+    fn read_reg_dyn(&mut self, c: usize, slot: usize, reg: Reg) -> Result<Word, Fault> {
+        match reg {
+            Reg::NetIn => {
+                if slot != EVENT_SLOT || (c != 2 && c != 3) {
+                    return Err(Fault::BadQueueAccess);
+                }
+                let pri = if c == 2 { Priority::P0 } else { Priority::P1 };
+                self.net.pop_word(pri).ok_or(Fault::BadQueueAccess)
+            }
+            Reg::EvQ => {
+                let q = match slot {
+                    EVENT_SLOT => &mut self.event_q[c],
+                    EXCEPTION_SLOT => &mut self.exc_q[c],
+                    _ => return Err(Fault::BadQueueAccess),
+                };
+                let w = q.pop_front().ok_or(Fault::BadQueueAccess)?;
+                // Records are 3 words, pushed atomically: crossing a
+                // 3-word boundary means one record fully consumed.
+                if slot == EVENT_SLOT && q.len() % 3 == 0 {
+                    self.event_records[c] = self.event_records[c].saturating_sub(1);
+                }
+                Ok(w)
+            }
+            r => Ok(self.clusters[c].regs[slot].read(r)),
+        }
+    }
+
+    /// Schedule a write of `value` to `dst`, visible after `latency`
+    /// cycles. Local non-CC targets are cleared now and filled later;
+    /// inter-cluster and CC-broadcast writes ride the C-Switch.
+    fn schedule_write(
+        &mut self,
+        now: u64,
+        c: usize,
+        slot: usize,
+        dst: Dst,
+        value: Word,
+        latency: u64,
+    ) -> Result<(), Fault> {
+        match dst {
+            Dst::Local(reg) => {
+                if let Reg::Gcc(n) = reg {
+                    // Pair k is writable only by cluster k (§3.1).
+                    if usize::from(n / 2) != c {
+                        return Err(Fault::GccOwnership);
+                    }
+                    // The writer's own copy empties at issue, so its own
+                    // dependent reads (e.g. the branch after a compare)
+                    // wait for the broadcast to land.
+                    self.clusters[c].regs[slot].clear(reg);
+                    self.csw_seq += 1;
+                    self.csw.push(CswTransfer {
+                        ready: now + latency + self.cfg.cswitch_latency,
+                        seq: self.csw_seq,
+                        target: CswTarget::GccBroadcast { slot, reg },
+                        value,
+                    });
+                    return Ok(());
+                }
+                self.clusters[c].regs[slot].clear(reg);
+                self.local_writes.push(PendingWrite {
+                    ready: now + latency,
+                    cluster: c,
+                    slot,
+                    reg,
+                    value,
+                });
+                Ok(())
+            }
+            Dst::Remote { cluster, reg } => {
+                if matches!(reg, Reg::Gcc(_)) {
+                    return Err(Fault::GccOwnership);
+                }
+                self.csw_seq += 1;
+                self.csw.push(CswTransfer {
+                    ready: now + latency + self.cfg.cswitch_latency,
+                    seq: self.csw_seq,
+                    target: CswTarget::Reg {
+                        cluster: cluster as usize,
+                        slot,
+                        reg,
+                    },
+                    value,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    fn execute(&mut self, now: u64, c: usize, slot: usize, instr: &Instruction) {
+        let mut next_pc: Option<u32> = None;
+        let mut halted = false;
+
+        let int_result = if let Some(op) = &instr.int_op {
+            self.stats.int_ops += 1;
+            self.exec_int(now, c, slot, op, &mut next_pc, &mut halted)
+        } else {
+            Ok(())
+        };
+        let mem_result = if int_result.is_ok() {
+            if let Some(slot_op) = &instr.mem_op {
+                match slot_op {
+                    MemSlotOp::Int(op) => {
+                        self.stats.int_ops += 1;
+                        self.exec_int(now, c, slot, op, &mut next_pc, &mut halted)
+                    }
+                    MemSlotOp::Mem(op) => {
+                        self.stats.mem_ops += 1;
+                        self.exec_mem(now, c, slot, op)
+                    }
+                }
+            } else {
+                Ok(())
+            }
+        } else {
+            Ok(())
+        };
+        let fp_result = if int_result.is_ok() && mem_result.is_ok() {
+            if let Some(op) = &instr.fp_op {
+                self.stats.fp_ops += 1;
+                self.exec_fp(now, c, slot, op)
+            } else {
+                Ok(())
+            }
+        } else {
+            Ok(())
+        };
+
+        if let Err(f) = int_result.and(mem_result).and(fp_result) {
+            self.fault(now, c, slot, f);
+            return;
+        }
+
+        let t = &mut self.clusters[c].threads[slot];
+        if halted {
+            t.state = HState::Halted;
+            return;
+        }
+        match next_pc {
+            Some(target) => {
+                t.pc = target;
+                t.bubble = self.cfg.branch_bubble;
+                self.stats.branches_taken += 1;
+            }
+            None => t.pc += 1,
+        }
+    }
+
+    fn require_privilege(slot: usize) -> Result<(), Fault> {
+        if slot >= crate::config::USER_SLOTS {
+            Ok(())
+        } else {
+            Err(Fault::Privilege)
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_int(
+        &mut self,
+        now: u64,
+        c: usize,
+        slot: usize,
+        op: &IntOp,
+        next_pc: &mut Option<u32>,
+        halted: &mut bool,
+    ) -> Result<(), Fault> {
+        let lat = self.cfg.int_latency;
+        match op {
+            IntOp::Alu { kind, a, b, dst } => {
+                let va = self.read_src(c, slot, a)?;
+                let vb = self.read_src(c, slot, b)?;
+                let (x, y) = (va.as_i64(), vb.as_i64());
+                let v = match kind {
+                    AluKind::Add => x.wrapping_add(y),
+                    AluKind::Sub => x.wrapping_sub(y),
+                    AluKind::Mul => x.wrapping_mul(y),
+                    AluKind::Div => {
+                        if y == 0 {
+                            return Err(Fault::DivByZero);
+                        }
+                        x.wrapping_div(y)
+                    }
+                    AluKind::And => x & y,
+                    AluKind::Or => x | y,
+                    AluKind::Xor => x ^ y,
+                    #[allow(clippy::cast_possible_wrap, clippy::cast_sign_loss)]
+                    AluKind::Shl => ((x as u64) << (y as u64 & 63)) as i64,
+                    #[allow(clippy::cast_possible_wrap, clippy::cast_sign_loss)]
+                    AluKind::Shr => ((x as u64) >> (y as u64 & 63)) as i64,
+                    #[allow(clippy::cast_sign_loss)]
+                    AluKind::Sra => x >> (y as u64 & 63),
+                };
+                let latency = if *kind == AluKind::Div {
+                    self.cfg.int_div_latency
+                } else {
+                    lat
+                };
+                self.schedule_write(now, c, slot, *dst, Word::from_i64(v), latency)
+            }
+            IntOp::Cmp { kind, a, b, dst } => {
+                let va = self.read_src(c, slot, a)?.as_i64();
+                let vb = self.read_src(c, slot, b)?.as_i64();
+                let v = match kind {
+                    CmpKind::Eq => va == vb,
+                    CmpKind::Ne => va != vb,
+                    CmpKind::Lt => va < vb,
+                    CmpKind::Le => va <= vb,
+                    CmpKind::Gt => va > vb,
+                    CmpKind::Ge => va >= vb,
+                };
+                self.schedule_write(now, c, slot, *dst, Word::from_bool(v), lat)
+            }
+            IntOp::Mov { src, dst } => {
+                let v = self.read_src(c, slot, src)?;
+                self.schedule_write(now, c, slot, *dst, v, lat)
+            }
+            IntOp::Lea { base, offset, dst } => {
+                let b = self.read_reg_dyn(c, slot, *base)?;
+                let off = self.read_src(c, slot, offset)?.as_i64();
+                let p = b.pointer().map_err(|_| Fault::NotAPointer)?;
+                let q = p.offset(off).map_err(|_| Fault::OutOfSegment)?;
+                self.schedule_write(now, c, slot, *dst, Word::from_pointer(q), lat)
+            }
+            IntOp::SetPtr {
+                perm,
+                log2_len,
+                addr,
+                dst,
+            } => {
+                Self::require_privilege(slot)?;
+                let perm = Perm::from_bits((self.read_src(c, slot, perm)?.bits() & 0xF) as u8);
+                let len = (self.read_src(c, slot, log2_len)?.bits() & 63) as u8;
+                let a = self.read_src(c, slot, addr)?.bits();
+                let p = GuardedPointer::new(perm, len, a & ((1 << 54) - 1))
+                    .map_err(|_| Fault::OutOfSegment)?;
+                self.schedule_write(now, c, slot, *dst, Word::from_pointer(p), lat)
+            }
+            IntOp::Branch { cond, target } => {
+                let taken = match cond {
+                    BranchCond::Always => true,
+                    BranchCond::IfTrue(r) => self.read_reg_dyn(c, slot, *r)?.is_true(),
+                    BranchCond::IfFalse(r) => !self.read_reg_dyn(c, slot, *r)?.is_true(),
+                };
+                if taken {
+                    *next_pc = Some(*target);
+                }
+                Ok(())
+            }
+            IntOp::JmpReg { target } => {
+                let w = self.read_reg_dyn(c, slot, *target)?;
+                let p = w.pointer().map_err(|_| Fault::NotAPointer)?;
+                p.check_execute().map_err(|_| Fault::Permission)?;
+                *next_pc = Some(u32::try_from(p.addr()).map_err(|_| Fault::PcOutOfRange)?);
+                Ok(())
+            }
+            IntOp::Empty { regs } => {
+                for r in regs {
+                    self.clusters[c].regs[slot].clear(*r);
+                }
+                Ok(())
+            }
+            IntOp::WrReg { addr, value } => {
+                Self::require_privilege(slot)?;
+                let a = self.read_src(c, slot, addr)?.bits();
+                let v = self.read_src(c, slot, value)?;
+                let ra = RegAddr::decode(a).ok_or(Fault::BadQueueAccess)?;
+                self.csw_seq += 1;
+                self.csw.push(CswTransfer {
+                    ready: now + lat + self.cfg.cswitch_latency,
+                    seq: self.csw_seq,
+                    target: CswTarget::Reg {
+                        cluster: ra.cluster as usize,
+                        slot: ra.slot as usize,
+                        reg: ra.reg,
+                    },
+                    value: v,
+                });
+                Ok(())
+            }
+            IntOp::GProbe { va, dst } => {
+                Self::require_privilege(slot)?;
+                let w = self.read_src(c, slot, va)?;
+                let addr = if w.is_pointer() {
+                    w.pointer().map_err(|_| Fault::NotAPointer)?.addr()
+                } else {
+                    w.bits()
+                };
+                let result = match self.net.gtlb_mut().probe(addr) {
+                    Some(coord) => Word::from_u64(coord.encode()),
+                    None => GuardedPointer::new(Perm::ErrVal, 0, addr & ((1 << 54) - 1))
+                        .map(Word::from_pointer)
+                        .unwrap_or(Word::ZERO),
+                };
+                self.schedule_write(now, c, slot, *dst, result, self.cfg.gprobe_latency)
+            }
+            IntOp::TlbWr { entry_ptr } => {
+                Self::require_privilege(slot)?;
+                let a = self.read_reg_dyn(c, slot, *entry_ptr)?;
+                let pa = if a.is_pointer() {
+                    a.pointer().map_err(|_| Fault::NotAPointer)?.addr()
+                } else {
+                    a.bits()
+                };
+                let _ = self.mem.tlb_install(pa);
+                Ok(())
+            }
+            IntOp::MRestart { desc, vaddr, data } => {
+                Self::require_privilege(slot)?;
+                let d = self.read_reg_dyn(c, slot, *desc)?;
+                let va = self.read_reg_dyn(c, slot, *vaddr)?;
+                let dat = self.read_reg_dyn(c, slot, *data)?;
+                let id = self.fresh_id();
+                let req = decode_record(d, va, dat, id).ok_or(Fault::BadQueueAccess)?;
+                // Readiness checked bank space; a failure here is a bug.
+                self.mem
+                    .submit(req)
+                    .map_err(|_| Fault::BadQueueAccess)?;
+                Ok(())
+            }
+            IntOp::NodeId { dst } => {
+                let v = Word::from_u64(self.coord.encode());
+                self.schedule_write(now, c, slot, *dst, v, lat)
+            }
+            IntOp::Halt => {
+                *halted = true;
+                Ok(())
+            }
+            IntOp::Nop => Ok(()),
+        }
+    }
+
+    fn exec_mem(&mut self, _now: u64, c: usize, slot: usize, op: &MemOp) -> Result<(), Fault> {
+        match op {
+            MemOp::Load {
+                base,
+                offset,
+                dst,
+                pre,
+                post,
+            } => {
+                self.stats.loads += 1;
+                let b = self.read_reg_dyn(c, slot, *base)?;
+                let p = b.pointer().map_err(|_| Fault::NotAPointer)?;
+                let ea = p.offset(i64::from(*offset)).map_err(|_| Fault::OutOfSegment)?;
+                let phys = ea.perm() == Perm::Physical;
+                if !phys {
+                    ea.check_read().map_err(|_| Fault::Permission)?;
+                }
+                // Destination scoreboard clears at issue; the response
+                // fills it (§3.1).
+                let (tcluster, reg) = match dst {
+                    Dst::Local(r) => (c, *r),
+                    Dst::Remote { cluster, reg } => (*cluster as usize, *reg),
+                };
+                if *dst == Dst::Local(reg) && !reg.is_queue() {
+                    self.clusters[c].regs[slot].clear(reg);
+                }
+                let tag = RegAddr {
+                    slot: slot as u8,
+                    cluster: tcluster as u8,
+                    reg,
+                }
+                .encode();
+                let id = self.fresh_id();
+                let req = MemRequest {
+                    id,
+                    kind: AccessKind::Load,
+                    va: ea.addr(),
+                    data: Word::ZERO,
+                    data_ptr_tag: false,
+                    pre: *pre,
+                    post: *post,
+                    tag,
+                    phys,
+                };
+                self.mem.submit(req).map_err(|_| Fault::BadQueueAccess)
+            }
+            MemOp::Store {
+                src,
+                base,
+                offset,
+                pre,
+                post,
+            } => {
+                self.stats.stores += 1;
+                let v = self.read_src(c, slot, src)?;
+                let b = self.read_reg_dyn(c, slot, *base)?;
+                let p = b.pointer().map_err(|_| Fault::NotAPointer)?;
+                let ea = p.offset(i64::from(*offset)).map_err(|_| Fault::OutOfSegment)?;
+                let phys = ea.perm() == Perm::Physical;
+                if !phys {
+                    ea.check_write().map_err(|_| Fault::Permission)?;
+                }
+                let id = self.fresh_id();
+                let req = MemRequest {
+                    id,
+                    kind: AccessKind::Store,
+                    va: ea.addr(),
+                    data: v,
+                    data_ptr_tag: v.is_pointer(),
+                    pre: *pre,
+                    post: *post,
+                    tag: 0,
+                    phys,
+                };
+                self.mem.submit(req).map_err(|_| Fault::BadQueueAccess)
+            }
+            MemOp::Send {
+                dest,
+                dip,
+                len,
+                priority,
+            } => {
+                self.stats.sends += 1;
+                let d = self.read_reg_dyn(c, slot, *dest)?;
+                let dp = self.read_reg_dyn(c, slot, *dip)?;
+                let dest_ptr = d.pointer().map_err(|_| Fault::NotAPointer)?;
+                let dip_ptr = dp.pointer().map_err(|_| Fault::BadDip)?;
+                dip_ptr.check_execute().map_err(|_| Fault::BadDip)?;
+                let mut body = Vec::with_capacity(usize::from(*len));
+                for i in 1..=*len {
+                    body.push(self.clusters[c].regs[slot].read(Reg::Mc(i)));
+                }
+                match self.net.send(dp, d, dest_ptr.addr(), body, *priority) {
+                    SendOutcome::Sent(_) => Ok(()),
+                    SendOutcome::NoCredit => Err(Fault::BadQueueAccess), // readiness bug
+                    SendOutcome::Unmapped => Err(Fault::UnmappedSend),
+                }
+            }
+        }
+    }
+
+    fn exec_fp(&mut self, now: u64, c: usize, slot: usize, op: &FpOp) -> Result<(), Fault> {
+        let lat = self.cfg.fp_latency;
+        match op {
+            FpOp::Alu { kind, a, b, dst } => {
+                let x = self.read_src(c, slot, a)?.as_f64();
+                let y = self.read_src(c, slot, b)?.as_f64();
+                let (v, latency) = match kind {
+                    FpKind::Add => (x + y, lat),
+                    FpKind::Sub => (x - y, lat),
+                    FpKind::Mul => (x * y, lat),
+                    FpKind::Div => (x / y, self.cfg.fp_div_latency),
+                };
+                self.schedule_write(now, c, slot, *dst, Word::from_f64(v), latency)
+            }
+            FpOp::Madd { a, b, c: cc, dst } => {
+                let x = self.read_src(c, slot, a)?.as_f64();
+                let y = self.read_src(c, slot, b)?.as_f64();
+                let z = self.read_src(c, slot, cc)?.as_f64();
+                self.schedule_write(now, c, slot, *dst, Word::from_f64(x.mul_add(y, z)), lat)
+            }
+            FpOp::Cmp { kind, a, b, dst } => {
+                let x = self.read_src(c, slot, a)?.as_f64();
+                let y = self.read_src(c, slot, b)?.as_f64();
+                let v = match kind {
+                    CmpKind::Eq => x == y,
+                    CmpKind::Ne => x != y,
+                    CmpKind::Lt => x < y,
+                    CmpKind::Le => x <= y,
+                    CmpKind::Gt => x > y,
+                    CmpKind::Ge => x >= y,
+                };
+                self.schedule_write(now, c, slot, *dst, Word::from_bool(v), lat)
+            }
+            FpOp::Mov { src, dst } => {
+                let v = self.read_src(c, slot, src)?;
+                self.schedule_write(now, c, slot, *dst, v, lat)
+            }
+            FpOp::Itof { src, dst } => {
+                #[allow(clippy::cast_precision_loss)]
+                let v = self.read_src(c, slot, src)?.as_i64() as f64;
+                self.schedule_write(now, c, slot, *dst, Word::from_f64(v), lat)
+            }
+            FpOp::Ftoi { src, dst } => {
+                let x = self.read_src(c, slot, src)?.as_f64();
+                #[allow(clippy::cast_possible_truncation)]
+                let v = if x.is_nan() { 0 } else { x as i64 };
+                self.schedule_write(now, c, slot, *dst, Word::from_i64(v), lat)
+            }
+            FpOp::Empty { regs } => {
+                for r in regs {
+                    self.clusters[c].regs[slot].clear(*r);
+                }
+                Ok(())
+            }
+            FpOp::Nop => Ok(()),
+        }
+    }
+}

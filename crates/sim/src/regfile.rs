@@ -1,0 +1,170 @@
+//! Scoreboarded register files.
+//!
+//! Each cluster holds, per resident V-Thread slot, an integer file, an FP
+//! file, the message-composition registers, and local copies of the eight
+//! global CC registers. "A scoreboard bit associated with the destination
+//! register is cleared (empty) when a multicycle operation, such as a
+//! load, issues and set (full) when the result is available. An operation
+//! that uses the result will not be selected for issue until the
+//! corresponding scoreboard bit is set" (§3.1).
+
+use mm_isa::reg::{Reg, NUM_FP_REGS, NUM_GCC_REGS, NUM_INT_REGS, NUM_MC_REGS};
+use mm_isa::word::Word;
+
+/// One H-Thread's registers on one cluster, with full/empty bits.
+#[derive(Debug, Clone)]
+pub struct ThreadRegs {
+    int: Vec<Word>,
+    int_full: Vec<bool>,
+    fp: Vec<Word>,
+    fp_full: Vec<bool>,
+    mc: Vec<Word>,
+    mc_full: Vec<bool>,
+    gcc: Vec<bool>,
+    gcc_full: Vec<bool>,
+}
+
+impl Default for ThreadRegs {
+    fn default() -> ThreadRegs {
+        ThreadRegs::new()
+    }
+}
+
+impl ThreadRegs {
+    /// Fresh registers: all zero and all full (so code may read any
+    /// register before writing it).
+    #[must_use]
+    pub fn new() -> ThreadRegs {
+        ThreadRegs {
+            int: vec![Word::ZERO; NUM_INT_REGS as usize],
+            int_full: vec![true; NUM_INT_REGS as usize],
+            fp: vec![Word::ZERO; NUM_FP_REGS as usize],
+            fp_full: vec![true; NUM_FP_REGS as usize],
+            mc: vec![Word::ZERO; NUM_MC_REGS as usize],
+            mc_full: vec![true; NUM_MC_REGS as usize],
+            gcc: vec![false; NUM_GCC_REGS as usize],
+            gcc_full: vec![true; NUM_GCC_REGS as usize],
+        }
+    }
+
+    /// Is the register's scoreboard bit full? Queue-backed registers are
+    /// not handled here (the node consults the queues).
+    ///
+    /// # Panics
+    ///
+    /// Panics on queue registers or out-of-range indices.
+    #[must_use]
+    pub fn is_full(&self, reg: Reg) -> bool {
+        match reg {
+            Reg::Int(n) => self.int_full[n as usize],
+            Reg::Fp(n) => self.fp_full[n as usize],
+            Reg::Mc(n) => self.mc_full[n as usize],
+            Reg::Gcc(n) => self.gcc_full[n as usize],
+            Reg::NetIn | Reg::EvQ => panic!("queue registers are owned by the node"),
+        }
+    }
+
+    /// Read a register's value (caller must have checked fullness).
+    ///
+    /// # Panics
+    ///
+    /// Panics on queue registers.
+    #[must_use]
+    pub fn read(&self, reg: Reg) -> Word {
+        match reg {
+            Reg::Int(0) => Word::ZERO, // r0 is hardwired zero
+            Reg::Int(n) => self.int[n as usize],
+            Reg::Fp(n) => self.fp[n as usize],
+            Reg::Mc(n) => self.mc[n as usize],
+            Reg::Gcc(n) => Word::from_bool(self.gcc[n as usize]),
+            Reg::NetIn | Reg::EvQ => panic!("queue registers are owned by the node"),
+        }
+    }
+
+    /// Write a register and set it full. Writes to `r0` are discarded.
+    pub fn write(&mut self, reg: Reg, value: Word) {
+        match reg {
+            Reg::Int(0) => {}
+            Reg::Int(n) => {
+                self.int[n as usize] = value;
+                self.int_full[n as usize] = true;
+            }
+            Reg::Fp(n) => {
+                self.fp[n as usize] = value;
+                self.fp_full[n as usize] = true;
+            }
+            Reg::Mc(n) => {
+                self.mc[n as usize] = value;
+                self.mc_full[n as usize] = true;
+            }
+            Reg::Gcc(n) => {
+                self.gcc[n as usize] = value.is_true();
+                self.gcc_full[n as usize] = true;
+            }
+            Reg::NetIn | Reg::EvQ => {}
+        }
+    }
+
+    /// Clear a register's scoreboard bit (issue of a multicycle producer,
+    /// or an explicit `empty` operation). `r0` stays full.
+    pub fn clear(&mut self, reg: Reg) {
+        match reg {
+            Reg::Int(0) => {}
+            Reg::Int(n) => self.int_full[n as usize] = false,
+            Reg::Fp(n) => self.fp_full[n as usize] = false,
+            Reg::Mc(n) => self.mc_full[n as usize] = false,
+            Reg::Gcc(n) => self.gcc_full[n as usize] = false,
+            Reg::NetIn | Reg::EvQ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_registers_are_full_zero() {
+        let r = ThreadRegs::new();
+        assert!(r.is_full(Reg::Int(5)));
+        assert!(r.is_full(Reg::Fp(15)));
+        assert!(r.is_full(Reg::Gcc(7)));
+        assert_eq!(r.read(Reg::Int(5)).bits(), 0);
+    }
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let mut r = ThreadRegs::new();
+        r.write(Reg::Int(0), Word::from_u64(99));
+        assert_eq!(r.read(Reg::Int(0)).bits(), 0);
+        r.clear(Reg::Int(0));
+        assert!(r.is_full(Reg::Int(0)));
+    }
+
+    #[test]
+    fn write_read_clear_cycle() {
+        let mut r = ThreadRegs::new();
+        r.clear(Reg::Int(3));
+        assert!(!r.is_full(Reg::Int(3)));
+        r.write(Reg::Int(3), Word::from_i64(-7));
+        assert!(r.is_full(Reg::Int(3)));
+        assert_eq!(r.read(Reg::Int(3)).as_i64(), -7);
+    }
+
+    #[test]
+    fn gcc_is_single_bit() {
+        let mut r = ThreadRegs::new();
+        r.write(Reg::Gcc(1), Word::from_u64(0x100)); // non-zero → true
+        assert_eq!(r.read(Reg::Gcc(1)).bits(), 1);
+        r.write(Reg::Gcc(1), Word::ZERO);
+        assert_eq!(r.read(Reg::Gcc(1)).bits(), 0);
+    }
+
+    #[test]
+    fn pointer_tags_preserved() {
+        let mut r = ThreadRegs::new();
+        let p = mm_isa::GuardedPointer::new(mm_isa::Perm::Read, 2, 8).unwrap();
+        r.write(Reg::Int(4), Word::from_pointer(p));
+        assert!(r.read(Reg::Int(4)).is_pointer());
+    }
+}

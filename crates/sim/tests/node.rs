@@ -1,0 +1,458 @@
+//! Integration tests for the MAP node: issue timing, scoreboards,
+//! H-Thread register communication, V-Thread interleaving, events,
+//! protection and message launch.
+
+use mm_isa::pointer::{GuardedPointer, Perm};
+use mm_isa::reg::Reg;
+use mm_isa::word::Word;
+use mm_isa::assemble;
+use mm_mem::lpt::Lpt;
+use mm_mem::ltlb::{BlockStatus, LtlbEntry};
+use mm_net::gtlb::GdtEntry;
+use mm_net::message::NodeCoord;
+use mm_sim::{Fault, HState, Node, NodeConfig, EVENT_SLOT};
+use std::sync::Arc;
+
+fn node() -> Node {
+    Node::new(NodeConfig::default(), NodeCoord::new(0, 0, 0))
+}
+
+/// A node with virtual pages 0..8 identity-ish mapped (ppn 16+vpn).
+fn booted_node() -> Node {
+    let mut n = node();
+    let lpt = Lpt::new(1024, 64);
+    n.mem.set_lpt(lpt);
+    for vpn in 0..8 {
+        let entry = LtlbEntry::uniform(vpn, 16 + vpn, BlockStatus::ReadWrite, 0);
+        let slot = lpt.insert(n.mem.sdram_mut(), &entry).unwrap();
+        assert!(n.mem.tlb_install(slot));
+    }
+    n
+}
+
+fn run(n: &mut Node, limit: u64) -> u64 {
+    for cycle in 0..limit {
+        n.step(cycle);
+        if n.user_threads_done() {
+            // Drain in-flight responses (e.g. a load racing a halt).
+            for extra in cycle + 1..cycle + 64 {
+                n.step(extra);
+            }
+            return cycle;
+        }
+    }
+    panic!("did not finish in {limit} cycles");
+}
+
+fn rw_ptr(addr: u64, log2_len: u8) -> Word {
+    Word::from_pointer(GuardedPointer::new(Perm::ReadWrite, log2_len, addr).unwrap())
+}
+
+#[test]
+fn dependent_int_chain_is_one_ipc() {
+    let mut n = node();
+    let prog = Arc::new(
+        assemble(
+            "add r1, #1, r1\n add r1, #1, r1\n add r1, #1, r1\n add r1, #1, r1\n halt\n",
+        )
+        .unwrap(),
+    );
+    n.load_program(0, 0, prog, 0);
+    let end = run(&mut n, 100);
+    assert_eq!(n.read_reg(0, 0, Reg::Int(1)).as_i64(), 4);
+    // 4 adds + halt, dependent, single-cycle ALU: ~1 IPC.
+    assert!(end <= 6, "took {end} cycles");
+}
+
+#[test]
+fn three_wide_issue_single_cycle() {
+    let mut n = node();
+    let prog = Arc::new(
+        assemble("add r1, #1, r2 | sub r1, #1, r3 | fadd f1, f2, f4\n halt\n").unwrap(),
+    );
+    n.load_program(0, 0, prog, 0);
+    run(&mut n, 20);
+    assert_eq!(n.read_reg(0, 0, Reg::Int(2)).as_i64(), 1);
+    assert_eq!(n.read_reg(0, 0, Reg::Int(3)).as_i64(), -1);
+    let s = n.stats();
+    assert_eq!(s.int_ops, 3, "two ALU ops + halt");
+    assert_eq!(s.fp_ops, 1);
+}
+
+#[test]
+fn load_hit_latency_is_three_cycles() {
+    let mut n = booted_node();
+    // Warm the line, then measure a dependent load-use.
+    n.mem.poke_va(8, mm_mem::MemWord::new(Word::from_u64(77)));
+    let warm = Arc::new(assemble("ld [r1], r2\n halt\n").unwrap());
+    n.write_reg(0, 0, Reg::Int(1), rw_ptr(8, 4));
+    n.load_program(0, 0, warm.clone(), 0);
+    run(&mut n, 200);
+    assert_eq!(n.read_reg(0, 0, Reg::Int(2)).bits(), 77);
+
+    // Measure: issue ld at cycle T, consumer needs r2.
+    let mut n2 = booted_node();
+    n2.mem.poke_va(8, mm_mem::MemWord::new(Word::from_u64(77)));
+    // Warm the cache with a prior run of the same access.
+    n2.write_reg(0, 0, Reg::Int(1), rw_ptr(8, 4));
+    n2.load_program(0, 0, warm, 0);
+    run(&mut n2, 200);
+    // Reload a fresh thread doing ld + dependent add + halt.
+    let prog = Arc::new(assemble("ld [r1], r2\n add r2, #1, r3\n halt\n").unwrap());
+    n2.write_reg(0, 1, Reg::Int(1), rw_ptr(8, 4));
+    n2.load_program(0, 1, prog, 0);
+    let start = 1000;
+    let mut done_at = None;
+    for cycle in start..start + 50 {
+        n2.step(cycle);
+        if n2.thread_state(0, 1) == HState::Halted {
+            done_at = Some(cycle);
+            break;
+        }
+    }
+    // ld issues at `start`, r2 full at start+3, add at start+3, add
+    // writes r3 at start+4, halt at start+4 (issued then).
+    let done = done_at.expect("halted");
+    assert!(
+        done - start <= 6,
+        "cache-hit load-use took {} cycles",
+        done - start
+    );
+    assert_eq!(n2.read_reg(0, 1, Reg::Int(3)).bits(), 78);
+}
+
+#[test]
+fn inter_cluster_register_write_synchronizes() {
+    let mut n = node();
+    // Cluster 0 computes and sends to cluster 1's r5; cluster 1 empties
+    // r5 first and blocks until the value arrives (Fig. 5b pattern).
+    let p0 = Arc::new(assemble("add r1, #41, r2\n add r2, #1, h1.r5\n halt\n").unwrap());
+    let p1 = Arc::new(assemble("empty r5\n add r5, #0, r6\n halt\n").unwrap());
+    n.load_program(0, 0, p0, 0);
+    n.load_program(1, 0, p1, 0);
+    run(&mut n, 100);
+    assert_eq!(n.read_reg(1, 0, Reg::Int(6)).as_i64(), 42);
+    assert!(n.stats().cswitch_transfers >= 1);
+}
+
+#[test]
+fn fig6_loop_synchronization_via_gcc() {
+    let mut n = node();
+    // H-Thread 0 (cluster 0) runs 5 iterations, broadcasting done-ness on
+    // gcc1; H-Thread 1 (cluster 1) echoes on gcc3. The two-register
+    // interlock keeps either from running ahead (Fig. 6).
+    let h0 = Arc::new(
+        assemble(
+            "empty gcc3\n\
+             loop0: add r1, #1, r1\n\
+             eq r1, #5, gcc1\n\
+             mov gcc3, r2\n\
+             empty gcc3\n\
+             brf gcc1, loop0\n\
+             halt\n",
+        )
+        .unwrap(),
+    );
+    let h1 = Arc::new(
+        assemble(
+            "empty gcc1\n\
+             loop1: add r3, #2, r3\n\
+             mov gcc1, r2\n\
+             empty gcc1\n\
+             mov #1, gcc3\n\
+             brf r2, loop1\n\
+             halt\n",
+        )
+        .unwrap(),
+    );
+    n.load_program(0, 0, h0, 0);
+    n.load_program(1, 0, h1, 0);
+    run(&mut n, 2000);
+    assert_eq!(n.thread_state(0, 0), HState::Halted);
+    assert_eq!(n.thread_state(1, 0), HState::Halted);
+    assert_eq!(n.read_reg(0, 0, Reg::Int(1)).as_i64(), 5);
+    assert_eq!(n.read_reg(1, 0, Reg::Int(3)).as_i64(), 10, "both ran 5 iterations");
+}
+
+#[test]
+fn vthread_interleaving_masks_fp_latency() {
+    // One thread of dependent FP ops vs. the same work with a second
+    // V-Thread interleaved: the pair finishes in less than twice the
+    // solo time (zero-cost interleaving, §3.2 / Fig. 4).
+    let src = "fadd f1, f2, f1\n fadd f1, f2, f1\n fadd f1, f2, f1\n fadd f1, f2, f1\n \
+               fadd f1, f2, f1\n fadd f1, f2, f1\n fadd f1, f2, f1\n fadd f1, f2, f1\n halt\n";
+    let prog = Arc::new(assemble(src).unwrap());
+
+    let mut solo = node();
+    solo.load_program(0, 0, prog.clone(), 0);
+    let t_solo = run(&mut solo, 1000);
+
+    let mut duo = node();
+    duo.load_program(0, 0, prog.clone(), 0);
+    duo.load_program(0, 1, prog, 0);
+    let t_duo = run(&mut duo, 1000);
+
+    assert!(
+        t_duo < 2 * t_solo,
+        "no latency masking: solo {t_solo}, duo {t_duo}"
+    );
+    // Dependent 3-cycle FP chain leaves ≥2/3 of slots idle: the second
+    // thread should fit almost entirely into the bubbles.
+    assert!(
+        t_duo <= t_solo + 4,
+        "interleaving not zero-cost: solo {t_solo}, duo {t_duo}"
+    );
+}
+
+#[test]
+fn protection_faults_are_synchronous() {
+    // Load through a non-pointer.
+    let mut n = node();
+    let prog = Arc::new(assemble("ld [r1], r2\n halt\n").unwrap());
+    n.load_program(0, 0, prog, 0);
+    run(&mut n, 100);
+    assert_eq!(n.thread_state(0, 0), HState::Faulted(Fault::NotAPointer));
+    assert!(n.exception_queue_len(0) >= 3, "exception record queued");
+
+    // Store through a read-only pointer.
+    let mut n = booted_node();
+    let prog = Arc::new(assemble("st r2, [r1]\n halt\n").unwrap());
+    n.write_reg(
+        0,
+        0,
+        Reg::Int(1),
+        Word::from_pointer(GuardedPointer::new(Perm::Read, 4, 8).unwrap()),
+    );
+    n.load_program(0, 0, prog, 0);
+    run(&mut n, 100);
+    assert_eq!(n.thread_state(0, 0), HState::Faulted(Fault::Permission));
+
+    // LEA escaping its segment.
+    let mut n = node();
+    let prog = Arc::new(assemble("lea r1, #100, r2\n halt\n").unwrap());
+    n.write_reg(0, 0, Reg::Int(1), rw_ptr(8, 3));
+    n.load_program(0, 0, prog, 0);
+    run(&mut n, 100);
+    assert_eq!(n.thread_state(0, 0), HState::Faulted(Fault::OutOfSegment));
+
+    // Privileged op in a user slot.
+    let mut n = node();
+    let prog = Arc::new(assemble("setptr #2, #4, #8, r1\n halt\n").unwrap());
+    n.load_program(0, 0, prog, 0);
+    run(&mut n, 100);
+    assert_eq!(n.thread_state(0, 0), HState::Faulted(Fault::Privilege));
+}
+
+#[test]
+fn division_by_zero_faults() {
+    let mut n = node();
+    let prog = Arc::new(assemble("div r1, r0, r2\n halt\n").unwrap());
+    n.load_program(0, 0, prog, 0);
+    run(&mut n, 100);
+    assert_eq!(n.thread_state(0, 0), HState::Faulted(Fault::DivByZero));
+}
+
+#[test]
+fn ltlb_miss_event_reaches_cluster1_queue_and_mrestart_completes() {
+    let mut n = booted_node();
+    // User thread touches unmapped page 100.
+    let user = Arc::new(assemble("ld [r1], r2\n add r2, #1, r3\n halt\n").unwrap());
+    let va = 100 * 512 + 4;
+    n.write_reg(0, 0, Reg::Int(1), rw_ptr(va, 10));
+    n.load_program(0, 0, user, 0);
+
+    // Handler on cluster 1's event H-Thread: read the record, install the
+    // mapping (pre-staged by "boot" at LPT slot), replay.
+    // r8 holds the LPT slot address of the pre-inserted entry.
+    let handler = Arc::new(
+        assemble(
+            "loop: mov evq, r4\n\
+             mov evq, r5\n\
+             mov evq, r6\n\
+             tlbwr r8\n\
+             mrestart r4, r5, r6\n\
+             br loop\n",
+        )
+        .unwrap(),
+    );
+    // Pre-insert the LPT entry for vpn 100 (but not in the LTLB).
+    let lpt = n.mem.lpt().unwrap();
+    let entry = LtlbEntry::uniform(100, 40, BlockStatus::ReadWrite, 0);
+    let slot_addr = lpt.insert(n.mem.sdram_mut(), &entry).unwrap();
+    n.write_reg(1, EVENT_SLOT, Reg::Int(8), Word::from_u64(slot_addr));
+    n.load_program(1, EVENT_SLOT, handler, 0);
+
+    for cycle in 0..2000 {
+        n.step(cycle);
+        if n.thread_state(0, 0) == HState::Halted {
+            assert_eq!(n.read_reg(0, 0, Reg::Int(3)).bits(), 1);
+            assert_eq!(n.stats().events_enqueued[1], 1);
+            return;
+        }
+    }
+    panic!("user thread never completed after LTLB miss handling");
+}
+
+#[test]
+fn send_launches_message_and_queue_is_register_mapped() {
+    let mut n = node();
+    // Map page 0 to ourselves.
+    n.net
+        .gtlb_mut()
+        .add_entry(GdtEntry::new(0, NodeCoord::new(0, 0, 0), (0, 0, 0), 4, 0));
+
+    let user = Arc::new(assemble("mov #42, mc1\n send r10, r11, #1\n halt\n").unwrap());
+    n.write_reg(0, 0, Reg::Int(10), rw_ptr(64, 6));
+    n.write_reg(
+        0,
+        0,
+        Reg::Int(11),
+        Word::from_pointer(GuardedPointer::new(Perm::Enter, 0, 1).unwrap()),
+    );
+    n.load_program(0, 0, user, 0);
+
+    // Manual fabric pump (mm-core owns this in the full machine).
+    let mut fabric = mm_net::fabric::Fabric::new(mm_net::fabric::FabricConfig {
+        dims: (1, 1, 1),
+        ..Default::default()
+    });
+    for cycle in 0..100 {
+        n.step(cycle);
+        for p in n.net.take_outbox() {
+            fabric.inject(cycle, p);
+        }
+        for p in fabric.deliveries(cycle) {
+            n.net.deliver(p);
+        }
+    }
+    assert_eq!(n.stats().sends, 1);
+    assert_eq!(n.net.queue_len(mm_isa::op::Priority::P0), 1);
+    // Delivered words: DIP, addr, body.
+    assert_eq!(
+        n.net.pop_word(mm_isa::op::Priority::P0).unwrap().pointer().unwrap().perm(),
+        Perm::Enter
+    );
+    let addr = n.net.pop_word(mm_isa::op::Priority::P0).unwrap();
+    assert!(addr.is_pointer(), "capability travels in the message");
+    assert_eq!(addr.pointer().unwrap().addr(), 64);
+    assert_eq!(n.net.pop_word(mm_isa::op::Priority::P0).unwrap().bits(), 42);
+}
+
+#[test]
+fn send_with_bad_dip_faults_before_sending() {
+    let mut n = node();
+    n.net
+        .gtlb_mut()
+        .add_entry(GdtEntry::new(0, NodeCoord::new(0, 0, 0), (0, 0, 0), 4, 0));
+    let user = Arc::new(assemble("send r10, r11, #0\n halt\n").unwrap());
+    n.write_reg(0, 0, Reg::Int(10), rw_ptr(64, 6));
+    n.write_reg(0, 0, Reg::Int(11), Word::from_u64(3)); // not a pointer
+    n.load_program(0, 0, user, 0);
+    run(&mut n, 100);
+    assert_eq!(n.thread_state(0, 0), HState::Faulted(Fault::BadDip));
+    assert_eq!(n.net.stats().sent, 0, "nothing entered the network");
+}
+
+#[test]
+fn send_to_unmapped_address_faults() {
+    let mut n = node();
+    let user = Arc::new(assemble("send r10, r11, #0\n halt\n").unwrap());
+    n.write_reg(0, 0, Reg::Int(10), rw_ptr(64, 6));
+    n.write_reg(
+        0,
+        0,
+        Reg::Int(11),
+        Word::from_pointer(GuardedPointer::new(Perm::Enter, 0, 0).unwrap()),
+    );
+    n.load_program(0, 0, user, 0);
+    run(&mut n, 100);
+    assert_eq!(n.thread_state(0, 0), HState::Faulted(Fault::UnmappedSend));
+}
+
+#[test]
+fn gcc_pair_ownership_enforced() {
+    let mut n = node();
+    // Cluster 0 may not write gcc3 (pair 1).
+    let prog = Arc::new(assemble("mov #1, gcc3\n halt\n").unwrap());
+    n.load_program(0, 0, prog, 0);
+    run(&mut n, 100);
+    assert_eq!(n.thread_state(0, 0), HState::Faulted(Fault::GccOwnership));
+}
+
+#[test]
+fn rnet_read_from_user_slot_faults() {
+    let mut n = node();
+    let prog = Arc::new(assemble("mov rnet, r1\n halt\n").unwrap());
+    n.load_program(0, 0, prog, 0);
+    run(&mut n, 100);
+    assert_eq!(
+        n.thread_state(0, 0),
+        HState::Faulted(Fault::BadQueueAccess)
+    );
+}
+
+#[test]
+fn halted_threads_stop_issuing() {
+    let mut n = node();
+    let prog = Arc::new(assemble("add r1, #1, r1\n halt\n").unwrap());
+    n.load_program(0, 0, prog, 0);
+    run(&mut n, 50);
+    let after = n.stats().instructions;
+    for cycle in 100..200 {
+        n.step(cycle);
+    }
+    assert_eq!(n.stats().instructions, after);
+}
+
+#[test]
+fn branch_bubble_costs_cycles() {
+    // A tight counted loop: each taken branch costs the 2-cycle bubble.
+    let mut n = node();
+    let prog = Arc::new(
+        assemble(
+            "loop: add r1, #1, r1\n eq r1, #10, gcc1\n brf gcc1, loop\n halt\n",
+        )
+        .unwrap(),
+    );
+    n.load_program(0, 0, prog, 0);
+    let t = run(&mut n, 1000);
+    assert_eq!(n.read_reg(0, 0, Reg::Int(1)).as_i64(), 10);
+    // 10 iterations × (3 instructions + ~2 gcc wait + 2 bubble).
+    assert!(t >= 45, "branches too cheap: {t}");
+    assert!(t <= 100, "branches too dear: {t}");
+    assert_eq!(n.stats().branches_taken, 9);
+}
+
+#[test]
+fn store_load_round_trip_through_memory() {
+    let mut n = booted_node();
+    let prog = Arc::new(
+        assemble(
+            "st r2, [r1]\n ld [r1], r3\n add r3, #1, r4\n halt\n",
+        )
+        .unwrap(),
+    );
+    n.write_reg(0, 0, Reg::Int(1), rw_ptr(16, 5));
+    n.write_reg(0, 0, Reg::Int(2), Word::from_u64(99));
+    n.load_program(0, 0, prog, 0);
+    run(&mut n, 500);
+    assert_eq!(n.read_reg(0, 0, Reg::Int(4)).bits(), 100);
+}
+
+#[test]
+fn synchronizing_store_then_load_pair() {
+    let mut n = booted_node();
+    // Producer/consumer on one thread: st.af sets full, ld.fe consumes.
+    let prog = Arc::new(
+        assemble(
+            "st.af r2, [r1]\n ld.fe [r1], r3\n halt\n",
+        )
+        .unwrap(),
+    );
+    n.write_reg(0, 0, Reg::Int(1), rw_ptr(24, 5));
+    n.write_reg(0, 0, Reg::Int(2), Word::from_u64(7));
+    n.load_program(0, 0, prog, 0);
+    run(&mut n, 500);
+    assert_eq!(n.read_reg(0, 0, Reg::Int(3)).bits(), 7);
+    assert!(!n.mem.peek_va(24).unwrap().sync, "ld.fe emptied the word");
+}

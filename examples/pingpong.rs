@@ -1,0 +1,68 @@
+//! User-level protected message passing (§4.1): two nodes bounce a value
+//! back and forth with SEND instructions and synchronizing loads.
+//!
+//! Each side spins on `ld.fe` (load-when-full, leave-empty) on its own
+//! flag word; the other side fills it with a synchronizing remote-write
+//! message. Failed preconditions become memory-synchronizing faults that
+//! the runtime retries — the paper's producer/consumer idiom.
+//!
+//! ```text
+//! cargo run --release --example pingpong
+//! ```
+
+use m_machine::isa::assemble;
+use m_machine::isa::reg::Reg;
+use m_machine::machine::{MMachine, MachineConfig};
+
+const ROUNDS: u64 = 8;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut m = MMachine::build(MachineConfig::small())?;
+
+    // r1 = my flag (local), r10 = partner's flag capability,
+    // r11 = synchronizing remote-write DIP, r12 = round count.
+    let ping = assemble(&format!(
+        "loop:\n\
+         \tadd r5, #1, r5\n\
+         \tmov r5, mc1\n\
+         \tsend r10, r11, #1\n\
+         \tld.fe [r1], r6\n\
+         \teq r5, #{ROUNDS}, gcc1\n\
+         \tbrf gcc1, loop\n\
+         \thalt\n"
+    ))?;
+    let pong = assemble(&format!(
+        "loop:\n\
+         \tld.fe [r1], r6\n\
+         \tmov r6, mc1\n\
+         \tsend r10, r11, #1\n\
+         \teq r6, #{ROUNDS}, gcc1\n\
+         \tbrf gcc1, loop\n\
+         \thalt\n"
+    ))?;
+
+    let flag0 = m.home_va(0, 2);
+    let flag1 = m.home_va(1, 2);
+    let sync_dip = m.image().write_sync_dip;
+
+    m.load_user_program(0, 0, &ping)?;
+    m.set_user_reg(0, 0, 0, Reg::Int(1), m.make_ptr(m_machine::isa::Perm::ReadWrite, 0, flag0)?);
+    m.set_user_reg(0, 0, 0, Reg::Int(10), m.make_ptr(m_machine::isa::Perm::ReadWrite, 0, flag1)?);
+    m.set_user_reg(0, 0, 0, Reg::Int(11), sync_dip);
+
+    m.load_user_program(1, 0, &pong)?;
+    m.set_user_reg(1, 0, 0, Reg::Int(1), m.make_ptr(m_machine::isa::Perm::ReadWrite, 0, flag1)?);
+    m.set_user_reg(1, 0, 0, Reg::Int(10), m.make_ptr(m_machine::isa::Perm::ReadWrite, 0, flag0)?);
+    m.set_user_reg(1, 0, 0, Reg::Int(11), sync_dip);
+
+    let t0 = m.cycle();
+    m.run_until_halt(2_000_000)?;
+    let cycles = m.cycle() - t0 - 64;
+    println!(
+        "{ROUNDS} ping-pong rounds in {cycles} cycles ({:.1} cycles/round-trip)",
+        cycles as f64 / ROUNDS as f64
+    );
+    assert_eq!(m.user_reg(0, 0, 0, 5)?.bits(), ROUNDS);
+    assert!(m.faulted_threads().is_empty());
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Quickstart: boot a two-node M-Machine, run a tiny program, inspect
+//! registers and statistics.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use m_machine::isa::assemble;
+use m_machine::machine::{MMachine, MachineConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 2×1×1 mesh: two MAP nodes, each with four 3-issue clusters,
+    // booted with the runtime handlers resident in the event V-Thread.
+    let mut m = MMachine::build(MachineConfig::small())?;
+
+    // Three-wide instructions: integer, memory and FP ops issue together.
+    let program = assemble(
+        "start:\n\
+         \tadd r0, #6, r1\n\
+         \tmul r1, #7, r2 | fadd f1, f2, f3\n\
+         \teq r2, #42, gcc1\n\
+         \tbrt gcc1, done\n\
+         \tadd r0, #0, r2\n\
+         done:\n\
+         \thalt\n",
+    )?;
+    m.load_user_program(0, 0, &program)?;
+
+    let finished_at = m.run_until_halt(10_000)?;
+    println!("halted at cycle {finished_at}");
+    println!("r2 = {}", m.user_reg(0, 0, 0, 2)?.bits());
+    assert_eq!(m.user_reg(0, 0, 0, 2)?.bits(), 42);
+
+    let stats = m.stats();
+    println!(
+        "machine: {} instructions on {} nodes in {} cycles",
+        stats.instructions,
+        m.node_count(),
+        stats.cycles
+    );
+    Ok(())
+}

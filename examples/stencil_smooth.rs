@@ -1,0 +1,55 @@
+//! The paper's Fig. 5 workload: the 7-point-stencil smoothing operator
+//! scheduled on 1, 2 and 4 H-Threads of one V-Thread.
+//!
+//! ```text
+//! cargo run --release --example stencil_smooth
+//! ```
+
+use m_machine::isa::reg::Reg;
+use m_machine::isa::word::Word;
+use m_machine::machine::{MMachine, MachineConfig};
+use m_machine::mem::MemWord;
+use m_machine::runtime::kernels::{stencil_kernel, tile_words};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (a, b) = (0.5f64, 0.25f64);
+
+    println!("7-point stencil  u* = u + a*rc + b*(sum of 6 neighbours)");
+    println!("{:>8} {:>12} {:>8} {:>10}", "threads", "static depth", "cycles", "result");
+    for threads in [1usize, 2, 4] {
+        let kernel = stencil_kernel(6, threads);
+        let mut m = MMachine::build(MachineConfig::small())?;
+        let base = m.home_va(0, 0);
+        let ptr = m.home_ptr(0, 0);
+
+        // neighbours 1..=6, r_c = 2, u_c = 10.
+        for i in 0..6u64 {
+            m.node_mut(0)
+                .mem
+                .poke_va(base + i, MemWord::new(Word::from_f64((i + 1) as f64)));
+        }
+        m.node_mut(0).mem.poke_va(base + 6, MemWord::new(Word::from_f64(2.0)));
+        m.node_mut(0).mem.poke_va(base + 7, MemWord::new(Word::from_f64(10.0)));
+
+        m.load_vthread(0, 0, &kernel.programs)?;
+        for c in 0..threads {
+            m.set_user_reg(0, c, 0, Reg::Int(1), ptr);
+            m.set_user_reg(0, c, 0, Reg::Fp(14), Word::from_f64(a));
+            m.set_user_reg(0, c, 0, Reg::Fp(15), Word::from_f64(b));
+        }
+        let t0 = m.cycle();
+        m.run_until_halt(100_000)?;
+        let cycles = m.cycle() - t0 - 64;
+        m.run_cycles(16);
+        let out = m
+            .node(0)
+            .mem
+            .peek_va(base + tile_words(6) as u64 - 1)
+            .expect("output word")
+            .word
+            .as_f64();
+        println!("{threads:>8} {:>12} {cycles:>8} {out:>10.3}", kernel.static_depth);
+    }
+    println!("(paper: static depth 12 on 1 H-Thread, 8 on 2)");
+    Ok(())
+}

@@ -1,0 +1,111 @@
+//! Cross-crate end-to-end checks: Fig. 5/6 workloads, interleaving and
+//! the coherence layer on the public API.
+
+use m_machine::isa::{assemble, Reg, Word};
+use m_machine::machine::{MMachine, MachineConfig};
+use m_machine::mem::MemWord;
+use m_machine::runtime::barrier::{barrier4_programs, fig6_loop_pair};
+use m_machine::runtime::kernels::stencil_kernel;
+
+#[test]
+fn fig5_stencil_numeric_results() {
+    for rows in mm_bench::fig5() {
+        assert!(
+            rows.correct,
+            "{}-neighbour stencil on {} threads computed wrong value",
+            rows.neighbours, rows.threads
+        );
+        if let Some(paper) = rows.depth_paper {
+            assert!(
+                rows.depth_measured <= paper,
+                "depth {} worse than paper's {}",
+                rows.depth_measured,
+                paper
+            );
+        }
+    }
+}
+
+#[test]
+fn fig6_interlock_runs_in_lockstep() {
+    let mut m = MMachine::build(MachineConfig::small()).unwrap();
+    let pair = fig6_loop_pair(25);
+    m.load_vthread(0, 0, &pair).unwrap();
+    m.run_until_halt(1_000_000).unwrap();
+    assert_eq!(m.user_reg(0, 0, 0, 1).unwrap().bits(), 25);
+    assert_eq!(m.user_reg(0, 1, 0, 3).unwrap().bits(), 25);
+}
+
+#[test]
+fn barrier4_counts_match() {
+    let mut m = MMachine::build(MachineConfig::small()).unwrap();
+    let progs = barrier4_programs(10);
+    m.load_vthread(0, 0, &progs).unwrap();
+    m.run_until_halt(1_000_000).unwrap();
+    for c in 0..4 {
+        assert_eq!(
+            m.user_reg(0, c, 0, 1).unwrap().bits(),
+            10,
+            "cluster {c} missed barriers"
+        );
+    }
+}
+
+#[test]
+fn interleaving_throughput_scales() {
+    let rows = mm_bench::interleave();
+    assert!(rows[2].throughput > 2.5 * rows[0].throughput * 0.9);
+    // Dependent 3-cycle FP chains: 3 threads nearly saturate the unit.
+    assert!(rows[2].throughput > 0.9);
+}
+
+#[test]
+fn stencil_on_remote_data_still_correct() {
+    // The same kernel, but the tile lives on the *other* node: every load
+    // becomes a remote read; the answer must not change.
+    let kernel = stencil_kernel(6, 1);
+    let mut m = MMachine::build(MachineConfig::small()).unwrap();
+    let base = m.home_va(1, 0);
+    for i in 0..6u64 {
+        m.node_mut(1)
+            .mem
+            .poke_va(base + i, MemWord::new(Word::from_f64((i + 1) as f64)));
+    }
+    m.node_mut(1).mem.poke_va(base + 6, MemWord::new(Word::from_f64(2.0)));
+    m.node_mut(1).mem.poke_va(base + 7, MemWord::new(Word::from_f64(10.0)));
+
+    m.load_user_program(0, 0, &kernel.programs[0]).unwrap();
+    m.set_user_reg(0, 0, 0, Reg::Int(1), m.home_ptr(1, 0));
+    m.set_user_reg(0, 0, 0, Reg::Fp(14), Word::from_f64(0.5));
+    m.set_user_reg(0, 0, 0, Reg::Fp(15), Word::from_f64(0.25));
+    m.run_until_halt(1_000_000).unwrap();
+    m.run_cycles(600);
+    let out = m.node(1).mem.peek_va(base + 8).unwrap().word.as_f64();
+    let expect = 10.0 + 0.5 * 2.0 + 0.25 * 21.0;
+    assert!((out - expect).abs() < 1e-9, "got {out}, want {expect}");
+    assert!(m.faulted_threads().is_empty());
+}
+
+#[test]
+fn gtlb_spreads_pages_across_nodes() {
+    let m = MMachine::build(MachineConfig::with_dims(2, 2, 1)).unwrap();
+    // Cyclic layout: consecutive pages visit all four nodes.
+    let mut seen = std::collections::BTreeSet::new();
+    for idx in 0..4 {
+        seen.insert(m.home_va(idx, 0) / 1024 % 4);
+    }
+    assert_eq!(seen.len(), 4);
+}
+
+#[test]
+fn protection_violation_is_contained() {
+    // One thread faults; another on the same node keeps running.
+    let mut m = MMachine::build(MachineConfig::small()).unwrap();
+    let bad = assemble("ld [r1], r2\n halt\n").unwrap(); // r1 not a pointer
+    let good = assemble("add r0, #5, r1\n halt\n").unwrap();
+    m.load_user_program(0, 0, &bad).unwrap();
+    m.load_user_program(0, 1, &good).unwrap();
+    m.run_until_halt(10_000).unwrap();
+    assert_eq!(m.faulted_threads().len(), 1);
+    assert_eq!(m.user_reg(0, 0, 1, 1).unwrap().bits(), 5);
+}

@@ -1,0 +1,72 @@
+//! Table 1's shape holds on the full reproduction: exact local hardware
+//! latencies, ordered software paths, and the paper's headline ratios.
+
+use mm_bench::table1;
+
+#[test]
+fn table1_shape_matches_paper() {
+    let rows = table1();
+    let by_name = |n: &str| rows.iter().find(|r| r.access == n).unwrap();
+
+    let hit = by_name("Local Cache Hit");
+    let miss = by_name("Local Cache Miss");
+    let ltlb = by_name("Local LTLB Miss");
+    let rhit = by_name("Remote Cache Hit");
+    let rmiss = by_name("Remote Cache Miss");
+    let rltlb = by_name("Remote LTLB Miss");
+
+    // Hardware-path rows match the paper exactly.
+    assert_eq!(hit.read_measured, 3);
+    assert_eq!(hit.write_measured, 2);
+    assert_eq!(miss.read_measured, 13);
+    assert_eq!(miss.write_measured, 19);
+
+    // Each added mechanism adds latency, for reads and writes alike.
+    for (fast, slow) in [(hit, miss), (miss, ltlb), (ltlb, rhit), (rhit, rmiss), (rmiss, rltlb)] {
+        assert!(
+            fast.read_measured < slow.read_measured,
+            "{} read ({}) should be faster than {} read ({})",
+            fast.access,
+            fast.read_measured,
+            slow.access,
+            slow.read_measured
+        );
+    }
+    assert!(hit.write_measured < miss.write_measured);
+    assert!(miss.write_measured < ltlb.write_measured);
+    assert!(rhit.write_measured < rmiss.write_measured);
+    assert!(rmiss.write_measured < rltlb.write_measured);
+
+    // §4.2's headline ratios: a remote cache-hit read is about twice a
+    // local read needing software intervention; a remote write is within
+    // ~±25 % of the local software write.
+    let read_ratio = rhit.read_measured as f64 / ltlb.read_measured as f64;
+    assert!(
+        (1.4..=2.6).contains(&read_ratio),
+        "remote/local software read ratio {read_ratio:.2} out of range"
+    );
+    let write_ratio = rhit.write_measured as f64 / ltlb.write_measured as f64;
+    assert!(
+        (0.7..=1.4).contains(&write_ratio),
+        "remote/local software write ratio {write_ratio:.2} out of range"
+    );
+}
+
+#[test]
+fn fig9_phases_are_ordered() {
+    let phases = mm_bench::fig9(false);
+    for pair in phases.windows(2) {
+        assert!(
+            pair[0].measured <= pair[1].measured,
+            "{} ({}) after {} ({})",
+            pair[0].label,
+            pair[0].measured,
+            pair[1].label,
+            pair[1].measured
+        );
+    }
+    // Network transit ≈ 5 cycles per direction.
+    let send = phases.iter().find(|p| p.label == "handler sends message").unwrap();
+    let recv = phases.iter().find(|p| p.label == "message received").unwrap();
+    assert!((recv.measured - send.measured) <= 8);
+}
