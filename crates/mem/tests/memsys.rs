@@ -298,7 +298,7 @@ fn bank_queue_overflow_stalls() {
 
 #[test]
 fn writeback_on_eviction_preserves_data() {
-    let mut ms = booted();
+    let ms = booted();
     // Dirty a line, then evict it by filling the conflicting line
     // (cache has 2048 lines of 8 words: conflict stride = 16384 words).
     // Page space is limited, so shrink: use a small cache instead.

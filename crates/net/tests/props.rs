@@ -112,7 +112,7 @@ proptest! {
                 nodes.push(n);
             }
         }
-        let idx = |c: NodeCoord| (usize::from(c.y) * 2 + usize::from(c.x));
+        let idx = |c: NodeCoord| usize::from(c.y) * 2 + usize::from(c.x);
 
         let mut injected = 0u64;
         for (i, &(src, page, body)) in sends.iter().enumerate() {

@@ -1,0 +1,126 @@
+//! Offline, API-compatible subset of the
+//! [criterion](https://crates.io/crates/criterion) benchmarking crate,
+//! vendored so the workspace builds with no network access.
+//!
+//! Implements the surface `crates/bench/benches/paper_artifacts.rs`
+//! uses: [`Criterion::bench_function`], [`Criterion::benchmark_group`]
+//! with `sample_size`/`finish`, [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Each benchmark is
+//! timed with [`std::time::Instant`] over a fixed number of samples and
+//! the mean per-iteration wall time is printed — no statistics,
+//! plotting, or baseline comparison.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a benchmark result.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Drives one benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: u64,
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Run `body` repeatedly, timing each call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(body());
+            self.elapsed += start.elapsed();
+            self.iterations += 1;
+        }
+    }
+}
+
+/// Top-level benchmark driver (a stub of criterion's).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: Option<u64>,
+}
+
+const DEFAULT_SAMPLES: u64 = 10;
+
+fn run_one(name: &str, samples: u64, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        elapsed: Duration::ZERO,
+        iterations: 0,
+    };
+    f(&mut b);
+    let mean = if b.iterations == 0 {
+        Duration::ZERO
+    } else {
+        b.elapsed / u32::try_from(b.iterations).unwrap_or(u32::MAX)
+    };
+    println!("bench {name:<40} {mean:>12.2?}/iter ({} iters)", b.iterations);
+}
+
+impl Criterion {
+    /// Time a single benchmark function.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.sample_size.unwrap_or(DEFAULT_SAMPLES), f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            sample_size: self.sample_size.unwrap_or(DEFAULT_SAMPLES),
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many samples each benchmark in the group records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Time one benchmark within the group.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), self.sample_size, f);
+        self
+    }
+
+    /// Finish the group (no-op in this stub).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

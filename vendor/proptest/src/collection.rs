@@ -1,0 +1,56 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Anything usable as a size specifier for [`vec`]: an exact length or
+/// a (half-open or inclusive) range of lengths.
+pub trait SizeRange {
+    /// Draw a length from this specifier.
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty vec size range");
+        self.start + rng.below((self.end - self.start) as u128) as usize
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start() <= self.end(), "empty vec size range");
+        self.start() + rng.below((self.end() - self.start() + 1) as u128) as usize
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy `S` and a length drawn
+/// from `R`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+/// Generate vectors whose elements come from `element` and whose length
+/// is drawn from `size`.
+pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}

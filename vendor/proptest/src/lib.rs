@@ -1,0 +1,60 @@
+//! Offline, API-compatible subset of the [proptest](https://crates.io/crates/proptest)
+//! property-testing crate, vendored so the workspace builds with no
+//! network access.
+//!
+//! Covers exactly what this workspace's tests use: the [`Strategy`]
+//! trait with `prop_map`, integer/float range strategies, `any::<T>()`,
+//! [`Just`], tuple strategies, `prop::collection::vec`, and the
+//! `proptest!` / `prop_assert*!` / `prop_assume!` / `prop_oneof!`
+//! macros. Generation is a deterministic splitmix64 stream (seeded per
+//! test by case index), and there is **no shrinking** — a failing case
+//! reports the values that failed, unminimized.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+    pub use crate as prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+pub mod rng {
+    //! Deterministic random stream used by all strategies.
+
+    /// A splitmix64 generator; deterministic for a given seed.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Create a generator from a seed.
+        pub fn new(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+
+        /// Next raw 64-bit output.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u128) -> u128 {
+            debug_assert!(bound > 0);
+            let raw = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
+            raw % bound
+        }
+    }
+}
