@@ -1,0 +1,119 @@
+//! Weak-scaling driver for the quiescence-aware cycle engine.
+//!
+//! ```text
+//! cargo run -p mm-bench --release --bin scaling             # 2×1×1 … 8×8×8
+//! cargo run -p mm-bench --release --bin scaling -- --smoke  # CI: 2×2×1 only
+//! ```
+//!
+//! Prints cycles simulated, wall-clock time and cycles/sec for each
+//! mesh size, compares the engine against the dense `naive_step` loop
+//! on an idle-heavy workload, and records everything in
+//! `BENCH_scaling.json`.
+
+use mm_bench::scaling::{idle_heavy_comparison, run_mesh, IdleHeavyResult, ScalingPoint, ROUNDS};
+use std::fmt::Write as _;
+
+/// Full sweep: 2 → 512 nodes, doubling one dimension at a time.
+const MESHES: &[(u8, u8, u8)] = &[
+    (2, 1, 1),
+    (2, 2, 1),
+    (2, 2, 2),
+    (4, 2, 2),
+    (4, 4, 2),
+    (4, 4, 4),
+    (8, 4, 4),
+    (8, 8, 4),
+    (8, 8, 8),
+];
+
+/// The CI smoke subset (the 2×2×1 mesh the workflow checks).
+const SMOKE_MESHES: &[(u8, u8, u8)] = &[(2, 2, 1)];
+
+fn json_points(points: &[ScalingPoint]) -> String {
+    let mut out = String::from("  \"meshes\": [\n");
+    for (k, p) in points.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"dims\": \"{}x{}x{}\", \"nodes\": {}, \"cycles\": {}, \"wall_ms\": {:.3}, \
+             \"cycles_per_sec\": {:.0}, \"instructions\": {}, \"messages\": {}}}{}",
+            p.dims.0,
+            p.dims.1,
+            p.dims.2,
+            p.nodes,
+            p.cycles,
+            p.wall_ms,
+            p.cycles_per_sec,
+            p.instructions,
+            p.messages,
+            if k + 1 == points.len() { "" } else { "," }
+        );
+    }
+    out.push_str("  ]");
+    out
+}
+
+fn json_idle(r: &IdleHeavyResult) -> String {
+    format!(
+        "  \"idle_heavy\": {{\"horizon_cycles\": {}, \"naive_wall_ms\": {:.3}, \
+         \"engine_wall_ms\": {:.3}, \"naive_cycles_per_sec\": {:.0}, \
+         \"engine_cycles_per_sec\": {:.0}, \"speedup\": {:.2}, \"stats_match\": {}}}",
+        r.horizon,
+        r.naive_wall_ms,
+        r.engine_wall_ms,
+        r.naive_cps,
+        r.engine_cps,
+        r.speedup,
+        r.stats_match
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let meshes = if smoke { SMOKE_MESHES } else { MESHES };
+    let horizon = if smoke { 10_000 } else { 60_000 };
+
+    println!("M-Machine weak scaling — remote-store + synchronizing ping-pong, {ROUNDS} rounds/pair\n");
+    println!(
+        "{:<8} {:>6} {:>9} {:>10} {:>14}",
+        "mesh", "nodes", "cycles", "wall(ms)", "cycles/sec"
+    );
+    let mut points = Vec::new();
+    for &dims in meshes {
+        let p = run_mesh(dims, ROUNDS);
+        println!(
+            "{:<8} {:>6} {:>9} {:>10.2} {:>14.0}",
+            format!("{}x{}x{}", dims.0, dims.1, dims.2),
+            p.nodes,
+            p.cycles,
+            p.wall_ms,
+            p.cycles_per_sec
+        );
+        points.push(p);
+    }
+
+    println!("\n== idle-heavy 2x1x1, fixed {horizon}-cycle horizon: dense loop vs engine ==");
+    let idle = idle_heavy_comparison(horizon, ROUNDS);
+    println!(
+        "naive : {:>10.2} ms  {:>14.0} cycles/sec",
+        idle.naive_wall_ms, idle.naive_cps
+    );
+    println!(
+        "engine: {:>10.2} ms  {:>14.0} cycles/sec",
+        idle.engine_wall_ms, idle.engine_cps
+    );
+    println!(
+        "speedup: {:.1}x  (identical MachineStats: {})",
+        idle.speedup, idle.stats_match
+    );
+    assert!(idle.stats_match, "engine diverged from the dense loop");
+
+    let json = format!(
+        "{{\n  \"scenario\": \"weak-scaling remote-store + synchronizing ping-pong\",\n  \
+         \"rounds_per_pair\": {ROUNDS},\n{},\n{}\n}}\n",
+        json_points(&points),
+        json_idle(&idle)
+    );
+    std::fs::write("BENCH_scaling.json", &json).expect("write BENCH_scaling.json");
+    println!("\nwrote BENCH_scaling.json");
+}

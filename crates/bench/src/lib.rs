@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod scaling;
+
 use mm_core::machine::{MMachine, MachineConfig};
 use mm_core::timeline::{PacketKind, Phase};
 use mm_isa::assemble;
@@ -15,6 +17,7 @@ use mm_isa::reg::Reg;
 use mm_isa::word::Word;
 use mm_mem::MemWord;
 use mm_runtime::kernels::{stencil_kernel, tile_words};
+use std::sync::Arc;
 
 /// Cycles between thread start and the `UserHalted` trace event for a
 /// `ld / add / halt` probe, beyond the load latency itself.
@@ -27,7 +30,7 @@ fn machine() -> MMachine {
 /// Run a probe program on node 0 (slot `slot`), returning
 /// (start_cycle, halt_cycle).
 fn run_probe(m: &mut MMachine, slot: usize, src: &str, ptr: Word) -> (u64, u64) {
-    let prog = assemble(src).expect("probe assembles");
+    let prog = Arc::new(assemble(src).expect("probe assembles"));
     m.load_user_program(0, slot, &prog).expect("user slot");
     m.set_user_reg(0, 0, slot, Reg::Int(1), ptr);
     let t0 = m.cycle();
@@ -66,7 +69,7 @@ fn measure_read(m: &mut MMachine, slot: usize, ptr: Word) -> u64 {
 
 /// Measure a write's completion (last memory response at `home`).
 fn measure_write(m: &mut MMachine, slot: usize, ptr: Word, home: usize) -> u64 {
-    let prog = assemble(WRITE_PROBE).expect("probe assembles");
+    let prog = Arc::new(assemble(WRITE_PROBE).expect("probe assembles"));
     m.load_user_program(0, slot, &prog).expect("user slot");
     m.set_user_reg(0, 0, slot, Reg::Int(1), ptr);
     m.set_user_reg(0, 0, slot, Reg::Int(2), Word::from_u64(0xBEEF));
@@ -85,7 +88,7 @@ fn warm(m: &mut MMachine, node: usize, slot: usize, ptr: Word, same_line: bool) 
         // Touch a different line of the same page: warms LTLB + DRAM row.
         "ld [r1+#64], r2\n add r2, #0, r3\n halt\n"
     };
-    let prog = assemble(src).expect("toucher assembles");
+    let prog = Arc::new(assemble(src).expect("toucher assembles"));
     m.load_user_program(node, slot, &prog).expect("user slot");
     m.set_user_reg(node, 0, slot, Reg::Int(1), ptr);
     m.run_until_halt(200_000).expect("toucher finishes");
@@ -225,7 +228,7 @@ pub fn fig9(write: bool) -> Vec<Fig9Phase> {
     warm(&mut m, 1, 0, rptr, true);
 
     let src = if write { WRITE_PROBE } else { READ_PROBE };
-    let prog = assemble(src).expect("probe");
+    let prog = Arc::new(assemble(src).expect("probe"));
     m.load_user_program(0, 0, &prog).expect("slot");
     m.set_user_reg(0, 0, 0, Reg::Int(1), rptr);
     m.set_user_reg(0, 0, 0, Reg::Int(2), Word::from_u64(1));
@@ -386,7 +389,7 @@ pub fn fig5() -> Vec<Fig5Row> {
                 warm_src.push_str(&format!("ld [r1+#{off}], r2\n"));
             }
             warm_src.push_str("add r2, #0, r3\n halt\n");
-            let warm_prog = assemble(&warm_src).expect("warm");
+            let warm_prog = Arc::new(assemble(&warm_src).expect("warm"));
             m.load_user_program(0, 3, &warm_prog).expect("slot");
             m.set_user_reg(0, 0, 3, Reg::Int(1), ptr);
             m.run_until_halt(100_000).expect("warm finishes");
@@ -487,7 +490,7 @@ pub fn interleave() -> Vec<InterleaveRow> {
         src.push_str("fadd f1, f2, f1\n");
     }
     src.push_str("halt\n");
-    let prog = assemble(&src).expect("chain assembles");
+    let prog = Arc::new(assemble(&src).expect("chain assembles"));
 
     let mut rows = Vec::new();
     for vthreads in 1..=4usize {
@@ -597,7 +600,7 @@ pub fn throttle_ablation() -> ThrottleAblation {
             src.push_str(&format!("mov #{}, mc1\n send r10, r11, #1\n", i));
         }
         src.push_str("halt\n");
-        let prog = assemble(&src).expect("flood assembles");
+        let prog = Arc::new(assemble(&src).expect("flood assembles"));
         m.load_user_program(0, 0, &prog).expect("slot");
         let target = m.home_va(1, 3);
         let ptr = m

@@ -1,0 +1,257 @@
+//! Weak-scaling scenario for the quiescence-aware cycle engine.
+//!
+//! Every node pair `(2k, 2k+1)` — one-hop x-neighbours — runs the
+//! paper's two communication idioms simultaneously:
+//!
+//! * **Synchronizing ping-pong** (§2/§4.1): the even node SENDs a value
+//!   into its partner's flag word with the store-and-set-full DIP; each
+//!   side spins on `ld.fe`, whose failed preconditions become
+//!   memory-synchronizing faults that the coherence firmware retries
+//!   after a backoff — long idle stretches between short bursts.
+//! * **Remote stores** (Fig. 7): each node fires a burst of plain
+//!   stores at its partner's home page, exercising the LTLB-miss
+//!   handler, the GTLB and the message fabric.
+//!
+//! Per-pair work is constant, so total simulated cycles stay roughly
+//! flat from 2×1×1 to 8×8×8 (512 nodes) — the interesting number is
+//! wall-clock cycles/sec as the mesh grows, which is exactly what the
+//! engine's quiescent-node skipping is for.
+
+use mm_core::machine::{MMachine, MachineConfig, MachineStats};
+use mm_isa::assemble;
+use mm_isa::instr::Program;
+use mm_isa::reg::Reg;
+use mm_isa::word::Word;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Ping-pong round trips (and remote stores) per node pair.
+pub const ROUNDS: u64 = 4;
+
+/// Cycle budget for one weak-scaling run.
+pub const RUN_LIMIT: u64 = 500_000;
+
+/// One mesh size's measurement.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Mesh dimensions.
+    pub dims: (u8, u8, u8),
+    /// Node count.
+    pub nodes: usize,
+    /// Cycles simulated (to halt + drain).
+    pub cycles: u64,
+    /// Wall-clock milliseconds for the run.
+    pub wall_ms: f64,
+    /// Simulated cycles per wall-clock second.
+    pub cycles_per_sec: f64,
+    /// Instructions issued machine-wide.
+    pub instructions: u64,
+    /// Messages sent machine-wide.
+    pub messages: u64,
+}
+
+/// Naive-vs-engine comparison on an idle-heavy workload.
+#[derive(Debug, Clone)]
+pub struct IdleHeavyResult {
+    /// Fixed simulation horizon (cycles).
+    pub horizon: u64,
+    /// Dense-loop wall-clock milliseconds.
+    pub naive_wall_ms: f64,
+    /// Engine wall-clock milliseconds.
+    pub engine_wall_ms: f64,
+    /// Dense-loop cycles/sec.
+    pub naive_cps: f64,
+    /// Engine cycles/sec.
+    pub engine_cps: f64,
+    /// `engine_cps / naive_cps`.
+    pub speedup: f64,
+    /// Did both paths produce identical [`MachineStats`]?
+    pub stats_match: bool,
+}
+
+/// The scenario's machine configuration: default node timing, but small
+/// per-node SDRAM and page counts so a 512-node mesh fits in memory.
+#[must_use]
+pub fn scenario_config(dims: (u8, u8, u8)) -> MachineConfig {
+    let nodes = u64::from(dims.0) * u64::from(dims.1) * u64::from(dims.2);
+    let mut cfg = MachineConfig::with_dims(dims.0, dims.1, dims.2);
+    cfg.local_pages = 2;
+    // Direct-mapped LPT slots (vpn < 2·local_pages·N everywhere), so the
+    // miss handler's linear probe never wraps the table.
+    cfg.lpt_slots = (4 * nodes).max(64);
+    // Shrink per-node SDRAM to what the boot layout needs (size-aligned
+    // LPT, four local page frames, coherence-frame headroom) so a
+    // 512-node mesh fits comfortably in host memory.
+    let (_, lpt_end) = mm_runtime::image::lpt_layout(cfg.lpt_slots);
+    let capacity = (lpt_end + 16 * 512).next_power_of_two().max(1 << 14);
+    cfg.node.mem.sdram.capacity_words = capacity;
+    // Keep any coherence frames inside the shrunken SDRAM.
+    cfg.coherence.frame_base_ppn = capacity / 512 - 8;
+    cfg.trace = false; // timelines would grow with the mesh
+    cfg
+}
+
+/// The ping (even-node) and pong (odd-node) programs plus the
+/// remote-store burst, shared via `Arc` across the whole mesh.
+struct Workload {
+    ping: Arc<Program>,
+    pong: Arc<Program>,
+    store: Arc<Program>,
+}
+
+fn workload(rounds: u64) -> Workload {
+    let ping = assemble(&format!(
+        "loop:\n\
+         \tadd r5, #1, r5\n\
+         \tmov r5, mc1\n\
+         \tsend r10, r11, #1\n\
+         \tld.fe [r1], r6\n\
+         \teq r5, #{rounds}, gcc1\n\
+         \tbrf gcc1, loop\n\
+         \thalt\n"
+    ))
+    .expect("ping assembles");
+    let pong = assemble(&format!(
+        "loop:\n\
+         \tld.fe [r1], r6\n\
+         \tmov r6, mc1\n\
+         \tsend r10, r11, #1\n\
+         \teq r6, #{rounds}, gcc1\n\
+         \tbrf gcc1, loop\n\
+         \thalt\n"
+    ))
+    .expect("pong assembles");
+    let mut store_src = String::new();
+    for k in 0..rounds {
+        store_src.push_str(&format!("st r2, [r8+#{k}]\n"));
+    }
+    store_src.push_str("halt\n");
+    let store = assemble(&store_src).expect("store burst assembles");
+    Workload {
+        ping: Arc::new(ping),
+        pong: Arc::new(pong),
+        store: Arc::new(store),
+    }
+}
+
+/// Build the machine and load the scenario onto every node pair.
+///
+/// # Panics
+///
+/// Panics if the mesh has an odd node count or a program fails to load
+/// (both are scenario bugs).
+#[must_use]
+pub fn build_scenario(dims: (u8, u8, u8), rounds: u64) -> MMachine {
+    let mut m = MMachine::build(scenario_config(dims)).expect("scenario config is valid");
+    let n = m.node_count();
+    assert!(n.is_multiple_of(2), "scenario pairs nodes; mesh must be even-sized");
+    let w = workload(rounds);
+    let sync_dip = m.image().write_sync_dip;
+    for i in 0..n {
+        let partner = i ^ 1; // the x-neighbour (linear index is x-fastest)
+        // Slot 0: the synchronizing ping-pong.
+        let prog = if i % 2 == 0 { &w.ping } else { &w.pong };
+        m.load_user_program(i, 0, prog).expect("slot 0 loads");
+        let own_flag = m.home_va(i, 1);
+        let partner_flag = m.home_va(partner, 1);
+        let own_ptr = m
+            .make_ptr(mm_isa::Perm::ReadWrite, 0, own_flag)
+            .expect("flag ptr");
+        let partner_ptr = m
+            .make_ptr(mm_isa::Perm::ReadWrite, 0, partner_flag)
+            .expect("flag ptr");
+        m.set_user_reg(i, 0, 0, Reg::Int(1), own_ptr);
+        m.set_user_reg(i, 0, 0, Reg::Int(10), partner_ptr);
+        m.set_user_reg(i, 0, 0, Reg::Int(11), sync_dip);
+        // Slot 1: the remote-store burst at the partner's home page.
+        m.load_user_program(i, 1, &w.store).expect("slot 1 loads");
+        m.set_user_reg(i, 0, 1, Reg::Int(8), m.home_ptr(partner, 0));
+        m.set_user_reg(i, 0, 1, Reg::Int(2), Word::from_u64(0xC0DE + i as u64));
+    }
+    m
+}
+
+/// Run the weak-scaling scenario on one mesh size under the quiescence
+/// engine and measure throughput.
+///
+/// # Panics
+///
+/// Panics if the scenario fails to complete within [`RUN_LIMIT`] cycles
+/// or any thread faults.
+#[must_use]
+pub fn run_mesh(dims: (u8, u8, u8), rounds: u64) -> ScalingPoint {
+    let mut m = build_scenario(dims, rounds);
+    let t0 = Instant::now();
+    m.run_until_halt(RUN_LIMIT)
+        .expect("weak-scaling scenario completes");
+    let wall = t0.elapsed();
+    assert!(
+        m.faulted_threads().is_empty(),
+        "scenario faulted: {:?}",
+        m.faulted_threads()
+    );
+    let stats = m.stats();
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    #[allow(clippy::cast_precision_loss)]
+    let cycles_per_sec = stats.cycles as f64 / wall.as_secs_f64();
+    ScalingPoint {
+        dims,
+        nodes: m.node_count(),
+        cycles: stats.cycles,
+        wall_ms,
+        cycles_per_sec,
+        instructions: stats.instructions,
+        messages: stats.messages,
+    }
+}
+
+/// Run the 2×1×1 scenario to a *fixed* horizon twice — dense loop vs.
+/// engine — so the workload's long post-completion idle tail shows the
+/// quiescence win, and verify both paths agree on the stats.
+#[must_use]
+pub fn idle_heavy_comparison(horizon: u64, rounds: u64) -> IdleHeavyResult {
+    let run = |engine: bool| -> (f64, MachineStats) {
+        let mut m = build_scenario((2, 1, 1), rounds);
+        let t0 = Instant::now();
+        if engine {
+            m.run_cycles(horizon);
+        } else {
+            for _ in 0..horizon {
+                m.naive_step();
+            }
+        }
+        (t0.elapsed().as_secs_f64(), m.stats())
+    };
+    let (naive_s, naive_stats) = run(false);
+    let (engine_s, engine_stats) = run(true);
+    #[allow(clippy::cast_precision_loss)]
+    let (naive_cps, engine_cps) = (horizon as f64 / naive_s, horizon as f64 / engine_s);
+    IdleHeavyResult {
+        horizon,
+        naive_wall_ms: naive_s * 1e3,
+        engine_wall_ms: engine_s * 1e3,
+        naive_cps,
+        engine_cps,
+        speedup: engine_cps / naive_cps,
+        stats_match: naive_stats == engine_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_by_two_scenario_completes() {
+        let p = run_mesh((2, 2, 1), 2);
+        assert_eq!(p.nodes, 4);
+        assert!(p.cycles > 0 && p.cycles < RUN_LIMIT);
+        assert!(p.messages > 0, "scenario must exercise the fabric");
+    }
+
+    #[test]
+    fn idle_heavy_paths_agree() {
+        let r = idle_heavy_comparison(5_000, 2);
+        assert!(r.stats_match, "dense loop and engine disagreed");
+    }
+}

@@ -113,12 +113,17 @@ impl CoherenceEngine {
     /// schedule grants, and apply any grants that are due.
     ///
     /// `home_of` maps a virtual address to its home node index.
+    ///
+    /// Returns the indices of every node the firmware touched (memory
+    /// pokes, status-bit changes, replayed requests), so a
+    /// quiescence-aware scheduler knows which sleeping nodes to wake.
     pub fn step<F: Fn(u64) -> Option<usize>>(
         &mut self,
         now: u64,
         nodes: &mut [Node],
         home_of: F,
-    ) {
+    ) -> Vec<usize> {
+        let mut touched: Vec<usize> = Vec::new();
         // Drain new faults.
         for i in 0..nodes.len() {
             while let Some(record) = nodes[i].pop_event_record(0) {
@@ -139,7 +144,8 @@ impl CoherenceEngine {
                         let va = record[1].bits();
                         let block = va & !(BLOCK_WORDS - 1);
                         let Some(home) = home_of(va) else { continue };
-                        let sharer_cost = self.service_fault(nodes, i, home, block, write);
+                        let sharer_cost =
+                            self.service_fault(nodes, i, home, block, write, &mut touched);
                         self.pending.push(PendingGrant {
                             due: now + self.cfg.fetch_cycles + sharer_cost,
                             node: i,
@@ -160,6 +166,7 @@ impl CoherenceEngine {
             if self.pending[i].due <= now {
                 let g = self.pending.swap_remove(i);
                 if let Some(req) = decode_record(g.record[0], g.record[1], g.record[2], 0) {
+                    touched.push(g.node);
                     // If the bank is busy, retry next cycle.
                     if let Err(_req) = nodes[g.node].firmware_restart(req) {
                         self.pending.push(PendingGrant {
@@ -172,10 +179,25 @@ impl CoherenceEngine {
                 i += 1;
             }
         }
+        touched.sort_unstable();
+        touched.dedup();
+        touched
+    }
+
+    /// The earliest cycle at which a scheduled grant (block arrival or
+    /// synchronizing-fault retry) falls due, for the cycle engine's
+    /// min-deadline scheduler. Draining freshly-enqueued class-0 event
+    /// records is the machine pump's responsibility: it calls
+    /// [`CoherenceEngine::step`] in any cycle a node reports queued
+    /// class-0 records.
+    #[must_use]
+    pub fn next_activity(&self) -> Option<u64> {
+        self.pending.iter().map(|g| g.due).min()
     }
 
     /// Move data and update directory/status bits for one fault.
     /// Returns the extra cycle charge from invalidating sharers.
+    #[allow(clippy::too_many_lines)]
     fn service_fault(
         &mut self,
         nodes: &mut [Node],
@@ -183,8 +205,11 @@ impl CoherenceEngine {
         home: usize,
         block_va: u64,
         write: bool,
+        touched: &mut Vec<usize>,
     ) -> u64 {
         let mut extra = 0;
+        touched.push(requester);
+        touched.push(home);
         let entry = self.directory.entry(block_va).or_default();
         let entry_snapshot: (Vec<usize>, Option<usize>) =
             (entry.sharers.iter().copied().collect(), entry.owner);
@@ -194,6 +219,7 @@ impl CoherenceEngine {
             if owner != home && owner != requester {
                 Self::write_back(nodes, owner, home, block_va);
                 Self::set_status(nodes, owner, block_va, BlockStatus::Invalid);
+                touched.push(owner);
                 self.stats.writebacks += 1;
                 extra += self.cfg.invalidate_cycles;
             }
@@ -205,6 +231,7 @@ impl CoherenceEngine {
             for s in entry_snapshot.0 {
                 if s != requester {
                     Self::set_status(nodes, s, block_va, BlockStatus::Invalid);
+                    touched.push(s);
                     self.stats.invalidations += 1;
                     extra += self.cfg.invalidate_cycles;
                 }
@@ -218,6 +245,7 @@ impl CoherenceEngine {
                 if owner != requester {
                     // Downgrade the exclusive owner.
                     Self::set_status(nodes, owner, block_va, BlockStatus::ReadOnly);
+                    touched.push(owner);
                 }
             }
             let e = self.directory.get_mut(&block_va).expect("entry exists");
@@ -342,5 +370,11 @@ impl CoherenceEngine {
     #[must_use]
     pub fn is_idle(&self) -> bool {
         self.pending.is_empty()
+    }
+}
+
+impl mm_sim::Tick for CoherenceEngine {
+    fn next_activity(&self, now: u64) -> Option<u64> {
+        CoherenceEngine::next_activity(self).map(|t| t.max(now + 1))
     }
 }

@@ -12,7 +12,7 @@
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut m = MMachine::build(MachineConfig::small())?;
-//! let prog = mm_isa::assemble("add r0, #7, r1\n halt\n")?;
+//! let prog = std::sync::Arc::new(mm_isa::assemble("add r0, #7, r1\n halt\n")?);
 //! m.load_user_program(0, 0, &prog)?;
 //! m.run_until_halt(10_000)?;
 //! assert_eq!(m.user_reg(0, 0, 0, 1)?.bits(), 7);

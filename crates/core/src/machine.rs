@@ -71,7 +71,7 @@ impl MachineConfig {
 }
 
 /// Aggregate statistics across the machine.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MachineStats {
     /// Cycles simulated.
     pub cycles: u64,
@@ -83,6 +83,26 @@ pub struct MachineStats {
     pub fabric: FabricStats,
     /// Coherence counters.
     pub coherence: CoherenceStats,
+}
+
+/// Per-node scheduling state of the quiescence engine.
+///
+/// A node is either *awake* — it made progress last step (or an
+/// external input just arrived) and must be stepped every processed
+/// cycle until it proves itself blocked — or *asleep* with an optional
+/// `deadline` from [`Node::next_activity`]. Sleeping nodes are skipped
+/// entirely inside busy cycles; when every component sleeps, the global
+/// clock fast-forwards to the earliest deadline.
+#[derive(Debug, Clone)]
+struct NodeSched {
+    /// Step this node at the next processed cycle.
+    awake: bool,
+    /// Earliest self-scheduled work while asleep (`None` = fully inert
+    /// until an external wake-up).
+    deadline: Option<u64>,
+    /// The node holds class-0 event records the coherence firmware must
+    /// drain this cycle.
+    class0: bool,
 }
 
 /// The whole multicomputer.
@@ -99,6 +119,8 @@ pub struct MMachine {
     resends: Vec<(u64, usize, Message)>,
     prev_events: Vec<[u64; NUM_CLUSTERS]>,
     halted_seen: Vec<[[bool; 6]; NUM_CLUSTERS]>,
+    sched: Vec<NodeSched>,
+    stepped_buf: Vec<usize>,
     cycle: u64,
 }
 
@@ -160,6 +182,17 @@ impl MMachine {
             resends: Vec::new(),
             prev_events: vec![[0; NUM_CLUSTERS]; n],
             halted_seen: vec![[[false; 6]; NUM_CLUSTERS]; n],
+            // Everything starts awake; nodes prove themselves quiescent
+            // on their first no-progress step.
+            sched: vec![
+                NodeSched {
+                    awake: true,
+                    deadline: None,
+                    class0: false,
+                };
+                n
+            ],
+            stepped_buf: Vec::with_capacity(n),
             cycle: 0,
             cfg,
         })
@@ -184,7 +217,11 @@ impl MMachine {
     }
 
     /// Mutable node access (loaders, experiment setup).
+    ///
+    /// Conservatively wakes the node in the cycle engine: external
+    /// mutation can unblock threads the scheduler had proven idle.
     pub fn node_mut(&mut self, idx: usize) -> &mut Node {
+        self.wake_node(idx);
         &mut self.nodes[idx]
     }
 
@@ -252,7 +289,8 @@ impl MMachine {
     }
 
     /// Load a single-H-Thread user program onto cluster 0 of `node` in
-    /// user slot `slot`.
+    /// user slot `slot`. The program is shared, not cloned: loading the
+    /// same `Arc<Program>` on N nodes copies nothing but the pointer.
     ///
     /// # Errors
     ///
@@ -261,12 +299,14 @@ impl MMachine {
         &mut self,
         node: usize,
         slot: usize,
-        program: &Program,
+        program: &Arc<Program>,
     ) -> Result<(), MachineError> {
         self.load_vthread(node, slot, std::slice::from_ref(program))
     }
 
-    /// Load a V-Thread: up to four programs, one per cluster.
+    /// Load a V-Thread: up to four programs, one per cluster. Programs
+    /// are shared by reference count — zero clones however many nodes
+    /// they are loaded on.
     ///
     /// # Errors
     ///
@@ -276,7 +316,7 @@ impl MMachine {
         &mut self,
         node: usize,
         slot: usize,
-        programs: &[Program],
+        programs: &[Arc<Program>],
     ) -> Result<(), MachineError> {
         if slot >= USER_SLOTS {
             return Err(MachineError::BadConfig(format!(
@@ -289,9 +329,10 @@ impl MMachine {
             ));
         }
         for (c, p) in programs.iter().enumerate() {
-            self.nodes[node].load_program(c, slot, Arc::new(p.clone()), 0);
+            self.nodes[node].load_program(c, slot, Arc::clone(p), 0);
             self.halted_seen[node][c][slot] = false;
         }
+        self.wake_node(node);
         Ok(())
     }
 
@@ -316,6 +357,7 @@ impl MMachine {
     /// Write a register of a user H-Thread (experiment setup).
     pub fn set_user_reg(&mut self, node: usize, cluster: usize, slot: usize, reg: Reg, v: Word) {
         self.nodes[node].write_reg(cluster, slot, reg, v);
+        self.wake_node(node);
     }
 
     /// A pointer word for arbitrary experiment data.
@@ -329,8 +371,206 @@ impl MMachine {
             .map_err(|e| MachineError::BadConfig(e.to_string()))
     }
 
-    /// Advance the whole machine one cycle.
+    /// Advance the whole machine one cycle through the quiescence-aware
+    /// engine: if no component can do work this cycle, only the clock
+    /// moves.
     pub fn step(&mut self) {
+        let now = self.cycle;
+        if self.next_work(now) == Some(now) {
+            self.step_cycle(now);
+        }
+        self.cycle = now + 1;
+        self.catch_up_nodes();
+    }
+
+    /// Mark a node as requiring a step at the next processed cycle
+    /// (external input may have unblocked it).
+    fn wake_node(&mut self, idx: usize) {
+        self.sched[idx].awake = true;
+        self.sched[idx].deadline = None;
+    }
+
+    /// The home node of a virtual address under the boot layout's cyclic
+    /// page mapping, or `None` for unmapped addresses.
+    fn home_of(spec: &BootSpec, va: u64) -> Option<usize> {
+        let page = va / GLOBAL_PAGE_WORDS;
+        let n = spec.total_nodes();
+        if page / n >= spec.local_pages {
+            None
+        } else {
+            #[allow(clippy::cast_possible_truncation)]
+            Some((page % n) as usize)
+        }
+    }
+
+    /// The earliest cycle `>= now` at which any component can do work,
+    /// or `None` when the whole machine is provably quiescent (every
+    /// node asleep with no deadline, no in-flight flits, no pending
+    /// resends or coherence grants).
+    fn next_work(&self, now: u64) -> Option<u64> {
+        use mm_sim::engine::earliest;
+        let mut best: Option<u64> = None;
+        for s in &self.sched {
+            if s.awake || s.class0 {
+                return Some(now);
+            }
+            if let Some(d) = s.deadline {
+                best = earliest(best, Some(d.max(now)));
+            }
+        }
+        // Fabric and coherence report absolute deadlines; here `now` is
+        // the *next* cycle to process (not one just processed, as in the
+        // `Tick` contract), so a deadline due exactly at `now` must
+        // clamp to `now`, not `now + 1`.
+        best = earliest(best, self.fabric.next_delivery().map(|t| t.max(now)));
+        for &(due, _, _) in &self.resends {
+            best = earliest(best, Some(due.max(now)));
+        }
+        best = earliest(best, self.coherence.next_activity().map(|t| t.max(now)));
+        best
+    }
+
+    /// Process one *active* cycle: step every awake or due node, run the
+    /// coherence firmware if it has work, pump the fabric, and handle
+    /// returned-message backoff — exactly the dense loop's phases, over
+    /// exactly the components that can act. Cycle-exact with
+    /// [`MMachine::naive_step`] by construction: a skipped node's step
+    /// would have been a no-op, and every skipped phase had no input.
+    fn step_cycle(&mut self, now: u64) {
+        debug_assert_eq!(self.cycle, now, "step_cycle processes the current cycle");
+
+        // 1. Awake and due nodes compute; quiescent nodes are skipped.
+        let mut stepped = std::mem::take(&mut self.stepped_buf);
+        stepped.clear();
+        let mut any_class0 = false;
+        for i in 0..self.nodes.len() {
+            let s = &self.sched[i];
+            if !(s.awake || s.deadline.is_some_and(|d| d <= now)) {
+                any_class0 |= s.class0;
+                continue;
+            }
+            let progressed = self.nodes[i].step(now);
+            if progressed {
+                self.sched[i].awake = true;
+                self.sched[i].deadline = None;
+            } else {
+                self.sched[i].awake = false;
+                // The Tick contract: `now` was just processed without
+                // progress, so the node may sleep until this deadline.
+                self.sched[i].deadline = mm_sim::Tick::next_activity(&self.nodes[i], now);
+            }
+            self.sched[i].class0 = self.nodes[i].event_records_queued(0) > 0;
+            any_class0 |= self.sched[i].class0;
+            stepped.push(i);
+        }
+
+        // 2. Firmware coherence (class-0 events), when records are
+        // queued or a scheduled grant falls due.
+        if any_class0 || self.coherence.next_activity().is_some_and(|d| d <= now) {
+            let spec = self.spec;
+            let touched = self
+                .coherence
+                .step(now, &mut self.nodes, |va| Self::home_of(&spec, va));
+            for i in touched {
+                self.wake_node(i);
+            }
+            // The drain pass consumes every class-0 record machine-wide.
+            for s in &mut self.sched {
+                s.class0 = false;
+            }
+        }
+
+        // 3. Drain outboxes into the fabric. Only stepped nodes can have
+        // staged packets (sends happen in `Node::step`; resends wake the
+        // node first), so the ascending `stepped` walk preserves the
+        // dense loop's injection order.
+        for &i in &stepped {
+            for p in self.nodes[i].net.take_outbox() {
+                self.trace_packet(now, i, &p, true);
+                self.fabric.inject(now, p);
+            }
+        }
+
+        // 4. Deliver due packets (responses may stage more packets); a
+        // delivery is an external input, so the target wakes.
+        for p in self.fabric.deliveries(now) {
+            let d = self.spec.linear_index(p.dest()) as usize;
+            self.trace_packet(now, d, &p, false);
+            self.nodes[d].net.deliver(p);
+            for out in self.nodes[d].net.take_outbox() {
+                self.trace_packet(now, d, &out, true);
+                self.fabric.inject(now, out);
+            }
+            self.wake_node(d);
+        }
+
+        // 5. Returned messages: hardware backoff, then re-inject (the
+        // re-staged packet is drained when the woken node steps).
+        for i in 0..self.nodes.len() {
+            while let Some(m) = self.nodes[i].net.pop_returned() {
+                self.resends.push((now + self.cfg.resend_delay, i, m));
+            }
+        }
+        let mut k = 0;
+        while k < self.resends.len() {
+            if self.resends[k].0 <= now {
+                let (_, i, m) = self.resends.swap_remove(k);
+                self.nodes[i].net.resend(m);
+                self.wake_node(i);
+            } else {
+                k += 1;
+            }
+        }
+
+        // 6. Trace bookkeeping: event enqueues and user-thread halts.
+        // Only stepped nodes can have changed either.
+        if self.cfg.trace {
+            for &i in &stepped {
+                self.trace_node(now, i);
+            }
+        }
+        self.stepped_buf = stepped;
+    }
+
+    /// Record this cycle's event enqueues and freshly-halted user
+    /// threads of node `i` into the timeline.
+    fn trace_node(&mut self, now: u64, i: usize) {
+        let n = &self.nodes[i];
+        for class in 0..NUM_CLUSTERS {
+            let count = n.stats().events_enqueued[class];
+            if count > self.prev_events[i][class] {
+                self.timeline
+                    .record(now, Phase::EventEnqueued { node: i, class });
+                self.prev_events[i][class] = count;
+            }
+        }
+        for c in 0..NUM_CLUSTERS {
+            for slot in 0..USER_SLOTS {
+                if self.nodes[i].thread_state(c, slot) == HState::Halted
+                    && !self.halted_seen[i][c][slot]
+                {
+                    self.halted_seen[i][c][slot] = true;
+                    self.timeline.record(
+                        now,
+                        Phase::UserHalted {
+                            node: i,
+                            cluster: c,
+                            slot,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Advance one cycle with the original dense loop: every node, the
+    /// coherence firmware and the full fabric pump run unconditionally.
+    /// Kept as a debug path for differential testing against the
+    /// quiescence engine — both must produce identical [`MachineStats`],
+    /// timelines and halt cycles. The two can be interleaved freely: the
+    /// dense step leaves every node marked awake, which is always a
+    /// sound (if conservative) scheduler state.
+    pub fn naive_step(&mut self) {
         let now = self.cycle;
 
         // 1. Every node computes.
@@ -340,18 +580,8 @@ impl MMachine {
 
         // 2. Firmware coherence (class-0 events).
         let spec = self.spec;
-        self.coherence.step(now, &mut self.nodes, |va| {
-            let page = va / GLOBAL_PAGE_WORDS;
-            let entry = self.fabric.config();
-            let _ = entry;
-            // Cyclic layout: page p lives on node p mod N.
-            let n = spec.total_nodes();
-            if page / n >= spec.local_pages {
-                None
-            } else {
-                Some((page % n) as usize)
-            }
-        });
+        self.coherence
+            .step(now, &mut self.nodes, |va| Self::home_of(&spec, va));
 
         // 3. Drain outboxes into the fabric.
         for i in 0..self.nodes.len() {
@@ -390,36 +620,19 @@ impl MMachine {
 
         // 6. Trace bookkeeping: event enqueues and user-thread halts.
         if self.cfg.trace {
-            for (i, n) in self.nodes.iter().enumerate() {
-                for class in 0..NUM_CLUSTERS {
-                    let count = n.stats().events_enqueued[class];
-                    if count > self.prev_events[i][class] {
-                        self.timeline
-                            .record(now, Phase::EventEnqueued { node: i, class });
-                        self.prev_events[i][class] = count;
-                    }
-                }
-                for c in 0..NUM_CLUSTERS {
-                    for slot in 0..USER_SLOTS {
-                        if n.thread_state(c, slot) == HState::Halted
-                            && !self.halted_seen[i][c][slot]
-                        {
-                            self.halted_seen[i][c][slot] = true;
-                            self.timeline.record(
-                                now,
-                                Phase::UserHalted {
-                                    node: i,
-                                    cluster: c,
-                                    slot,
-                                },
-                            );
-                        }
-                    }
-                }
+            for i in 0..self.nodes.len() {
+                self.trace_node(now, i);
             }
         }
 
         self.cycle += 1;
+
+        // Keep the engine's bookkeeping conservative after a dense step.
+        for (i, s) in self.sched.iter_mut().enumerate() {
+            s.awake = true;
+            s.deadline = None;
+            s.class0 = self.nodes[i].event_records_queued(0) > 0;
+        }
     }
 
     fn trace_packet(&mut self, now: u64, node: usize, p: &Packet, inject: bool) {
@@ -447,14 +660,41 @@ impl MMachine {
         self.timeline.record(now, phase);
     }
 
-    /// Run `cycles` machine cycles.
-    pub fn run_cycles(&mut self, cycles: u64) {
-        for _ in 0..cycles {
-            self.step();
+    /// Account fast-forwarded cycles in every node's `stats.cycles` so
+    /// per-node counters match the dense loop even for nodes that ended
+    /// the run asleep.
+    fn catch_up_nodes(&mut self) {
+        let now = self.cycle;
+        for n in &mut self.nodes {
+            n.catch_up(now);
         }
     }
 
+    /// Run `cycles` machine cycles, fast-forwarding the clock over
+    /// stretches in which every component is provably idle.
+    pub fn run_cycles(&mut self, cycles: u64) {
+        let target = self.cycle.saturating_add(cycles);
+        while self.cycle < target {
+            match self.next_work(self.cycle) {
+                Some(t) if t < target => {
+                    self.cycle = t;
+                    self.step_cycle(t);
+                    self.cycle = t + 1;
+                }
+                _ => self.cycle = target,
+            }
+        }
+        self.catch_up_nodes();
+    }
+
     /// Run until `pred` holds, at most `limit` cycles.
+    ///
+    /// The engine evaluates `pred` after every *active* cycle and at
+    /// fast-forward targets. Machine state only changes on active
+    /// cycles, so any predicate over machine state behaves exactly as
+    /// under the dense loop; a predicate that depends on the clock value
+    /// itself (`m.cycle()` arithmetic) may be observed later than a
+    /// cycle-by-cycle evaluation would.
     ///
     /// # Errors
     ///
@@ -465,16 +705,28 @@ impl MMachine {
         pred: F,
     ) -> Result<u64, MachineError> {
         let start = self.cycle;
-        while self.cycle - start < limit {
+        let end = start.saturating_add(limit);
+        loop {
+            if self.cycle >= end {
+                self.catch_up_nodes();
+                return Err(MachineError::Timeout {
+                    limit,
+                    at: self.cycle,
+                });
+            }
             if pred(self) {
+                self.catch_up_nodes();
                 return Ok(self.cycle);
             }
-            self.step();
+            match self.next_work(self.cycle) {
+                Some(t) if t < end => {
+                    self.cycle = t;
+                    self.step_cycle(t);
+                    self.cycle = t + 1;
+                }
+                _ => self.cycle = end,
+            }
         }
-        Err(MachineError::Timeout {
-            limit,
-            at: self.cycle,
-        })
     }
 
     /// Run until every loaded user H-Thread on every node has halted or
@@ -502,9 +754,7 @@ impl MMachine {
             any
         })?;
         // Drain stragglers (in-flight responses, replies, credits).
-        for _ in 0..64 {
-            self.step();
-        }
+        self.run_cycles(64);
         Ok(done)
     }
 

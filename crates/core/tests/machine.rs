@@ -8,6 +8,7 @@ use mm_isa::reg::Reg;
 use mm_isa::word::Word;
 use mm_mem::MemWord;
 use mm_sim::HState;
+use std::sync::Arc;
 
 fn machine() -> MMachine {
     MMachine::build(MachineConfig::small()).expect("valid config")
@@ -21,7 +22,7 @@ fn local_load_through_boot_mapping() {
     let pa_ok = m.node_mut(0).mem.poke_va(va, MemWord::new(Word::from_u64(123)));
     assert!(pa_ok, "boot mapping covers the home page");
 
-    let prog = assemble("ld [r1+#5], r2\n add r2, #1, r3\n halt\n").unwrap();
+    let prog = Arc::new(assemble("ld [r1+#5], r2\n add r2, #1, r3\n halt\n").unwrap());
     let ptr = m.home_ptr(0, 0);
     m.load_user_program(0, 0, &prog).unwrap();
     m.set_user_reg(0, 0, 0, Reg::Int(1), ptr);
@@ -38,7 +39,7 @@ fn remote_load_completes_through_handlers() {
     assert!(m.node_mut(1).mem.poke_va(va, MemWord::new(Word::from_u64(777))));
 
     // Node 0 loads it: LTLB miss → remote read message → reply → wrreg.
-    let prog = assemble("ld [r1+#7], r2\n add r2, #1, r3\n halt\n").unwrap();
+    let prog = Arc::new(assemble("ld [r1+#7], r2\n add r2, #1, r3\n halt\n").unwrap());
     m.load_user_program(0, 0, &prog).unwrap();
     m.set_user_reg(0, 0, 0, Reg::Int(1), m.home_ptr(1, 0));
     let t = m.run_until_halt(50_000).unwrap();
@@ -54,7 +55,7 @@ fn remote_store_fig7_completes() {
     let mut m = machine();
     let va = m.home_va(1, 0) + 3;
 
-    let prog = assemble("st r2, [r1+#3]\n halt\n").unwrap();
+    let prog = Arc::new(assemble("st r2, [r1+#3]\n halt\n").unwrap());
     m.load_user_program(0, 0, &prog).unwrap();
     m.set_user_reg(0, 0, 0, Reg::Int(1), m.home_ptr(1, 0));
     m.set_user_reg(0, 0, 0, Reg::Int(2), Word::from_u64(4242));
@@ -75,14 +76,14 @@ fn remote_read_then_local_hit_is_fast() {
     let va = m.home_va(1, 0);
     assert!(m.node_mut(1).mem.poke_va(va, MemWord::new(Word::from_u64(5))));
 
-    let prog = assemble("ld [r1], r2\n add r2, #0, r3\n halt\n").unwrap();
+    let prog = Arc::new(assemble("ld [r1], r2\n add r2, #0, r3\n halt\n").unwrap());
     m.load_user_program(0, 0, &prog).unwrap();
     m.set_user_reg(0, 0, 0, Reg::Int(1), m.home_ptr(1, 0));
     m.run_until_halt(50_000).unwrap();
     assert_eq!(m.user_reg(0, 0, 0, 3).unwrap().bits(), 5);
 
     // Second access from a different user slot.
-    let prog2 = assemble("ld [r1], r2\n add r2, #0, r3\n halt\n").unwrap();
+    let prog2 = Arc::new(assemble("ld [r1], r2\n add r2, #0, r3\n halt\n").unwrap());
     m.load_user_program(0, 1, &prog2).unwrap();
     m.set_user_reg(0, 0, 1, Reg::Int(1), m.home_ptr(1, 0));
     m.run_until_halt(50_000).unwrap();
@@ -97,10 +98,9 @@ fn user_level_message_round_trip() {
     let mut m = machine();
     let target = m.home_va(1, 1) + 9;
 
-    let send_prog = assemble(
-        "mov #31337, mc1\n send r10, r11, #1\n halt\n",
-    )
-    .unwrap();
+    let send_prog = Arc::new(
+        assemble("mov #31337, mc1\n send r10, r11, #1\n halt\n").unwrap(),
+    );
     m.load_user_program(0, 0, &send_prog).unwrap();
     let ptr = m.make_ptr(mm_isa::Perm::ReadWrite, 0, target).unwrap();
     m.set_user_reg(0, 0, 0, Reg::Int(10), ptr);
@@ -121,7 +121,7 @@ fn timeline_captures_remote_read_phases() {
     let va = m.home_va(1, 0);
     assert!(m.node_mut(1).mem.poke_va(va, MemWord::new(Word::from_u64(1))));
 
-    let prog = assemble("ld [r1], r2\n add r2, #0, r3\n halt\n").unwrap();
+    let prog = Arc::new(assemble("ld [r1], r2\n add r2, #0, r3\n halt\n").unwrap());
     m.load_user_program(0, 0, &prog).unwrap();
     m.set_user_reg(0, 0, 0, Reg::Int(1), m.home_ptr(1, 0));
     m.clear_timeline();
@@ -201,7 +201,7 @@ fn coherence_read_share_then_write_invalidate() {
         assert!(node0.mem.tlb_install(slot));
     }
 
-    let prog = assemble("ld [r1], r2\n add r2, #0, r3\n halt\n").unwrap();
+    let prog = Arc::new(assemble("ld [r1], r2\n add r2, #0, r3\n halt\n").unwrap());
     m.load_user_program(0, 0, &prog).unwrap();
     m.set_user_reg(0, 0, 0, Reg::Int(1), m.home_ptr(1, 2));
     m.run_until_halt(50_000).unwrap();
@@ -211,7 +211,7 @@ fn coherence_read_share_then_write_invalidate() {
     // The block is now READ-ONLY at node 0: a local write faults into the
     // coherence engine, which upgrades it (invalidating nobody else) —
     // and the write proceeds.
-    let wprog = assemble("st r2, [r1]\n halt\n").unwrap();
+    let wprog = Arc::new(assemble("st r2, [r1]\n halt\n").unwrap());
     m.load_user_program(0, 1, &wprog).unwrap();
     m.set_user_reg(0, 0, 1, Reg::Int(1), m.home_ptr(1, 2));
     m.set_user_reg(0, 0, 1, Reg::Int(2), Word::from_u64(67));
@@ -236,7 +236,7 @@ fn throttling_send_flood_makes_progress() {
         src.push_str(&format!("mov #{}, mc1\n send r10, r11, #1\n", 1000 + i));
     }
     src.push_str("halt\n");
-    let prog = assemble(&src).unwrap();
+    let prog = Arc::new(assemble(&src).unwrap());
     m.load_user_program(0, 0, &prog).unwrap();
     let target = m.home_va(1, 3);
     let ptr = m.make_ptr(mm_isa::Perm::ReadWrite, 0, target).unwrap();
@@ -259,12 +259,12 @@ fn four_node_machine_runs() {
     assert_eq!(m.node_count(), 4);
     // Every node computes locally; node 3 reads node 0's memory remotely.
     for i in 0..4 {
-        let prog = assemble(&format!("add r0, #{}, r1\n halt\n", i + 1)).unwrap();
+        let prog = Arc::new(assemble(&format!("add r0, #{}, r1\n halt\n", i + 1)).unwrap());
         m.load_user_program(i, 0, &prog).unwrap();
     }
     let va = m.home_va(0, 1);
     assert!(m.node_mut(0).mem.poke_va(va, MemWord::new(Word::from_u64(55))));
-    let rprog = assemble("ld [r2], r4\n add r4, #0, r5\n halt\n").unwrap();
+    let rprog = Arc::new(assemble("ld [r2], r4\n add r4, #0, r5\n halt\n").unwrap());
     m.load_user_program(3, 1, &rprog).unwrap();
     m.set_user_reg(3, 0, 1, Reg::Int(2), m.home_ptr(0, 1));
     m.run_until_halt(100_000).unwrap();

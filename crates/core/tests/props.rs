@@ -8,6 +8,7 @@ use mm_isa::reg::Reg;
 use mm_isa::word::Word;
 use mm_mem::MemWord;
 use proptest::prelude::*;
+use std::sync::Arc;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
@@ -30,7 +31,7 @@ proptest! {
         let (off, _) = writes[probe_idx % writes.len()];
         let expect = model[&off];
 
-        let prog = assemble(&format!("ld [r1+#{off}], r2\n add r2, #0, r3\n halt\n")).unwrap();
+        let prog = Arc::new(assemble(&format!("ld [r1+#{off}], r2\n add r2, #0, r3\n halt\n")).unwrap());
         m.load_user_program(0, 0, &prog).unwrap();
         m.set_user_reg(0, 0, 0, Reg::Int(1), m.home_ptr(1, 0));
         m.run_until_halt(200_000).unwrap();
@@ -53,7 +54,7 @@ proptest! {
             model.insert(off, u64::from(v));
         }
         src.push_str("halt\n");
-        let prog = assemble(&src).unwrap();
+        let prog = Arc::new(assemble(&src).unwrap());
         m.load_user_program(0, 0, &prog).unwrap();
         m.set_user_reg(0, 0, 0, Reg::Int(1), m.home_ptr(1, 0));
         m.run_until_halt(500_000).unwrap();
@@ -76,7 +77,7 @@ proptest! {
                 src.push_str(&format!("ld [r1+#{off}], r2\n add r2, r3, r3\n"));
             }
             src.push_str("halt\n");
-            let prog = assemble(&src).unwrap();
+            let prog = Arc::new(assemble(&src).unwrap());
             m.load_user_program(0, 0, &prog).unwrap();
             m.set_user_reg(0, 0, 0, Reg::Int(1), m.home_ptr(1, 0));
             m.run_until_halt(500_000).unwrap();

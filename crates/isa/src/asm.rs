@@ -110,8 +110,7 @@ fn preprocess(source: &str) -> Vec<(usize, String)> {
 fn split_labels(line: &str) -> (Vec<&str>, &str) {
     let mut labels = Vec::new();
     let mut rest = line.trim();
-    loop {
-        let Some(colon) = rest.find(':') else { break };
+    while let Some(colon) = rest.find(':') {
         let candidate = rest[..colon].trim();
         if !candidate.is_empty()
             && candidate

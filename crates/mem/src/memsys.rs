@@ -343,6 +343,28 @@ impl MemorySystem {
             && self.events.is_empty()
     }
 
+    /// The earliest future cycle (strictly after `now`) at which a
+    /// [`MemorySystem::step`] can do work, assuming no new submissions:
+    /// a queued bank request pops next cycle, a staged miss fires at its
+    /// translate deadline, and a pipelined response or pending event
+    /// surfaces at its ready cycle. `None` when fully idle — the cycle
+    /// engine's license to skip this memory system entirely.
+    #[must_use]
+    pub fn next_activity(&self, now: u64) -> Option<u64> {
+        let mut best: Option<u64> = None;
+        let mut fold = |t: u64| best = Some(best.map_or(t, |b| b.min(t)));
+        if self.bank_q.iter().any(|q| !q.is_empty()) || !self.events.is_empty() {
+            fold(now + 1);
+        }
+        for &(ready, _) in &self.miss_q {
+            fold(ready.max(now + 1));
+        }
+        for r in &self.responses {
+            fold(r.ready.max(now + 1));
+        }
+        best
+    }
+
     fn respond(&mut self, req: MemRequest, value: Word, ready: u64) {
         self.responses.push(MemResponse { req, value, ready });
     }

@@ -10,7 +10,6 @@
 //! remote node (5 cycles)".
 
 use crate::message::{NodeCoord, Packet};
-use std::collections::HashMap;
 
 /// A mesh direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -27,6 +26,24 @@ pub enum Dir {
     ZPlus,
     /// −Z
     ZMinus,
+}
+
+/// Directions per node (the six mesh links).
+pub const NUM_DIRS: usize = 6;
+
+impl Dir {
+    /// Dense index 0..6 for table-addressed per-link state.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Dir::XPlus => 0,
+            Dir::XMinus => 1,
+            Dir::YPlus => 2,
+            Dir::YMinus => 3,
+            Dir::ZPlus => 4,
+            Dir::ZMinus => 5,
+        }
+    }
 }
 
 /// Fabric configuration.
@@ -78,8 +95,10 @@ struct InFlight {
 pub struct Fabric {
     cfg: FabricConfig,
     /// Per (node, outgoing direction, priority) cycle at which the link's
-    /// virtual channel frees.
-    link_free: HashMap<(NodeCoord, Dir, usize), u64>,
+    /// virtual channel frees. Index-addressed (`linear node × Dir ×
+    /// priority`) rather than hash-keyed: no hashing on the per-hop hot
+    /// path, and iteration order is trivially deterministic.
+    link_free: Vec<u64>,
     in_flight: Vec<InFlight>,
     seq: u64,
     stats: FabricStats,
@@ -89,13 +108,23 @@ impl Fabric {
     /// An idle fabric.
     #[must_use]
     pub fn new(cfg: FabricConfig) -> Fabric {
+        let nodes =
+            usize::from(cfg.dims.0) * usize::from(cfg.dims.1) * usize::from(cfg.dims.2);
         Fabric {
+            link_free: vec![0; nodes * NUM_DIRS * 2],
             cfg,
-            link_free: HashMap::new(),
             in_flight: Vec::new(),
             seq: 0,
             stats: FabricStats::default(),
         }
+    }
+
+    /// Dense index of the (node, direction, priority) virtual channel.
+    fn link_index(&self, node: NodeCoord, dir: Dir, pri: usize) -> usize {
+        let linear = usize::from(node.x)
+            + usize::from(self.cfg.dims.0)
+                * (usize::from(node.y) + usize::from(self.cfg.dims.1) * usize::from(node.z));
+        (linear * NUM_DIRS + dir.index()) * 2 + pri
     }
 
     /// The configuration in use.
@@ -164,13 +193,13 @@ impl Fabric {
             let route = Self::route(src, dest);
             let mut t_head = now;
             for (node, dir) in &route {
-                let link = (*node, *dir, pri);
-                let free = self.link_free.get(&link).copied().unwrap_or(0);
+                let link = self.link_index(*node, *dir, pri);
+                let free = self.link_free[link];
                 let earliest = t_head + self.cfg.hop_latency;
                 let actual = earliest.max(free);
                 self.stats.contention_cycles += actual - earliest;
                 t_head = actual;
-                self.link_free.insert(link, t_head + flits);
+                self.link_free[link] = t_head + flits;
             }
             self.stats.hops += route.len() as u64;
             t_head + flits
@@ -215,6 +244,15 @@ impl Fabric {
     #[must_use]
     pub fn next_delivery(&self) -> Option<u64> {
         self.in_flight.iter().map(|p| p.deliver_at).min()
+    }
+
+    /// The earliest cycle at which the fabric can do work — the next
+    /// pending delivery. The fabric has no per-cycle internal state
+    /// (link timing is resolved eagerly at injection), so this is the
+    /// whole of its quiescence contract for the cycle engine.
+    #[must_use]
+    pub fn next_activity(&self) -> Option<u64> {
+        self.next_delivery()
     }
 }
 

@@ -309,8 +309,10 @@ mod tests {
 
     #[test]
     fn credits_run_out_and_replies_restore() {
-        let mut cfg = IfaceConfig::default();
-        cfg.send_credits = 2;
+        let cfg = IfaceConfig {
+            send_credits: 2,
+            ..IfaceConfig::default()
+        };
         let mut n = NodeNet::new(NodeCoord::new(0, 0, 0), cfg);
         n.gtlb_mut().add_entry(GdtEntry::new(
             0,
@@ -332,8 +334,10 @@ mod tests {
 
     #[test]
     fn p1_sends_bypass_throttling() {
-        let mut cfg = IfaceConfig::default();
-        cfg.send_credits = 0;
+        let cfg = IfaceConfig {
+            send_credits: 0,
+            ..IfaceConfig::default()
+        };
         let mut n = NodeNet::new(NodeCoord::new(0, 0, 0), cfg);
         n.gtlb_mut().add_entry(GdtEntry::new(
             0,
@@ -383,8 +387,10 @@ mod tests {
 
     #[test]
     fn overflow_returns_to_sender() {
-        let mut cfg = IfaceConfig::default();
-        cfg.msg_queue_capacity = 1;
+        let cfg = IfaceConfig {
+            msg_queue_capacity: 1,
+            ..IfaceConfig::default()
+        };
         let mut n = NodeNet::new(NodeCoord::new(1, 0, 0), cfg);
         n.deliver(user_msg(
             NodeCoord::new(0, 0, 0),

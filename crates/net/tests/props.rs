@@ -99,9 +99,11 @@ proptest! {
         let dims = (2u8, 2u8, 1u8);
         let mut fabric = Fabric::new(FabricConfig { dims, hop_latency: 2, loopback_latency: 2 });
         let mut nodes: Vec<NodeNet> = Vec::new();
-        let mut cfg = IfaceConfig::default();
-        cfg.msg_queue_capacity = 2; // force some returns
-        cfg.send_credits = 64;
+        let cfg = IfaceConfig {
+            msg_queue_capacity: 2, // force some returns
+            send_credits: 64,
+            ..IfaceConfig::default()
+        };
         for y in 0..dims.1 {
             for x in 0..dims.0 {
                 let mut n = NodeNet::new(NodeCoord::new(x, y, 0), cfg.clone());

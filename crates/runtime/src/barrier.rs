@@ -4,6 +4,7 @@
 
 use mm_isa::asm::assemble;
 use mm_isa::instr::Program;
+use std::sync::Arc;
 
 /// The Fig. 6 two-H-Thread interlocked loop, `iterations` times.
 ///
@@ -18,7 +19,7 @@ use mm_isa::instr::Program;
 ///
 /// Panics if codegen fails to assemble (a bug).
 #[must_use]
-pub fn fig6_loop_pair(iterations: u64) -> [Program; 2] {
+pub fn fig6_loop_pair(iterations: u64) -> [Arc<Program>; 2] {
     let h0 = format!(
         "empty gcc3
 loop0: add r1, #1, r1
@@ -29,19 +30,17 @@ loop0: add r1, #1, r1
  halt
 "
     );
-    let h1 = format!(
-        "empty gcc1
+    let h1 = "empty gcc1
 loop1: add r3, #1, r3
  mov gcc1, r2
  empty gcc1
  mov #1, gcc3
  brf r2, loop1
  halt
-"
-    );
+";
     [
-        assemble(&h0).expect("fig6 h0 assembles"),
-        assemble(&h1).expect("fig6 h1 assembles"),
+        Arc::new(assemble(&h0).expect("fig6 h0 assembles")),
+        Arc::new(assemble(h1).expect("fig6 h1 assembles")),
     ]
 }
 
@@ -56,7 +55,7 @@ loop1: add r3, #1, r3
 ///
 /// Panics if codegen fails to assemble (a bug).
 #[must_use]
-pub fn barrier4_programs(iterations: u64) -> [Program; 4] {
+pub fn barrier4_programs(iterations: u64) -> [Arc<Program>; 4] {
     // Cluster 0: collect gcc2/gcc4/gcc6, then broadcast gcc0.
     let coordinator = format!(
         "empty gcc2, gcc4, gcc6
@@ -70,7 +69,9 @@ loop: add r1, #1, r1
  halt
 "
     );
-    let mut programs = vec![assemble(&coordinator).expect("barrier coordinator assembles")];
+    let mut programs = vec![Arc::new(
+        assemble(&coordinator).expect("barrier coordinator assembles"),
+    )];
     for c in 1..4 {
         let worker = format!(
             "empty gcc0
@@ -83,7 +84,7 @@ loop: add r1, #1, r1
 ",
             signal = 2 * c,
         );
-        programs.push(assemble(&worker).expect("barrier worker assembles"));
+        programs.push(Arc::new(assemble(&worker).expect("barrier worker assembles")));
     }
     programs.try_into().expect("exactly four programs")
 }

@@ -43,6 +43,18 @@ use std::sync::Arc;
 
 /// Physical word address of the LPT.
 pub const LPT_BASE: u64 = 1024;
+
+/// The LPT's physical placement for a table of `lpt_slots` entries:
+/// `(base_word, end_word)`. Guarded-pointer segments are naturally
+/// aligned blocks, so a table larger than [`LPT_BASE`] words must sit
+/// at its own size; the default 256-slot table stays exactly at
+/// [`LPT_BASE`]. Shared by `boot_node` and by benches that size SDRAM
+/// around the boot layout.
+#[must_use]
+pub fn lpt_layout(lpt_slots: u64) -> (u64, u64) {
+    let base = LPT_BASE.max(lpt_slots * 4);
+    (base, base + lpt_slots * 4)
+}
 /// Physical word address of the handler scratch counters.
 pub const SCRATCH_BASE: u64 = 512;
 /// First allocatable physical page number.
@@ -328,13 +340,18 @@ pub fn boot_node(node: &mut Node, index: u64, spec: &BootSpec, image: &RuntimeIm
         "local pages must be a power of two"
     );
 
-    // The LPT.
-    let lpt = Lpt::new(LPT_BASE, spec.lpt_slots);
+    // The LPT (see `lpt_layout` for the alignment rule: the handler's
+    // `lea` walks would escape an unaligned guarded-pointer segment).
+    let (lpt_base, lpt_end) = lpt_layout(spec.lpt_slots);
+    let lpt = Lpt::new(lpt_base, spec.lpt_slots);
     node.mem.set_lpt(lpt);
 
     // Map this node's local pages: global page g = index + k·N covers
-    // local vpns 2g and 2g+1.
-    let mut next_ppn = FIRST_FRAME_PPN;
+    // local vpns 2g and 2g+1. Frames start past both the fixed reserved
+    // area and the LPT itself — a machine-sized LPT (large meshes) must
+    // not be overwritten by its own page frames.
+    let lpt_end_ppn = lpt_end.div_ceil(mm_mem::ltlb::PAGE_WORDS);
+    let mut next_ppn = FIRST_FRAME_PPN.max(lpt_end_ppn);
     for k in 0..spec.local_pages {
         let g = index + k * n;
         for half in 0..2 {
@@ -370,7 +387,7 @@ pub fn boot_node(node: &mut Node, index: u64, spec: &BootSpec, image: &RuntimeIm
     let lpt_ptr = GuardedPointer::new(
         Perm::Physical,
         (spec.lpt_slots * 4).trailing_zeros() as u8,
-        LPT_BASE,
+        lpt_base,
     )
     .expect("LPT pointer fits");
     let reply_ptr = Word::from_pointer(

@@ -18,6 +18,7 @@
 
 use mm_isa::asm::assemble;
 use mm_isa::instr::Program;
+use std::sync::Arc;
 
 /// Rotating window of load destination registers (`f1..f8`).
 const LOAD_WINDOW: usize = 8;
@@ -25,8 +26,9 @@ const LOAD_WINDOW: usize = 8;
 /// A generated multi-H-Thread kernel.
 #[derive(Debug, Clone)]
 pub struct StencilKernel {
-    /// One program per participating H-Thread (cluster index = position).
-    pub programs: Vec<Program>,
+    /// One program per participating H-Thread (cluster index = position),
+    /// reference-counted so loaders share them across nodes clone-free.
+    pub programs: Vec<Arc<Program>>,
     /// Static instruction depth: the longest program, excluding `halt`
     /// (the number the paper's Fig. 5 counts).
     pub static_depth: usize,
@@ -161,14 +163,13 @@ pub fn stencil_kernel(neighbours: usize, threads: usize) -> StencilKernel {
         let rest = neighbours - chunk_lens[0];
         let base = rest / (threads - 1);
         let extra = rest % (threads - 1);
-        for t in 1..threads {
-            chunk_lens[t] = base + usize::from(t - 1 < extra);
+        for (t, len) in chunk_lens.iter_mut().enumerate().skip(1) {
+            *len = base + usize::from(t - 1 < extra);
         }
     }
     let mut programs = Vec::new();
     let mut cursor = 0;
-    for t in 0..threads {
-        let len = chunk_lens[t];
+    for (t, &len) in chunk_lens.iter().enumerate() {
         let plan = ThreadPlan {
             chunk_start: cursor,
             chunk_len: len,
@@ -180,8 +181,9 @@ pub fn stencil_kernel(neighbours: usize, threads: usize) -> StencilKernel {
         };
         cursor += len;
         let src = emit_thread(&plan, neighbours);
-        programs
-            .push(assemble(&src).unwrap_or_else(|e| panic!("stencil codegen bug: {e}\n{src}")));
+        programs.push(Arc::new(
+            assemble(&src).unwrap_or_else(|e| panic!("stencil codegen bug: {e}\n{src}")),
+        ));
     }
 
     let static_depth = programs.iter().map(|p| p.len() - 1).max().unwrap_or(0);

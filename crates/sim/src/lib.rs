@@ -31,11 +31,13 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod engine;
 pub mod event;
 pub mod node;
 pub mod regfile;
 
 pub use config::{NodeConfig, EVENT_SLOT, EXCEPTION_SLOT, NUM_CLUSTERS, NUM_SLOTS, USER_SLOTS};
+pub use engine::Tick;
 pub use event::EventKind;
 pub use node::{Fault, HState, Node, NodeStats};
 pub use regfile::ThreadRegs;

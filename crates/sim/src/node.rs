@@ -70,7 +70,11 @@ struct HThread {
     program: Option<Arc<Program>>,
     pc: u32,
     state: HState,
-    bubble: u64,
+    /// First cycle at which the thread may issue again (absolute; a
+    /// taken branch's fetch bubble). Absolute deadlines — rather than a
+    /// per-cycle countdown — keep the thread's wake-up time meaningful
+    /// when the engine skips the node over provably idle cycles.
+    stall_until: u64,
 }
 
 impl HThread {
@@ -79,7 +83,7 @@ impl HThread {
             program: None,
             pc: 0,
             state: HState::Idle,
-            bubble: 0,
+            stall_until: 0,
         }
     }
 }
@@ -189,6 +193,10 @@ pub struct Node {
     csw: Vec<CswTransfer>,
     csw_seq: u64,
     next_req_id: u64,
+    /// Cycles accounted in `stats.cycles` (`step` catches up from here,
+    /// so a node skipped over idle cycles still reports wall-clock
+    /// cycles observed, not steps executed).
+    accounted: u64,
     stats: NodeStats,
 }
 
@@ -207,6 +215,7 @@ impl Node {
             csw: Vec::new(),
             csw_seq: 0,
             next_req_id: 0,
+            accounted: 0,
             stats: NodeStats::default(),
             cfg,
             coord,
@@ -242,7 +251,7 @@ impl Node {
         t.program = Some(program);
         t.pc = entry;
         t.state = HState::Running;
-        t.bubble = 0;
+        t.stall_until = 0;
     }
 
     /// Stop and unload the H-Thread at `(cluster, slot)`.
@@ -336,18 +345,83 @@ impl Node {
         self.local_writes.is_empty() && self.csw.is_empty() && self.mem.is_idle()
     }
 
+    /// Whole event records waiting in handler class `class` (firmware
+    /// pollers use this to decide whether a drain pass is needed).
+    #[must_use]
+    pub fn event_records_queued(&self, class: usize) -> usize {
+        self.event_records[class]
+    }
+
+    /// Account skipped-over cycles up to (exclusive) `now` without
+    /// stepping. The engine calls this when a run ends with the node
+    /// still asleep, so `stats.cycles` always reads as wall-clock
+    /// cycles observed — identical to the dense loop's count.
+    pub fn catch_up(&mut self, now: u64) {
+        self.stats.cycles += now.saturating_sub(self.accounted);
+        self.accounted = self.accounted.max(now);
+    }
+
+    /// The earliest future cycle (strictly after `now`) at which this
+    /// node can possibly make progress **without new external input**
+    /// (no fabric delivery, no firmware poke, no register write).
+    ///
+    /// `None` means the node is provably inert: every scheduled
+    /// writeback, C-Switch transfer and memory-system stage is drained,
+    /// and no running thread is merely waiting out a branch bubble.
+    /// Threads that are `Running` but blocked on operands do **not**
+    /// produce a deadline — whatever eventually fills their scoreboard
+    /// (a memory response, a C-Switch write, a network word) is either a
+    /// scheduled deadline reported here or an external wake-up the
+    /// machine-level scheduler tracks.
+    ///
+    /// Only meaningful immediately after a [`Node::step`] at `now` that
+    /// reported no progress; a step that progressed may enable an issue
+    /// on the very next cycle, which this accounting does not cover.
+    #[must_use]
+    pub fn next_activity(&self, now: u64) -> Option<u64> {
+        use crate::engine::earliest;
+        let mut best = self.mem.next_activity(now).map(|t| t.max(now + 1));
+        for w in &self.local_writes {
+            best = earliest(best, Some(w.ready.max(now + 1)));
+        }
+        for t in &self.csw {
+            best = earliest(best, Some(t.ready.max(now + 1)));
+        }
+        for c in &self.clusters {
+            for t in &c.threads {
+                if t.state == HState::Running && t.stall_until > now {
+                    best = earliest(best, Some(t.stall_until));
+                }
+            }
+        }
+        best
+    }
+
     // ==================================================================
     // The cycle
     // ==================================================================
 
     /// Advance one cycle. The machine-level pump handles fabric
     /// injection/delivery around this call.
-    pub fn step(&mut self, now: u64) {
-        self.stats.cycles += 1;
+    ///
+    /// Returns whether the node made *progress*: issued an instruction,
+    /// applied a register write (local writeback, C-Switch transfer or
+    /// memory response), raised a fault, or pushed event-queue words.
+    /// When a step reports no progress, repeating it with no new
+    /// external input is a provable no-op, so the cycle engine may put
+    /// the node to sleep until [`Node::next_activity`] (or an external
+    /// wake-up) — the quiescence invariant the `engine` module
+    /// documents. Skipped cycles are caught up in `stats.cycles` on the
+    /// next step, so the counter always reads as cycles observed.
+    pub fn step(&mut self, now: u64) -> bool {
+        self.stats.cycles += (now + 1).saturating_sub(self.accounted);
+        self.accounted = self.accounted.max(now + 1);
+        let mut progressed = false;
 
         // Phase 1: memory responses and events (submissions from earlier
         // cycles pop through the bank stage here).
         let (resps, events) = self.mem.step(now);
+        progressed |= !resps.is_empty() || !events.is_empty();
         for r in resps {
             self.stats.responses += 1;
             self.stats.last_response_cycle = self.stats.last_response_cycle.max(r.ready);
@@ -378,6 +452,7 @@ impl Node {
             if self.local_writes[i].ready <= now {
                 let w = self.local_writes.swap_remove(i);
                 self.clusters[w.cluster].regs[w.slot].write(w.reg, w.value);
+                progressed = true;
             } else {
                 i += 1;
             }
@@ -402,21 +477,19 @@ impl Node {
                 }
                 self.stats.cswitch_transfers += 1;
                 delivered += 1;
+                progressed = true;
             } else {
                 j += 1;
             }
         }
 
         // Phase 4: the synchronization stage issues at most one
-        // instruction per cluster.
+        // instruction per cluster. (Branch bubbles are absolute
+        // deadlines checked at issue, so nothing decrements here.)
         for c in 0..NUM_CLUSTERS {
-            for t in &mut self.clusters[c].threads {
-                if t.bubble > 0 {
-                    t.bubble -= 1;
-                }
-            }
-            self.issue_cluster(now, c);
+            progressed |= self.issue_cluster(now, c);
         }
+        progressed
     }
 
     fn fresh_id(&mut self) -> u64 {
@@ -428,13 +501,16 @@ impl Node {
     // Issue
     // ==================================================================
 
-    fn issue_cluster(&mut self, now: u64, c: usize) {
+    /// Returns whether the cluster did anything observable this cycle
+    /// (issued an instruction or raised a fetch fault).
+    fn issue_cluster(&mut self, now: u64, c: usize) -> bool {
         let rr = self.clusters[c].rr;
+        let mut acted = false;
         for k in 0..NUM_SLOTS {
             let slot = (rr + k) % NUM_SLOTS;
             let (instr, pc_valid) = {
                 let t = &self.clusters[c].threads[slot];
-                if t.state != HState::Running || t.bubble > 0 {
+                if t.state != HState::Running || now < t.stall_until {
                     continue;
                 }
                 let Some(prog) = &t.program else { continue };
@@ -445,6 +521,7 @@ impl Node {
             };
             if !pc_valid {
                 self.fault(now, c, slot, Fault::PcOutOfRange);
+                acted = true;
                 continue;
             }
             if !self.instr_ready(c, slot, &instr) {
@@ -454,8 +531,10 @@ impl Node {
             self.clusters[c].rr = (slot + 1) % NUM_SLOTS;
             self.stats.instructions += 1;
             self.stats.issued_per_slot[c][slot] += 1;
+            acted = true;
             break;
         }
+        acted
     }
 
     /// Is a queue-backed register readable from `(cluster, slot)`?
@@ -805,7 +884,7 @@ impl Node {
         match next_pc {
             Some(target) => {
                 t.pc = target;
-                t.bubble = self.cfg.branch_bubble;
+                t.stall_until = now + self.cfg.branch_bubble;
                 self.stats.branches_taken += 1;
             }
             None => t.pc += 1,

@@ -13,6 +13,7 @@
 use m_machine::isa::assemble;
 use m_machine::isa::reg::Reg;
 use m_machine::machine::{MMachine, MachineConfig};
+use std::sync::Arc;
 
 const ROUNDS: u64 = 8;
 
@@ -21,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // r1 = my flag (local), r10 = partner's flag capability,
     // r11 = synchronizing remote-write DIP, r12 = round count.
-    let ping = assemble(&format!(
+    let ping = Arc::new(assemble(&format!(
         "loop:\n\
          \tadd r5, #1, r5\n\
          \tmov r5, mc1\n\
@@ -30,8 +31,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          \teq r5, #{ROUNDS}, gcc1\n\
          \tbrf gcc1, loop\n\
          \thalt\n"
-    ))?;
-    let pong = assemble(&format!(
+    ))?);
+    let pong = Arc::new(assemble(&format!(
         "loop:\n\
          \tld.fe [r1], r6\n\
          \tmov r6, mc1\n\
@@ -39,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          \teq r6, #{ROUNDS}, gcc1\n\
          \tbrf gcc1, loop\n\
          \thalt\n"
-    ))?;
+    ))?);
 
     let flag0 = m.home_va(0, 2);
     let flag1 = m.home_va(1, 2);

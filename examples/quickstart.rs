@@ -14,7 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut m = MMachine::build(MachineConfig::small())?;
 
     // Three-wide instructions: integer, memory and FP ops issue together.
-    let program = assemble(
+    let program = std::sync::Arc::new(assemble(
         "start:\n\
          \tadd r0, #6, r1\n\
          \tmul r1, #7, r2 | fadd f1, f2, f3\n\
@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          \tadd r0, #0, r2\n\
          done:\n\
          \thalt\n",
-    )?;
+    )?);
     m.load_user_program(0, 0, &program)?;
 
     let finished_at = m.run_until_halt(10_000)?;

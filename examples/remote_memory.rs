@@ -10,6 +10,7 @@ use m_machine::isa::assemble;
 use m_machine::isa::reg::Reg;
 use m_machine::isa::word::Word;
 use m_machine::machine::{MMachine, MachineConfig};
+use std::sync::Arc;
 use m_machine::mem::MemWord;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -22,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .poke_va(va, MemWord::new(Word::from_u64(0xCAFE)));
 
     // Node 0 runs an ordinary load — no message-passing code in sight.
-    let prog = assemble("ld [r1], r2\n add r2, #0, r3\n halt\n")?;
+    let prog = Arc::new(assemble("ld [r1], r2\n add r2, #0, r3\n halt\n")?);
     m.load_user_program(0, 0, &prog)?;
     m.set_user_reg(0, 0, 0, Reg::Int(1), m.home_ptr(1, 0));
 
@@ -36,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print!("{}", m.timeline().render(t0));
 
     // And the reverse direction: a remote store (Fig. 7's handler).
-    let st = assemble("st r2, [r1+#1]\n halt\n")?;
+    let st = Arc::new(assemble("st r2, [r1+#1]\n halt\n")?);
     m.load_user_program(0, 1, &st)?;
     m.set_user_reg(0, 0, 1, Reg::Int(1), m.home_ptr(1, 0));
     m.set_user_reg(0, 0, 1, Reg::Int(2), Word::from_u64(0xBEEF));

@@ -21,9 +21,9 @@
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut m = MMachine::build(MachineConfig::small())?;
 //! let node = m.node_ids()[0];
-//! let prog = m_machine::isa::assemble(
+//! let prog = std::sync::Arc::new(m_machine::isa::assemble(
 //!     "start: add r0, #7, r1\n halt\n",
-//! )?;
+//! )?);
 //! m.load_user_program(node, 0, &prog)?;
 //! m.run_until_halt(10_000)?;
 //! assert_eq!(m.user_reg(node, 0, 0, 1)?.bits(), 7);

@@ -2,6 +2,7 @@
 //! the coherence layer on the public API.
 
 use m_machine::isa::{assemble, Reg, Word};
+use std::sync::Arc;
 use m_machine::machine::{MMachine, MachineConfig};
 use m_machine::mem::MemWord;
 use m_machine::runtime::barrier::{barrier4_programs, fig6_loop_pair};
@@ -101,8 +102,8 @@ fn gtlb_spreads_pages_across_nodes() {
 fn protection_violation_is_contained() {
     // One thread faults; another on the same node keeps running.
     let mut m = MMachine::build(MachineConfig::small()).unwrap();
-    let bad = assemble("ld [r1], r2\n halt\n").unwrap(); // r1 not a pointer
-    let good = assemble("add r0, #5, r1\n halt\n").unwrap();
+    let bad = Arc::new(assemble("ld [r1], r2\n halt\n").unwrap()); // r1 not a pointer
+    let good = Arc::new(assemble("add r0, #5, r1\n halt\n").unwrap());
     m.load_user_program(0, 0, &bad).unwrap();
     m.load_user_program(0, 1, &good).unwrap();
     m.run_until_halt(10_000).unwrap();

@@ -13,7 +13,7 @@ fn facade_reexports_resolve() {
     assert_eq!(w.word.bits(), 0);
     let origin = m_machine::net::message::NodeCoord::new(0, 0, 0);
     assert_eq!((origin.x, origin.y, origin.z), (0, 0, 0));
-    assert!(m_machine::sim::NUM_CLUSTERS >= 1);
+    assert_eq!(m_machine::sim::NUM_CLUSTERS, 4);
     let _cfg = m_machine::sim::NodeConfig::default();
     let kernel = m_machine::runtime::stencil_kernel(6, 1);
     assert!(!kernel.programs.is_empty());
@@ -27,8 +27,10 @@ fn facade_reexports_resolve() {
 fn small_machine_builds_and_halts() {
     let mut m = MMachine::build(MachineConfig::small()).expect("small config builds");
     let node = m.node_ids()[0];
-    let prog = m_machine::isa::assemble("add r0, #35, r1\n add r1, #7, r1\n halt\n")
-        .expect("probe assembles");
+    let prog = std::sync::Arc::new(
+        m_machine::isa::assemble("add r0, #35, r1\n add r1, #7, r1\n halt\n")
+            .expect("probe assembles"),
+    );
     m.load_user_program(node, 0, &prog).expect("user slot 0 loads");
     m.run_until_halt(10_000).expect("machine halts");
     assert_eq!(m.user_reg(node, 0, 0, 1).expect("register reads").bits(), 42);

@@ -3,6 +3,7 @@
 //! receiving side — and the data lands in remote memory.
 
 use m_machine::isa::{assemble, Perm, Reg, Word};
+use std::sync::Arc;
 use m_machine::machine::{MMachine, MachineConfig};
 
 #[test]
@@ -12,7 +13,7 @@ fn fig7_remote_store_code_runs() {
     // Fig. 7(a): LOAD A[0], MC1 ; SEND Raddr, Rdip, #1.
     // (Our `mov` stands in for the LOAD of A[0] — the value is in a
     // register either way; the SEND is identical.)
-    let sender = assemble("mov #99, mc1\n send r10, r11, #1\n halt\n").unwrap();
+    let sender = Arc::new(assemble("mov #99, mc1\n send r10, r11, #1\n halt\n").unwrap());
     let target = m.home_va(1, 1);
     m.load_user_program(0, 0, &sender).unwrap();
     m.set_user_reg(
@@ -51,7 +52,7 @@ fn fig7_remote_store_code_runs() {
 #[test]
 fn illegal_dip_faults_before_sending() {
     let mut m = MMachine::build(MachineConfig::small()).unwrap();
-    let sender = assemble("send r10, r11, #0\n halt\n").unwrap();
+    let sender = Arc::new(assemble("send r10, r11, #0\n halt\n").unwrap());
     m.load_user_program(0, 0, &sender).unwrap();
     m.set_user_reg(
         0,
