@@ -49,7 +49,11 @@ fn print_fig5() {
         "stencil", "threads", "depth(pap)", "depth(sim)", "cycles", "correct"
     );
     for r in fig5() {
-        let name = if r.neighbours == 6 { "7-point" } else { "27-point" };
+        let name = if r.neighbours == 6 {
+            "7-point"
+        } else {
+            "27-point"
+        };
         let paper = r
             .depth_paper
             .map_or_else(|| "-".to_owned(), |d| d.to_string());
@@ -81,10 +85,7 @@ fn print_fig6() {
 
 fn print_interleave() {
     println!("== Fig. 4 semantics: V-Thread interleaving masks FP latency ==");
-    println!(
-        "{:>9} {:>8} {:>12}",
-        "V-Threads", "cycles", "FP ops/cycle"
-    );
+    println!("{:>9} {:>8} {:>12}", "V-Threads", "cycles", "FP ops/cycle");
     for r in interleave() {
         println!("{:>9} {:>8} {:>12.3}", r.vthreads, r.cycles, r.throughput);
     }

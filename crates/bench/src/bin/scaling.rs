@@ -1,16 +1,23 @@
-//! Weak-scaling driver for the quiescence-aware cycle engine.
+//! Weak-scaling driver for the quiescence-aware cycle engine and its
+//! parallel sharding.
 //!
 //! ```text
-//! cargo run -p mm-bench --release --bin scaling             # 2×1×1 … 8×8×8
-//! cargo run -p mm-bench --release --bin scaling -- --smoke  # CI: 2×2×1 only
+//! cargo run -p mm-bench --release --bin scaling              # 2×1×1 … 8×8×8
+//! cargo run -p mm-bench --release --bin scaling -- --smoke   # CI: 2×2×1 only
+//! cargo run -p mm-bench --release --bin scaling -- --workers 2
 //! ```
 //!
-//! Prints cycles simulated, wall-clock time and cycles/sec for each
-//! mesh size, compares the engine against the dense `naive_step` loop
-//! on an idle-heavy workload, and records everything in
-//! `BENCH_scaling.json`.
+//! Each mesh runs under the serial engine and the parallel engine
+//! (`--workers N` pins the pool; default auto-detects from the host),
+//! asserting the two produce identical stats. The busy-traffic section
+//! is the parallel engine's headline: all nodes awake every cycle, so
+//! the quiescence win is zero and any speedup is host parallelism.
+//! Everything lands in `BENCH_scaling.json`.
 
-use mm_bench::scaling::{idle_heavy_comparison, run_mesh, IdleHeavyResult, ScalingPoint, ROUNDS};
+use mm_bench::scaling::{
+    busy_traffic_comparison, idle_heavy_comparison, run_mesh, BusyTrafficResult, IdleHeavyResult,
+    ScalingPoint, ROUNDS,
+};
 use std::fmt::Write as _;
 
 /// Full sweep: 2 → 512 nodes, doubling one dimension at a time.
@@ -35,7 +42,9 @@ fn json_points(points: &[ScalingPoint]) -> String {
         let _ = writeln!(
             out,
             "    {{\"dims\": \"{}x{}x{}\", \"nodes\": {}, \"cycles\": {}, \"wall_ms\": {:.3}, \
-             \"cycles_per_sec\": {:.0}, \"instructions\": {}, \"messages\": {}}}{}",
+             \"cycles_per_sec\": {:.0}, \"parallel_workers\": {}, \"parallel_wall_ms\": {:.3}, \
+             \"parallel_cycles_per_sec\": {:.0}, \"parallel_speedup\": {:.2}, \
+             \"stats_match\": {}, \"instructions\": {}, \"messages\": {}}}{}",
             p.dims.0,
             p.dims.1,
             p.dims.2,
@@ -43,6 +52,11 @@ fn json_points(points: &[ScalingPoint]) -> String {
             p.cycles,
             p.wall_ms,
             p.cycles_per_sec,
+            p.parallel_workers,
+            p.parallel_wall_ms,
+            p.parallel_cycles_per_sec,
+            p.parallel_speedup,
+            p.stats_match,
             p.instructions,
             p.messages,
             if k + 1 == points.len() { "" } else { "," }
@@ -67,27 +81,78 @@ fn json_idle(r: &IdleHeavyResult) -> String {
     )
 }
 
+fn json_busy(r: &BusyTrafficResult) -> String {
+    format!(
+        "  \"busy_traffic\": {{\"dims\": \"{}x{}x{}\", \"nodes\": {}, \"iters\": {}, \
+         \"cycles\": {}, \"workers\": {}, \"serial_wall_ms\": {:.3}, \
+         \"parallel_wall_ms\": {:.3}, \"speedup\": {:.2}, \"stats_match\": {}}}",
+        r.dims.0,
+        r.dims.1,
+        r.dims.2,
+        r.nodes,
+        r.iters,
+        r.cycles,
+        r.workers,
+        r.serial_wall_ms,
+        r.parallel_wall_ms,
+        r.speedup,
+        r.stats_match
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let workers: Option<usize> = args.iter().position(|a| a == "--workers").map(|k| {
+        args.get(k + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--workers takes a positive integer")
+    });
     let meshes = if smoke { SMOKE_MESHES } else { MESHES };
     let horizon = if smoke { 10_000 } else { 60_000 };
+    let (busy_dims, busy_iters) = if smoke {
+        ((2, 2, 1), 32)
+    } else {
+        ((8, 8, 8), 128)
+    };
 
-    println!("M-Machine weak scaling — remote-store + synchronizing ping-pong, {ROUNDS} rounds/pair\n");
     println!(
-        "{:<8} {:>6} {:>9} {:>10} {:>14}",
-        "mesh", "nodes", "cycles", "wall(ms)", "cycles/sec"
+        "M-Machine weak scaling — remote-store + synchronizing ping-pong, {ROUNDS} rounds/pair"
+    );
+    println!(
+        "parallel engine: {} workers\n",
+        workers.map_or_else(|| "auto".to_owned(), |w| w.to_string())
+    );
+    println!(
+        "{:<8} {:>6} {:>9} {:>10} {:>14} {:>4} {:>12} {:>8} {:>6}",
+        "mesh",
+        "nodes",
+        "cycles",
+        "wall(ms)",
+        "cycles/sec",
+        "wrk",
+        "par-wall(ms)",
+        "par-spd",
+        "match"
     );
     let mut points = Vec::new();
     for &dims in meshes {
-        let p = run_mesh(dims, ROUNDS);
+        let p = run_mesh(dims, ROUNDS, workers);
         println!(
-            "{:<8} {:>6} {:>9} {:>10.2} {:>14.0}",
+            "{:<8} {:>6} {:>9} {:>10.2} {:>14.0} {:>4} {:>12.2} {:>7.2}x {:>6}",
             format!("{}x{}x{}", dims.0, dims.1, dims.2),
             p.nodes,
             p.cycles,
             p.wall_ms,
-            p.cycles_per_sec
+            p.cycles_per_sec,
+            p.parallel_workers,
+            p.parallel_wall_ms,
+            p.parallel_speedup,
+            p.stats_match
+        );
+        assert!(
+            p.stats_match,
+            "parallel engine diverged from serial on {dims:?}"
         );
         points.push(p);
     }
@@ -108,11 +173,31 @@ fn main() {
     );
     assert!(idle.stats_match, "engine diverged from the dense loop");
 
+    println!(
+        "\n== busy-traffic {}x{}x{} ({} iters/node): serial engine vs parallel engine ==",
+        busy_dims.0, busy_dims.1, busy_dims.2, busy_iters
+    );
+    let busy = busy_traffic_comparison(busy_dims, busy_iters, workers);
+    println!(
+        "serial  : {:>10.2} ms   ({} cycles)",
+        busy.serial_wall_ms, busy.cycles
+    );
+    println!(
+        "parallel: {:>10.2} ms   ({} workers)",
+        busy.parallel_wall_ms, busy.workers
+    );
+    println!(
+        "speedup: {:.2}x  (identical MachineStats: {})",
+        busy.speedup, busy.stats_match
+    );
+    assert!(busy.stats_match, "parallel engine diverged on busy traffic");
+
     let json = format!(
         "{{\n  \"scenario\": \"weak-scaling remote-store + synchronizing ping-pong\",\n  \
-         \"rounds_per_pair\": {ROUNDS},\n{},\n{}\n}}\n",
+         \"rounds_per_pair\": {ROUNDS},\n{},\n{},\n{}\n}}\n",
         json_points(&points),
-        json_idle(&idle)
+        json_idle(&idle),
+        json_busy(&busy)
     );
     std::fs::write("BENCH_scaling.json", &json).expect("write BENCH_scaling.json");
     println!("\nwrote BENCH_scaling.json");

@@ -251,7 +251,7 @@ pub fn fig9(write: bool) -> Vec<Fig9Phase> {
             node: 0,
             paper: 4,
             measured: rel(
-                tl.first_cycle(|p| matches!(p, Phase::EventEnqueued { node: 0, class: 1 })),
+                tl.first_cycle(|p| matches!(p, Phase::EventEnqueued { node: 0, class: 1 }))
             ),
         },
         Fig9Phase {
@@ -603,9 +603,7 @@ pub fn throttle_ablation() -> ThrottleAblation {
         let prog = Arc::new(assemble(&src).expect("flood assembles"));
         m.load_user_program(0, 0, &prog).expect("slot");
         let target = m.home_va(1, 3);
-        let ptr = m
-            .make_ptr(mm_isa::Perm::ReadWrite, 0, target)
-            .expect("ptr");
+        let ptr = m.make_ptr(mm_isa::Perm::ReadWrite, 0, target).expect("ptr");
         m.set_user_reg(0, 0, 0, Reg::Int(10), ptr);
         let dip = m.image().write_dip;
         m.set_user_reg(0, 0, 0, Reg::Int(11), dip);

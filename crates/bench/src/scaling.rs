@@ -16,6 +16,13 @@
 //! flat from 2×1×1 to 8×8×8 (512 nodes) — the interesting number is
 //! wall-clock cycles/sec as the mesh grows, which is exactly what the
 //! engine's quiescent-node skipping is for.
+//!
+//! Every mesh size runs twice — serial engine vs. parallel engine —
+//! and the two runs' [`MachineStats`] are diffed; the parallel engine
+//! is only allowed to change wall-clock, never results. The
+//! [`busy_traffic_comparison`] scenario is the parallel engine's
+//! showcase: all nodes computing and messaging every cycle, where
+//! quiescence-skipping cannot help and host threads must.
 
 use mm_core::machine::{MMachine, MachineConfig, MachineStats};
 use mm_isa::assemble;
@@ -31,7 +38,8 @@ pub const ROUNDS: u64 = 4;
 /// Cycle budget for one weak-scaling run.
 pub const RUN_LIMIT: u64 = 500_000;
 
-/// One mesh size's measurement.
+/// One mesh size's measurement: the same scenario under the serial and
+/// the parallel engine.
 #[derive(Debug, Clone)]
 pub struct ScalingPoint {
     /// Mesh dimensions.
@@ -40,10 +48,21 @@ pub struct ScalingPoint {
     pub nodes: usize,
     /// Cycles simulated (to halt + drain).
     pub cycles: u64,
-    /// Wall-clock milliseconds for the run.
+    /// Serial-engine wall-clock milliseconds for the run.
     pub wall_ms: f64,
-    /// Simulated cycles per wall-clock second.
+    /// Serial-engine simulated cycles per wall-clock second.
     pub cycles_per_sec: f64,
+    /// Worker threads the parallel run resolved to (1 = this mesh is
+    /// too small to shard, or the host has one core).
+    pub parallel_workers: usize,
+    /// Parallel-engine wall-clock milliseconds.
+    pub parallel_wall_ms: f64,
+    /// Parallel-engine cycles per wall-clock second.
+    pub parallel_cycles_per_sec: f64,
+    /// `parallel_cycles_per_sec / cycles_per_sec`.
+    pub parallel_speedup: f64,
+    /// Did serial and parallel produce identical [`MachineStats`]?
+    pub stats_match: bool,
     /// Instructions issued machine-wide.
     pub instructions: u64,
     /// Messages sent machine-wide.
@@ -142,14 +161,29 @@ fn workload(rounds: u64) -> Workload {
 /// (both are scenario bugs).
 #[must_use]
 pub fn build_scenario(dims: (u8, u8, u8), rounds: u64) -> MMachine {
-    let mut m = MMachine::build(scenario_config(dims)).expect("scenario config is valid");
+    build_scenario_with(dims, rounds, Some(1))
+}
+
+/// [`build_scenario`] pinned to a worker count (`None` = auto-detect).
+///
+/// # Panics
+///
+/// As [`build_scenario`].
+#[must_use]
+pub fn build_scenario_with(dims: (u8, u8, u8), rounds: u64, workers: Option<usize>) -> MMachine {
+    let mut cfg = scenario_config(dims);
+    cfg.engine.workers = workers;
+    let mut m = MMachine::build(cfg).expect("scenario config is valid");
     let n = m.node_count();
-    assert!(n.is_multiple_of(2), "scenario pairs nodes; mesh must be even-sized");
+    assert!(
+        n.is_multiple_of(2),
+        "scenario pairs nodes; mesh must be even-sized"
+    );
     let w = workload(rounds);
     let sync_dip = m.image().write_sync_dip;
     for i in 0..n {
         let partner = i ^ 1; // the x-neighbour (linear index is x-fastest)
-        // Slot 0: the synchronizing ping-pong.
+                             // Slot 0: the synchronizing ping-pong.
         let prog = if i % 2 == 0 { &w.ping } else { &w.pong };
         m.load_user_program(i, 0, prog).expect("slot 0 loads");
         let own_flag = m.home_va(i, 1);
@@ -171,37 +205,146 @@ pub fn build_scenario(dims: (u8, u8, u8), rounds: u64) -> MMachine {
     m
 }
 
-/// Run the weak-scaling scenario on one mesh size under the quiescence
-/// engine and measure throughput.
+/// Run one configured scenario machine to halt, returning wall seconds
+/// and final stats.
+fn timed_run(mut m: MMachine) -> (f64, MachineStats) {
+    let t0 = Instant::now();
+    m.run_until_halt(RUN_LIMIT)
+        .expect("scaling scenario completes");
+    let wall = t0.elapsed().as_secs_f64();
+    assert!(
+        m.faulted_threads().is_empty(),
+        "scenario faulted: {:?}",
+        m.faulted_threads()
+    );
+    (wall, m.stats())
+}
+
+/// Run the weak-scaling scenario on one mesh size under the serial
+/// engine *and* the parallel engine (`workers = None` auto-detects),
+/// measure both and diff their stats.
 ///
 /// # Panics
 ///
 /// Panics if the scenario fails to complete within [`RUN_LIMIT`] cycles
 /// or any thread faults.
 #[must_use]
-pub fn run_mesh(dims: (u8, u8, u8), rounds: u64) -> ScalingPoint {
-    let mut m = build_scenario(dims, rounds);
-    let t0 = Instant::now();
-    m.run_until_halt(RUN_LIMIT)
-        .expect("weak-scaling scenario completes");
-    let wall = t0.elapsed();
-    assert!(
-        m.faulted_threads().is_empty(),
-        "scenario faulted: {:?}",
-        m.faulted_threads()
-    );
-    let stats = m.stats();
-    let wall_ms = wall.as_secs_f64() * 1e3;
+pub fn run_mesh(dims: (u8, u8, u8), rounds: u64, workers: Option<usize>) -> ScalingPoint {
+    let (serial_wall, serial_stats) = timed_run(build_scenario_with(dims, rounds, Some(1)));
+    let parallel = build_scenario_with(dims, rounds, workers);
+    let parallel_workers = parallel.workers();
+    let nodes = parallel.node_count();
+    let (parallel_wall, parallel_stats) = timed_run(parallel);
     #[allow(clippy::cast_precision_loss)]
-    let cycles_per_sec = stats.cycles as f64 / wall.as_secs_f64();
+    let cycles_per_sec = serial_stats.cycles as f64 / serial_wall;
+    #[allow(clippy::cast_precision_loss)]
+    let parallel_cycles_per_sec = parallel_stats.cycles as f64 / parallel_wall;
     ScalingPoint {
         dims,
-        nodes: m.node_count(),
-        cycles: stats.cycles,
-        wall_ms,
+        nodes,
+        cycles: serial_stats.cycles,
+        wall_ms: serial_wall * 1e3,
         cycles_per_sec,
-        instructions: stats.instructions,
-        messages: stats.messages,
+        parallel_workers,
+        parallel_wall_ms: parallel_wall * 1e3,
+        parallel_cycles_per_sec,
+        parallel_speedup: parallel_cycles_per_sec / cycles_per_sec,
+        stats_match: serial_stats == parallel_stats,
+        instructions: serial_stats.instructions,
+        messages: serial_stats.messages,
+    }
+}
+
+/// Serial-vs-parallel comparison on the busy-traffic scenario.
+#[derive(Debug, Clone)]
+pub struct BusyTrafficResult {
+    /// Mesh dimensions.
+    pub dims: (u8, u8, u8),
+    /// Node count.
+    pub nodes: usize,
+    /// Compute/store iterations per node.
+    pub iters: u64,
+    /// Cycles simulated (identical in both runs when `stats_match`).
+    pub cycles: u64,
+    /// Worker threads the parallel run resolved to.
+    pub workers: usize,
+    /// Serial-engine wall-clock milliseconds.
+    pub serial_wall_ms: f64,
+    /// Parallel-engine wall-clock milliseconds.
+    pub parallel_wall_ms: f64,
+    /// `serial_wall_ms / parallel_wall_ms`.
+    pub speedup: f64,
+    /// Did both engines produce identical [`MachineStats`]?
+    pub stats_match: bool,
+}
+
+/// Build the busy-traffic scenario: every node runs `iters` iterations
+/// of a dependent integer chain plus one remote store to its partner's
+/// home page — all nodes awake essentially every cycle, so quiescence
+/// skipping cannot help and the node phase dominates. This is the
+/// workload host-level parallelism is for.
+///
+/// # Panics
+///
+/// Panics if the mesh has an odd node count or a program fails to load.
+#[must_use]
+pub fn build_busy_scenario(dims: (u8, u8, u8), iters: u64, workers: Option<usize>) -> MMachine {
+    let mut cfg = scenario_config(dims);
+    cfg.engine.workers = workers;
+    let mut m = MMachine::build(cfg).expect("scenario config is valid");
+    let n = m.node_count();
+    assert!(
+        n.is_multiple_of(2),
+        "scenario pairs nodes; mesh must be even-sized"
+    );
+    let busy = Arc::new(
+        assemble(&format!(
+            "loop:\n\
+             \tadd r5, #1, r5\n\
+             \tadd r6, r5, r6\n\
+             \tadd r7, r6, r7\n\
+             \tst r5, [r8]\n\
+             \teq r5, #{iters}, gcc1\n\
+             \tbrf gcc1, loop\n\
+             \thalt\n"
+        ))
+        .expect("busy program assembles"),
+    );
+    for i in 0..n {
+        let partner = i ^ 1;
+        m.load_user_program(i, 0, &busy).expect("slot 0 loads");
+        m.set_user_reg(i, 0, 0, Reg::Int(8), m.home_ptr(partner, 0));
+    }
+    m
+}
+
+/// Run the busy-traffic scenario serial then parallel and compare.
+///
+/// # Panics
+///
+/// As [`build_busy_scenario`]; also if either run exceeds
+/// [`RUN_LIMIT`] cycles.
+#[must_use]
+pub fn busy_traffic_comparison(
+    dims: (u8, u8, u8),
+    iters: u64,
+    workers: Option<usize>,
+) -> BusyTrafficResult {
+    let (serial_wall, serial_stats) = timed_run(build_busy_scenario(dims, iters, Some(1)));
+    let parallel = build_busy_scenario(dims, iters, workers);
+    let resolved = parallel.workers();
+    let nodes = parallel.node_count();
+    let (parallel_wall, parallel_stats) = timed_run(parallel);
+    BusyTrafficResult {
+        dims,
+        nodes,
+        iters,
+        cycles: serial_stats.cycles,
+        workers: resolved,
+        serial_wall_ms: serial_wall * 1e3,
+        parallel_wall_ms: parallel_wall * 1e3,
+        speedup: serial_wall / parallel_wall,
+        stats_match: serial_stats == parallel_stats,
     }
 }
 
@@ -243,15 +386,25 @@ mod tests {
 
     #[test]
     fn two_by_two_scenario_completes() {
-        let p = run_mesh((2, 2, 1), 2);
+        let p = run_mesh((2, 2, 1), 2, Some(2));
         assert_eq!(p.nodes, 4);
+        assert_eq!(p.parallel_workers, 2);
         assert!(p.cycles > 0 && p.cycles < RUN_LIMIT);
         assert!(p.messages > 0, "scenario must exercise the fabric");
+        assert!(p.stats_match, "serial and parallel engines disagreed");
     }
 
     #[test]
     fn idle_heavy_paths_agree() {
         let r = idle_heavy_comparison(5_000, 2);
         assert!(r.stats_match, "dense loop and engine disagreed");
+    }
+
+    #[test]
+    fn busy_traffic_engines_agree() {
+        let r = busy_traffic_comparison((2, 2, 1), 16, Some(2));
+        assert_eq!(r.workers, 2);
+        assert!(r.cycles > 0 && r.cycles < RUN_LIMIT);
+        assert!(r.stats_match, "serial and parallel engines disagreed");
     }
 }

@@ -169,10 +169,7 @@ impl CoherenceEngine {
                     touched.push(g.node);
                     // If the bank is busy, retry next cycle.
                     if let Err(_req) = nodes[g.node].firmware_restart(req) {
-                        self.pending.push(PendingGrant {
-                            due: now + 1,
-                            ..g
-                        });
+                        self.pending.push(PendingGrant { due: now + 1, ..g });
                     }
                 }
             } else {
@@ -270,10 +267,7 @@ impl CoherenceEngine {
         for k in 0..BLOCK_WORDS {
             let va = block_va + k;
             if let Some(w) = nodes[owner].mem.peek_va(va) {
-                let pa = nodes[home]
-                    .mem
-                    .translate(va)
-                    .expect("home page mapped");
+                let pa = nodes[home].mem.translate(va).expect("home page mapped");
                 nodes[home].mem.poke_phys(pa, w);
             }
         }
@@ -353,7 +347,13 @@ impl CoherenceEngine {
         Self::set_status_local(nodes, requester, vpn, block, status);
     }
 
-    fn set_status_local(nodes: &mut [Node], node: usize, vpn: u64, block: u64, status: BlockStatus) {
+    fn set_status_local(
+        nodes: &mut [Node],
+        node: usize,
+        vpn: u64,
+        block: u64,
+        status: BlockStatus,
+    ) {
         if let Some(e) = nodes[node].mem.ltlb_entry_mut(vpn) {
             e.set_block_status(block, status);
         }

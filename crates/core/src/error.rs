@@ -23,7 +23,10 @@ impl fmt::Display for MachineError {
         match self {
             MachineError::BadConfig(s) => write!(f, "bad machine configuration: {s}"),
             MachineError::Timeout { limit, at } => {
-                write!(f, "run did not finish within {limit} cycles (at cycle {at})")
+                write!(
+                    f,
+                    "run did not finish within {limit} cycles (at cycle {at})"
+                )
             }
             MachineError::Asm(e) => write!(f, "assembly failed: {e}"),
         }
@@ -51,7 +54,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(MachineError::BadConfig("x".into()).to_string().contains("x"));
+        assert!(MachineError::BadConfig("x".into())
+            .to_string()
+            .contains("x"));
         let t = MachineError::Timeout { limit: 5, at: 9 };
         assert!(t.to_string().contains('5'));
     }

@@ -25,6 +25,7 @@
 pub mod coherence;
 pub mod error;
 pub mod machine;
+mod shard;
 pub mod timeline;
 
 pub use coherence::{CoherenceConfig, CoherenceEngine, CoherenceStats};

@@ -2,6 +2,7 @@
 
 use crate::coherence::{CoherenceConfig, CoherenceEngine, CoherenceStats};
 use crate::error::MachineError;
+use crate::shard::{step_shard, NodeSched, WorkerPool};
 use crate::timeline::{PacketKind, Phase, Timeline};
 use mm_isa::instr::Program;
 use mm_isa::pointer::{GuardedPointer, Perm};
@@ -11,7 +12,7 @@ use mm_net::fabric::{Fabric, FabricConfig, FabricStats};
 use mm_net::gtlb::GLOBAL_PAGE_WORDS;
 use mm_net::message::{Message, NodeCoord, Packet};
 use mm_runtime::image::{boot_node, BootInfo, BootSpec, RuntimeImage};
-use mm_sim::{HState, Node, NodeConfig, NUM_CLUSTERS, USER_SLOTS};
+use mm_sim::{EngineConfig, HState, Node, NodeConfig, NUM_CLUSTERS, USER_SLOTS};
 use std::sync::Arc;
 
 /// Machine-wide configuration.
@@ -35,6 +36,10 @@ pub struct MachineConfig {
     pub coherence: CoherenceConfig,
     /// Record phase events into the timeline.
     pub trace: bool,
+    /// Host-side engine configuration (worker threads for the parallel
+    /// node phase). Purely a wall-clock knob: simulated results are
+    /// bit-identical for every worker count.
+    pub engine: EngineConfig,
 }
 
 impl Default for MachineConfig {
@@ -57,6 +62,7 @@ impl MachineConfig {
             resend_delay: 32,
             coherence: CoherenceConfig::default(),
             trace: true,
+            engine: EngineConfig::default(),
         }
     }
 
@@ -85,26 +91,6 @@ pub struct MachineStats {
     pub coherence: CoherenceStats,
 }
 
-/// Per-node scheduling state of the quiescence engine.
-///
-/// A node is either *awake* — it made progress last step (or an
-/// external input just arrived) and must be stepped every processed
-/// cycle until it proves itself blocked — or *asleep* with an optional
-/// `deadline` from [`Node::next_activity`]. Sleeping nodes are skipped
-/// entirely inside busy cycles; when every component sleeps, the global
-/// clock fast-forwards to the earliest deadline.
-#[derive(Debug, Clone)]
-struct NodeSched {
-    /// Step this node at the next processed cycle.
-    awake: bool,
-    /// Earliest self-scheduled work while asleep (`None` = fully inert
-    /// until an external wake-up).
-    deadline: Option<u64>,
-    /// The node holds class-0 event records the coherence firmware must
-    /// drain this cycle.
-    class0: bool,
-}
-
 /// The whole multicomputer.
 #[derive(Debug)]
 pub struct MMachine {
@@ -121,6 +107,8 @@ pub struct MMachine {
     halted_seen: Vec<[[bool; 6]; NUM_CLUSTERS]>,
     sched: Vec<NodeSched>,
     stepped_buf: Vec<usize>,
+    /// Shard workers for the parallel node phase (`None` = serial).
+    pool: Option<WorkerPool>,
     cycle: u64,
 }
 
@@ -171,6 +159,7 @@ impl MMachine {
             loopback_latency: cfg.hop_latency,
         });
         let n = nodes.len();
+        let workers = cfg.engine.resolved_workers(n);
         Ok(MMachine {
             coherence: CoherenceEngine::new(cfg.coherence, n),
             spec,
@@ -184,18 +173,18 @@ impl MMachine {
             halted_seen: vec![[[false; 6]; NUM_CLUSTERS]; n],
             // Everything starts awake; nodes prove themselves quiescent
             // on their first no-progress step.
-            sched: vec![
-                NodeSched {
-                    awake: true,
-                    deadline: None,
-                    class0: false,
-                };
-                n
-            ],
+            sched: vec![NodeSched::awake(); n],
             stepped_buf: Vec::with_capacity(n),
+            pool: (workers > 1).then(|| WorkerPool::spawn(workers)),
             cycle: 0,
             cfg,
         })
+    }
+
+    /// Worker threads the engine runs the node phase on (1 = serial).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.pool.as_ref().map_or(1, WorkerPool::workers)
     }
 
     /// Nodes in the machine.
@@ -436,33 +425,22 @@ impl MMachine {
     /// exactly the components that can act. Cycle-exact with
     /// [`MMachine::naive_step`] by construction: a skipped node's step
     /// would have been a no-op, and every skipped phase had no input.
+    ///
+    /// With a worker pool, phase 1 (the node/memory ticks — the only
+    /// phase that touches no cross-node state) runs sharded across the
+    /// pool; every later phase runs on this thread after the pool's
+    /// barrier, with cross-shard traffic merged in node-index order.
+    /// See the `shard` module for the determinism argument.
     fn step_cycle(&mut self, now: u64) {
         debug_assert_eq!(self.cycle, now, "step_cycle processes the current cycle");
 
         // 1. Awake and due nodes compute; quiescent nodes are skipped.
         let mut stepped = std::mem::take(&mut self.stepped_buf);
         stepped.clear();
-        let mut any_class0 = false;
-        for i in 0..self.nodes.len() {
-            let s = &self.sched[i];
-            if !(s.awake || s.deadline.is_some_and(|d| d <= now)) {
-                any_class0 |= s.class0;
-                continue;
-            }
-            let progressed = self.nodes[i].step(now);
-            if progressed {
-                self.sched[i].awake = true;
-                self.sched[i].deadline = None;
-            } else {
-                self.sched[i].awake = false;
-                // The Tick contract: `now` was just processed without
-                // progress, so the node may sleep until this deadline.
-                self.sched[i].deadline = mm_sim::Tick::next_activity(&self.nodes[i], now);
-            }
-            self.sched[i].class0 = self.nodes[i].event_records_queued(0) > 0;
-            any_class0 |= self.sched[i].class0;
-            stepped.push(i);
-        }
+        let any_class0 = match &mut self.pool {
+            Some(pool) => pool.step_shards(&mut self.nodes, &mut self.sched, now, &mut stepped),
+            None => step_shard(&mut self.nodes, &mut self.sched, 0, now, &mut stepped),
+        };
 
         // 2. Firmware coherence (class-0 events), when records are
         // queued or a scheduled grant falls due.
@@ -483,12 +461,16 @@ impl MMachine {
         // 3. Drain outboxes into the fabric. Only stepped nodes can have
         // staged packets (sends happen in `Node::step`; resends wake the
         // node first), so the ascending `stepped` walk preserves the
-        // dense loop's injection order.
+        // dense loop's injection order. This is the parallel engine's
+        // ordering barrier: packets staged concurrently in per-node
+        // outboxes during phase 1 reach the fabric here in node-index
+        // order, never in worker-completion order.
         for &i in &stepped {
-            for p in self.nodes[i].net.take_outbox() {
-                self.trace_packet(now, i, &p, true);
-                self.fabric.inject(now, p);
+            let staged = self.nodes[i].net.take_outbox();
+            for p in &staged {
+                self.trace_packet(now, i, p, true);
             }
+            self.fabric.inject_all(now, staged);
         }
 
         // 4. Deliver due packets (responses may stage more packets); a
@@ -497,10 +479,11 @@ impl MMachine {
             let d = self.spec.linear_index(p.dest()) as usize;
             self.trace_packet(now, d, &p, false);
             self.nodes[d].net.deliver(p);
-            for out in self.nodes[d].net.take_outbox() {
-                self.trace_packet(now, d, &out, true);
-                self.fabric.inject(now, out);
+            let staged = self.nodes[d].net.take_outbox();
+            for out in &staged {
+                self.trace_packet(now, d, out, true);
             }
+            self.fabric.inject_all(now, staged);
             self.wake_node(d);
         }
 
@@ -585,10 +568,11 @@ impl MMachine {
 
         // 3. Drain outboxes into the fabric.
         for i in 0..self.nodes.len() {
-            for p in self.nodes[i].net.take_outbox() {
-                self.trace_packet(now, i, &p, true);
-                self.fabric.inject(now, p);
+            let staged = self.nodes[i].net.take_outbox();
+            for p in &staged {
+                self.trace_packet(now, i, p, true);
             }
+            self.fabric.inject_all(now, staged);
         }
 
         // 4. Deliver due packets (responses may stage more packets).
@@ -596,10 +580,11 @@ impl MMachine {
             let d = self.spec.linear_index(p.dest()) as usize;
             self.trace_packet(now, d, &p, false);
             self.nodes[d].net.deliver(p);
-            for out in self.nodes[d].net.take_outbox() {
-                self.trace_packet(now, d, &out, true);
-                self.fabric.inject(now, out);
+            let staged = self.nodes[d].net.take_outbox();
+            for out in &staged {
+                self.trace_packet(now, d, out, true);
             }
+            self.fabric.inject_all(now, staged);
         }
 
         // 5. Returned messages: hardware backoff, then re-inject.

@@ -1,0 +1,364 @@
+//! Deterministic parallel execution of the node phase.
+//!
+//! A busy cycle of [`MMachine`](crate::machine::MMachine) has six
+//! phases; the first — every awake node's compute + memory-system tick
+//! — dominates on large meshes and touches nothing but the node's own
+//! state ([`Node`] owns its `MemorySystem` and `NodeNet`, so there is no
+//! shared mutable aliasing between nodes). The machine therefore shards
+//! the node array across a persistent pool of worker threads and runs
+//! phase 1 in parallel. Everything that crosses node boundaries —
+//! coherence firmware, fabric injection and delivery, resend backoff,
+//! trace bookkeeping — stays on the driving thread behind a per-cycle
+//! barrier.
+//!
+//! ## Determinism argument
+//!
+//! The parallel engine is bit-identical to the serial engine (and hence
+//! to the dense `naive_step` loop) for every worker count because:
+//!
+//! 1. **Node steps are independent.** [`step_shard`] mutates only the
+//!    nodes and scheduler slots of its own contiguous index range; two
+//!    shards share no state, so the interleaving of workers cannot be
+//!    observed.
+//! 2. **Both engines run the same loop.** The serial engine calls
+//!    [`step_shard`] once over the whole array; the parallel engine
+//!    calls it once per shard. Same code, same per-node effects.
+//! 3. **Cross-shard traffic is merged in node-index order.** Packets
+//!    staged during parallel node steps accumulate in per-node
+//!    outboxes; after the barrier the driving thread drains them into
+//!    the fabric walking the stepped list, which is the concatenation
+//!    of the shards' ascending index lists in shard order — exactly the
+//!    serial engine's ascending walk. Fabric link arbitration and
+//!    delivery order therefore never depend on worker timing.
+//!
+//! The three-way differential proptest harness
+//! (`crates/core/tests/differential.rs`) checks this end to end: dense
+//! loop vs. serial engine vs. parallel engine at 1, 2 and 4 workers
+//! must agree on stats, timelines, halt cycles and register files.
+
+use mm_sim::{Node, Tick};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// Per-node scheduling state of the quiescence engine.
+///
+/// A node is either *awake* — it made progress last step (or an
+/// external input just arrived) and must be stepped every processed
+/// cycle until it proves itself blocked — or *asleep* with an optional
+/// `deadline` from [`Node::next_activity`]. Sleeping nodes are skipped
+/// entirely inside busy cycles; when every component sleeps, the global
+/// clock fast-forwards to the earliest deadline.
+#[derive(Debug, Clone)]
+pub(crate) struct NodeSched {
+    /// Step this node at the next processed cycle.
+    pub(crate) awake: bool,
+    /// Earliest self-scheduled work while asleep (`None` = fully inert
+    /// until an external wake-up).
+    pub(crate) deadline: Option<u64>,
+    /// The node holds class-0 event records the coherence firmware must
+    /// drain this cycle.
+    pub(crate) class0: bool,
+}
+
+impl NodeSched {
+    /// The conservative boot/reset state: step at the next cycle.
+    pub(crate) fn awake() -> NodeSched {
+        NodeSched {
+            awake: true,
+            deadline: None,
+            class0: false,
+        }
+    }
+}
+
+/// Phase 1 of a busy cycle over one contiguous shard of the mesh:
+/// step every awake or due node, update its scheduler slot, and record
+/// the absolute indices stepped (ascending). Returns whether any node
+/// in the shard holds class-0 event records. This is the *single*
+/// implementation both engines run — the serial engine passes the whole
+/// node array, the parallel engine one disjoint chunk per worker — so
+/// cycle-exactness across engines holds by construction.
+pub(crate) fn step_shard(
+    nodes: &mut [Node],
+    sched: &mut [NodeSched],
+    base: usize,
+    now: u64,
+    stepped: &mut Vec<usize>,
+) -> bool {
+    debug_assert_eq!(nodes.len(), sched.len());
+    let mut any_class0 = false;
+    for (k, (node, s)) in nodes.iter_mut().zip(sched.iter_mut()).enumerate() {
+        if !(s.awake || s.deadline.is_some_and(|d| d <= now)) {
+            any_class0 |= s.class0;
+            continue;
+        }
+        let progressed = node.step(now);
+        if progressed {
+            s.awake = true;
+            s.deadline = None;
+        } else {
+            s.awake = false;
+            // The Tick contract: `now` was just processed without
+            // progress, so the node may sleep until this deadline.
+            s.deadline = Tick::next_activity(&*node, now);
+        }
+        s.class0 = node.event_records_queued(0) > 0;
+        any_class0 |= s.class0;
+        stepped.push(base + k);
+    }
+    any_class0
+}
+
+/// A raw base pointer smuggled to a worker thread.
+///
+/// Soundness rests on the dispatch protocol in
+/// [`WorkerPool::step_shards`]: each worker receives a disjoint
+/// `[start, start + len)` index range, touches only that range, and the
+/// dispatching thread blocks until every worker has reported done
+/// before using (or freeing) the underlying storage again.
+struct ShardPtr<T>(*mut T);
+
+impl<T> Clone for ShardPtr<T> {
+    fn clone(&self) -> ShardPtr<T> {
+        *self
+    }
+}
+impl<T> Copy for ShardPtr<T> {}
+
+// SAFETY: see the type-level comment — ranges are disjoint and the
+// sender joins the per-cycle barrier before reusing the memory.
+unsafe impl<T: Send> Send for ShardPtr<T> {}
+
+/// One cycle's work order for one worker.
+struct Job {
+    nodes: ShardPtr<Node>,
+    sched: ShardPtr<NodeSched>,
+    start: usize,
+    len: usize,
+    now: u64,
+    /// Recycled scratch buffer for the shard's stepped indices.
+    stepped: Vec<usize>,
+}
+
+/// A worker's barrier report.
+struct Done {
+    worker: usize,
+    stepped: Vec<usize>,
+    any_class0: bool,
+    /// The shard's panic payload, if it panicked — re-raised by the
+    /// dispatcher once the barrier has fully drained.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// A persistent pool of shard workers, one OS thread each, driven by a
+/// per-cycle dispatch/collect barrier. Spawned once at machine build
+/// (never per cycle — a busy cycle is microseconds) and joined on drop.
+pub(crate) struct WorkerPool {
+    jobs: Vec<Sender<Job>>,
+    done_rx: Receiver<Done>,
+    handles: Vec<JoinHandle<()>>,
+    /// Recycled shard scratch buffers (ping-pong through `Job`/`Done`,
+    /// so steady-state cycles allocate nothing).
+    bufs: Vec<Vec<usize>>,
+    /// Per-worker collection scratch, reused across cycles.
+    results: Vec<Option<(Vec<usize>, bool)>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.handles.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkerPool {
+    /// Spawn `workers` shard threads (callers pass a resolved count
+    /// ≥ 2; a count of 1 should use the serial path and no pool).
+    pub(crate) fn spawn(workers: usize) -> WorkerPool {
+        let (done_tx, done_rx) = channel();
+        let mut jobs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for k in 0..workers {
+            let (tx, rx) = channel::<Job>();
+            let done = done_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("mm-shard-{k}"))
+                .spawn(move || worker_loop(k, &rx, &done))
+                .expect("spawn shard worker");
+            jobs.push(tx);
+            handles.push(handle);
+        }
+        WorkerPool {
+            jobs,
+            done_rx,
+            handles,
+            bufs: Vec::new(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Worker threads in the pool.
+    pub(crate) fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Run phase 1 of cycle `now` in parallel: partition `nodes` (and
+    /// the matching `sched` slots) into contiguous per-worker chunks,
+    /// step them concurrently, and merge the shards' stepped-index
+    /// lists in shard order — i.e. ascending node order, identical to
+    /// the serial walk. Returns the machine-wide class-0 flag.
+    ///
+    /// Blocks until every dispatched worker reports back, so the raw
+    /// slices handed out never outlive this call.
+    pub(crate) fn step_shards(
+        &mut self,
+        nodes: &mut [Node],
+        sched: &mut [NodeSched],
+        now: u64,
+        stepped: &mut Vec<usize>,
+    ) -> bool {
+        let n = nodes.len();
+        debug_assert_eq!(n, sched.len());
+        let chunk = n.div_ceil(self.jobs.len()).max(1);
+        let nodes_ptr = ShardPtr(nodes.as_mut_ptr());
+        let sched_ptr = ShardPtr(sched.as_mut_ptr());
+        let mut sent = 0;
+        for tx in &self.jobs {
+            let start = sent * chunk;
+            if start >= n {
+                break;
+            }
+            tx.send(Job {
+                nodes: nodes_ptr,
+                sched: sched_ptr,
+                start,
+                len: chunk.min(n - start),
+                now,
+                stepped: self.bufs.pop().unwrap_or_default(),
+            })
+            .expect("shard worker alive");
+            sent += 1;
+        }
+        // Collect *every* outstanding shard before inspecting results:
+        // even on a worker panic we must not unwind (freeing the node
+        // array) while another worker still holds a slice into it.
+        self.results.clear();
+        self.results.resize_with(sent, || None);
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for _ in 0..sent {
+            let done = self.done_rx.recv().expect("shard worker alive");
+            panic = panic.or(done.panic);
+            self.results[done.worker] = Some((done.stepped, done.any_class0));
+        }
+        if let Some(payload) = panic {
+            // Re-raise the worker's own panic (assertion text, node
+            // index and all) now that no worker holds the raw slices.
+            std::panic::resume_unwind(payload);
+        }
+        let mut any_class0 = false;
+        for slot in self.results.drain(..) {
+            let (buf, class0) = slot.expect("every dispatched shard reports once");
+            stepped.extend_from_slice(&buf);
+            any_class0 |= class0;
+            self.bufs.push(buf);
+        }
+        any_class0
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Disconnect the job channels; workers fall out of their recv
+        // loop (no jobs are ever in flight here — `step_shards` always
+        // drains its own barrier before returning).
+        self.jobs.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(worker: usize, rx: &Receiver<Job>, done: &Sender<Done>) {
+    while let Ok(job) = rx.recv() {
+        let Job {
+            nodes,
+            sched,
+            start,
+            len,
+            now,
+            mut stepped,
+        } = job;
+        stepped.clear();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            // SAFETY: the dispatcher hands each worker a disjoint
+            // [start, start + len) range of live, len-checked arrays and
+            // blocks on the barrier until this job's Done lands, so the
+            // slices alias nothing and never dangle.
+            let nodes = unsafe { std::slice::from_raw_parts_mut(nodes.0.add(start), len) };
+            let sched = unsafe { std::slice::from_raw_parts_mut(sched.0.add(start), len) };
+            step_shard(nodes, sched, start, now, &mut stepped)
+        }));
+        let report = match result {
+            Ok(any_class0) => Done {
+                worker,
+                stepped,
+                any_class0,
+                panic: None,
+            },
+            Err(payload) => Done {
+                worker,
+                stepped: Vec::new(),
+                any_class0: false,
+                panic: Some(payload),
+            },
+        };
+        if done.send(report).is_err() {
+            // The machine is gone; nothing left to report to.
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The pool must survive (and the machine must keep working after)
+    /// many dispatch/collect barriers with fewer nodes than workers.
+    #[test]
+    fn pool_handles_more_workers_than_nodes() {
+        use mm_net::message::NodeCoord;
+        let mut pool = WorkerPool::spawn(4);
+        let mut nodes = vec![Node::new(
+            mm_sim::NodeConfig::default(),
+            NodeCoord::new(0, 0, 0),
+        )];
+        let mut sched = vec![NodeSched::awake()];
+        let mut stepped = Vec::new();
+        for now in 0..32 {
+            stepped.clear();
+            sched[0].awake = true;
+            let class0 = pool.step_shards(&mut nodes, &mut sched, now, &mut stepped);
+            assert!(!class0);
+            assert_eq!(stepped, vec![0], "cycle {now}");
+        }
+        assert_eq!(nodes[0].stats().cycles, 32);
+    }
+
+    /// Shards merge in ascending node order regardless of which worker
+    /// finishes first.
+    #[test]
+    fn stepped_lists_merge_in_node_order() {
+        use mm_net::message::NodeCoord;
+        let mut pool = WorkerPool::spawn(3);
+        let mut nodes: Vec<Node> = (0..8)
+            .map(|_| Node::new(mm_sim::NodeConfig::default(), NodeCoord::new(0, 0, 0)))
+            .collect();
+        let mut sched = vec![NodeSched::awake(); 8];
+        let mut stepped = Vec::new();
+        pool.step_shards(&mut nodes, &mut sched, 0, &mut stepped);
+        assert_eq!(stepped, (0..8).collect::<Vec<_>>());
+    }
+}

@@ -109,10 +109,7 @@ impl Timeline {
 
     /// The first cycle at which `pred` matches.
     pub fn first_cycle<F: Fn(&Phase) -> bool>(&self, pred: F) -> Option<u64> {
-        self.events
-            .iter()
-            .find(|(_, p)| pred(p))
-            .map(|(c, _)| *c)
+        self.events.iter().find(|(_, p)| pred(p)).map(|(c, _)| *c)
     }
 
     /// Clear all events (start of a measured experiment).
@@ -139,13 +136,23 @@ mod tests {
     fn record_and_query() {
         let mut t = Timeline::new();
         t.record(5, Phase::EventEnqueued { node: 0, class: 1 });
-        t.record(9, Phase::UserHalted { node: 0, cluster: 0, slot: 0 });
+        t.record(
+            9,
+            Phase::UserHalted {
+                node: 0,
+                cluster: 0,
+                slot: 0,
+            },
+        );
         assert_eq!(t.events().len(), 2);
         assert_eq!(
             t.first_cycle(|p| matches!(p, Phase::UserHalted { .. })),
             Some(9)
         );
-        assert_eq!(t.first_cycle(|p| matches!(p, Phase::PacketInjected { .. })), None);
+        assert_eq!(
+            t.first_cycle(|p| matches!(p, Phase::PacketInjected { .. })),
+            None
+        );
         assert!(t.render(5).contains("event enqueued"));
         t.clear();
         assert!(t.events().is_empty());

@@ -1,13 +1,16 @@
-//! Differential testing of the quiescence-aware cycle engine against
-//! the dense `naive_step` loop.
+//! Differential testing of the quiescence-aware cycle engine — serial
+//! *and* parallel — against the dense `naive_step` loop.
 //!
-//! Two identically-built, identically-loaded machines run the same
-//! random workload — one stepped densely, one through the min-deadline
-//! scheduler — and must agree on *everything observable*: cycle count,
-//! aggregate [`MachineStats`], the full phase timeline, every user
-//! thread's state and PC, and the user-visible register files. This is
-//! the engine's correctness argument in executable form: skipping a
-//! quiescent component is a provable no-op.
+//! Identically-built, identically-loaded machines run the same random
+//! workload three ways — stepped densely, through the serial
+//! min-deadline scheduler, and through the sharded parallel engine at
+//! several worker counts — and must agree on *everything observable*:
+//! cycle count, aggregate [`MachineStats`], the full phase timeline,
+//! every user thread's state and PC, per-node cycle counts, and the
+//! user-visible register files. This is the engines' correctness
+//! argument in executable form: skipping a quiescent component is a
+//! provable no-op, and sharding nodes across worker threads behind the
+//! per-cycle merge barrier changes nothing observable.
 
 use mm_core::machine::{MMachine, MachineConfig};
 use mm_isa::assemble;
@@ -17,7 +20,15 @@ use proptest::prelude::*;
 use std::sync::Arc;
 
 fn machine() -> MMachine {
-    MMachine::build(MachineConfig::small()).expect("valid config")
+    machine_with_workers(1)
+}
+
+/// A 2-node machine pinned to `workers` shard threads (clamped to the
+/// node count, so 2 is the maximum that actually shards here).
+fn machine_with_workers(workers: usize) -> MMachine {
+    let mut cfg = MachineConfig::small();
+    cfg.engine.workers = Some(workers);
+    MMachine::build(cfg).expect("valid config")
 }
 
 /// One gene = one instruction-template choice with two parameters.
@@ -126,46 +137,52 @@ fn assert_machines_agree(a: &MMachine, b: &MMachine) -> Result<(), TestCaseError
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
-    /// Fixed-horizon differential: random two-node workloads (programs
-    /// plus the message traffic they provoke) behave identically under
-    /// the dense loop and the quiescence engine, even when threads
-    /// block forever on synchronizing loads.
+    /// Fixed-horizon three-way differential: random two-node workloads
+    /// (programs plus the message traffic they provoke) behave
+    /// identically under the dense loop, the serial quiescence engine,
+    /// and the parallel engine, even when threads block forever on
+    /// synchronizing loads.
     #[test]
-    fn engine_matches_naive_over_fixed_horizon(
+    fn engines_match_naive_over_fixed_horizon(
         genes0 in prop::collection::vec((0u8..11, 0u64..64, 0u64..1000), 1..12),
         genes1 in prop::collection::vec((0u8..11, 0u64..64, 0u64..1000), 1..12),
         horizon in 800u64..3000,
     ) {
-        let mut a = machine();
-        let mut b = machine();
-        load_workload(&mut a, &genes0, &genes1);
-        load_workload(&mut b, &genes0, &genes1);
+        let mut dense = machine();
+        load_workload(&mut dense, &genes0, &genes1);
         for _ in 0..horizon {
-            a.naive_step();
+            dense.naive_step();
         }
-        b.run_cycles(horizon);
-        assert_machines_agree(&a, &b)?;
+        for workers in [1, 2] {
+            let mut engine = machine_with_workers(workers);
+            load_workload(&mut engine, &genes0, &genes1);
+            engine.run_cycles(horizon);
+            prop_assert_eq!(engine.workers(), workers, "pool size");
+            assert_machines_agree(&dense, &engine)?;
+        }
     }
 
-    /// Halt-driven differential: when the workload terminates, the
-    /// engine's `run_until_halt` must report the exact halt cycle the
-    /// dense loop observes (same predicate, evaluated cycle-by-cycle).
+    /// Halt-driven three-way differential: when the workload
+    /// terminates, both engines' `run_until_halt` must report the exact
+    /// halt cycle the dense loop observes (same predicate, evaluated
+    /// cycle-by-cycle).
     #[test]
-    fn engine_matches_naive_halt_cycles(
+    fn engines_match_naive_halt_cycles(
         genes0 in prop::collection::vec((0u8..9, 0u64..64, 0u64..1000), 1..10),
         genes1 in prop::collection::vec((0u8..9, 0u64..64, 0u64..1000), 1..10),
     ) {
         // Templates 9/10 (synchronizing accesses) are excluded so the
         // workload always halts.
-        let mut a = machine();
-        let mut b = machine();
-        load_workload(&mut a, &genes0, &genes1);
-        load_workload(&mut b, &genes0, &genes1);
-
-        let halted_a = naive_run_until_halt(&mut a, 100_000);
-        let halted_b = b.run_until_halt(100_000).expect("engine run halts");
-        prop_assert_eq!(halted_a, halted_b, "halt cycles diverged");
-        assert_machines_agree(&a, &b)?;
+        let mut dense = machine();
+        load_workload(&mut dense, &genes0, &genes1);
+        let halted_dense = naive_run_until_halt(&mut dense, 100_000);
+        for workers in [1, 2] {
+            let mut engine = machine_with_workers(workers);
+            load_workload(&mut engine, &genes0, &genes1);
+            let halted = engine.run_until_halt(100_000).expect("engine run halts");
+            prop_assert_eq!(halted_dense, halted, "halt cycles diverged");
+            assert_machines_agree(&dense, &engine)?;
+        }
     }
 }
 
@@ -202,12 +219,21 @@ fn naive_run_until_halt(m: &mut MMachine, limit: u64) -> u64 {
 }
 
 /// A deterministic end-to-end differential: the Table-1 remote-read
-/// scenario, dense vs. engine, down to identical timelines.
+/// scenario — dense loop vs. serial engine vs. parallel engine — down
+/// to identical timelines.
 #[test]
 fn remote_read_scenario_is_cycle_exact() {
     let prog = Arc::new(assemble("ld [r1], r2\n add r2, #0, r3\n halt\n").unwrap());
-    let run = |engine: bool| -> (u64, mm_core::machine::MachineStats, Vec<(u64, mm_core::timeline::Phase)>) {
-        let mut m = machine();
+    #[allow(clippy::type_complexity)]
+    let run = |workers: Option<usize>| -> (
+        u64,
+        mm_core::machine::MachineStats,
+        Vec<(u64, mm_core::timeline::Phase)>,
+    ) {
+        let mut m = match workers {
+            Some(w) => machine_with_workers(w),
+            None => machine(),
+        };
         let va = m.home_va(1, 0);
         assert!(m
             .node_mut(1)
@@ -215,7 +241,7 @@ fn remote_read_scenario_is_cycle_exact() {
             .poke_va(va, mm_mem::MemWord::new(mm_isa::word::Word::from_u64(41))));
         m.load_user_program(0, 0, &prog).unwrap();
         m.set_user_reg(0, 0, 0, Reg::Int(1), m.home_ptr(1, 0));
-        let done = if engine {
+        let done = if workers.is_some() {
             m.run_until_halt(50_000).unwrap()
         } else {
             naive_run_until_halt(&mut m, 50_000)
@@ -223,9 +249,73 @@ fn remote_read_scenario_is_cycle_exact() {
         assert_eq!(m.user_reg(0, 0, 0, 3).unwrap().bits(), 41);
         (done, m.stats(), m.timeline().events().to_vec())
     };
-    let (done_n, stats_n, tl_n) = run(false);
-    let (done_e, stats_e, tl_e) = run(true);
-    assert_eq!(done_n, done_e, "halt cycle");
-    assert_eq!(stats_n, stats_e, "machine stats");
-    assert_eq!(tl_n, tl_e, "timelines");
+    let (done_n, stats_n, tl_n) = run(None);
+    for workers in [1, 2] {
+        let (done_e, stats_e, tl_e) = run(Some(workers));
+        assert_eq!(done_n, done_e, "halt cycle ({workers} workers)");
+        assert_eq!(stats_n, stats_e, "machine stats ({workers} workers)");
+        assert_eq!(tl_n, tl_e, "timelines ({workers} workers)");
+    }
+}
+
+/// The parallel engine on an 8-node mesh at every worker count from
+/// serial to one-node shards: identical observables throughout. The
+/// 3-worker leg exercises a genuinely uneven partition (shards of 3, 3
+/// and 2 nodes — `chunk = ceil(8/3) = 3`), 8 gives one-node shards,
+/// and 16 clamps. This is the `N`-workers leg of the three-way
+/// harness, with cross-pair traffic riding the fabric between shards.
+#[test]
+fn eight_node_mesh_is_worker_count_invariant() {
+    let genes: [Gene; 6] = [
+        (3, 5, 0),
+        (5, 9, 0),
+        (7, 0, 17),
+        (0, 0, 3),
+        (6, 2, 0),
+        (8, 0, 0),
+    ];
+    const NODES: usize = 8;
+    let build = |workers: usize| -> MMachine {
+        let mut cfg = MachineConfig::with_dims(2, 2, 2);
+        cfg.engine.workers = Some(workers);
+        let mut m = MMachine::build(cfg).expect("valid config");
+        // Pair the nodes (0↔1, 2↔3, …) with the standard conventions.
+        let progs: Vec<Arc<mm_isa::instr::Program>> = (0..NODES)
+            .map(|_| Arc::new(assemble(&program_from(&genes)).expect("assembles")))
+            .collect();
+        for (node, prog) in progs.iter().enumerate() {
+            let other = node ^ 1;
+            m.load_user_program(node, 0, prog).unwrap();
+            m.set_user_reg(node, 0, 0, Reg::Int(1), m.home_ptr(node, 0));
+            m.set_user_reg(node, 0, 0, Reg::Int(8), m.home_ptr(other, 0));
+            let ptr = m
+                .make_ptr(mm_isa::Perm::ReadWrite, 0, m.home_va(other, 1))
+                .expect("target ptr");
+            m.set_user_reg(node, 0, 0, Reg::Int(10), ptr);
+            let dip = m.image().write_dip;
+            m.set_user_reg(node, 0, 0, Reg::Int(11), dip);
+        }
+        m
+    };
+    let mut reference = build(1);
+    let done_ref = reference.run_until_halt(100_000).expect("halts");
+    for workers in [2, 3, 4, 8, 16] {
+        let mut m = build(workers);
+        assert_eq!(m.workers(), workers.min(NODES), "{workers} requested");
+        let done = m.run_until_halt(100_000).expect("halts");
+        assert_eq!(done_ref, done, "halt cycle at {workers} workers");
+        assert_eq!(reference.stats(), m.stats(), "stats at {workers} workers");
+        assert_eq!(
+            reference.timeline().events(),
+            m.timeline().events(),
+            "timelines at {workers} workers"
+        );
+        for i in 0..NODES {
+            assert_eq!(
+                reference.node(i).stats().cycles,
+                m.node(i).stats().cycles,
+                "node {i} cycles at {workers} workers"
+            );
+        }
+    }
 }

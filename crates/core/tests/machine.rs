@@ -19,7 +19,10 @@ fn local_load_through_boot_mapping() {
     let mut m = machine();
     // Node 0's page 0 starts at VA 0; fill a word via backdoor.
     let va = m.home_va(0, 0) + 5;
-    let pa_ok = m.node_mut(0).mem.poke_va(va, MemWord::new(Word::from_u64(123)));
+    let pa_ok = m
+        .node_mut(0)
+        .mem
+        .poke_va(va, MemWord::new(Word::from_u64(123)));
     assert!(pa_ok, "boot mapping covers the home page");
 
     let prog = Arc::new(assemble("ld [r1+#5], r2\n add r2, #1, r3\n halt\n").unwrap());
@@ -36,7 +39,10 @@ fn remote_load_completes_through_handlers() {
     let mut m = machine();
     // Put data on node 1's home page.
     let va = m.home_va(1, 0) + 7;
-    assert!(m.node_mut(1).mem.poke_va(va, MemWord::new(Word::from_u64(777))));
+    assert!(m
+        .node_mut(1)
+        .mem
+        .poke_va(va, MemWord::new(Word::from_u64(777))));
 
     // Node 0 loads it: LTLB miss → remote read message → reply → wrreg.
     let prog = Arc::new(assemble("ld [r1+#7], r2\n add r2, #1, r3\n halt\n").unwrap());
@@ -74,7 +80,10 @@ fn remote_read_then_local_hit_is_fast() {
     // takes the remote path again (non-cached shared memory, §4.2).
     let mut m = machine();
     let va = m.home_va(1, 0);
-    assert!(m.node_mut(1).mem.poke_va(va, MemWord::new(Word::from_u64(5))));
+    assert!(m
+        .node_mut(1)
+        .mem
+        .poke_va(va, MemWord::new(Word::from_u64(5))));
 
     let prog = Arc::new(assemble("ld [r1], r2\n add r2, #0, r3\n halt\n").unwrap());
     m.load_user_program(0, 0, &prog).unwrap();
@@ -98,9 +107,7 @@ fn user_level_message_round_trip() {
     let mut m = machine();
     let target = m.home_va(1, 1) + 9;
 
-    let send_prog = Arc::new(
-        assemble("mov #31337, mc1\n send r10, r11, #1\n halt\n").unwrap(),
-    );
+    let send_prog = Arc::new(assemble("mov #31337, mc1\n send r10, r11, #1\n halt\n").unwrap());
     m.load_user_program(0, 0, &send_prog).unwrap();
     let ptr = m.make_ptr(mm_isa::Perm::ReadWrite, 0, target).unwrap();
     m.set_user_reg(0, 0, 0, Reg::Int(10), ptr);
@@ -119,7 +126,10 @@ fn timeline_captures_remote_read_phases() {
     use mm_core::timeline::Phase;
     let mut m = machine();
     let va = m.home_va(1, 0);
-    assert!(m.node_mut(1).mem.poke_va(va, MemWord::new(Word::from_u64(1))));
+    assert!(m
+        .node_mut(1)
+        .mem
+        .poke_va(va, MemWord::new(Word::from_u64(1))));
 
     let prog = Arc::new(assemble("ld [r1], r2\n add r2, #0, r3\n halt\n").unwrap());
     m.load_user_program(0, 0, &prog).unwrap();
@@ -175,7 +185,11 @@ fn timeline_captures_remote_read_phases() {
     assert!(req_arrived < reply_sent);
     assert!(reply_sent < done);
     // Network transit ≈5 cycles to a neighbour (§4.2).
-    assert!(req_arrived - req_sent <= 8, "transit {}", req_arrived - req_sent);
+    assert!(
+        req_arrived - req_sent <= 8,
+        "transit {}",
+        req_arrived - req_sent
+    );
 }
 
 #[test]
@@ -186,7 +200,10 @@ fn coherence_read_share_then_write_invalidate() {
     // node 0's copy.
     let mut m = machine();
     let va = m.home_va(1, 2); // block 0 of node 1's page 2
-    assert!(m.node_mut(1).mem.poke_va(va, MemWord::new(Word::from_u64(66))));
+    assert!(m
+        .node_mut(1)
+        .mem
+        .poke_va(va, MemWord::new(Word::from_u64(66))));
 
     // Force node 0 to take the coherent path: install a local frame for
     // the page with every block INVALID — exactly the state after boot
@@ -263,7 +280,10 @@ fn four_node_machine_runs() {
         m.load_user_program(i, 0, &prog).unwrap();
     }
     let va = m.home_va(0, 1);
-    assert!(m.node_mut(0).mem.poke_va(va, MemWord::new(Word::from_u64(55))));
+    assert!(m
+        .node_mut(0)
+        .mem
+        .poke_va(va, MemWord::new(Word::from_u64(55))));
     let rprog = Arc::new(assemble("ld [r2], r4\n add r4, #0, r5\n halt\n").unwrap());
     m.load_user_program(3, 1, &rprog).unwrap();
     m.set_user_reg(3, 0, 1, Reg::Int(2), m.home_ptr(0, 1));

@@ -116,7 +116,10 @@ fn split_labels(line: &str) -> (Vec<&str>, &str) {
             && candidate
                 .chars()
                 .all(|c| c.is_ascii_alphanumeric() || c == '_')
-            && candidate.chars().next().is_some_and(|c| !c.is_ascii_digit())
+            && candidate
+                .chars()
+                .next()
+                .is_some_and(|c| !c.is_ascii_digit())
         {
             labels.push(candidate);
             rest = rest[colon + 1..].trim_start();
@@ -214,8 +217,7 @@ fn parse_imm_value(text: &str) -> Option<i64> {
         Some(rest) => (true, rest),
         None => (false, text),
     };
-    let magnitude = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X"))
-    {
+    let magnitude = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
         u64::from_str_radix(hex, 16).ok()?
     } else {
         body.parse::<u64>().ok()?
@@ -229,11 +231,7 @@ fn parse_imm_value(text: &str) -> Option<i64> {
     Some(v)
 }
 
-fn parse_src(
-    line: usize,
-    tok: &str,
-    symbols: &BTreeMap<String, u32>,
-) -> Result<Src, AsmError> {
+fn parse_src(line: usize, tok: &str, symbols: &BTreeMap<String, u32>) -> Result<Src, AsmError> {
     let tok = tok.trim();
     if let Some(imm) = tok.strip_prefix('#') {
         let v = parse_imm_value(imm)
@@ -281,9 +279,15 @@ fn parse_addr(line: usize, tok: &str) -> Result<(Reg, i32), AsmError> {
         .ok_or_else(|| err(line, AsmErrorKind::BadOperand(tok.to_owned())))?
         .trim();
     let (base_text, offset) = if let Some(plus) = inner.find('+') {
-        (&inner[..plus], parse_offset(line, &inner[plus + 1..], false)?)
+        (
+            &inner[..plus],
+            parse_offset(line, &inner[plus + 1..], false)?,
+        )
     } else if let Some(minus) = inner.find('-') {
-        (&inner[..minus], parse_offset(line, &inner[minus + 1..], true)?)
+        (
+            &inner[..minus],
+            parse_offset(line, &inner[minus + 1..], true)?,
+        )
     } else {
         (inner, 0)
     };
@@ -341,11 +345,7 @@ fn arity_err(line: usize, mnemonic: &str, expected: &'static str, got: usize) ->
     )
 }
 
-fn branch_target(
-    line: usize,
-    tok: &str,
-    symbols: &BTreeMap<String, u32>,
-) -> Result<u32, AsmError> {
+fn branch_target(line: usize, tok: &str, symbols: &BTreeMap<String, u32>) -> Result<u32, AsmError> {
     let tok = tok.trim();
     let body = tok.strip_prefix('@').unwrap_or(tok);
     if let Ok(idx) = body.parse::<u32>() {
@@ -613,9 +613,7 @@ fn parse_op(
             let priority = match suffix {
                 None | Some("p0") => Priority::P0,
                 Some("p1") => Priority::P1,
-                Some(other) => {
-                    return Err(err(line, AsmErrorKind::BadOperand(other.to_owned())))
-                }
+                Some(other) => return Err(err(line, AsmErrorKind::BadOperand(other.to_owned()))),
             };
             let len_src = parse_src(line, args[2], symbols)?;
             let Src::Imm(len) = len_src else {
@@ -690,10 +688,9 @@ mod tests {
 
     #[test]
     fn basic_program() {
-        let p = assemble(
-            "start:\n  add r1, #2, r1\n  eq r1, #2, gcc1\n  brt gcc1, start\n  halt\n",
-        )
-        .unwrap();
+        let p =
+            assemble("start:\n  add r1, #2, r1\n  eq r1, #2, gcc1\n  brt gcc1, start\n  halt\n")
+                .unwrap();
         assert_eq!(p.len(), 4);
         assert_eq!(p.entry("start"), Some(0));
         assert_eq!(

@@ -114,10 +114,7 @@ impl fmt::Display for AsmError {
                 mnemonic,
                 expected,
                 got,
-            } => write!(
-                f,
-                "`{mnemonic}` expects {expected} operand(s), got {got}"
-            ),
+            } => write!(f, "`{mnemonic}` expects {expected} operand(s), got {got}"),
             AsmErrorKind::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
             AsmErrorKind::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
             AsmErrorKind::TooManyOps(m) => {

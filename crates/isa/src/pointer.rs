@@ -76,7 +76,10 @@ impl Perm {
     /// May data be loaded through a pointer with this permission?
     #[must_use]
     pub fn can_read(self) -> bool {
-        matches!(self, Perm::Read | Perm::ReadWrite | Perm::Execute | Perm::Physical)
+        matches!(
+            self,
+            Perm::Read | Perm::ReadWrite | Perm::Execute | Perm::Physical
+        )
     }
 
     /// May data be stored through a pointer with this permission?
@@ -206,8 +209,8 @@ impl GuardedPointer {
     pub fn offset(self, delta: i64) -> Result<GuardedPointer, PointerError> {
         let target = i128::from(self.addr) + i128::from(delta);
         let base = self.segment_base();
-        let inside =
-            target >= i128::from(base) && target < i128::from(base) + i128::from(self.segment_len());
+        let inside = target >= i128::from(base)
+            && target < i128::from(base) + i128::from(self.segment_len());
         if !inside {
             return Err(PointerError::OutOfSegment {
                 base,
@@ -299,11 +302,7 @@ impl GuardedPointer {
 
 impl fmt::Display for GuardedPointer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "<{}:{:#x}+2^{}>",
-            self.perm, self.addr, self.log2_len
-        )
+        write!(f, "<{}:{:#x}+2^{}>", self.perm, self.addr, self.log2_len)
     }
 }
 

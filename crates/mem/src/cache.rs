@@ -126,7 +126,10 @@ impl Cache {
     #[must_use]
     pub fn new(cfg: CacheConfig) -> Cache {
         let n = cfg.num_lines();
-        assert!(n > 0 && n.is_power_of_two(), "line count must be a power of two");
+        assert!(
+            n > 0 && n.is_power_of_two(),
+            "line count must be a power of two"
+        );
         Cache {
             lines: (0..n).map(|_| Line::empty()).collect(),
             cfg,
@@ -391,7 +394,9 @@ mod tests {
         //
 
         // Fill a conflicting line: 32 lines * 8 words = 256-word stride.
-        let victim = c.fill(256, 256, line(100..108), true).expect("dirty victim");
+        let victim = c
+            .fill(256, 256, line(100..108), true)
+            .expect("dirty victim");
         assert_eq!(victim.va, 0);
         assert_eq!(victim.data[3].word.bits(), 99);
         assert_eq!(c.stats().writebacks, 1);

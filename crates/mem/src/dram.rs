@@ -118,7 +118,10 @@ impl Sdram {
     /// Panics if `banks` or `row_words` is zero.
     #[must_use]
     pub fn new(cfg: SdramConfig) -> Sdram {
-        assert!(cfg.banks > 0 && cfg.row_words > 0, "degenerate SDRAM geometry");
+        assert!(
+            cfg.banks > 0 && cfg.row_words > 0,
+            "degenerate SDRAM geometry"
+        );
         let words = vec![MemWord::new(Word::ZERO); cfg.capacity_words as usize];
         let open_rows = vec![None; cfg.banks as usize];
         Sdram {
@@ -184,12 +187,7 @@ impl Sdram {
     /// # Panics
     ///
     /// Panics if the range exceeds the capacity.
-    pub fn read(
-        &mut self,
-        now: u64,
-        addr: u64,
-        len: u64,
-    ) -> (u64, u64, Vec<Option<MemWord>>) {
+    pub fn read(&mut self, now: u64, addr: u64, len: u64) -> (u64, u64, Vec<Option<MemWord>>) {
         assert!(
             addr + len <= self.cfg.capacity_words,
             "SDRAM read out of range: {addr:#x}+{len}"

@@ -205,19 +205,13 @@ impl Ltlb {
     /// Mutable access without touching LRU state or counters (firmware
     /// coherence updates, dirty-bit marking).
     pub fn find_mut(&mut self, vpn: u64) -> Option<&mut LtlbEntry> {
-        self.entries
-            .iter_mut()
-            .flatten()
-            .find(|e| e.vpn == vpn)
+        self.entries.iter_mut().flatten().find(|e| e.vpn == vpn)
     }
 
     /// Peek without touching LRU state or counters.
     #[must_use]
     pub fn probe(&self, vpn: u64) -> Option<&LtlbEntry> {
-        self.entries
-            .iter()
-            .flatten()
-            .find(|e| e.vpn == vpn)
+        self.entries.iter().flatten().find(|e| e.vpn == vpn)
     }
 
     /// Insert an entry, replacing any existing mapping for the same vpn,
@@ -368,9 +362,7 @@ mod tests {
     fn mutation_through_lookup_persists() {
         let mut t = Ltlb::new(2);
         t.insert(LtlbEntry::uniform(1, 1, BlockStatus::ReadWrite, 0));
-        t.lookup(1)
-            .unwrap()
-            .set_block_status(5, BlockStatus::Dirty);
+        t.lookup(1).unwrap().set_block_status(5, BlockStatus::Dirty);
         assert_eq!(t.probe(1).unwrap().block_status(5), BlockStatus::Dirty);
     }
 }

@@ -200,6 +200,9 @@ pub struct MemStats {
 /// The complete per-node memory system.
 #[derive(Debug, Clone)]
 pub struct MemorySystem {
+    // NOTE: ticked from worker threads by the machine's sharded engine —
+    // keep every field owned (no `Rc`/`RefCell`); the assert below the
+    // struct enforces `Send` at compile time.
     cfg: MemConfig,
     cache: Cache,
     ltlb: Ltlb,
@@ -211,6 +214,9 @@ pub struct MemorySystem {
     events: Vec<MemEvent>,
     stats: MemStats,
 }
+
+const fn _assert_send<T: Send>() {}
+const _: () = _assert_send::<MemorySystem>();
 
 impl MemorySystem {
     /// Build an idle memory system.
@@ -304,6 +310,10 @@ impl MemorySystem {
 
     /// Advance one cycle: banks each retire one request, the miss engine
     /// services due misses, and completed responses/events are returned.
+    ///
+    /// A memory system belongs to exactly one node and shares no state
+    /// with its siblings, so the machine's sharded engine may tick
+    /// different nodes' memory systems concurrently from worker threads.
     pub fn step(&mut self, now: u64) -> (Vec<MemResponse>, Vec<MemEvent>) {
         for bank in 0..self.bank_q.len() {
             if let Some(req) = self.bank_q[bank].pop_front() {
@@ -414,7 +424,10 @@ impl MemorySystem {
                         return;
                     }
                     if req.post != SyncPost::Unchanged {
-                        match self.cache.set_sync(req.va, Self::post_sync(req.post, mw.sync)) {
+                        match self
+                            .cache
+                            .set_sync(req.va, Self::post_sync(req.post, mw.sync))
+                        {
                             StoreOutcome::Written => {}
                             _ => {
                                 self.raise(
@@ -570,7 +583,13 @@ impl MemorySystem {
 
         // Sync precondition applies to the word as read from memory.
         if !Self::pre_ok(req.pre, fetched.sync) {
-            self.raise(now, MemEventKind::SyncFault { sync_was: fetched.sync }, req);
+            self.raise(
+                now,
+                MemEventKind::SyncFault {
+                    sync_was: fetched.sync,
+                },
+                req,
+            );
             return;
         }
 

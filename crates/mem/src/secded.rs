@@ -85,8 +85,7 @@ pub fn encode(data: u64) -> u8 {
         }
     }
     // Overall parity (bit 7) over data + 7 check bits for double detection.
-    let parity =
-        (data.count_ones() + u32::from(check & 0x7F).count_ones()) & 1;
+    let parity = (data.count_ones() + u32::from(check & 0x7F).count_ones()) & 1;
     #[allow(clippy::cast_possible_truncation)]
     {
         check | ((parity as u8) << 7)

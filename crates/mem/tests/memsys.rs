@@ -5,9 +5,7 @@ use mm_isa::op::{SyncPost, SyncPre};
 use mm_isa::word::Word;
 use mm_mem::lpt::Lpt;
 use mm_mem::ltlb::{BlockStatus, LtlbEntry, PAGE_WORDS};
-use mm_mem::memsys::{
-    AccessKind, MemConfig, MemEventKind, MemRequest, MemResponse, MemorySystem,
-};
+use mm_mem::memsys::{AccessKind, MemConfig, MemEventKind, MemRequest, MemResponse, MemorySystem};
 use mm_mem::MemWord;
 
 /// A memory system with vpn 0..8 mapped to ppn 16.. and the LPT at 1024.
@@ -182,7 +180,8 @@ fn block_status_fault_on_invalid_block() {
         }
     );
     // Block 1 is fine.
-    ms.submit(MemRequest::load(2, vpn * PAGE_WORDS + 8, 0)).unwrap();
+    ms.submit(MemRequest::load(2, vpn * PAGE_WORDS + 8, 0))
+        .unwrap();
     let (r, _) = run_until_resp(&mut ms, 2, 100);
     assert_eq!(r.value.bits(), 0);
 }
@@ -218,7 +217,8 @@ fn store_to_read_only_block_faults_even_on_cache_hit() {
 #[test]
 fn dirty_marking_in_block_status() {
     let mut ms = booted();
-    ms.submit(MemRequest::store(1, 8, Word::from_u64(5), 0)).unwrap();
+    ms.submit(MemRequest::store(1, 8, Word::from_u64(5), 0))
+        .unwrap();
     let _ = run_until_resp(&mut ms, 1, 100);
     let entry = ms.ltlb_probe(0).unwrap();
     assert_eq!(entry.block_status(1), BlockStatus::Dirty);
@@ -336,7 +336,8 @@ fn writeback_on_eviction_preserves_data() {
 #[test]
 fn flush_and_downgrade_blocks() {
     let mut ms = booted();
-    ms.submit(MemRequest::store(1, 8, Word::from_u64(5), 0)).unwrap();
+    ms.submit(MemRequest::store(1, 8, Word::from_u64(5), 0))
+        .unwrap();
     let _ = run_until_resp(&mut ms, 1, 100);
     // Flush pushes the dirty line to DRAM and drops it.
     ms.flush_block(8);
@@ -348,7 +349,8 @@ fn flush_and_downgrade_blocks() {
     let _ = run_until_resp(&mut ms, 2, 200);
     ms.downgrade_block(8);
     let t = 300;
-    ms.submit(MemRequest::store(3, 8, Word::from_u64(6), 0)).unwrap();
+    ms.submit(MemRequest::store(3, 8, Word::from_u64(6), 0))
+        .unwrap();
     for cycle in t..t + 50 {
         let (_, events) = ms.step(cycle);
         if let Some(e) = events.first() {

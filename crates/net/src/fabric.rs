@@ -108,8 +108,7 @@ impl Fabric {
     /// An idle fabric.
     #[must_use]
     pub fn new(cfg: FabricConfig) -> Fabric {
-        let nodes =
-            usize::from(cfg.dims.0) * usize::from(cfg.dims.1) * usize::from(cfg.dims.2);
+        let nodes = usize::from(cfg.dims.0) * usize::from(cfg.dims.1) * usize::from(cfg.dims.2);
         Fabric {
             link_free: vec![0; nodes * NUM_DIRS * 2],
             cfg,
@@ -151,30 +150,60 @@ impl Fabric {
         c.x < self.cfg.dims.0 && c.y < self.cfg.dims.1 && c.z < self.cfg.dims.2
     }
 
-    /// The dimension-order route from `src` to `dest`.
+    /// The next dimension-order hop from `cur` toward `dest` (`cur` ≠
+    /// `dest`): the outgoing direction and the neighbour it reaches.
+    fn next_hop(cur: NodeCoord, dest: NodeCoord) -> (Dir, NodeCoord) {
+        let mut next = cur;
+        let dir = if cur.x != dest.x {
+            if dest.x > cur.x {
+                next.x += 1;
+                Dir::XPlus
+            } else {
+                next.x -= 1;
+                Dir::XMinus
+            }
+        } else if cur.y != dest.y {
+            if dest.y > cur.y {
+                next.y += 1;
+                Dir::YPlus
+            } else {
+                next.y -= 1;
+                Dir::YMinus
+            }
+        } else if dest.z > cur.z {
+            next.z += 1;
+            Dir::ZPlus
+        } else {
+            next.z -= 1;
+            Dir::ZMinus
+        };
+        (dir, next)
+    }
+
+    /// The dimension-order route from `src` to `dest` (diagnostics and
+    /// tests; the injection hot path walks `next_hop` directly
+    /// without materializing the route).
     #[must_use]
     pub fn route(src: NodeCoord, dest: NodeCoord) -> Vec<(NodeCoord, Dir)> {
         let mut hops = Vec::new();
         let mut cur = src;
-        while cur.x != dest.x {
-            let d = if dest.x > cur.x { Dir::XPlus } else { Dir::XMinus };
-            hops.push((cur, d));
-            cur.x = if dest.x > cur.x { cur.x + 1 } else { cur.x - 1 };
-        }
-        while cur.y != dest.y {
-            let d = if dest.y > cur.y { Dir::YPlus } else { Dir::YMinus };
-            hops.push((cur, d));
-            cur.y = if dest.y > cur.y { cur.y + 1 } else { cur.y - 1 };
-        }
-        while cur.z != dest.z {
-            let d = if dest.z > cur.z { Dir::ZPlus } else { Dir::ZMinus };
-            hops.push((cur, d));
-            cur.z = if dest.z > cur.z { cur.z + 1 } else { cur.z - 1 };
+        while cur != dest {
+            let (dir, next) = Self::next_hop(cur, dest);
+            hops.push((cur, dir));
+            cur = next;
         }
         hops
     }
 
     /// Inject a packet at cycle `now`; returns its delivery cycle.
+    ///
+    /// Injection order is the fabric's arbitration order: link
+    /// virtual-channel reservations are resolved eagerly per call, so
+    /// two packets contending for a link are serialized by who was
+    /// injected first. Callers that collect packets concurrently (the
+    /// machine's sharded engine stages sends in per-node outboxes) must
+    /// merge them into a fixed order — node index, in practice — before
+    /// injecting, which [`Fabric::inject_all`] makes explicit.
     ///
     /// # Panics
     ///
@@ -190,18 +219,22 @@ impl Fabric {
         let deliver_at = if src == dest {
             now + self.cfg.loopback_latency + flits
         } else {
-            let route = Self::route(src, dest);
             let mut t_head = now;
-            for (node, dir) in &route {
-                let link = self.link_index(*node, *dir, pri);
+            let mut cur = src;
+            let mut hops = 0u64;
+            while cur != dest {
+                let (dir, next) = Self::next_hop(cur, dest);
+                let link = self.link_index(cur, dir, pri);
                 let free = self.link_free[link];
                 let earliest = t_head + self.cfg.hop_latency;
                 let actual = earliest.max(free);
                 self.stats.contention_cycles += actual - earliest;
                 t_head = actual;
                 self.link_free[link] = t_head + flits;
+                cur = next;
+                hops += 1;
             }
-            self.stats.hops += route.len() as u64;
+            self.stats.hops += hops;
             t_head + flits
         };
 
@@ -215,6 +248,22 @@ impl Fabric {
             packet,
         });
         deliver_at
+    }
+
+    /// Inject a batch of packets in iteration order — the ordered
+    /// injection path the machine's engines use after merging per-node
+    /// outboxes in node-index order. Exactly equivalent to calling
+    /// [`Fabric::inject`] per packet; the fixed order is what keeps
+    /// link arbitration (and therefore delivery timing) deterministic
+    /// under the parallel engine, whatever the worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any packet's endpoint is outside the mesh.
+    pub fn inject_all<I: IntoIterator<Item = Packet>>(&mut self, now: u64, packets: I) {
+        for p in packets {
+            self.inject(now, p);
+        }
     }
 
     /// Remove and return all packets due by cycle `now`, in (time, inject
@@ -286,7 +335,12 @@ mod tests {
         let mut f = fabric(2, 1, 1);
         let t = f.inject(
             0,
-            msg(NodeCoord::new(0, 0, 0), NodeCoord::new(1, 0, 0), 1, Priority::P0),
+            msg(
+                NodeCoord::new(0, 0, 0),
+                NodeCoord::new(1, 0, 0),
+                1,
+                Priority::P0,
+            ),
         );
         assert_eq!(t, 5, "paper §4.2: 5 cycles to a neighbour");
     }
@@ -364,12 +418,36 @@ mod tests {
     }
 
     #[test]
+    fn inject_all_matches_per_packet_injection() {
+        let a = NodeCoord::new(0, 0, 0);
+        let b = NodeCoord::new(1, 1, 0);
+        let packets = [
+            msg(a, b, 3, Priority::P0),
+            msg(a, b, 1, Priority::P0),
+            msg(b, a, 2, Priority::P1),
+        ];
+        let mut per_packet = fabric(2, 2, 1);
+        for p in packets.clone() {
+            per_packet.inject(7, p);
+        }
+        let mut batched = fabric(2, 2, 1);
+        batched.inject_all(7, packets);
+        assert_eq!(per_packet.stats(), batched.stats());
+        assert_eq!(per_packet.next_delivery(), batched.next_delivery());
+    }
+
+    #[test]
     fn next_delivery_hint() {
         let mut f = fabric(2, 1, 1);
         assert_eq!(f.next_delivery(), None);
         f.inject(
             0,
-            msg(NodeCoord::new(0, 0, 0), NodeCoord::new(1, 0, 0), 1, Priority::P0),
+            msg(
+                NodeCoord::new(0, 0, 0),
+                NodeCoord::new(1, 0, 0),
+                1,
+                Priority::P0,
+            ),
         );
         assert_eq!(f.next_delivery(), Some(5));
     }
@@ -380,7 +458,12 @@ mod tests {
         let mut f = fabric(2, 1, 1);
         f.inject(
             0,
-            msg(NodeCoord::new(0, 0, 0), NodeCoord::new(0, 5, 0), 1, Priority::P0),
+            msg(
+                NodeCoord::new(0, 0, 0),
+                NodeCoord::new(0, 5, 0),
+                1,
+                Priority::P0,
+            ),
         );
     }
 }

@@ -228,26 +228,14 @@ mod tests {
 
     #[test]
     fn encode_decode_round_trip() {
-        let e = GdtEntry::new(
-            0x2_0000_0001,
-            NodeCoord::new(3, 1, 2),
-            (2, 1, 0),
-            10,
-            2,
-        );
+        let e = GdtEntry::new(0x2_0000_0001, NodeCoord::new(3, 1, 2), (2, 1, 0), 10, 2);
         assert_eq!(GdtEntry::decode(e.encode()), e);
     }
 
     #[test]
     fn fig8_field_positions() {
         // All-ones in each field lands where Fig. 8 says.
-        let e = GdtEntry::new(
-            (1 << 42) - 1,
-            NodeCoord::decode(0x7FFF),
-            (7, 7, 7),
-            63,
-            63,
-        );
+        let e = GdtEntry::new((1 << 42) - 1, NodeCoord::decode(0x7FFF), (7, 7, 7), 63, 63);
         let bits = e.encode();
         assert_eq!(bits >> 37 & ((1 << 42) - 1), (1 << 42) - 1);
         assert_eq!(bits & 63, 63);

@@ -83,6 +83,12 @@ pub struct NodeNet {
     stats: IfaceStats,
 }
 
+// Staged sends accumulate in per-node outboxes while the machine's
+// sharded engine steps nodes on worker threads; the interface (GTLB
+// included) must therefore be sendable and fully node-owned.
+const fn _assert_send<T: Send>() {}
+const _: () = _assert_send::<NodeNet>();
+
 impl NodeNet {
     /// A fresh interface for the node at `coord`.
     #[must_use]
@@ -266,13 +272,8 @@ mod tests {
     fn iface_at(x: u8) -> NodeNet {
         let mut n = NodeNet::new(NodeCoord::new(x, 0, 0), IfaceConfig::default());
         // Pages 0..16 alternate between nodes (0,0,0) and (1,0,0).
-        n.gtlb_mut().add_entry(GdtEntry::new(
-            0,
-            NodeCoord::new(0, 0, 0),
-            (1, 0, 0),
-            4,
-            0,
-        ));
+        n.gtlb_mut()
+            .add_entry(GdtEntry::new(0, NodeCoord::new(0, 0, 0), (1, 0, 0), 4, 0));
         n
     }
 
@@ -314,22 +315,29 @@ mod tests {
             ..IfaceConfig::default()
         };
         let mut n = NodeNet::new(NodeCoord::new(0, 0, 0), cfg);
-        n.gtlb_mut().add_entry(GdtEntry::new(
-            0,
-            NodeCoord::new(1, 0, 0),
-            (0, 0, 0),
-            4,
-            0,
+        n.gtlb_mut()
+            .add_entry(GdtEntry::new(0, NodeCoord::new(1, 0, 0), (0, 0, 0), 4, 0));
+        assert!(matches!(
+            n.send(Word::ZERO, Word::ZERO, 0, vec![], Priority::P0),
+            SendOutcome::Sent(_)
         ));
-        assert!(matches!(n.send(Word::ZERO, Word::ZERO, 0, vec![], Priority::P0), SendOutcome::Sent(_)));
-        assert!(matches!(n.send(Word::ZERO, Word::ZERO, 0, vec![], Priority::P0), SendOutcome::Sent(_)));
-        assert_eq!(n.send(Word::ZERO, Word::ZERO, 0, vec![], Priority::P0), SendOutcome::NoCredit);
+        assert!(matches!(
+            n.send(Word::ZERO, Word::ZERO, 0, vec![], Priority::P0),
+            SendOutcome::Sent(_)
+        ));
+        assert_eq!(
+            n.send(Word::ZERO, Word::ZERO, 0, vec![], Priority::P0),
+            SendOutcome::NoCredit
+        );
         assert_eq!(n.stats().credit_stalls, 1);
         n.deliver(Packet::Credit {
             dest: NodeCoord::new(0, 0, 0),
             from: NodeCoord::new(1, 0, 0),
         });
-        assert!(matches!(n.send(Word::ZERO, Word::ZERO, 0, vec![], Priority::P0), SendOutcome::Sent(_)));
+        assert!(matches!(
+            n.send(Word::ZERO, Word::ZERO, 0, vec![], Priority::P0),
+            SendOutcome::Sent(_)
+        ));
     }
 
     #[test]
@@ -339,14 +347,12 @@ mod tests {
             ..IfaceConfig::default()
         };
         let mut n = NodeNet::new(NodeCoord::new(0, 0, 0), cfg);
-        n.gtlb_mut().add_entry(GdtEntry::new(
-            0,
-            NodeCoord::new(1, 0, 0),
-            (0, 0, 0),
-            4,
-            0,
+        n.gtlb_mut()
+            .add_entry(GdtEntry::new(0, NodeCoord::new(1, 0, 0), (0, 0, 0), 4, 0));
+        assert!(matches!(
+            n.send(Word::ZERO, Word::ZERO, 0, vec![], Priority::P1),
+            SendOutcome::Sent(_)
         ));
-        assert!(matches!(n.send(Word::ZERO, Word::ZERO, 0, vec![], Priority::P1), SendOutcome::Sent(_)));
     }
 
     fn user_msg(src: NodeCoord, dest: NodeCoord, pri: Priority) -> Packet {

@@ -84,7 +84,9 @@ loop: add r1, #1, r1
 ",
             signal = 2 * c,
         );
-        programs.push(Arc::new(assemble(&worker).expect("barrier worker assembles")));
+        programs.push(Arc::new(
+            assemble(&worker).expect("barrier worker assembles"),
+        ));
     }
     programs.try_into().expect("exactly four programs")
 }

@@ -102,8 +102,7 @@ impl BootSpec {
     /// sane specs).
     #[must_use]
     pub fn data_ptr(&self, index: u64, k: u64) -> GuardedPointer {
-        GuardedPointer::new(Perm::ReadWrite, 10, self.home_va(index, k))
-            .expect("home address fits")
+        GuardedPointer::new(Perm::ReadWrite, 10, self.home_va(index, k)).expect("home address fits")
     }
 
     /// Linear node index from mesh coordinates (x fastest — matching the
@@ -397,8 +396,7 @@ pub fn boot_node(node: &mut Node, index: u64, spec: &BootSpec, image: &RuntimeIm
     // table the reply handler consults.
     let scratch = |c: u64| {
         Word::from_pointer(
-            GuardedPointer::new(Perm::Physical, 3, SCRATCH_BASE + 8 * c)
-                .expect("scratch fits"),
+            GuardedPointer::new(Perm::Physical, 3, SCRATCH_BASE + 8 * c).expect("scratch fits"),
         )
     };
     let thread_table_base = SCRATCH_BASE + 32;
@@ -424,7 +422,12 @@ pub fn boot_node(node: &mut Node, index: u64, spec: &BootSpec, image: &RuntimeIm
     node.write_reg(1, EVENT_SLOT, Reg::Int(10), scratch(1));
     node.write_reg(1, EVENT_SLOT, Reg::Int(11), image.write_dip);
     node.write_reg(1, EVENT_SLOT, Reg::Int(12), image.read_dip);
-    node.write_reg(1, EVENT_SLOT, Reg::Int(13), Word::from_u64(spec.lpt_slots - 1));
+    node.write_reg(
+        1,
+        EVENT_SLOT,
+        Reg::Int(13),
+        Word::from_u64(spec.lpt_slots - 1),
+    );
     node.write_reg(1, EVENT_SLOT, Reg::Int(14), Word::from_pointer(lpt_ptr));
     node.write_reg(1, EVENT_SLOT, Reg::Int(15), reply_ptr);
 
@@ -500,17 +503,11 @@ mod tests {
         assert!(node.mem.translate(0).is_some(), "LPT fallback works");
         assert!(node.mem.translate(512).is_some());
         // The GTLB resolves home nodes.
-        assert_eq!(
-            node.net.gtlb_mut().probe(0),
-            Some(NodeCoord::new(0, 0, 0))
-        );
+        assert_eq!(node.net.gtlb_mut().probe(0), Some(NodeCoord::new(0, 0, 0)));
         assert_eq!(
             node.net.gtlb_mut().probe(1024),
             Some(NodeCoord::new(1, 0, 0))
         );
-        assert_eq!(
-            node.thread_state(1, EVENT_SLOT),
-            mm_sim::HState::Running
-        );
+        assert_eq!(node.thread_state(1, EVENT_SLOT), mm_sim::HState::Running);
     }
 }

@@ -78,11 +78,7 @@ fn emit_thread(plan: &ThreadPlan, neighbours: usize) -> String {
     if plan.chunk_len == 1 {
         fp.push(format!("fmov {}, f9", load_reg(0)));
     }
-    let send_dst = format!(
-        "h{}.f{}",
-        plan.finisher_cluster,
-        10 + plan.thread_index
-    );
+    let send_dst = format!("h{}.f{}", plan.finisher_cluster, 10 + plan.thread_index);
     if plan.is_alpha && !plan.is_finisher {
         // Fig. 5(b)'s H-Thread 0: fold u_c + a·r_c into the partial and
         // fuse the final add with the C-Switch send ("H1.t2 = t1 + t2").
@@ -204,7 +200,11 @@ mod tests {
         let k1 = stencil_kernel(6, 1);
         assert_eq!(k1.static_depth, 12, "\n{}", k1.programs[0]);
         let k2 = stencil_kernel(6, 2);
-        assert_eq!(k2.static_depth, 8, "\n{}\n{}", k2.programs[0], k2.programs[1]);
+        assert_eq!(
+            k2.static_depth, 8,
+            "\n{}\n{}",
+            k2.programs[0], k2.programs[1]
+        );
     }
 
     #[test]

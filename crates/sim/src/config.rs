@@ -1,4 +1,6 @@
-//! Node configuration: unit latencies, switch widths, queue depths.
+//! Node configuration: unit latencies, switch widths, queue depths —
+//! plus the host-side [`EngineConfig`] (how the cycle engine maps the
+//! simulated mesh onto worker threads).
 
 use mm_mem::memsys::MemConfig;
 use mm_net::iface::IfaceConfig;
@@ -74,9 +76,76 @@ impl Default for NodeConfig {
     }
 }
 
+/// Nodes a worker shard must hold before auto-detection adds another
+/// worker thread: below this, per-cycle barrier costs outweigh the
+/// parallel node phase, so small meshes stay serial.
+pub const MIN_NODES_PER_WORKER: usize = 8;
+
+/// Host-execution configuration for the cycle engine: how the
+/// simulation runs, not what it simulates. Simulated behaviour is
+/// bit-identical for every worker count — the machine-level engine
+/// merges cross-shard effects at fixed per-cycle barriers in node-index
+/// order — so this knob trades host threads for wall-clock only.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads for the parallel node phase. `None` auto-detects:
+    /// host parallelism, capped so every worker keeps at least
+    /// [`MIN_NODES_PER_WORKER`] nodes (small meshes resolve to serial).
+    /// `Some(w)` forces `w`, clamped to `1..=nodes` — `Some(1)` is the
+    /// serial engine, and `workers > nodes` degrades to one node per
+    /// worker.
+    pub workers: Option<usize>,
+}
+
+impl EngineConfig {
+    /// Serial execution (`workers = 1`), the reference engine.
+    #[must_use]
+    pub fn serial() -> EngineConfig {
+        EngineConfig { workers: Some(1) }
+    }
+
+    /// The worker count to actually run with on a `nodes`-node mesh.
+    /// Always at least 1 and at most `nodes`.
+    #[must_use]
+    pub fn resolved_workers(&self, nodes: usize) -> usize {
+        let cap = nodes.max(1);
+        match self.workers {
+            Some(w) => w.clamp(1, cap),
+            None => {
+                let avail = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+                avail.min(nodes / MIN_NODES_PER_WORKER).clamp(1, cap)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn explicit_workers_clamp_to_mesh() {
+        let one = EngineConfig { workers: Some(8) };
+        assert_eq!(
+            one.resolved_workers(1),
+            1,
+            "workers > nodes degrades to serial"
+        );
+        assert_eq!(one.resolved_workers(4), 4);
+        assert_eq!(one.resolved_workers(512), 8);
+        assert_eq!(EngineConfig { workers: Some(0) }.resolved_workers(4), 1);
+        assert_eq!(EngineConfig::serial().resolved_workers(512), 1);
+    }
+
+    #[test]
+    fn auto_detection_keeps_small_meshes_serial() {
+        let auto = EngineConfig::default();
+        for nodes in [1, 2, 4, MIN_NODES_PER_WORKER - 1] {
+            assert_eq!(auto.resolved_workers(nodes), 1, "{nodes} nodes");
+        }
+        let big = auto.resolved_workers(512);
+        assert!((1..=512 / MIN_NODES_PER_WORKER).contains(&big));
+    }
 
     #[test]
     fn defaults_match_paper_shape() {
@@ -86,6 +155,10 @@ mod tests {
         assert_eq!(NUM_CLUSTERS, 4);
         assert_eq!(c.cswitch_width, 4);
         assert_eq!(c.mem.read_hit_latency + 1, 3, "3-cycle load hit end-to-end");
-        assert_eq!(c.mem.write_hit_latency + 1, 2, "2-cycle store hit end-to-end");
+        assert_eq!(
+            c.mem.write_hit_latency + 1,
+            2,
+            "2-cycle store hit end-to-end"
+        );
     }
 }

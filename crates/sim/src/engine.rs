@@ -120,9 +120,7 @@ mod tests {
     #[test]
     fn running_thread_keeps_reporting_progress() {
         let mut node = Node::new(NodeConfig::default(), NodeCoord::new(0, 0, 0));
-        let prog = Arc::new(
-            mm_isa::assemble("add r1, #1, r1\n add r1, #1, r1\n halt\n").unwrap(),
-        );
+        let prog = Arc::new(mm_isa::assemble("add r1, #1, r1\n add r1, #1, r1\n halt\n").unwrap());
         node.load_program(0, 0, prog, 0);
         assert!(node.step(0), "first add issues");
         // The writeback of the first add is now pending: a deadline.

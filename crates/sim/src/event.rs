@@ -10,9 +10,9 @@
 //! are run on cluster 0, local TLB misses are run on cluster 1, and
 //! arriving messages are run on clusters 2 and 3".
 
+use mm_isa::op::{SyncPost, SyncPre};
 use mm_isa::word::Word;
 use mm_mem::memsys::{AccessKind, MemEvent, MemEventKind, MemRequest};
-use mm_isa::op::{SyncPost, SyncPre};
 
 /// Event kinds as encoded in descriptor bits 3:0.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,10 +129,7 @@ pub fn format_event(ev: &MemEvent) -> (EventKind, [Word; 3]) {
         MemEventKind::EccError => EventKind::EccError,
     };
     let desc = encode_desc(kind, &ev.req);
-    (
-        kind,
-        [desc, Word::from_u64(ev.req.va), ev.req.data],
-    )
+    (kind, [desc, Word::from_u64(ev.req.va), ev.req.data])
 }
 
 #[cfg(test)]

@@ -14,9 +14,7 @@ use crate::config::{NodeConfig, EVENT_SLOT, EXCEPTION_SLOT, NUM_CLUSTERS, NUM_SL
 use crate::event::{decode_record, format_event};
 use crate::regfile::ThreadRegs;
 use mm_isa::instr::{Instruction, Program};
-use mm_isa::op::{
-    AluKind, BranchCond, CmpKind, FpKind, FpOp, IntOp, MemOp, MemSlotOp, Priority,
-};
+use mm_isa::op::{AluKind, BranchCond, CmpKind, FpKind, FpOp, IntOp, MemOp, MemSlotOp, Priority};
 use mm_isa::pointer::{GuardedPointer, Perm};
 use mm_isa::reg::{Dst, Reg, RegAddr, Src};
 use mm_isa::word::Word;
@@ -199,6 +197,15 @@ pub struct Node {
     accounted: u64,
     stats: NodeStats,
 }
+
+// The machine-level engine shards nodes across worker threads; a node
+// (with the memory system and network interface it owns) must therefore
+// stay self-contained and sendable. Programs are shared via `Arc` and
+// read-only, so concurrent shards alias nothing mutable. This assert
+// turns any future `Rc`/`RefCell`/raw-pointer regression into a compile
+// error rather than a data race.
+const fn _assert_send<T: Send>() {}
+const _: () = _assert_send::<Node>();
 
 impl Node {
     /// Build an idle node at `coord`.
@@ -403,6 +410,11 @@ impl Node {
 
     /// Advance one cycle. The machine-level pump handles fabric
     /// injection/delivery around this call.
+    ///
+    /// Touches only this node's own state (its clusters, its
+    /// [`MemorySystem`], its [`NodeNet`] staging queues), so disjoint
+    /// nodes may be stepped concurrently from worker threads — the
+    /// contract the machine's sharded engine relies on.
     ///
     /// Returns whether the node made *progress*: issued an instruction,
     /// applied a register write (local writeback, C-Switch transfer or
@@ -695,9 +707,7 @@ impl Node {
                             && self.src_ready(c, slot, cc, &mut qn)
                             && self.dst_ready(c, slot, dst)
                     }
-                    FpOp::Mov { src, dst }
-                    | FpOp::Itof { src, dst }
-                    | FpOp::Ftoi { src, dst } => {
+                    FpOp::Mov { src, dst } | FpOp::Itof { src, dst } | FpOp::Ftoi { src, dst } => {
                         self.src_ready(c, slot, src, &mut qn) && self.dst_ready(c, slot, dst)
                     }
                     FpOp::Empty { .. } | FpOp::Nop => true,
@@ -711,9 +721,7 @@ impl Node {
     fn mem_can_accept_via(&self, c: usize, slot: usize, base: Reg) -> bool {
         let w = self.clusters[c].regs[slot].read(base);
         match w.pointer() {
-            Ok(p) => self
-                .mem
-                .can_accept(p.addr(), p.perm() == Perm::Physical),
+            Ok(p) => self.mem.can_accept(p.addr(), p.perm() == Perm::Physical),
             Err(_) => true, // will fault at execute, not stall
         }
     }
@@ -1057,9 +1065,7 @@ impl Node {
                 let id = self.fresh_id();
                 let req = decode_record(d, va, dat, id).ok_or(Fault::BadQueueAccess)?;
                 // Readiness checked bank space; a failure here is a bug.
-                self.mem
-                    .submit(req)
-                    .map_err(|_| Fault::BadQueueAccess)?;
+                self.mem.submit(req).map_err(|_| Fault::BadQueueAccess)?;
                 Ok(())
             }
             IntOp::NodeId { dst } => {
@@ -1086,7 +1092,9 @@ impl Node {
                 self.stats.loads += 1;
                 let b = self.read_reg_dyn(c, slot, *base)?;
                 let p = b.pointer().map_err(|_| Fault::NotAPointer)?;
-                let ea = p.offset(i64::from(*offset)).map_err(|_| Fault::OutOfSegment)?;
+                let ea = p
+                    .offset(i64::from(*offset))
+                    .map_err(|_| Fault::OutOfSegment)?;
                 let phys = ea.perm() == Perm::Physical;
                 if !phys {
                     ea.check_read().map_err(|_| Fault::Permission)?;
@@ -1131,7 +1139,9 @@ impl Node {
                 let v = self.read_src(c, slot, src)?;
                 let b = self.read_reg_dyn(c, slot, *base)?;
                 let p = b.pointer().map_err(|_| Fault::NotAPointer)?;
-                let ea = p.offset(i64::from(*offset)).map_err(|_| Fault::OutOfSegment)?;
+                let ea = p
+                    .offset(i64::from(*offset))
+                    .map_err(|_| Fault::OutOfSegment)?;
                 let phys = ea.perm() == Perm::Physical;
                 if !phys {
                     ea.check_write().map_err(|_| Fault::Permission)?;

@@ -2,10 +2,10 @@
 //! H-Thread register communication, V-Thread interleaving, events,
 //! protection and message launch.
 
+use mm_isa::assemble;
 use mm_isa::pointer::{GuardedPointer, Perm};
 use mm_isa::reg::Reg;
 use mm_isa::word::Word;
-use mm_isa::assemble;
 use mm_mem::lpt::Lpt;
 use mm_mem::ltlb::{BlockStatus, LtlbEntry};
 use mm_net::gtlb::GdtEntry;
@@ -52,10 +52,8 @@ fn rw_ptr(addr: u64, log2_len: u8) -> Word {
 fn dependent_int_chain_is_one_ipc() {
     let mut n = node();
     let prog = Arc::new(
-        assemble(
-            "add r1, #1, r1\n add r1, #1, r1\n add r1, #1, r1\n add r1, #1, r1\n halt\n",
-        )
-        .unwrap(),
+        assemble("add r1, #1, r1\n add r1, #1, r1\n add r1, #1, r1\n add r1, #1, r1\n halt\n")
+            .unwrap(),
     );
     n.load_program(0, 0, prog, 0);
     let end = run(&mut n, 100);
@@ -67,9 +65,8 @@ fn dependent_int_chain_is_one_ipc() {
 #[test]
 fn three_wide_issue_single_cycle() {
     let mut n = node();
-    let prog = Arc::new(
-        assemble("add r1, #1, r2 | sub r1, #1, r3 | fadd f1, f2, f4\n halt\n").unwrap(),
-    );
+    let prog =
+        Arc::new(assemble("add r1, #1, r2 | sub r1, #1, r3 | fadd f1, f2, f4\n halt\n").unwrap());
     n.load_program(0, 0, prog, 0);
     run(&mut n, 20);
     assert_eq!(n.read_reg(0, 0, Reg::Int(2)).as_i64(), 1);
@@ -171,7 +168,11 @@ fn fig6_loop_synchronization_via_gcc() {
     assert_eq!(n.thread_state(0, 0), HState::Halted);
     assert_eq!(n.thread_state(1, 0), HState::Halted);
     assert_eq!(n.read_reg(0, 0, Reg::Int(1)).as_i64(), 5);
-    assert_eq!(n.read_reg(1, 0, Reg::Int(3)).as_i64(), 10, "both ran 5 iterations");
+    assert_eq!(
+        n.read_reg(1, 0, Reg::Int(3)).as_i64(),
+        10,
+        "both ran 5 iterations"
+    );
 }
 
 #[test]
@@ -329,7 +330,12 @@ fn send_launches_message_and_queue_is_register_mapped() {
     assert_eq!(n.net.queue_len(mm_isa::op::Priority::P0), 1);
     // Delivered words: DIP, addr, body.
     assert_eq!(
-        n.net.pop_word(mm_isa::op::Priority::P0).unwrap().pointer().unwrap().perm(),
+        n.net
+            .pop_word(mm_isa::op::Priority::P0)
+            .unwrap()
+            .pointer()
+            .unwrap()
+            .perm(),
         Perm::Enter
     );
     let addr = n.net.pop_word(mm_isa::op::Priority::P0).unwrap();
@@ -385,10 +391,7 @@ fn rnet_read_from_user_slot_faults() {
     let prog = Arc::new(assemble("mov rnet, r1\n halt\n").unwrap());
     n.load_program(0, 0, prog, 0);
     run(&mut n, 100);
-    assert_eq!(
-        n.thread_state(0, 0),
-        HState::Faulted(Fault::BadQueueAccess)
-    );
+    assert_eq!(n.thread_state(0, 0), HState::Faulted(Fault::BadQueueAccess));
 }
 
 #[test]
@@ -409,10 +412,7 @@ fn branch_bubble_costs_cycles() {
     // A tight counted loop: each taken branch costs the 2-cycle bubble.
     let mut n = node();
     let prog = Arc::new(
-        assemble(
-            "loop: add r1, #1, r1\n eq r1, #10, gcc1\n brf gcc1, loop\n halt\n",
-        )
-        .unwrap(),
+        assemble("loop: add r1, #1, r1\n eq r1, #10, gcc1\n brf gcc1, loop\n halt\n").unwrap(),
     );
     n.load_program(0, 0, prog, 0);
     let t = run(&mut n, 1000);
@@ -426,12 +426,7 @@ fn branch_bubble_costs_cycles() {
 #[test]
 fn store_load_round_trip_through_memory() {
     let mut n = booted_node();
-    let prog = Arc::new(
-        assemble(
-            "st r2, [r1]\n ld [r1], r3\n add r3, #1, r4\n halt\n",
-        )
-        .unwrap(),
-    );
+    let prog = Arc::new(assemble("st r2, [r1]\n ld [r1], r3\n add r3, #1, r4\n halt\n").unwrap());
     n.write_reg(0, 0, Reg::Int(1), rw_ptr(16, 5));
     n.write_reg(0, 0, Reg::Int(2), Word::from_u64(99));
     n.load_program(0, 0, prog, 0);
@@ -443,12 +438,7 @@ fn store_load_round_trip_through_memory() {
 fn synchronizing_store_then_load_pair() {
     let mut n = booted_node();
     // Producer/consumer on one thread: st.af sets full, ld.fe consumes.
-    let prog = Arc::new(
-        assemble(
-            "st.af r2, [r1]\n ld.fe [r1], r3\n halt\n",
-        )
-        .unwrap(),
-    );
+    let prog = Arc::new(assemble("st.af r2, [r1]\n ld.fe [r1], r3\n halt\n").unwrap());
     n.write_reg(0, 0, Reg::Int(1), rw_ptr(24, 5));
     n.write_reg(0, 0, Reg::Int(2), Word::from_u64(7));
     n.load_program(0, 0, prog, 0);

@@ -87,7 +87,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t1 = run(1)?;
     let t4 = run(4)?;
     println!("1 node : {t1} cycles for {TILES_PER_NODE} tiles");
-    println!("4 nodes: {t4} cycles for {} tiles total", 4 * TILES_PER_NODE);
+    println!(
+        "4 nodes: {t4} cycles for {} tiles total",
+        4 * TILES_PER_NODE
+    );
     println!(
         "throughput scaling: {:.2}x with 4x the nodes",
         (4.0 * t1 as f64) / t4 as f64

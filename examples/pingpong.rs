@@ -47,13 +47,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sync_dip = m.image().write_sync_dip;
 
     m.load_user_program(0, 0, &ping)?;
-    m.set_user_reg(0, 0, 0, Reg::Int(1), m.make_ptr(m_machine::isa::Perm::ReadWrite, 0, flag0)?);
-    m.set_user_reg(0, 0, 0, Reg::Int(10), m.make_ptr(m_machine::isa::Perm::ReadWrite, 0, flag1)?);
+    m.set_user_reg(
+        0,
+        0,
+        0,
+        Reg::Int(1),
+        m.make_ptr(m_machine::isa::Perm::ReadWrite, 0, flag0)?,
+    );
+    m.set_user_reg(
+        0,
+        0,
+        0,
+        Reg::Int(10),
+        m.make_ptr(m_machine::isa::Perm::ReadWrite, 0, flag1)?,
+    );
     m.set_user_reg(0, 0, 0, Reg::Int(11), sync_dip);
 
     m.load_user_program(1, 0, &pong)?;
-    m.set_user_reg(1, 0, 0, Reg::Int(1), m.make_ptr(m_machine::isa::Perm::ReadWrite, 0, flag1)?);
-    m.set_user_reg(1, 0, 0, Reg::Int(10), m.make_ptr(m_machine::isa::Perm::ReadWrite, 0, flag0)?);
+    m.set_user_reg(
+        1,
+        0,
+        0,
+        Reg::Int(1),
+        m.make_ptr(m_machine::isa::Perm::ReadWrite, 0, flag1)?,
+    );
+    m.set_user_reg(
+        1,
+        0,
+        0,
+        Reg::Int(10),
+        m.make_ptr(m_machine::isa::Perm::ReadWrite, 0, flag0)?,
+    );
     m.set_user_reg(1, 0, 0, Reg::Int(11), sync_dip);
 
     let t0 = m.cycle();

@@ -10,8 +10,8 @@ use m_machine::isa::assemble;
 use m_machine::isa::reg::Reg;
 use m_machine::isa::word::Word;
 use m_machine::machine::{MMachine, MachineConfig};
-use std::sync::Arc;
 use m_machine::mem::MemWord;
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut m = MMachine::build(MachineConfig::small())?;

@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (a, b) = (0.5f64, 0.25f64);
 
     println!("7-point stencil  u* = u + a*rc + b*(sum of 6 neighbours)");
-    println!("{:>8} {:>12} {:>8} {:>10}", "threads", "static depth", "cycles", "result");
+    println!(
+        "{:>8} {:>12} {:>8} {:>10}",
+        "threads", "static depth", "cycles", "result"
+    );
     for threads in [1usize, 2, 4] {
         let kernel = stencil_kernel(6, threads);
         let mut m = MMachine::build(MachineConfig::small())?;
@@ -28,8 +31,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .mem
                 .poke_va(base + i, MemWord::new(Word::from_f64((i + 1) as f64)));
         }
-        m.node_mut(0).mem.poke_va(base + 6, MemWord::new(Word::from_f64(2.0)));
-        m.node_mut(0).mem.poke_va(base + 7, MemWord::new(Word::from_f64(10.0)));
+        m.node_mut(0)
+            .mem
+            .poke_va(base + 6, MemWord::new(Word::from_f64(2.0)));
+        m.node_mut(0)
+            .mem
+            .poke_va(base + 7, MemWord::new(Word::from_f64(10.0)));
 
         m.load_vthread(0, 0, &kernel.programs)?;
         for c in 0..threads {
@@ -48,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .expect("output word")
             .word
             .as_f64();
-        println!("{threads:>8} {:>12} {cycles:>8} {out:>10.3}", kernel.static_depth);
+        println!(
+            "{threads:>8} {:>12} {cycles:>8} {out:>10.3}",
+            kernel.static_depth
+        );
     }
     println!("(paper: static depth 12 on 1 H-Thread, 8 on 2)");
     Ok(())

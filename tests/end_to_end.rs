@@ -2,11 +2,11 @@
 //! the coherence layer on the public API.
 
 use m_machine::isa::{assemble, Reg, Word};
-use std::sync::Arc;
 use m_machine::machine::{MMachine, MachineConfig};
 use m_machine::mem::MemWord;
 use m_machine::runtime::barrier::{barrier4_programs, fig6_loop_pair};
 use m_machine::runtime::kernels::stencil_kernel;
+use std::sync::Arc;
 
 #[test]
 fn fig5_stencil_numeric_results() {
@@ -72,8 +72,12 @@ fn stencil_on_remote_data_still_correct() {
             .mem
             .poke_va(base + i, MemWord::new(Word::from_f64((i + 1) as f64)));
     }
-    m.node_mut(1).mem.poke_va(base + 6, MemWord::new(Word::from_f64(2.0)));
-    m.node_mut(1).mem.poke_va(base + 7, MemWord::new(Word::from_f64(10.0)));
+    m.node_mut(1)
+        .mem
+        .poke_va(base + 6, MemWord::new(Word::from_f64(2.0)));
+    m.node_mut(1)
+        .mem
+        .poke_va(base + 7, MemWord::new(Word::from_f64(10.0)));
 
     m.load_user_program(0, 0, &kernel.programs[0]).unwrap();
     m.set_user_reg(0, 0, 0, Reg::Int(1), m.home_ptr(1, 0));

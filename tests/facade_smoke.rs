@@ -31,7 +31,11 @@ fn small_machine_builds_and_halts() {
         m_machine::isa::assemble("add r0, #35, r1\n add r1, #7, r1\n halt\n")
             .expect("probe assembles"),
     );
-    m.load_user_program(node, 0, &prog).expect("user slot 0 loads");
+    m.load_user_program(node, 0, &prog)
+        .expect("user slot 0 loads");
     m.run_until_halt(10_000).expect("machine halts");
-    assert_eq!(m.user_reg(node, 0, 0, 1).expect("register reads").bits(), 42);
+    assert_eq!(
+        m.user_reg(node, 0, 0, 1).expect("register reads").bits(),
+        42
+    );
 }

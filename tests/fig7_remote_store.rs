@@ -3,8 +3,8 @@
 //! receiving side — and the data lands in remote memory.
 
 use m_machine::isa::{assemble, Perm, Reg, Word};
-use std::sync::Arc;
 use m_machine::machine::{MMachine, MachineConfig};
+use std::sync::Arc;
 
 #[test]
 fn fig7_remote_store_code_runs() {

@@ -22,7 +22,13 @@ fn table1_shape_matches_paper() {
     assert_eq!(miss.write_measured, 19);
 
     // Each added mechanism adds latency, for reads and writes alike.
-    for (fast, slow) in [(hit, miss), (miss, ltlb), (ltlb, rhit), (rhit, rmiss), (rmiss, rltlb)] {
+    for (fast, slow) in [
+        (hit, miss),
+        (miss, ltlb),
+        (ltlb, rhit),
+        (rhit, rmiss),
+        (rmiss, rltlb),
+    ] {
         assert!(
             fast.read_measured < slow.read_measured,
             "{} read ({}) should be faster than {} read ({})",
@@ -66,7 +72,13 @@ fn fig9_phases_are_ordered() {
         );
     }
     // Network transit ≈ 5 cycles per direction.
-    let send = phases.iter().find(|p| p.label == "handler sends message").unwrap();
-    let recv = phases.iter().find(|p| p.label == "message received").unwrap();
+    let send = phases
+        .iter()
+        .find(|p| p.label == "handler sends message")
+        .unwrap();
+    let recv = phases
+        .iter()
+        .find(|p| p.label == "message received")
+        .unwrap();
     assert!((recv.measured - send.measured) <= 8);
 }

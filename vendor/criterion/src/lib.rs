@@ -59,7 +59,10 @@ fn run_one(name: &str, samples: u64, f: impl FnOnce(&mut Bencher)) {
     } else {
         b.elapsed / u32::try_from(b.iterations).unwrap_or(u32::MAX)
     };
-    println!("bench {name:<40} {mean:>12.2?}/iter ({} iters)", b.iterations);
+    println!(
+        "bench {name:<40} {mean:>12.2?}/iter ({} iters)",
+        b.iterations
+    );
 }
 
 impl Criterion {

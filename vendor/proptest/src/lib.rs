@@ -21,7 +21,9 @@ pub mod prelude {
     pub use crate as prop;
     pub use crate::strategy::{any, Just, Strategy};
     pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 pub mod rng {
