@@ -1,0 +1,94 @@
+//! Criterion micro-benchmarks for the per-node-cycle hot path.
+//!
+//! Three altitudes, so a regression can be localized:
+//!
+//! * `node_step_busy` — one node, compute-loop thread plus resident
+//!   handlers, stepped in isolation (everything cache-hot): the pure
+//!   algorithmic cost of `Node::step_with`.
+//! * `node_step_blocked` — one node whose only runnable threads are
+//!   the queue-blocked event/message handlers: the cost of keeping the
+//!   runtime resident, which the issue stage's memoized block proofs
+//!   are supposed to make near-zero.
+//! * `machine_busy_cycle` — a 4×4×4 mesh of busy nodes through the
+//!   full serial engine: the end-to-end per-cycle cost including the
+//!   scheduler walk, outbox drains and fabric pump.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mm_bench::scaling::build_busy_scenario;
+use mm_net::message::NodeCoord;
+use mm_sim::{Node, NodeConfig, StepScratch};
+use std::sync::Arc;
+
+/// An endless dependent-chain compute loop (never halts).
+fn busy_program() -> Arc<mm_isa::instr::Program> {
+    Arc::new(
+        mm_isa::assemble(
+            "loop:\n add r5, #1, r5\n add r6, r5, r6\n add r7, r6, r7\n\
+             \n eq r5, #0, gcc1\n brf gcc1, loop\n halt\n",
+        )
+        .expect("busy program assembles"),
+    )
+}
+
+fn node_step_busy(c: &mut Criterion) {
+    let mut node = Node::new(NodeConfig::default(), NodeCoord::new(0, 0, 0));
+    node.load_program(0, 0, busy_program(), 0);
+    let mut scratch = StepScratch::new();
+    let mut now = 0u64;
+    let mut g = c.benchmark_group("cycle_kernel");
+    g.sample_size(200_000);
+    g.bench_function("node_step_busy", |b| {
+        b.iter(|| {
+            node.step_with(now, &mut scratch);
+            now += 1;
+            now
+        });
+    });
+    g.finish();
+}
+
+fn node_step_blocked(c: &mut Criterion) {
+    // Handlers blocked on empty queues are the whole workload: measures
+    // the memoized skip path.
+    let mut node = Node::new(NodeConfig::default(), NodeCoord::new(0, 0, 0));
+    let spin = Arc::new(mm_isa::assemble("loop:\n mov evq, r4\n br loop\n").expect("assembles"));
+    for cluster in 0..4 {
+        node.load_program(cluster, mm_sim::EVENT_SLOT, Arc::clone(&spin), 0);
+    }
+    let mut scratch = StepScratch::new();
+    let mut now = 0u64;
+    let mut g = c.benchmark_group("cycle_kernel");
+    g.sample_size(200_000);
+    g.bench_function("node_step_blocked", |b| {
+        b.iter(|| {
+            node.step_with(now, &mut scratch);
+            now += 1;
+            now
+        });
+    });
+    g.finish();
+}
+
+fn machine_busy_cycle(c: &mut Criterion) {
+    // 64 busy nodes with enough iterations that the machine never
+    // halts inside the measurement.
+    let mut m = build_busy_scenario((4, 4, 4), u64::MAX / 2, Some(1));
+    m.run_cycles(512); // past the boot transient
+    let mut g = c.benchmark_group("cycle_kernel");
+    g.sample_size(500);
+    g.bench_function("machine_busy_cycle_64_nodes", |b| {
+        b.iter(|| {
+            m.run_cycles(16);
+            m.cycle()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    node_step_busy,
+    node_step_blocked,
+    machine_busy_cycle
+);
+criterion_main!(benches);

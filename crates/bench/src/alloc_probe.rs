@@ -1,0 +1,73 @@
+//! A counting global allocator for allocation-regression measurement.
+//!
+//! The cycle kernel's contract (docs/ARCHITECTURE.md, "Hot path") is
+//! that a steady-state busy cycle performs **zero heap allocations**.
+//! Two consumers hold it to that:
+//!
+//! * the `zero_alloc` integration test at the workspace root installs
+//!   [`CountingAlloc`] as its `#[global_allocator]` and asserts a zero
+//!   allocation delta across thousands of busy cycles;
+//! * the `scaling` binary installs it too and reports
+//!   allocations-per-cycle for the busy-traffic row in
+//!   `BENCH_scaling.json`, so the number is tracked over time.
+//!
+//! The counters are process-global statics updated by whichever binary
+//! installed the allocator; in a binary that did not install it they
+//! simply stay at zero (and [`enabled`] reports `false`).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed allocator that counts every allocation.
+///
+/// Install in a binary or test with:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: mm_bench::alloc_probe::CountingAlloc =
+///     mm_bench::alloc_probe::CountingAlloc;
+/// ```
+pub struct CountingAlloc;
+
+// SAFETY: defers entirely to `System`; the counter updates are lock-free
+// atomics and perform no allocation themselves.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Heap allocations counted so far (0 if the probe allocator is not
+/// installed in this process).
+#[must_use]
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Bytes requested so far.
+#[must_use]
+pub fn bytes() -> u64 {
+    BYTES.load(Ordering::Relaxed)
+}
+
+/// Is the probe live in this process? (Heuristic: a Rust process that
+/// has reached `main` with the probe installed has allocated.)
+#[must_use]
+pub fn enabled() -> bool {
+    allocations() > 0
+}

@@ -8,17 +8,22 @@
 //! ```
 //!
 //! Each mesh runs under the serial engine and the parallel engine
-//! (`--workers N` pins the pool; default auto-detects from the host),
+//! (`--workers N` pins the pool; default is `max(2, host cores)`),
 //! asserting the two produce identical stats. The busy-traffic section
 //! is the parallel engine's headline: all nodes awake every cycle, so
 //! the quiescence win is zero and any speedup is host parallelism.
 //! Everything lands in `BENCH_scaling.json`.
 
 use mm_bench::scaling::{
-    busy_traffic_comparison, idle_heavy_comparison, run_mesh, BusyTrafficResult, IdleHeavyResult,
-    ScalingPoint, ROUNDS,
+    busy_traffic_comparison, host_cores, idle_heavy_comparison, run_mesh, BusyTrafficResult,
+    IdleHeavyResult, ScalingPoint, ROUNDS,
 };
 use std::fmt::Write as _;
+
+/// Count heap allocations so the busy-traffic row can report
+/// allocations-per-cycle (the zero-allocation kernel's tracking number).
+#[global_allocator]
+static ALLOC: mm_bench::alloc_probe::CountingAlloc = mm_bench::alloc_probe::CountingAlloc;
 
 /// Full sweep: 2 → 512 nodes, doubling one dimension at a time.
 const MESHES: &[(u8, u8, u8)] = &[
@@ -85,7 +90,9 @@ fn json_busy(r: &BusyTrafficResult) -> String {
     format!(
         "  \"busy_traffic\": {{\"dims\": \"{}x{}x{}\", \"nodes\": {}, \"iters\": {}, \
          \"cycles\": {}, \"workers\": {}, \"serial_wall_ms\": {:.3}, \
-         \"parallel_wall_ms\": {:.3}, \"speedup\": {:.2}, \"stats_match\": {}}}",
+         \"serial_cycles_per_sec\": {:.0}, \"parallel_wall_ms\": {:.3}, \
+         \"parallel_cycles_per_sec\": {:.0}, \"speedup\": {:.2}, \"stats_match\": {}, \
+         \"issue_hit_rate\": {:.3}, \"allocs_per_cycle\": {:.2}}}",
         r.dims.0,
         r.dims.1,
         r.dims.2,
@@ -94,20 +101,34 @@ fn json_busy(r: &BusyTrafficResult) -> String {
         r.cycles,
         r.workers,
         r.serial_wall_ms,
+        r.serial_cycles_per_sec,
         r.parallel_wall_ms,
+        r.parallel_cycles_per_sec,
         r.speedup,
-        r.stats_match
+        r.stats_match,
+        r.issue_hit_rate,
+        r.allocs_per_cycle
     )
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let busy_only = args.iter().any(|a| a == "--busy-only");
+    // The parallel legs always run with an *explicit* worker count:
+    // auto-detection resolves to 1 on single-core hosts (and on hosts
+    // that cap `available_parallelism`), which used to record
+    // `parallel_workers: 1` on every row and make the serial-vs-
+    // parallel columns meaningless. Default: the host's parallelism,
+    // but at least 2 so the parallel engine is actually exercised
+    // (clamped per-mesh to the node count as always).
     let workers: Option<usize> = args.iter().position(|a| a == "--workers").map(|k| {
         args.get(k + 1)
             .and_then(|v| v.parse().ok())
             .expect("--workers takes a positive integer")
     });
+    let cores = host_cores();
+    let workers = workers.unwrap_or_else(|| cores.max(2));
     let meshes = if smoke { SMOKE_MESHES } else { MESHES };
     let horizon = if smoke { 10_000 } else { 60_000 };
     let (busy_dims, busy_iters) = if smoke {
@@ -116,13 +137,30 @@ fn main() {
         ((8, 8, 8), 128)
     };
 
+    if busy_only {
+        // CI's perf-tracking probe: just the full busy-traffic row,
+        // written to its own file so the smoke job can diff its
+        // cycles/sec against the committed BENCH_scaling.json
+        // (report-only; runner speed varies).
+        let busy = busy_traffic_comparison((8, 8, 8), 128, Some(workers));
+        let json = format!("{{\n{},\n  \"host_cores\": {cores}\n}}\n", json_busy(&busy));
+        std::fs::write("BENCH_busy_smoke.json", &json).expect("write BENCH_busy_smoke.json");
+        println!(
+            "busy-traffic 8x8x8: serial {:.1} ms ({:.0} cycles/sec), parallel {:.1} ms, match {}",
+            busy.serial_wall_ms,
+            busy.serial_cycles_per_sec,
+            busy.parallel_wall_ms,
+            busy.stats_match
+        );
+        assert!(busy.stats_match, "parallel engine diverged on busy traffic");
+        println!("wrote BENCH_busy_smoke.json");
+        return;
+    }
+
     println!(
         "M-Machine weak scaling — remote-store + synchronizing ping-pong, {ROUNDS} rounds/pair"
     );
-    println!(
-        "parallel engine: {} workers\n",
-        workers.map_or_else(|| "auto".to_owned(), |w| w.to_string())
-    );
+    println!("parallel engine: {workers} workers ({cores} host cores)\n");
     println!(
         "{:<8} {:>6} {:>9} {:>10} {:>14} {:>4} {:>12} {:>8} {:>6}",
         "mesh",
@@ -137,7 +175,7 @@ fn main() {
     );
     let mut points = Vec::new();
     for &dims in meshes {
-        let p = run_mesh(dims, ROUNDS, workers);
+        let p = run_mesh(dims, ROUNDS, Some(workers));
         println!(
             "{:<8} {:>6} {:>9} {:>10.2} {:>14.0} {:>4} {:>12.2} {:>7.2}x {:>6}",
             format!("{}x{}x{}", dims.0, dims.1, dims.2),
@@ -177,7 +215,7 @@ fn main() {
         "\n== busy-traffic {}x{}x{} ({} iters/node): serial engine vs parallel engine ==",
         busy_dims.0, busy_dims.1, busy_dims.2, busy_iters
     );
-    let busy = busy_traffic_comparison(busy_dims, busy_iters, workers);
+    let busy = busy_traffic_comparison(busy_dims, busy_iters, Some(workers));
     println!(
         "serial  : {:>10.2} ms   ({} cycles)",
         busy.serial_wall_ms, busy.cycles
@@ -194,7 +232,7 @@ fn main() {
 
     let json = format!(
         "{{\n  \"scenario\": \"weak-scaling remote-store + synchronizing ping-pong\",\n  \
-         \"rounds_per_pair\": {ROUNDS},\n{},\n{},\n{}\n}}\n",
+         \"rounds_per_pair\": {ROUNDS},\n  \"host_cores\": {cores},\n{},\n{},\n{}\n}}\n",
         json_points(&points),
         json_idle(&idle),
         json_busy(&busy)

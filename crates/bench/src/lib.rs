@@ -7,6 +7,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc_probe;
 pub mod scaling;
 
 use mm_core::machine::{MMachine, MachineConfig};

@@ -270,12 +270,28 @@ pub struct BusyTrafficResult {
     pub workers: usize,
     /// Serial-engine wall-clock milliseconds.
     pub serial_wall_ms: f64,
+    /// Serial-engine simulated cycles per wall-clock second — the
+    /// headline number for the cycle kernel's busy-path cost.
+    pub serial_cycles_per_sec: f64,
     /// Parallel-engine wall-clock milliseconds.
     pub parallel_wall_ms: f64,
+    /// Parallel-engine cycles per wall-clock second.
+    pub parallel_cycles_per_sec: f64,
     /// `serial_wall_ms / parallel_wall_ms`.
     pub speedup: f64,
     /// Did both engines produce identical [`MachineStats`]?
     pub stats_match: bool,
+    /// Issue-path hit rate of the serial run (instructions issued per
+    /// issue-stage candidate probed; see `MachinePerf`).
+    pub issue_hit_rate: f64,
+    /// Heap allocations per simulated cycle during the serial run, as
+    /// counted by [`crate::alloc_probe`] — 0.0 when the running binary
+    /// has not installed the probe allocator. Startup transients (boot,
+    /// first faults, buffer growth) are included, so a small value is
+    /// expected even with an allocation-free steady state; the
+    /// `zero_alloc` integration test pins the steady state itself to
+    /// exactly zero.
+    pub allocs_per_cycle: f64,
 }
 
 /// Build the busy-traffic scenario: every node runs `iters` iterations
@@ -330,11 +346,30 @@ pub fn busy_traffic_comparison(
     iters: u64,
     workers: Option<usize>,
 ) -> BusyTrafficResult {
-    let (serial_wall, serial_stats) = timed_run(build_busy_scenario(dims, iters, Some(1)));
+    // Serial leg, run by hand (not through `timed_run`) so the machine
+    // survives for the perf counters, with the allocation probe
+    // bracketing the run itself (setup allocations excluded).
+    let mut serial = build_busy_scenario(dims, iters, Some(1));
+    let allocs_before = crate::alloc_probe::allocations();
+    let t0 = Instant::now();
+    serial
+        .run_until_halt(RUN_LIMIT)
+        .expect("busy scenario completes");
+    let serial_wall = t0.elapsed().as_secs_f64();
+    let alloc_delta = crate::alloc_probe::allocations() - allocs_before;
+    assert!(
+        serial.faulted_threads().is_empty(),
+        "busy scenario faulted: {:?}",
+        serial.faulted_threads()
+    );
+    let serial_stats = serial.stats();
+    let perf = serial.perf();
+
     let parallel = build_busy_scenario(dims, iters, workers);
     let resolved = parallel.workers();
     let nodes = parallel.node_count();
     let (parallel_wall, parallel_stats) = timed_run(parallel);
+    #[allow(clippy::cast_precision_loss)]
     BusyTrafficResult {
         dims,
         nodes,
@@ -342,10 +377,21 @@ pub fn busy_traffic_comparison(
         cycles: serial_stats.cycles,
         workers: resolved,
         serial_wall_ms: serial_wall * 1e3,
+        serial_cycles_per_sec: serial_stats.cycles as f64 / serial_wall,
         parallel_wall_ms: parallel_wall * 1e3,
+        parallel_cycles_per_sec: parallel_stats.cycles as f64 / parallel_wall,
         speedup: serial_wall / parallel_wall,
         stats_match: serial_stats == parallel_stats,
+        issue_hit_rate: perf.issue_hit_rate(),
+        allocs_per_cycle: alloc_delta as f64 / serial_stats.cycles.max(1) as f64,
     }
+}
+
+/// The host's advertised parallelism (1 when unknown) — recorded in
+/// `BENCH_scaling.json` so parallel-speedup columns can be interpreted.
+#[must_use]
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
 }
 
 /// Run the 2×1×1 scenario to a *fixed* horizon twice — dense loop vs.

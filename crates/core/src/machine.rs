@@ -12,7 +12,7 @@ use mm_net::fabric::{Fabric, FabricConfig, FabricStats};
 use mm_net::gtlb::GLOBAL_PAGE_WORDS;
 use mm_net::message::{Message, NodeCoord, Packet};
 use mm_runtime::image::{boot_node, BootInfo, BootSpec, RuntimeImage};
-use mm_sim::{EngineConfig, HState, Node, NodeConfig, NUM_CLUSTERS, USER_SLOTS};
+use mm_sim::{EngineConfig, HState, Node, NodeConfig, StepScratch, NUM_CLUSTERS, USER_SLOTS};
 use std::sync::Arc;
 
 /// Machine-wide configuration.
@@ -77,6 +77,13 @@ impl MachineConfig {
 }
 
 /// Aggregate statistics across the machine.
+///
+/// Every counter here is *architectural* — a function of the simulated
+/// program, identical across the dense loop, the serial engine and the
+/// parallel engine at any worker count (the differential harness
+/// asserts exactly that). Host-side performance counters, which
+/// legitimately depend on how the engine schedules work, live in
+/// [`MachinePerf`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MachineStats {
     /// Cycles simulated.
@@ -89,6 +96,37 @@ pub struct MachineStats {
     pub fabric: FabricStats,
     /// Coherence counters.
     pub coherence: CoherenceStats,
+}
+
+/// Host-side performance counters for the cycle kernel, aggregated
+/// over nodes by [`MMachine::perf`]. Unlike [`MachineStats`] these are
+/// *not* architectural: the quiescence engine probes fewer issue slots
+/// than the dense loop because it skips provably-idle steps, so the
+/// numbers differ (only) between scheduling strategies, never between
+/// worker counts of the same engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MachinePerf {
+    /// Issue-stage candidates examined (running, un-stalled threads
+    /// whose instruction was fetched and readiness-checked).
+    pub issue_probes: u64,
+    /// Instructions actually issued.
+    pub instructions: u64,
+}
+
+impl MachinePerf {
+    /// Fraction of examined issue candidates that issued — how much of
+    /// the issue stage's work was useful. 1.0 when nothing was probed.
+    #[must_use]
+    pub fn issue_hit_rate(&self) -> f64 {
+        if self.issue_probes == 0 {
+            1.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.instructions as f64 / self.issue_probes as f64
+            }
+        }
+    }
 }
 
 /// The whole multicomputer.
@@ -107,8 +145,26 @@ pub struct MMachine {
     halted_seen: Vec<[[bool; 6]; NUM_CLUSTERS]>,
     sched: Vec<NodeSched>,
     stepped_buf: Vec<usize>,
+    /// Stepped nodes that staged outbox packets this cycle (subset of
+    /// `stepped_buf`, same ascending order).
+    staged_buf: Vec<usize>,
+    /// Nodes that received a `Return` packet this cycle (the only way
+    /// a returned message can appear, so the backoff phase walks these
+    /// instead of every node).
+    returned_buf: Vec<usize>,
+    /// Recycled drain buffers for serial node steps (the worker pool
+    /// carries its own, one per worker).
+    step_scratch: StepScratch,
+    /// Recycled packet buffer for outbox drains (phases 3–4).
+    packet_buf: Vec<Packet>,
+    /// Recycled buffer for the fabric's due deliveries (phase 4).
+    delivery_buf: Vec<Packet>,
     /// Shard workers for the parallel node phase (`None` = serial).
     pool: Option<WorkerPool>,
+    /// External node mutation may have invalidated the compact
+    /// user-thread mirrors in `sched`; the next `run_until` entry
+    /// re-syncs them before its first predicate evaluation.
+    user_counts_stale: bool,
     cycle: u64,
 }
 
@@ -175,7 +231,13 @@ impl MMachine {
             // on their first no-progress step.
             sched: vec![NodeSched::awake(); n],
             stepped_buf: Vec::with_capacity(n),
+            staged_buf: Vec::with_capacity(n),
+            returned_buf: Vec::new(),
+            step_scratch: StepScratch::new(),
+            packet_buf: Vec::new(),
+            delivery_buf: Vec::new(),
             pool: (workers > 1).then(|| WorkerPool::spawn(workers)),
+            user_counts_stale: true,
             cycle: 0,
             cfg,
         })
@@ -211,6 +273,8 @@ impl MMachine {
     /// mutation can unblock threads the scheduler had proven idle.
     pub fn node_mut(&mut self, idx: usize) -> &mut Node {
         self.wake_node(idx);
+        // The caller may load/unload/halt threads behind our back.
+        self.user_counts_stale = true;
         &mut self.nodes[idx]
     }
 
@@ -263,6 +327,19 @@ impl MMachine {
             s.messages += n.stats().sends;
         }
         s
+    }
+
+    /// Host-side cycle-kernel performance counters (issue-path probes
+    /// and hit rate), aggregated over nodes. See [`MachinePerf`] for
+    /// why these live outside [`MachineStats`].
+    #[must_use]
+    pub fn perf(&self) -> MachinePerf {
+        let mut p = MachinePerf::default();
+        for n in &self.nodes {
+            p.issue_probes += n.stats().issue_probes;
+            p.instructions += n.stats().instructions;
+        }
+        p
     }
 
     /// A read-write pointer to node `idx`'s `page`-th local global page.
@@ -322,6 +399,7 @@ impl MMachine {
             self.halted_seen[node][c][slot] = false;
         }
         self.wake_node(node);
+        self.user_counts_stale = true;
         Ok(())
     }
 
@@ -347,6 +425,24 @@ impl MMachine {
     pub fn set_user_reg(&mut self, node: usize, cluster: usize, slot: usize, reg: Reg, v: Word) {
         self.nodes[node].write_reg(cluster, slot, reg, v);
         self.wake_node(node);
+    }
+
+    /// Re-sync the compact per-node user-thread mirrors in `sched` from
+    /// the nodes themselves. Cheap insurance run once per `run_until`
+    /// call when external mutation may have changed thread states; the
+    /// per-cycle path keeps the mirrors exact for every stepped node.
+    fn refresh_user_counts(&mut self) {
+        if !self.user_counts_stale {
+            return;
+        }
+        for (s, n) in self.sched.iter_mut().zip(&self.nodes) {
+            #[allow(clippy::cast_possible_truncation)]
+            {
+                s.user_running = n.user_threads_running() as u32;
+                s.user_finished = n.user_threads_finished() as u32;
+            }
+        }
+        self.user_counts_stale = false;
     }
 
     /// A pointer word for arbitrary experiment data.
@@ -436,10 +532,26 @@ impl MMachine {
 
         // 1. Awake and due nodes compute; quiescent nodes are skipped.
         let mut stepped = std::mem::take(&mut self.stepped_buf);
+        let mut staged = std::mem::take(&mut self.staged_buf);
         stepped.clear();
+        staged.clear();
         let any_class0 = match &mut self.pool {
-            Some(pool) => pool.step_shards(&mut self.nodes, &mut self.sched, now, &mut stepped),
-            None => step_shard(&mut self.nodes, &mut self.sched, 0, now, &mut stepped),
+            Some(pool) => pool.step_shards(
+                &mut self.nodes,
+                &mut self.sched,
+                now,
+                &mut stepped,
+                &mut staged,
+            ),
+            None => step_shard(
+                &mut self.nodes,
+                &mut self.sched,
+                0,
+                now,
+                &mut stepped,
+                &mut staged,
+                &mut self.step_scratch,
+            ),
         };
 
         // 2. Firmware coherence (class-0 events), when records are
@@ -459,41 +571,60 @@ impl MMachine {
         }
 
         // 3. Drain outboxes into the fabric. Only stepped nodes can have
-        // staged packets (sends happen in `Node::step`; resends wake the
-        // node first), so the ascending `stepped` walk preserves the
-        // dense loop's injection order. This is the parallel engine's
-        // ordering barrier: packets staged concurrently in per-node
-        // outboxes during phase 1 reach the fabric here in node-index
-        // order, never in worker-completion order.
-        for &i in &stepped {
-            let staged = self.nodes[i].net.take_outbox();
-            for p in &staged {
+        // staged packets (sends happen in `Node::step_with`; resends
+        // wake the node first), so the ascending `stepped` walk
+        // preserves the dense loop's injection order. This is the
+        // parallel engine's ordering barrier: packets staged
+        // concurrently in per-node outboxes during phase 1 reach the
+        // fabric here in node-index order, never in worker-completion
+        // order. The recycled `packet_buf` swap keeps the whole drain
+        // allocation-free in steady state, and only nodes that actually
+        // staged packets (the `staged` subset phase 1 recorded while
+        // each node was cache-hot) are touched at all.
+        let mut packets = std::mem::take(&mut self.packet_buf);
+        for &i in &staged {
+            self.nodes[i].net.drain_outbox_into(&mut packets);
+            for p in &packets {
                 self.trace_packet(now, i, p, true);
             }
-            self.fabric.inject_all(now, staged);
+            self.fabric.inject_all(now, packets.drain(..));
         }
 
         // 4. Deliver due packets (responses may stage more packets); a
-        // delivery is an external input, so the target wakes.
-        for p in self.fabric.deliveries(now) {
+        // delivery is an external input, so the target wakes. A
+        // delivered `Return` is the only way a returned message can
+        // appear, so remembering the targets here lets phase 5 skip
+        // every other node.
+        let mut deliveries = std::mem::take(&mut self.delivery_buf);
+        let mut returned_to = std::mem::take(&mut self.returned_buf);
+        deliveries.clear();
+        returned_to.clear();
+        self.fabric.deliveries_into(now, &mut deliveries);
+        for p in deliveries.drain(..) {
             let d = self.spec.linear_index(p.dest()) as usize;
+            if matches!(p, Packet::Return(_)) {
+                returned_to.push(d);
+            }
             self.trace_packet(now, d, &p, false);
             self.nodes[d].net.deliver(p);
-            let staged = self.nodes[d].net.take_outbox();
-            for out in &staged {
+            self.nodes[d].net.drain_outbox_into(&mut packets);
+            for out in &packets {
                 self.trace_packet(now, d, out, true);
             }
-            self.fabric.inject_all(now, staged);
+            self.fabric.inject_all(now, packets.drain(..));
             self.wake_node(d);
         }
+        self.delivery_buf = deliveries;
+        self.packet_buf = packets;
 
         // 5. Returned messages: hardware backoff, then re-inject (the
         // re-staged packet is drained when the woken node steps).
-        for i in 0..self.nodes.len() {
+        for &i in &returned_to {
             while let Some(m) = self.nodes[i].net.pop_returned() {
                 self.resends.push((now + self.cfg.resend_delay, i, m));
             }
         }
+        self.returned_buf = returned_to;
         let mut k = 0;
         while k < self.resends.len() {
             if self.resends[k].0 <= now {
@@ -513,6 +644,7 @@ impl MMachine {
             }
         }
         self.stepped_buf = stepped;
+        self.staged_buf = staged;
     }
 
     /// Record this cycle's event enqueues and freshly-halted user
@@ -557,8 +689,9 @@ impl MMachine {
         let now = self.cycle;
 
         // 1. Every node computes.
+        let scratch = &mut self.step_scratch;
         for n in &mut self.nodes {
-            n.step(now);
+            n.step_with(now, scratch);
         }
 
         // 2. Firmware coherence (class-0 events).
@@ -617,6 +750,11 @@ impl MMachine {
             s.awake = true;
             s.deadline = None;
             s.class0 = self.nodes[i].event_records_queued(0) > 0;
+            #[allow(clippy::cast_possible_truncation)]
+            {
+                s.user_running = self.nodes[i].user_threads_running() as u32;
+                s.user_finished = self.nodes[i].user_threads_finished() as u32;
+            }
         }
     }
 
@@ -689,6 +827,7 @@ impl MMachine {
         limit: u64,
         pred: F,
     ) -> Result<u64, MachineError> {
+        self.refresh_user_counts();
         let start = self.cycle;
         let end = start.saturating_add(limit);
         loop {
@@ -723,18 +862,20 @@ impl MMachine {
     pub fn run_until_halt(&mut self, limit: u64) -> Result<u64, MachineError> {
         // Done when no user H-Thread anywhere is still running, and at
         // least one was loaded (nodes without user work don't count).
+        // Each node maintains O(1) user-thread tallies at every state
+        // transition, mirrored into the compact `sched` array while the
+        // node is cache-hot, so this predicate — evaluated every active
+        // cycle — scans one small contiguous array instead of 512
+        // multi-KB node structs. Semantically identical to the old full
+        // scan: false while any user H-Thread runs, true once none run
+        // and at least one finished.
         let done = self.run_until(limit, |m| {
             let mut any = false;
-            for n in &m.nodes {
-                for c in 0..NUM_CLUSTERS {
-                    for s in 0..USER_SLOTS {
-                        match n.thread_state(c, s) {
-                            HState::Running => return false,
-                            HState::Halted | HState::Faulted(_) => any = true,
-                            HState::Idle => {}
-                        }
-                    }
+            for s in &m.sched {
+                if s.user_running > 0 {
+                    return false;
                 }
+                any |= s.user_finished > 0;
             }
             any
         })?;

@@ -36,7 +36,7 @@
 //! loop vs. serial engine vs. parallel engine at 1, 2 and 4 workers
 //! must agree on stats, timelines, halt cycles and register files.
 
-use mm_sim::{Node, Tick};
+use mm_sim::{Node, StepScratch, Tick};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
@@ -59,6 +59,14 @@ pub(crate) struct NodeSched {
     /// The node holds class-0 event records the coherence firmware must
     /// drain this cycle.
     pub(crate) class0: bool,
+    /// Mirror of the node's running user-thread tally, refreshed every
+    /// step while the node is cache-hot (and re-synced wholesale after
+    /// any external node mutation). The machine's halt predicate —
+    /// evaluated every active cycle — reads this compact array instead
+    /// of touching 512 multi-KB node structs.
+    pub(crate) user_running: u32,
+    /// Mirror of the node's finished (halted/faulted) user-thread tally.
+    pub(crate) user_finished: u32,
 }
 
 impl NodeSched {
@@ -68,32 +76,52 @@ impl NodeSched {
             awake: true,
             deadline: None,
             class0: false,
+            user_running: 0,
+            user_finished: 0,
         }
     }
 }
 
 /// Phase 1 of a busy cycle over one contiguous shard of the mesh:
 /// step every awake or due node, update its scheduler slot, and record
-/// the absolute indices stepped (ascending). Returns whether any node
+/// the absolute indices stepped (ascending) plus — in `staged` — the
+/// subset that left packets in their outboxes. Returns whether any node
 /// in the shard holds class-0 event records. This is the *single*
 /// implementation both engines run — the serial engine passes the whole
 /// node array, the parallel engine one disjoint chunk per worker — so
 /// cycle-exactness across engines holds by construction.
+///
+/// The `staged` list is a locality optimization with no observable
+/// effect: the machine's outbox-drain phase walks it instead of
+/// re-touching every stepped node (on big meshes most stepped nodes
+/// sent nothing, and the outbox length is read here while the node is
+/// still hot in cache). It is ascending per shard, so the shard-order
+/// merge keeps the fabric's node-index injection order.
 pub(crate) fn step_shard(
     nodes: &mut [Node],
     sched: &mut [NodeSched],
     base: usize,
     now: u64,
     stepped: &mut Vec<usize>,
+    staged: &mut Vec<usize>,
+    scratch: &mut StepScratch,
 ) -> bool {
     debug_assert_eq!(nodes.len(), sched.len());
     let mut any_class0 = false;
-    for (k, (node, s)) in nodes.iter_mut().zip(sched.iter_mut()).enumerate() {
+    for k in 0..nodes.len() {
+        let s = &mut sched[k];
         if !(s.awake || s.deadline.is_some_and(|d| d <= now)) {
             any_class0 |= s.class0;
             continue;
         }
-        let progressed = node.step(now);
+        // Overlap the next node's DRAM fetches with this node's step:
+        // the walk is latency-bound on big meshes (each node's hot set
+        // is a few lines scattered across a multi-KB struct).
+        if let Some(next) = nodes.get(k + 1) {
+            next.prefetch_hot();
+        }
+        let node = &mut nodes[k];
+        let progressed = node.step_with(now, scratch);
         if progressed {
             s.awake = true;
             s.deadline = None;
@@ -104,8 +132,16 @@ pub(crate) fn step_shard(
             s.deadline = Tick::next_activity(&*node, now);
         }
         s.class0 = node.event_records_queued(0) > 0;
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            s.user_running = node.user_threads_running() as u32;
+            s.user_finished = node.user_threads_finished() as u32;
+        }
         any_class0 |= s.class0;
         stepped.push(base + k);
+        if node.net.outbox_len() > 0 {
+            staged.push(base + k);
+        }
     }
     any_class0
 }
@@ -139,12 +175,20 @@ struct Job {
     now: u64,
     /// Recycled scratch buffer for the shard's stepped indices.
     stepped: Vec<usize>,
+    /// Recycled scratch buffer for the stepped-with-staged-packets
+    /// indices.
+    staged: Vec<usize>,
+    /// Recycled per-step drain buffers (memory responses/events), so
+    /// steady-state parallel cycles allocate nothing.
+    scratch: StepScratch,
 }
 
 /// A worker's barrier report.
 struct Done {
     worker: usize,
     stepped: Vec<usize>,
+    staged: Vec<usize>,
+    scratch: StepScratch,
     any_class0: bool,
     /// The shard's panic payload, if it panicked — re-raised by the
     /// dispatcher once the barrier has fully drained.
@@ -161,9 +205,15 @@ pub(crate) struct WorkerPool {
     /// Recycled shard scratch buffers (ping-pong through `Job`/`Done`,
     /// so steady-state cycles allocate nothing).
     bufs: Vec<Vec<usize>>,
+    /// Recycled per-worker step scratch (same ping-pong discipline).
+    scratches: Vec<StepScratch>,
     /// Per-worker collection scratch, reused across cycles.
-    results: Vec<Option<(Vec<usize>, bool)>>,
+    results: Vec<Option<ShardResult>>,
 }
+
+/// One shard's collected per-cycle output: (stepped indices, staged
+/// indices, any-class0 flag).
+type ShardResult = (Vec<usize>, Vec<usize>, bool);
 
 impl std::fmt::Debug for WorkerPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -195,6 +245,7 @@ impl WorkerPool {
             done_rx,
             handles,
             bufs: Vec::new(),
+            scratches: Vec::new(),
             results: Vec::new(),
         }
     }
@@ -218,6 +269,7 @@ impl WorkerPool {
         sched: &mut [NodeSched],
         now: u64,
         stepped: &mut Vec<usize>,
+        staged: &mut Vec<usize>,
     ) -> bool {
         let n = nodes.len();
         debug_assert_eq!(n, sched.len());
@@ -237,6 +289,8 @@ impl WorkerPool {
                 len: chunk.min(n - start),
                 now,
                 stepped: self.bufs.pop().unwrap_or_default(),
+                staged: self.bufs.pop().unwrap_or_default(),
+                scratch: self.scratches.pop().unwrap_or_default(),
             })
             .expect("shard worker alive");
             sent += 1;
@@ -250,7 +304,8 @@ impl WorkerPool {
         for _ in 0..sent {
             let done = self.done_rx.recv().expect("shard worker alive");
             panic = panic.or(done.panic);
-            self.results[done.worker] = Some((done.stepped, done.any_class0));
+            self.scratches.push(done.scratch);
+            self.results[done.worker] = Some((done.stepped, done.staged, done.any_class0));
         }
         if let Some(payload) = panic {
             // Re-raise the worker's own panic (assertion text, node
@@ -259,10 +314,12 @@ impl WorkerPool {
         }
         let mut any_class0 = false;
         for slot in self.results.drain(..) {
-            let (buf, class0) = slot.expect("every dispatched shard reports once");
+            let (buf, staged_buf, class0) = slot.expect("every dispatched shard reports once");
             stepped.extend_from_slice(&buf);
+            staged.extend_from_slice(&staged_buf);
             any_class0 |= class0;
             self.bufs.push(buf);
+            self.bufs.push(staged_buf);
         }
         any_class0
     }
@@ -289,8 +346,11 @@ fn worker_loop(worker: usize, rx: &Receiver<Job>, done: &Sender<Done>) {
             len,
             now,
             mut stepped,
+            mut staged,
+            mut scratch,
         } = job;
         stepped.clear();
+        staged.clear();
         let result = catch_unwind(AssertUnwindSafe(|| {
             // SAFETY: the dispatcher hands each worker a disjoint
             // [start, start + len) range of live, len-checked arrays and
@@ -298,18 +358,30 @@ fn worker_loop(worker: usize, rx: &Receiver<Job>, done: &Sender<Done>) {
             // slices alias nothing and never dangle.
             let nodes = unsafe { std::slice::from_raw_parts_mut(nodes.0.add(start), len) };
             let sched = unsafe { std::slice::from_raw_parts_mut(sched.0.add(start), len) };
-            step_shard(nodes, sched, start, now, &mut stepped)
+            step_shard(
+                nodes,
+                sched,
+                start,
+                now,
+                &mut stepped,
+                &mut staged,
+                &mut scratch,
+            )
         }));
         let report = match result {
             Ok(any_class0) => Done {
                 worker,
                 stepped,
+                staged,
+                scratch,
                 any_class0,
                 panic: None,
             },
             Err(payload) => Done {
                 worker,
                 stepped: Vec::new(),
+                staged: Vec::new(),
+                scratch: StepScratch::new(),
                 any_class0: false,
                 panic: Some(payload),
             },
@@ -337,12 +409,15 @@ mod tests {
         )];
         let mut sched = vec![NodeSched::awake()];
         let mut stepped = Vec::new();
+        let mut staged = Vec::new();
         for now in 0..32 {
             stepped.clear();
+            staged.clear();
             sched[0].awake = true;
-            let class0 = pool.step_shards(&mut nodes, &mut sched, now, &mut stepped);
+            let class0 = pool.step_shards(&mut nodes, &mut sched, now, &mut stepped, &mut staged);
             assert!(!class0);
             assert_eq!(stepped, vec![0], "cycle {now}");
+            assert!(staged.is_empty(), "an idle node stages nothing");
         }
         assert_eq!(nodes[0].stats().cycles, 32);
     }
@@ -358,7 +433,8 @@ mod tests {
             .collect();
         let mut sched = vec![NodeSched::awake(); 8];
         let mut stepped = Vec::new();
-        pool.step_shards(&mut nodes, &mut sched, 0, &mut stepped);
+        let mut staged = Vec::new();
+        pool.step_shards(&mut nodes, &mut sched, 0, &mut stepped, &mut staged);
         assert_eq!(stepped, (0..8).collect::<Vec<_>>());
     }
 }

@@ -55,7 +55,9 @@ struct Line {
     /// victims can be written back without re-translating (the cache is
     /// virtually tagged; the victim's LTLB entry may be gone).
     pa_base: u64,
-    data: Vec<MemWord>,
+    /// Line contents, inline: the per-access data path costs one cache
+    /// array index, not an extra heap hop per line.
+    data: [MemWord; LINE_WORDS as usize],
 }
 
 impl Line {
@@ -66,7 +68,7 @@ impl Line {
             dirty: false,
             writable: false,
             pa_base: 0,
-            data: vec![MemWord::default(); LINE_WORDS as usize],
+            data: [MemWord::default(); LINE_WORDS as usize],
         }
     }
 }
@@ -90,7 +92,7 @@ pub struct Victim {
     /// Physical address of the first word of the victim line.
     pub pa: u64,
     /// The eight words of the line.
-    pub data: Vec<MemWord>,
+    pub data: [MemWord; LINE_WORDS as usize],
 }
 
 /// Counters for the cache.
@@ -241,10 +243,9 @@ impl Cache {
         &mut self,
         va: u64,
         pa_base: u64,
-        data: Vec<MemWord>,
+        data: [MemWord; LINE_WORDS as usize],
         writable: bool,
     ) -> Option<Victim> {
-        assert_eq!(data.len() as u64, LINE_WORDS, "fill must be a whole line");
         let idx = self.index_of(va);
         let tag = self.tag_of(va);
         let num_lines = self.cfg.num_lines();
@@ -255,7 +256,7 @@ impl Cache {
             Some(Victim {
                 va: victim_va,
                 pa: line.pa_base,
-                data: std::mem::take(&mut line.data),
+                data: line.data,
             })
         } else {
             None
@@ -336,7 +337,7 @@ impl Cache {
                 return Some(Victim {
                     va: base,
                     pa: line.pa_base,
-                    data: line.data.clone(),
+                    data: line.data,
                 });
             }
         }
@@ -353,8 +354,9 @@ mod tests {
         MemWord::new(Word::from_u64(v))
     }
 
-    fn line(vals: std::ops::Range<u64>) -> Vec<MemWord> {
-        vals.map(mk).collect()
+    fn line(vals: std::ops::Range<u64>) -> [MemWord; LINE_WORDS as usize] {
+        let v: Vec<MemWord> = vals.map(mk).collect();
+        v.try_into().expect("test lines are LINE_WORDS long")
     }
 
     fn cache() -> Cache {

@@ -154,10 +154,20 @@ pub struct LtlbStats {
 }
 
 /// The fully-associative LTLB with LRU replacement.
+///
+/// A `vpn → slot` index backs every lookup: the cycle kernel consults
+/// the LTLB on each miss-path translation *and* on each store's
+/// dirty-bit update, so the old linear scan over all entries (2.5 KB
+/// touched per probe at the default capacity) was one of the hottest
+/// loops in the whole simulator. The index is consulted only by direct
+/// key lookup — never iterated — so hash-map ordering cannot leak into
+/// simulation results.
 #[derive(Debug, Clone)]
 pub struct Ltlb {
     entries: Vec<Option<LtlbEntry>>,
     last_use: Vec<u64>,
+    /// Resident vpn → slot index.
+    map: std::collections::HashMap<u64, usize>,
     clock: u64,
     stats: LtlbStats,
 }
@@ -174,6 +184,7 @@ impl Ltlb {
         Ltlb {
             entries: vec![None; capacity],
             last_use: vec![0; capacity],
+            map: std::collections::HashMap::with_capacity(capacity),
             clock: 0,
             stats: LtlbStats::default(),
         }
@@ -188,15 +199,10 @@ impl Ltlb {
     /// Look up a virtual page number, updating LRU state and counters.
     pub fn lookup(&mut self, vpn: u64) -> Option<&mut LtlbEntry> {
         self.clock += 1;
-        let clock = self.clock;
-        for (i, slot) in self.entries.iter_mut().enumerate() {
-            if let Some(e) = slot {
-                if e.vpn == vpn {
-                    self.stats.hits += 1;
-                    self.last_use[i] = clock;
-                    return self.entries[i].as_mut();
-                }
-            }
+        if let Some(&i) = self.map.get(&vpn) {
+            self.stats.hits += 1;
+            self.last_use[i] = self.clock;
+            return self.entries[i].as_mut();
         }
         self.stats.misses += 1;
         None
@@ -205,13 +211,15 @@ impl Ltlb {
     /// Mutable access without touching LRU state or counters (firmware
     /// coherence updates, dirty-bit marking).
     pub fn find_mut(&mut self, vpn: u64) -> Option<&mut LtlbEntry> {
-        self.entries.iter_mut().flatten().find(|e| e.vpn == vpn)
+        let i = *self.map.get(&vpn)?;
+        self.entries[i].as_mut()
     }
 
     /// Peek without touching LRU state or counters.
     #[must_use]
     pub fn probe(&self, vpn: u64) -> Option<&LtlbEntry> {
-        self.entries.iter().flatten().find(|e| e.vpn == vpn)
+        let i = *self.map.get(&vpn)?;
+        self.entries[i].as_ref()
     }
 
     /// Insert an entry, replacing any existing mapping for the same vpn,
@@ -221,16 +229,15 @@ impl Ltlb {
     pub fn insert(&mut self, entry: LtlbEntry) -> Option<LtlbEntry> {
         self.clock += 1;
         // Same-vpn replacement.
-        for (i, slot) in self.entries.iter_mut().enumerate() {
-            if slot.as_ref().is_some_and(|e| e.vpn == entry.vpn) {
-                let old = slot.replace(entry);
-                self.last_use[i] = self.clock;
-                return old;
-            }
+        if let Some(&i) = self.map.get(&entry.vpn) {
+            let old = self.entries[i].replace(entry);
+            self.last_use[i] = self.clock;
+            return old;
         }
         // Free slot.
         for (i, slot) in self.entries.iter_mut().enumerate() {
             if slot.is_none() {
+                self.map.insert(entry.vpn, i);
                 *slot = Some(entry);
                 self.last_use[i] = self.clock;
                 return None;
@@ -246,18 +253,18 @@ impl Ltlb {
             .expect("non-empty LTLB");
         self.stats.evictions += 1;
         let old = self.entries[victim].replace(entry);
+        if let Some(e) = &old {
+            self.map.remove(&e.vpn);
+        }
+        self.map.insert(entry.vpn, victim);
         self.last_use[victim] = self.clock;
         old
     }
 
     /// Drop the mapping for `vpn`, returning it (for LPT write-back).
     pub fn invalidate(&mut self, vpn: u64) -> Option<LtlbEntry> {
-        for slot in &mut self.entries {
-            if slot.as_ref().is_some_and(|e| e.vpn == vpn) {
-                return slot.take();
-            }
-        }
-        None
+        let i = self.map.remove(&vpn)?;
+        self.entries[i].take()
     }
 
     /// Iterate over resident entries.

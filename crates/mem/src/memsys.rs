@@ -16,6 +16,7 @@ use crate::ltlb::{BlockStatus, Ltlb, LtlbEntry, LtlbStats, PAGE_WORDS};
 use mm_isa::op::{SyncPost, SyncPre};
 use mm_isa::pointer::{GuardedPointer, Perm};
 use mm_isa::word::Word;
+use mm_sched::ReadyQueue;
 use std::collections::VecDeque;
 
 /// Load or store.
@@ -209,8 +210,13 @@ pub struct MemorySystem {
     sdram: Sdram,
     lpt: Option<Lpt>,
     bank_q: Vec<VecDeque<MemRequest>>,
+    /// Requests queued across all banks (`O(1)` has-work check on the
+    /// per-cycle fast path).
+    bank_backlog: usize,
     miss_q: VecDeque<(u64, MemRequest)>,
-    responses: Vec<MemResponse>,
+    /// Completed requests staged until their ready cycle, popped in
+    /// `(ready, completion order)` — no per-cycle scans.
+    responses: ReadyQueue<MemResponse>,
     events: Vec<MemEvent>,
     stats: MemStats,
 }
@@ -229,8 +235,9 @@ impl MemorySystem {
             sdram: Sdram::new(cfg.sdram.clone()),
             lpt: None,
             bank_q: (0..banks).map(|_| VecDeque::new()).collect(),
+            bank_backlog: 0,
             miss_q: VecDeque::new(),
-            responses: Vec::new(),
+            responses: ReadyQueue::new(),
             events: Vec::new(),
             stats: MemStats::default(),
             cfg,
@@ -304,20 +311,46 @@ impl MemorySystem {
             return Err(req);
         }
         self.stats.requests += 1;
+        self.bank_backlog += 1;
         self.bank_q[bank].push_back(req);
         Ok(())
     }
 
-    /// Advance one cycle: banks each retire one request, the miss engine
-    /// services due misses, and completed responses/events are returned.
+    /// Advance one cycle, draining completions into caller-owned scratch
+    /// buffers: banks each retire one request, the miss engine services
+    /// due misses, and every response whose ready cycle has arrived is
+    /// appended to `responses` (in `(ready, completion order)`), every
+    /// pending event to `events`.
     ///
-    /// A memory system belongs to exactly one node and shares no state
-    /// with its siblings, so the machine's sharded engine may tick
-    /// different nodes' memory systems concurrently from worker threads.
-    pub fn step(&mut self, now: u64) -> (Vec<MemResponse>, Vec<MemEvent>) {
-        for bank in 0..self.bank_q.len() {
-            if let Some(req) = self.bank_q[bank].pop_front() {
-                self.access(now, req);
+    /// This is the allocation-free form of [`MemorySystem::step`]: the
+    /// buffers are appended to, never reallocated by this call once they
+    /// have reached their steady-state capacity, so the node's cycle
+    /// kernel can recycle one pair of buffers across every cycle (and
+    /// the machine's worker pool one pair per worker). A memory system
+    /// belongs to exactly one node and shares no state with its
+    /// siblings, so the sharded engine may tick different nodes' memory
+    /// systems concurrently from worker threads.
+    pub fn step_into(
+        &mut self,
+        now: u64,
+        responses: &mut Vec<MemResponse>,
+        events: &mut Vec<MemEvent>,
+    ) {
+        // Fast path: a fully idle memory system (the common case on a
+        // large mesh) is four inline header reads, no queue traffic.
+        if self.bank_backlog == 0
+            && self.miss_q.is_empty()
+            && self.responses.is_empty()
+            && self.events.is_empty()
+        {
+            return;
+        }
+        if self.bank_backlog > 0 {
+            for bank in 0..self.bank_q.len() {
+                if let Some(req) = self.bank_q[bank].pop_front() {
+                    self.bank_backlog -= 1;
+                    self.access(now, req);
+                }
             }
         }
         while let Some(&(ready, req)) = self.miss_q.front() {
@@ -327,27 +360,25 @@ impl MemorySystem {
             self.miss_q.pop_front();
             self.handle_miss(ready.max(now), req);
         }
-        let ready_resps: Vec<MemResponse> = {
-            let mut out = Vec::new();
-            let mut i = 0;
-            while i < self.responses.len() {
-                if self.responses[i].ready <= now {
-                    out.push(self.responses.swap_remove(i));
-                } else {
-                    i += 1;
-                }
-            }
-            out
-        };
-        self.stats.responses += ready_resps.len() as u64;
-        let events = std::mem::take(&mut self.events);
-        (ready_resps, events)
+        let popped = self.responses.drain_due_into(now, responses);
+        self.stats.responses += popped as u64;
+        events.append(&mut self.events);
+    }
+
+    /// Advance one cycle, returning completions in fresh vectors — the
+    /// convenience form of [`MemorySystem::step_into`] for tests and
+    /// debug paths (it allocates; the cycle engines use the drain form).
+    pub fn step(&mut self, now: u64) -> (Vec<MemResponse>, Vec<MemEvent>) {
+        let mut responses = Vec::new();
+        let mut events = Vec::new();
+        self.step_into(now, &mut responses, &mut events);
+        (responses, events)
     }
 
     /// Are all queues drained (useful for run-to-idle loops)?
     #[must_use]
     pub fn is_idle(&self) -> bool {
-        self.bank_q.iter().all(VecDeque::is_empty)
+        self.bank_backlog == 0
             && self.miss_q.is_empty()
             && self.responses.is_empty()
             && self.events.is_empty()
@@ -363,20 +394,25 @@ impl MemorySystem {
     pub fn next_activity(&self, now: u64) -> Option<u64> {
         let mut best: Option<u64> = None;
         let mut fold = |t: u64| best = Some(best.map_or(t, |b| b.min(t)));
-        if self.bank_q.iter().any(|q| !q.is_empty()) || !self.events.is_empty() {
+        if self.bank_backlog > 0 || !self.events.is_empty() {
             fold(now + 1);
         }
-        for &(ready, _) in &self.miss_q {
+        // The miss queue pops front-to-back and deadlines are pushed with
+        // monotonically non-decreasing `now` plus constant latencies, so
+        // the front entry is the earliest; responses are a ready-ordered
+        // queue with an O(1) minimum.
+        if let Some(&(ready, _)) = self.miss_q.front() {
             fold(ready.max(now + 1));
         }
-        for r in &self.responses {
-            fold(r.ready.max(now + 1));
+        if let Some(ready) = self.responses.next_ready() {
+            fold(ready.max(now + 1));
         }
         best
     }
 
     fn respond(&mut self, req: MemRequest, value: Word, ready: u64) {
-        self.responses.push(MemResponse { req, value, ready });
+        self.responses
+            .push(ready, MemResponse { req, value, ready });
     }
 
     fn raise(&mut self, at: u64, kind: MemEventKind, req: MemRequest) {
@@ -558,15 +594,12 @@ impl MemorySystem {
         let pa_line = pa & !(LINE_WORDS - 1);
         let va_line = req.va & !(LINE_WORDS - 1);
         let (first, last, raw) = self.sdram.read(now, pa_line, LINE_WORDS);
-        let mut line = Vec::with_capacity(LINE_WORDS as usize);
+        let mut line = [MemWord::default(); LINE_WORDS as usize];
         let mut ecc_fail = false;
-        for w in raw {
+        for (k, w) in raw.into_iter().enumerate() {
             match w {
-                Some(mw) => line.push(mw),
-                None => {
-                    ecc_fail = true;
-                    line.push(MemWord::default());
-                }
+                Some(mw) => line[k] = mw,
+                None => ecc_fail = true,
             }
         }
         if ecc_fail {

@@ -10,6 +10,7 @@
 //! remote node (5 cycles)".
 
 use crate::message::{NodeCoord, Packet};
+use mm_sched::ReadyQueue;
 
 /// A mesh direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -82,14 +83,6 @@ pub struct FabricStats {
     pub hops: u64,
 }
 
-/// A packet scheduled for delivery.
-#[derive(Debug, Clone)]
-struct InFlight {
-    deliver_at: u64,
-    seq: u64,
-    packet: Packet,
-}
-
 /// The mesh interconnect.
 #[derive(Debug, Clone)]
 pub struct Fabric {
@@ -99,8 +92,10 @@ pub struct Fabric {
     /// priority`) rather than hash-keyed: no hashing on the per-hop hot
     /// path, and iteration order is trivially deterministic.
     link_free: Vec<u64>,
-    in_flight: Vec<InFlight>,
-    seq: u64,
+    /// Packets awaiting delivery, popped in `(deliver_at, injection
+    /// order)` — the same order the old scan-and-sort produced, with an
+    /// O(1) next-delivery deadline for the cycle engine.
+    in_flight: ReadyQueue<Packet>,
     stats: FabricStats,
 }
 
@@ -112,8 +107,7 @@ impl Fabric {
         Fabric {
             link_free: vec![0; nodes * NUM_DIRS * 2],
             cfg,
-            in_flight: Vec::new(),
-            seq: 0,
+            in_flight: ReadyQueue::new(),
             stats: FabricStats::default(),
         }
     }
@@ -241,12 +235,7 @@ impl Fabric {
         self.stats.packets += 1;
         self.stats.flits += flits;
         self.stats.total_latency += deliver_at - now;
-        self.seq += 1;
-        self.in_flight.push(InFlight {
-            deliver_at,
-            seq: self.seq,
-            packet,
-        });
+        self.in_flight.push(deliver_at, packet);
         deliver_at
     }
 
@@ -266,20 +255,21 @@ impl Fabric {
         }
     }
 
+    /// Append every packet due by cycle `now` to `out`, in (time, inject
+    /// order) — deterministic delivery, no per-cycle allocation or sort
+    /// (the in-flight set is a ready-ordered queue). The machine's cycle
+    /// engines recycle one buffer across cycles.
+    pub fn deliveries_into(&mut self, now: u64, out: &mut Vec<Packet>) {
+        self.in_flight.drain_due_into(now, out);
+    }
+
     /// Remove and return all packets due by cycle `now`, in (time, inject
-    /// order) — deterministic delivery.
+    /// order) — the allocating convenience form of
+    /// [`Fabric::deliveries_into`] for tests and debug paths.
     pub fn deliveries(&mut self, now: u64) -> Vec<Packet> {
-        let mut due: Vec<InFlight> = Vec::new();
-        let mut i = 0;
-        while i < self.in_flight.len() {
-            if self.in_flight[i].deliver_at <= now {
-                due.push(self.in_flight.swap_remove(i));
-            } else {
-                i += 1;
-            }
-        }
-        due.sort_by_key(|p| (p.deliver_at, p.seq));
-        due.into_iter().map(|p| p.packet).collect()
+        let mut out = Vec::new();
+        self.deliveries_into(now, &mut out);
+        out
     }
 
     /// Any packets still in flight?
@@ -289,10 +279,10 @@ impl Fabric {
     }
 
     /// Earliest pending delivery cycle, if any (lets run loops skip idle
-    /// cycles).
+    /// cycles). O(1): the in-flight queue keeps its minimum at the top.
     #[must_use]
     pub fn next_delivery(&self) -> Option<u64> {
-        self.in_flight.iter().map(|p| p.deliver_at).min()
+        self.in_flight.next_ready()
     }
 
     /// The earliest cycle at which the fabric can do work — the next

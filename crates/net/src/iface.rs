@@ -178,8 +178,28 @@ impl NodeNet {
     }
 
     /// Packets staged for fabric injection this cycle.
+    ///
+    /// Surrenders the outbox allocation (a fresh empty vector replaces
+    /// it), so every later staging cycle re-allocates. The machine's
+    /// cycle engines use [`NodeNet::drain_outbox_into`] instead, which
+    /// keeps both buffers' capacity alive.
     pub fn take_outbox(&mut self) -> Vec<Packet> {
         std::mem::take(&mut self.outbox)
+    }
+
+    /// Move the staged packets into `buf` (cleared first) by swapping
+    /// the two vectors: the interface keeps `buf`'s old allocation for
+    /// the next staging cycle and the caller gets the packets without
+    /// either side allocating in steady state.
+    pub fn drain_outbox_into(&mut self, buf: &mut Vec<Packet>) {
+        buf.clear();
+        std::mem::swap(&mut self.outbox, buf);
+    }
+
+    /// Packets currently staged for injection.
+    #[must_use]
+    pub fn outbox_len(&self) -> usize {
+        self.outbox.len()
     }
 
     /// Handle a packet delivered by the fabric. Acceptance of a user

@@ -42,5 +42,5 @@ pub use config::{
 };
 pub use engine::Tick;
 pub use event::EventKind;
-pub use node::{Fault, HState, Node, NodeStats};
+pub use node::{Fault, HState, Node, NodeStats, StepScratch};
 pub use regfile::ThreadRegs;

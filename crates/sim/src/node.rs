@@ -18,9 +18,10 @@ use mm_isa::op::{AluKind, BranchCond, CmpKind, FpKind, FpOp, IntOp, MemOp, MemSl
 use mm_isa::pointer::{GuardedPointer, Perm};
 use mm_isa::reg::{Dst, Reg, RegAddr, Src};
 use mm_isa::word::Word;
-use mm_mem::memsys::{AccessKind, MemRequest, MemorySystem};
+use mm_mem::memsys::{AccessKind, MemEvent, MemRequest, MemResponse, MemorySystem};
 use mm_net::iface::{NodeNet, SendOutcome};
 use mm_net::message::NodeCoord;
+use mm_sched::ReadyQueue;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -62,6 +63,78 @@ pub enum HState {
     Faulted(Fault),
 }
 
+/// A memoized "this thread cannot issue until a queue fills" proof.
+///
+/// Readiness of an instruction that reads queue registers is a
+/// conjunction that includes `queue words available ≥ cumulative words
+/// needed` for every queue operand, so whenever a queue still holds
+/// fewer words than the instruction's total need, the instruction is
+/// not ready *regardless of any other machine state*. The issue stage
+/// caches that total (computed once, the first time the probe fails
+/// with every non-queue condition satisfied) and skips the full
+/// fetch-and-probe while the shortage persists — this is what makes
+/// the permanently-resident event/message handler threads, which spend
+/// most cycles blocked on `evq`/`rnet`, nearly free to keep resident.
+#[derive(Debug, Clone, Copy)]
+struct QueueBlock {
+    /// PC the proof was computed at (instructions are immutable, so the
+    /// proof is valid whenever the thread sits at this PC).
+    pc: u32,
+    /// Total queue words the instruction consumes: `[NetIn, EvQ]`.
+    needs: [u16; 2],
+}
+
+/// A memoized issue-block proof: the thread cannot issue until the
+/// recorded condition changes, so the per-cycle probe collapses to one
+/// or two field comparisons.
+#[derive(Debug, Clone, Copy)]
+enum IssueBlock {
+    /// Blocked on queue-register words (see [`QueueBlock`]): valid
+    /// while any needed queue still lacks words, whatever else changes.
+    Queue(QueueBlock),
+    /// Blocked on this thread's own register fullness, for an
+    /// instruction whose readiness depends on nothing else (no memory
+    /// op — which would add bank-queue and credit conditions — and no
+    /// `mrestart`): valid while the `(cluster, slot)` register file's
+    /// mutation counter is unchanged, since every path that can flip a
+    /// fullness bit bumps it.
+    Regs {
+        /// PC the proof was computed at.
+        pc: u32,
+        /// [`ThreadRegs::version`] at probe time.
+        version: u64,
+    },
+}
+
+/// Accumulator threaded through a readiness probe: cumulative queue
+/// words needed (`[NetIn, EvQ]`), plus the hypothetical mode used to
+/// derive [`QueueBlock`] proofs.
+struct QueueNeeds {
+    counts: [usize; 2],
+    /// When set, queue occupancy checks are skipped (queues treated as
+    /// arbitrarily full): a `true` probe result then proves the
+    /// instruction is blocked *only* by queue words.
+    assume_available: bool,
+}
+
+impl QueueNeeds {
+    /// A real readiness probe.
+    fn checked() -> QueueNeeds {
+        QueueNeeds {
+            counts: [0; 2],
+            assume_available: false,
+        }
+    }
+
+    /// A hypothetical probe with infinite queue words.
+    fn assumed() -> QueueNeeds {
+        QueueNeeds {
+            counts: [0; 2],
+            assume_available: true,
+        }
+    }
+}
+
 /// One H-Thread's control state.
 #[derive(Debug, Clone)]
 struct HThread {
@@ -73,6 +146,8 @@ struct HThread {
     /// per-cycle countdown — keep the thread's wake-up time meaningful
     /// when the engine skips the node over provably idle cycles.
     stall_until: u64,
+    /// Cached issue-block proof (see [`IssueBlock`]).
+    blocked: Option<IssueBlock>,
 }
 
 impl HThread {
@@ -82,43 +157,53 @@ impl HThread {
             pc: 0,
             state: HState::Idle,
             stall_until: 0,
+            blocked: None,
         }
     }
 }
 
-/// One execution cluster: register files and H-Thread slots.
+/// One execution cluster: register files and H-Thread slots. Register
+/// files and thread slots are inline arrays (one contiguous block per
+/// cluster) so the issue stage's per-cycle scan walks consecutive
+/// cache lines instead of chasing per-slot heap pointers.
 #[derive(Debug, Clone)]
 struct Cluster {
-    regs: Vec<ThreadRegs>,
-    threads: Vec<HThread>,
+    regs: [ThreadRegs; NUM_SLOTS],
+    threads: [HThread; NUM_SLOTS],
     rr: usize,
+    /// Bitmask of thread slots currently in [`HState::Running`] — the
+    /// issue stage iterates set bits only, so slots that are idle,
+    /// halted or faulted are never touched (their `HThread` entries
+    /// stay out of cache entirely), and an all-idle cluster costs one
+    /// field read per cycle.
+    running: u8,
 }
 
 impl Cluster {
     fn new() -> Cluster {
         Cluster {
-            regs: (0..NUM_SLOTS).map(|_| ThreadRegs::new()).collect(),
-            threads: (0..NUM_SLOTS).map(|_| HThread::idle()).collect(),
+            regs: std::array::from_fn(|_| ThreadRegs::new()),
+            threads: std::array::from_fn(|_| HThread::idle()),
             rr: 0,
+            running: 0,
         }
     }
 }
 
-/// A scheduled local register write (a unit's writeback).
+/// A scheduled local register write (a unit's writeback). The ready
+/// cycle lives in the [`ReadyQueue`] key, not the payload.
 #[derive(Debug, Clone, Copy)]
 struct PendingWrite {
-    ready: u64,
     cluster: usize,
     slot: usize,
     reg: Reg,
     value: Word,
 }
 
-/// A C-Switch transfer in flight.
+/// A C-Switch transfer in flight. Delivery cycle and issue-order
+/// sequencing live in the [`ReadyQueue`] key.
 #[derive(Debug, Clone, Copy)]
 struct CswTransfer {
-    ready: u64,
-    seq: u64,
     target: CswTarget,
     value: Word,
 }
@@ -172,6 +257,39 @@ pub struct NodeStats {
     pub last_response_cycle: u64,
     /// Memory responses applied.
     pub responses: u64,
+    /// Issue-stage candidates examined: running, un-stalled threads
+    /// whose next instruction was fetched and readiness-checked. A
+    /// *host* perf counter, not an architectural one — the quiescence
+    /// engine skips provably-idle steps, so this (unlike every counter
+    /// above) legitimately differs between the dense loop and the
+    /// engines. The issue-path hit rate is `instructions /
+    /// issue_probes`.
+    pub issue_probes: u64,
+}
+
+/// Reusable buffers one [`Node::step_with`] call drains memory-system
+/// completions into. Steady-state cycles never allocate: the buffers
+/// are cleared (capacity kept) at the top of each step. The machine's
+/// cycle engines thread one scratch through every serial step and one
+/// per worker thread; [`Node::step`] is the allocating convenience
+/// form for tests and debug paths.
+#[derive(Debug, Default)]
+pub struct StepScratch {
+    responses: Vec<MemResponse>,
+    events: Vec<MemEvent>,
+}
+
+impl StepScratch {
+    /// Fresh (empty) scratch buffers.
+    #[must_use]
+    pub fn new() -> StepScratch {
+        StepScratch::default()
+    }
+
+    fn clear(&mut self) {
+        self.responses.clear();
+        self.events.clear();
+    }
 }
 
 /// A complete MAP node.
@@ -179,18 +297,29 @@ pub struct NodeStats {
 pub struct Node {
     cfg: NodeConfig,
     coord: NodeCoord,
-    clusters: Vec<Cluster>,
+    /// The four execution clusters, inline: one contiguous block per
+    /// node (no per-cluster heap hop on the issue path).
+    clusters: [Cluster; NUM_CLUSTERS],
     /// The memory system (public for boot/firmware access).
     pub mem: MemorySystem,
     /// The network interface (public for the machine pump).
     pub net: NodeNet,
     event_q: Vec<VecDeque<Word>>,
-    event_records: Vec<usize>,
+    event_records: [usize; NUM_CLUSTERS],
     exc_q: Vec<VecDeque<Word>>,
-    local_writes: Vec<PendingWrite>,
-    csw: Vec<CswTransfer>,
-    csw_seq: u64,
+    /// Pending unit writebacks, applied in `(ready, issue order)`.
+    local_writes: ReadyQueue<PendingWrite>,
+    /// C-Switch transfers in flight, delivered in `(ready, issue
+    /// order)` — the ready-ordered replacement for the old per-cycle
+    /// `sort_by_key` + in-order `remove` loop, with identical delivery
+    /// order (see `mm_sched`).
+    csw: ReadyQueue<CswTransfer>,
     next_req_id: u64,
+    /// User-slot H-Threads currently [`HState::Running`] (maintained at
+    /// every state transition, so halt predicates are O(1) per node).
+    user_running: usize,
+    /// User-slot H-Threads halted or faulted.
+    user_finished: usize,
     /// Cycles accounted in `stats.cycles` (`step` catches up from here,
     /// so a node skipped over idle cycles still reports wall-clock
     /// cycles observed, not steps executed).
@@ -214,14 +343,15 @@ impl Node {
         Node {
             mem: MemorySystem::new(cfg.mem.clone()),
             net: NodeNet::new(coord, cfg.iface.clone()),
-            clusters: (0..NUM_CLUSTERS).map(|_| Cluster::new()).collect(),
+            clusters: std::array::from_fn(|_| Cluster::new()),
             event_q: (0..NUM_CLUSTERS).map(|_| VecDeque::new()).collect(),
-            event_records: vec![0; NUM_CLUSTERS],
+            event_records: [0; NUM_CLUSTERS],
             exc_q: (0..NUM_CLUSTERS).map(|_| VecDeque::new()).collect(),
-            local_writes: Vec::new(),
-            csw: Vec::new(),
-            csw_seq: 0,
+            local_writes: ReadyQueue::new(),
+            csw: ReadyQueue::new(),
             next_req_id: 0,
+            user_running: 0,
+            user_finished: 0,
             accounted: 0,
             stats: NodeStats::default(),
             cfg,
@@ -247,6 +377,33 @@ impl Node {
         &self.stats
     }
 
+    /// Maintain the cluster's runnable count and the node's user-thread
+    /// tallies across an H-Thread state change. Every `state` write
+    /// funnels through here (load, unload, fault, halt) so the O(1)
+    /// issue-skip and halt-predicate counters can never drift from the
+    /// per-thread states.
+    fn account_state(&mut self, cluster: usize, slot: usize, old: HState, new: HState) {
+        let runs = |s: HState| s == HState::Running;
+        let finished = |s: HState| matches!(s, HState::Halted | HState::Faulted(_));
+        if runs(old) && !runs(new) {
+            self.clusters[cluster].running &= !(1u8 << slot);
+        } else if !runs(old) && runs(new) {
+            self.clusters[cluster].running |= 1u8 << slot;
+        }
+        if slot < crate::config::USER_SLOTS {
+            if runs(old) && !runs(new) {
+                self.user_running -= 1;
+            } else if !runs(old) && runs(new) {
+                self.user_running += 1;
+            }
+            if finished(old) && !finished(new) {
+                self.user_finished -= 1;
+            } else if !finished(old) && finished(new) {
+                self.user_finished += 1;
+            }
+        }
+    }
+
     /// Load `program` into `(cluster, slot)` starting at instruction
     /// `entry`, and mark the H-Thread runnable.
     ///
@@ -255,15 +412,20 @@ impl Node {
     /// Panics on out-of-range cluster/slot.
     pub fn load_program(&mut self, cluster: usize, slot: usize, program: Arc<Program>, entry: u32) {
         let t = &mut self.clusters[cluster].threads[slot];
+        let old = t.state;
         t.program = Some(program);
         t.pc = entry;
         t.state = HState::Running;
         t.stall_until = 0;
+        t.blocked = None;
+        self.account_state(cluster, slot, old, HState::Running);
     }
 
     /// Stop and unload the H-Thread at `(cluster, slot)`.
     pub fn unload_program(&mut self, cluster: usize, slot: usize) {
+        let old = self.clusters[cluster].threads[slot].state;
         self.clusters[cluster].threads[slot] = HThread::idle();
+        self.account_state(cluster, slot, old, HState::Idle);
     }
 
     /// The H-Thread's state.
@@ -290,20 +452,25 @@ impl Node {
     }
 
     /// Are all user-slot H-Threads with programs finished (halted or
-    /// faulted), with at least one having run?
+    /// faulted), with at least one having run? O(1): reads the
+    /// transition-maintained tallies instead of scanning 24 slots.
     #[must_use]
     pub fn user_threads_done(&self) -> bool {
-        let mut any = false;
-        for c in &self.clusters {
-            for slot in 0..crate::config::USER_SLOTS {
-                match c.threads[slot].state {
-                    HState::Running => return false,
-                    HState::Halted | HState::Faulted(_) => any = true,
-                    HState::Idle => {}
-                }
-            }
-        }
-        any
+        self.user_running == 0 && self.user_finished > 0
+    }
+
+    /// User-slot H-Threads currently running (O(1), maintained at every
+    /// state transition — the machine's halt predicate reads this once
+    /// per node per cycle instead of scanning every thread slot).
+    #[must_use]
+    pub fn user_threads_running(&self) -> usize {
+        self.user_running
+    }
+
+    /// User-slot H-Threads halted or faulted (O(1)).
+    #[must_use]
+    pub fn user_threads_finished(&self) -> usize {
+        self.user_finished
     }
 
     /// Words waiting in the event queue of handler class `cluster`.
@@ -359,6 +526,37 @@ impl Node {
         self.event_records[class]
     }
 
+    /// Hint the CPU to pull this node's per-cycle hot state into cache.
+    ///
+    /// The machine's engines walk hundreds of nodes per simulated cycle;
+    /// each node's working set is a handful of cache lines scattered
+    /// across a multi-kilobyte struct, so the serial walk is bound by
+    /// DRAM *latency*, not bandwidth. Prefetching node `i + 1` while
+    /// stepping node `i` overlaps those misses with useful work. Pure
+    /// hint: no architectural effect, and a no-op on targets without a
+    /// prefetch instruction.
+    #[inline]
+    pub fn prefetch_hot(&self) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let lines: [*const i8; 7] = [
+                std::ptr::from_ref(self).cast(),
+                std::ptr::from_ref(&self.stats).cast(),
+                std::ptr::from_ref(&self.mem).cast(),
+                std::ptr::from_ref(&self.clusters[0].threads).cast(),
+                std::ptr::from_ref(&self.clusters[1].threads).cast(),
+                std::ptr::from_ref(&self.clusters[2].threads).cast(),
+                std::ptr::from_ref(&self.clusters[3].threads).cast(),
+            ];
+            for p in lines {
+                // SAFETY: prefetch is a pure performance hint on valid
+                // addresses derived from live references.
+                unsafe { _mm_prefetch(p, _MM_HINT_T0) };
+            }
+        }
+    }
+
     /// Account skipped-over cycles up to (exclusive) `now` without
     /// stepping. The engine calls this when a run ends with the node
     /// still asleep, so `stats.cycles` always reads as wall-clock
@@ -388,15 +586,20 @@ impl Node {
     pub fn next_activity(&self, now: u64) -> Option<u64> {
         use crate::engine::earliest;
         let mut best = self.mem.next_activity(now).map(|t| t.max(now + 1));
-        for w in &self.local_writes {
-            best = earliest(best, Some(w.ready.max(now + 1)));
+        if let Some(r) = self.local_writes.next_ready() {
+            best = earliest(best, Some(r.max(now + 1)));
         }
-        for t in &self.csw {
-            best = earliest(best, Some(t.ready.max(now + 1)));
+        if let Some(r) = self.csw.next_ready() {
+            best = earliest(best, Some(r.max(now + 1)));
         }
         for c in &self.clusters {
-            for t in &c.threads {
-                if t.state == HState::Running && t.stall_until > now {
+            let mut mask = c.running;
+            while mask != 0 {
+                #[allow(clippy::cast_possible_truncation)]
+                let slot = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let t = &c.threads[slot];
+                if t.stall_until > now {
                     best = earliest(best, Some(t.stall_until));
                 }
             }
@@ -408,13 +611,16 @@ impl Node {
     // The cycle
     // ==================================================================
 
-    /// Advance one cycle. The machine-level pump handles fabric
+    /// Advance one cycle, draining memory completions through the
+    /// caller's recycled [`StepScratch`] — the allocation-free kernel
+    /// both cycle engines run. The machine-level pump handles fabric
     /// injection/delivery around this call.
     ///
     /// Touches only this node's own state (its clusters, its
-    /// [`MemorySystem`], its [`NodeNet`] staging queues), so disjoint
-    /// nodes may be stepped concurrently from worker threads — the
-    /// contract the machine's sharded engine relies on.
+    /// [`MemorySystem`], its [`NodeNet`] staging queues) plus the
+    /// scratch, so disjoint nodes may be stepped concurrently from
+    /// worker threads, each with its worker's scratch — the contract
+    /// the machine's sharded engine relies on.
     ///
     /// Returns whether the node made *progress*: issued an instruction,
     /// applied a register write (local writeback, C-Switch transfer or
@@ -425,16 +631,18 @@ impl Node {
     /// wake-up) — the quiescence invariant the `engine` module
     /// documents. Skipped cycles are caught up in `stats.cycles` on the
     /// next step, so the counter always reads as cycles observed.
-    pub fn step(&mut self, now: u64) -> bool {
+    pub fn step_with(&mut self, now: u64, scratch: &mut StepScratch) -> bool {
         self.stats.cycles += (now + 1).saturating_sub(self.accounted);
         self.accounted = self.accounted.max(now + 1);
         let mut progressed = false;
 
         // Phase 1: memory responses and events (submissions from earlier
         // cycles pop through the bank stage here).
-        let (resps, events) = self.mem.step(now);
-        progressed |= !resps.is_empty() || !events.is_empty();
-        for r in resps {
+        scratch.clear();
+        self.mem
+            .step_into(now, &mut scratch.responses, &mut scratch.events);
+        progressed |= !scratch.responses.is_empty() || !scratch.events.is_empty();
+        for r in scratch.responses.drain(..) {
             self.stats.responses += 1;
             self.stats.last_response_cycle = self.stats.last_response_cycle.max(r.ready);
             if r.req.kind == AccessKind::Load {
@@ -444,7 +652,7 @@ impl Node {
                 }
             }
         }
-        for ev in events {
+        for ev in scratch.events.drain(..) {
             let (kind, words) = format_event(&ev);
             let class = kind.handler_class();
             if self.event_records[class] >= self.cfg.event_queue_records {
@@ -458,41 +666,34 @@ impl Node {
             self.stats.events_enqueued[class] += 1;
         }
 
-        // Phase 2: local unit writebacks due this cycle.
-        let mut i = 0;
-        while i < self.local_writes.len() {
-            if self.local_writes[i].ready <= now {
-                let w = self.local_writes.swap_remove(i);
-                self.clusters[w.cluster].regs[w.slot].write(w.reg, w.value);
-                progressed = true;
-            } else {
-                i += 1;
-            }
+        // Phase 2: local unit writebacks due this cycle, in (ready,
+        // issue) order.
+        while let Some(w) = self.local_writes.pop_due(now) {
+            self.clusters[w.cluster].regs[w.slot].write(w.reg, w.value);
+            progressed = true;
         }
 
-        // Phase 3: C-Switch — up to `cswitch_width` transfers per cycle.
-        self.csw.sort_by_key(|t| (t.ready, t.seq));
+        // Phase 3: C-Switch — up to `cswitch_width` transfers per
+        // cycle, in (ready, issue) order straight off the ready queue
+        // (delivery order identical to the old sort-then-scan loop).
         let mut delivered = 0;
-        let mut j = 0;
-        while j < self.csw.len() && delivered < self.cfg.cswitch_width {
-            if self.csw[j].ready <= now {
-                let t = self.csw.remove(j);
-                match t.target {
-                    CswTarget::Reg { cluster, slot, reg } => {
-                        self.clusters[cluster].regs[slot].write(reg, t.value);
-                    }
-                    CswTarget::GccBroadcast { slot, reg } => {
-                        for c in &mut self.clusters {
-                            c.regs[slot].write(reg, t.value);
-                        }
+        while delivered < self.cfg.cswitch_width {
+            let Some(t) = self.csw.pop_due(now) else {
+                break;
+            };
+            match t.target {
+                CswTarget::Reg { cluster, slot, reg } => {
+                    self.clusters[cluster].regs[slot].write(reg, t.value);
+                }
+                CswTarget::GccBroadcast { slot, reg } => {
+                    for c in &mut self.clusters {
+                        c.regs[slot].write(reg, t.value);
                     }
                 }
-                self.stats.cswitch_transfers += 1;
-                delivered += 1;
-                progressed = true;
-            } else {
-                j += 1;
             }
+            self.stats.cswitch_transfers += 1;
+            delivered += 1;
+            progressed = true;
         }
 
         // Phase 4: the synchronization stage issues at most one
@@ -502,6 +703,14 @@ impl Node {
             progressed |= self.issue_cluster(now, c);
         }
         progressed
+    }
+
+    /// Advance one cycle with step-local scratch buffers — the
+    /// allocating convenience form of [`Node::step_with`] for tests and
+    /// debug paths.
+    pub fn step(&mut self, now: u64) -> bool {
+        let mut scratch = StepScratch::new();
+        self.step_with(now, &mut scratch)
     }
 
     fn fresh_id(&mut self) -> u64 {
@@ -515,31 +724,118 @@ impl Node {
 
     /// Returns whether the cluster did anything observable this cycle
     /// (issued an instruction or raised a fetch fault).
+    ///
+    /// The instruction is *borrowed* from the thread's shared
+    /// [`Program`] (via a refcount bump that keeps the borrow alive
+    /// across the `&mut self` execute call), never cloned — the old
+    /// per-issue `Instruction::clone` was the single largest heap/copy
+    /// cost on the busy-cycle path.
     fn issue_cluster(&mut self, now: u64, c: usize) -> bool {
+        let running = self.clusters[c].running;
+        if running == 0 {
+            return false;
+        }
         let rr = self.clusters[c].rr;
         let mut acted = false;
         for k in 0..NUM_SLOTS {
             let slot = (rr + k) % NUM_SLOTS;
-            let (instr, pc_valid) = {
-                let t = &self.clusters[c].threads[slot];
-                if t.state != HState::Running || now < t.stall_until {
+            if running & (1u8 << slot) == 0 {
+                continue;
+            }
+            let pc = {
+                let cluster = &self.clusters[c];
+                let t = &cluster.threads[slot];
+                if now < t.stall_until {
                     continue;
                 }
-                let Some(prog) = &t.program else { continue };
-                match prog.instrs.get(t.pc as usize) {
-                    Some(i) => (i.clone(), true),
-                    None => (Instruction::empty(), false),
+                // Memoized block proof: while the recorded condition
+                // (queue shortage / unchanged register file) persists,
+                // the full probe is provably a no-op — skip it.
+                match t.blocked {
+                    Some(IssueBlock::Queue(b))
+                        if b.pc == t.pc && self.queue_block_holds(c, slot, b) =>
+                    {
+                        continue;
+                    }
+                    Some(IssueBlock::Regs { pc, version })
+                        if pc == t.pc && cluster.regs[slot].version() == version =>
+                    {
+                        continue;
+                    }
+                    _ => {}
                 }
+                if t.program.is_none() {
+                    continue;
+                }
+                t.pc
             };
-            if !pc_valid {
+            self.stats.issue_probes += 1;
+            // Probe with the instruction *borrowed* from the shared
+            // program — no clone, no refcount traffic on this path.
+            let mut pc_out_of_range = false;
+            let mut ready = false;
+            let mut memo: Option<IssueBlock> = None;
+            {
+                let t = &self.clusters[c].threads[slot];
+                let prog = t.program.as_ref().expect("checked above");
+                match prog.instrs.get(pc as usize) {
+                    None => pc_out_of_range = true,
+                    Some(instr) => {
+                        let mut qn = QueueNeeds::checked();
+                        ready = self.instr_ready(c, slot, instr, &mut qn);
+                        if !ready {
+                            // If a hypothetical probe with full queues
+                            // *would* issue, the only blockers are queue
+                            // words — memoize the totals so the re-probe
+                            // waits for them. Otherwise, if readiness
+                            // depends on nothing outside this thread's
+                            // register file, memoize its version.
+                            let mut hypothetical = QueueNeeds::assumed();
+                            if self.instr_ready(c, slot, instr, &mut hypothetical)
+                                && hypothetical.counts != [0, 0]
+                            {
+                                #[allow(clippy::cast_possible_truncation)]
+                                {
+                                    let needs = [
+                                        hypothetical.counts[0].min(u16::MAX as usize) as u16,
+                                        hypothetical.counts[1].min(u16::MAX as usize) as u16,
+                                    ];
+                                    memo = Some(IssueBlock::Queue(QueueBlock { pc, needs }));
+                                }
+                            } else if instr.mem_op.is_none()
+                                && !matches!(instr.int_op, Some(IntOp::MRestart { .. }))
+                            {
+                                memo = Some(IssueBlock::Regs {
+                                    pc,
+                                    version: self.clusters[c].regs[slot].version(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            if pc_out_of_range {
                 self.fault(now, c, slot, Fault::PcOutOfRange);
                 acted = true;
                 continue;
             }
-            if !self.instr_ready(c, slot, &instr) {
+            if !ready {
+                if let Some(b) = memo {
+                    self.clusters[c].threads[slot].blocked = Some(b);
+                }
                 continue;
             }
-            self.execute(now, c, slot, &instr);
+            // Issue: the execute path mutates the node, so the borrow
+            // is kept alive across it by one refcount bump.
+            let prog = Arc::clone(
+                self.clusters[c].threads[slot]
+                    .program
+                    .as_ref()
+                    .expect("checked above"),
+            );
+            let instr = &prog.instrs[pc as usize];
+            self.clusters[c].threads[slot].blocked = None;
+            self.execute(now, c, slot, instr);
             self.clusters[c].rr = (slot + 1) % NUM_SLOTS;
             self.stats.instructions += 1;
             self.stats.issued_per_slot[c][slot] += 1;
@@ -547,6 +843,23 @@ impl Node {
             break;
         }
         acted
+    }
+
+    /// Does the memoized queue-shortage proof still hold — i.e. does
+    /// some queue the blocked instruction reads still hold fewer words
+    /// than it needs? (`None` availability means the access will fault
+    /// at issue rather than wait, so it never upholds a block.)
+    fn queue_block_holds(&self, c: usize, slot: usize, b: QueueBlock) -> bool {
+        for (idx, reg) in [(0, Reg::NetIn), (1, Reg::EvQ)] {
+            if b.needs[idx] > 0 {
+                if let Some(avail) = self.queue_words_available(c, slot, reg) {
+                    if avail < usize::from(b.needs[idx]) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
     }
 
     /// Is a queue-backed register readable from `(cluster, slot)`?
@@ -568,21 +881,26 @@ impl Node {
         }
     }
 
-    fn src_ready(&self, c: usize, slot: usize, src: &Src, queue_needs: &mut [usize; 2]) -> bool {
+    fn src_ready(&self, c: usize, slot: usize, src: &Src, qn: &mut QueueNeeds) -> bool {
         match src {
             Src::Imm(_) => true,
-            Src::Reg(r) => self.reg_ready(c, slot, *r, queue_needs),
+            Src::Reg(r) => self.reg_ready(c, slot, *r, qn),
         }
     }
 
-    fn reg_ready(&self, c: usize, slot: usize, reg: Reg, queue_needs: &mut [usize; 2]) -> bool {
+    fn reg_ready(&self, c: usize, slot: usize, reg: Reg, qn: &mut QueueNeeds) -> bool {
         if reg.is_queue() {
             let idx = usize::from(reg == Reg::EvQ);
-            queue_needs[idx] += 1;
+            qn.counts[idx] += 1;
+            if qn.assume_available {
+                // Hypothetical-probe mode: queues treated as full, so a
+                // `true` overall result means only queue words block.
+                return true;
+            }
             match self.queue_words_available(c, slot, reg) {
                 // Wrong slot/cluster: let it issue, then fault in execute.
                 None => true,
-                Some(avail) => avail >= queue_needs[idx],
+                Some(avail) => avail >= qn.counts[idx],
             }
         } else {
             self.clusters[c].regs[slot].is_full(reg)
@@ -598,7 +916,7 @@ impl Node {
         }
     }
 
-    fn int_op_ready(&self, c: usize, slot: usize, op: &IntOp, qn: &mut [usize; 2]) -> bool {
+    fn int_op_ready(&self, c: usize, slot: usize, op: &IntOp, qn: &mut QueueNeeds) -> bool {
         match op {
             IntOp::Alu { a, b, dst, .. } | IntOp::Cmp { a, b, dst, .. } => {
                 self.src_ready(c, slot, a, qn)
@@ -650,26 +968,25 @@ impl Node {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn instr_ready(&self, c: usize, slot: usize, instr: &Instruction) -> bool {
-        let mut qn = [0usize; 2];
+    fn instr_ready(&self, c: usize, slot: usize, instr: &Instruction, qn: &mut QueueNeeds) -> bool {
         let mut ready = true;
 
         if let Some(op) = &instr.int_op {
-            ready &= self.int_op_ready(c, slot, op, &mut qn);
+            ready &= self.int_op_ready(c, slot, op, qn);
         }
         if ready {
             if let Some(slot_op) = &instr.mem_op {
                 match slot_op {
-                    MemSlotOp::Int(op) => ready &= self.int_op_ready(c, slot, op, &mut qn),
+                    MemSlotOp::Int(op) => ready &= self.int_op_ready(c, slot, op, qn),
                     MemSlotOp::Mem(op) => match op {
                         MemOp::Load { base, dst, .. } => {
-                            ready &= self.reg_ready(c, slot, *base, &mut qn)
+                            ready &= self.reg_ready(c, slot, *base, qn)
                                 && self.dst_ready(c, slot, dst)
                                 && self.mem_can_accept_via(c, slot, *base);
                         }
                         MemOp::Store { src, base, .. } => {
-                            ready &= self.src_ready(c, slot, src, &mut qn)
-                                && self.reg_ready(c, slot, *base, &mut qn)
+                            ready &= self.src_ready(c, slot, src, qn)
+                                && self.reg_ready(c, slot, *base, qn)
                                 && self.mem_can_accept_via(c, slot, *base);
                         }
                         MemOp::Send {
@@ -678,10 +995,10 @@ impl Node {
                             len,
                             priority,
                         } => {
-                            ready &= self.reg_ready(c, slot, *dest, &mut qn)
-                                && self.reg_ready(c, slot, *dip, &mut qn);
+                            ready &= self.reg_ready(c, slot, *dest, qn)
+                                && self.reg_ready(c, slot, *dip, qn);
                             for i in 1..=*len {
-                                ready &= self.reg_ready(c, slot, Reg::Mc(i), &mut qn);
+                                ready &= self.reg_ready(c, slot, Reg::Mc(i), qn);
                             }
                             if *priority == Priority::P0 && self.net.credits() == 0 {
                                 // "Threads attempting to execute a SEND
@@ -697,18 +1014,18 @@ impl Node {
             if let Some(op) = &instr.fp_op {
                 ready &= match op {
                     FpOp::Alu { a, b, dst, .. } | FpOp::Cmp { a, b, dst, .. } => {
-                        self.src_ready(c, slot, a, &mut qn)
-                            && self.src_ready(c, slot, b, &mut qn)
+                        self.src_ready(c, slot, a, qn)
+                            && self.src_ready(c, slot, b, qn)
                             && self.dst_ready(c, slot, dst)
                     }
                     FpOp::Madd { a, b, c: cc, dst } => {
-                        self.src_ready(c, slot, a, &mut qn)
-                            && self.src_ready(c, slot, b, &mut qn)
-                            && self.src_ready(c, slot, cc, &mut qn)
+                        self.src_ready(c, slot, a, qn)
+                            && self.src_ready(c, slot, b, qn)
+                            && self.src_ready(c, slot, cc, qn)
                             && self.dst_ready(c, slot, dst)
                     }
                     FpOp::Mov { src, dst } | FpOp::Itof { src, dst } | FpOp::Ftoi { src, dst } => {
-                        self.src_ready(c, slot, src, &mut qn) && self.dst_ready(c, slot, dst)
+                        self.src_ready(c, slot, src, qn) && self.dst_ready(c, slot, dst)
                     }
                     FpOp::Empty { .. } | FpOp::Nop => true,
                 };
@@ -734,7 +1051,9 @@ impl Node {
         self.stats.faults += 1;
         let t = &mut self.clusters[c].threads[slot];
         let pc = t.pc;
+        let old = t.state;
         t.state = HState::Faulted(fault);
+        self.account_state(c, slot, old, HState::Faulted(fault));
         // Synchronous exception record for the exception V-Thread (§3.3).
         let desc = (fault as u64) | ((slot as u64) << 8) | ((c as u64) << 12);
         if self.exc_q[c].len() < 3 * self.cfg.event_queue_records {
@@ -801,40 +1120,42 @@ impl Node {
                     // dependent reads (e.g. the branch after a compare)
                     // wait for the broadcast to land.
                     self.clusters[c].regs[slot].clear(reg);
-                    self.csw_seq += 1;
-                    self.csw.push(CswTransfer {
-                        ready: now + latency + self.cfg.cswitch_latency,
-                        seq: self.csw_seq,
-                        target: CswTarget::GccBroadcast { slot, reg },
-                        value,
-                    });
+                    self.csw.push(
+                        now + latency + self.cfg.cswitch_latency,
+                        CswTransfer {
+                            target: CswTarget::GccBroadcast { slot, reg },
+                            value,
+                        },
+                    );
                     return Ok(());
                 }
                 self.clusters[c].regs[slot].clear(reg);
-                self.local_writes.push(PendingWrite {
-                    ready: now + latency,
-                    cluster: c,
-                    slot,
-                    reg,
-                    value,
-                });
+                self.local_writes.push(
+                    now + latency,
+                    PendingWrite {
+                        cluster: c,
+                        slot,
+                        reg,
+                        value,
+                    },
+                );
                 Ok(())
             }
             Dst::Remote { cluster, reg } => {
                 if matches!(reg, Reg::Gcc(_)) {
                     return Err(Fault::GccOwnership);
                 }
-                self.csw_seq += 1;
-                self.csw.push(CswTransfer {
-                    ready: now + latency + self.cfg.cswitch_latency,
-                    seq: self.csw_seq,
-                    target: CswTarget::Reg {
-                        cluster: cluster as usize,
-                        slot,
-                        reg,
+                self.csw.push(
+                    now + latency + self.cfg.cswitch_latency,
+                    CswTransfer {
+                        target: CswTarget::Reg {
+                            cluster: cluster as usize,
+                            slot,
+                            reg,
+                        },
+                        value,
                     },
-                    value,
-                });
+                );
                 Ok(())
             }
         }
@@ -886,7 +1207,9 @@ impl Node {
 
         let t = &mut self.clusters[c].threads[slot];
         if halted {
+            let old = t.state;
             t.state = HState::Halted;
+            self.account_state(c, slot, old, HState::Halted);
             return;
         }
         match next_pc {
@@ -1017,17 +1340,17 @@ impl Node {
                 let a = self.read_src(c, slot, addr)?.bits();
                 let v = self.read_src(c, slot, value)?;
                 let ra = RegAddr::decode(a).ok_or(Fault::BadQueueAccess)?;
-                self.csw_seq += 1;
-                self.csw.push(CswTransfer {
-                    ready: now + lat + self.cfg.cswitch_latency,
-                    seq: self.csw_seq,
-                    target: CswTarget::Reg {
-                        cluster: ra.cluster as usize,
-                        slot: ra.slot as usize,
-                        reg: ra.reg,
+                self.csw.push(
+                    now + lat + self.cfg.cswitch_latency,
+                    CswTransfer {
+                        target: CswTarget::Reg {
+                            cluster: ra.cluster as usize,
+                            slot: ra.slot as usize,
+                            reg: ra.reg,
+                        },
+                        value: v,
                     },
-                    value: v,
-                });
+                );
                 Ok(())
             }
             IntOp::GProbe { va, dst } => {

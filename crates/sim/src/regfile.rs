@@ -7,21 +7,51 @@
 //! load, issues and set (full) when the result is available. An operation
 //! that uses the result will not be selected for issue until the
 //! corresponding scoreboard bit is set" (§3.1).
+//!
+//! Layout matters here: the issue stage reads scoreboard bits on every
+//! readiness probe of every cycle, so all 48 full/empty bits are packed
+//! into a single `u64` word (one cache-line touch per probe) and the
+//! register values are inline arrays — the old eight-`Vec` layout cost
+//! eight heap blocks and pointer chases per file, 192 per node.
 
 use mm_isa::reg::{Reg, NUM_FP_REGS, NUM_GCC_REGS, NUM_INT_REGS, NUM_MC_REGS};
 use mm_isa::word::Word;
 
+/// Bit offsets of each register class inside the packed scoreboard.
+const INT_BASE: u32 = 0;
+const FP_BASE: u32 = INT_BASE + NUM_INT_REGS as u32;
+const MC_BASE: u32 = FP_BASE + NUM_FP_REGS as u32;
+const GCC_BASE: u32 = MC_BASE + NUM_MC_REGS as u32;
+const ALL_FULL: u64 = (1u64 << (GCC_BASE + NUM_GCC_REGS as u32)) - 1;
+
+/// The scoreboard bit index of `reg`, or `None` for queue registers
+/// (their "scoreboard" is the queue occupancy, owned by the node).
+fn bit_of(reg: Reg) -> Option<u32> {
+    match reg {
+        Reg::Int(n) => Some(INT_BASE + u32::from(n)),
+        Reg::Fp(n) => Some(FP_BASE + u32::from(n)),
+        Reg::Mc(n) => Some(MC_BASE + u32::from(n)),
+        Reg::Gcc(n) => Some(GCC_BASE + u32::from(n)),
+        Reg::NetIn | Reg::EvQ => None,
+    }
+}
+
 /// One H-Thread's registers on one cluster, with full/empty bits.
 #[derive(Debug, Clone)]
 pub struct ThreadRegs {
-    int: Vec<Word>,
-    int_full: Vec<bool>,
-    fp: Vec<Word>,
-    fp_full: Vec<bool>,
-    mc: Vec<Word>,
-    mc_full: Vec<bool>,
-    gcc: Vec<bool>,
-    gcc_full: Vec<bool>,
+    /// Packed full/empty bits for every register (int, fp, mc, gcc).
+    full: u64,
+    /// Mutation counter: bumped by every effective `write`/`clear`.
+    /// The issue stage memoizes "this thread's instruction is blocked
+    /// on register fullness" and skips re-probing while this counter —
+    /// which every path that can change fullness must pass through —
+    /// is unchanged. 64-bit so it cannot wrap within any feasible run.
+    version: u64,
+    /// Packed boolean values of the eight global CC registers.
+    gcc: u8,
+    int: [Word; NUM_INT_REGS as usize],
+    fp: [Word; NUM_FP_REGS as usize],
+    mc: [Word; NUM_MC_REGS as usize],
 }
 
 impl Default for ThreadRegs {
@@ -36,14 +66,12 @@ impl ThreadRegs {
     #[must_use]
     pub fn new() -> ThreadRegs {
         ThreadRegs {
-            int: vec![Word::ZERO; NUM_INT_REGS as usize],
-            int_full: vec![true; NUM_INT_REGS as usize],
-            fp: vec![Word::ZERO; NUM_FP_REGS as usize],
-            fp_full: vec![true; NUM_FP_REGS as usize],
-            mc: vec![Word::ZERO; NUM_MC_REGS as usize],
-            mc_full: vec![true; NUM_MC_REGS as usize],
-            gcc: vec![false; NUM_GCC_REGS as usize],
-            gcc_full: vec![true; NUM_GCC_REGS as usize],
+            full: ALL_FULL,
+            version: 0,
+            gcc: 0,
+            int: [Word::ZERO; NUM_INT_REGS as usize],
+            fp: [Word::ZERO; NUM_FP_REGS as usize],
+            mc: [Word::ZERO; NUM_MC_REGS as usize],
         }
     }
 
@@ -55,13 +83,8 @@ impl ThreadRegs {
     /// Panics on queue registers or out-of-range indices.
     #[must_use]
     pub fn is_full(&self, reg: Reg) -> bool {
-        match reg {
-            Reg::Int(n) => self.int_full[n as usize],
-            Reg::Fp(n) => self.fp_full[n as usize],
-            Reg::Mc(n) => self.mc_full[n as usize],
-            Reg::Gcc(n) => self.gcc_full[n as usize],
-            Reg::NetIn | Reg::EvQ => panic!("queue registers are owned by the node"),
-        }
+        let bit = bit_of(reg).expect("queue registers are owned by the node");
+        self.full & (1u64 << bit) != 0
     }
 
     /// Read a register's value (caller must have checked fullness).
@@ -76,7 +99,7 @@ impl ThreadRegs {
             Reg::Int(n) => self.int[n as usize],
             Reg::Fp(n) => self.fp[n as usize],
             Reg::Mc(n) => self.mc[n as usize],
-            Reg::Gcc(n) => Word::from_bool(self.gcc[n as usize]),
+            Reg::Gcc(n) => Word::from_bool(self.gcc & (1 << n) != 0),
             Reg::NetIn | Reg::EvQ => panic!("queue registers are owned by the node"),
         }
     }
@@ -84,38 +107,41 @@ impl ThreadRegs {
     /// Write a register and set it full. Writes to `r0` are discarded.
     pub fn write(&mut self, reg: Reg, value: Word) {
         match reg {
-            Reg::Int(0) => {}
-            Reg::Int(n) => {
-                self.int[n as usize] = value;
-                self.int_full[n as usize] = true;
-            }
-            Reg::Fp(n) => {
-                self.fp[n as usize] = value;
-                self.fp_full[n as usize] = true;
-            }
-            Reg::Mc(n) => {
-                self.mc[n as usize] = value;
-                self.mc_full[n as usize] = true;
-            }
+            Reg::Int(0) => return,
+            Reg::Int(n) => self.int[n as usize] = value,
+            Reg::Fp(n) => self.fp[n as usize] = value,
+            Reg::Mc(n) => self.mc[n as usize] = value,
             Reg::Gcc(n) => {
-                self.gcc[n as usize] = value.is_true();
-                self.gcc_full[n as usize] = true;
+                if value.is_true() {
+                    self.gcc |= 1 << n;
+                } else {
+                    self.gcc &= !(1 << n);
+                }
             }
-            Reg::NetIn | Reg::EvQ => {}
+            Reg::NetIn | Reg::EvQ => return,
         }
+        if let Some(bit) = bit_of(reg) {
+            self.full |= 1u64 << bit;
+        }
+        self.version += 1;
+    }
+
+    /// The current mutation-counter value (see the field docs).
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Clear a register's scoreboard bit (issue of a multicycle producer,
     /// or an explicit `empty` operation). `r0` stays full.
     pub fn clear(&mut self, reg: Reg) {
-        match reg {
-            Reg::Int(0) => {}
-            Reg::Int(n) => self.int_full[n as usize] = false,
-            Reg::Fp(n) => self.fp_full[n as usize] = false,
-            Reg::Mc(n) => self.mc_full[n as usize] = false,
-            Reg::Gcc(n) => self.gcc_full[n as usize] = false,
-            Reg::NetIn | Reg::EvQ => {}
+        if matches!(reg, Reg::Int(0) | Reg::NetIn | Reg::EvQ) {
+            return;
         }
+        if let Some(bit) = bit_of(reg) {
+            self.full &= !(1u64 << bit);
+        }
+        self.version += 1;
     }
 }
 
@@ -158,6 +184,20 @@ mod tests {
         assert_eq!(r.read(Reg::Gcc(1)).bits(), 1);
         r.write(Reg::Gcc(1), Word::ZERO);
         assert_eq!(r.read(Reg::Gcc(1)).bits(), 0);
+    }
+
+    #[test]
+    fn classes_have_distinct_scoreboard_bits() {
+        let mut r = ThreadRegs::new();
+        r.clear(Reg::Int(3));
+        assert!(r.is_full(Reg::Fp(3)), "fp(3) unaffected by int(3)");
+        assert!(r.is_full(Reg::Mc(3)), "mc(3) unaffected by int(3)");
+        assert!(r.is_full(Reg::Gcc(3)), "gcc(3) unaffected by int(3)");
+        r.clear(Reg::Gcc(0));
+        assert!(!r.is_full(Reg::Gcc(0)));
+        assert!(r.is_full(Reg::Mc(0)));
+        r.write(Reg::Gcc(0), Word::from_u64(1));
+        assert!(r.is_full(Reg::Gcc(0)));
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Allocation-regression lock for the cycle kernel.
+//!
+//! The hot-path contract (docs/ARCHITECTURE.md, "Hot path"): once a
+//! machine's queues and scratch buffers have reached their steady-state
+//! capacity, a busy cycle — instructions issuing, writebacks and
+//! C-Switch transfers landing, cache-hitting stores flowing through the
+//! memory system — performs **zero heap allocations**. This test
+//! installs a counting global allocator, warms a 2-node machine through
+//! its boot transient (LTLB misses, event-handler bursts, buffer
+//! growth), then asserts an exactly-zero allocation delta across
+//! thousands of further busy cycles.
+//!
+//! This file must stay a *single-test* binary: `#[global_allocator]` is
+//! per-binary, and a concurrently-running sibling test would count its
+//! own allocations into our window.
+
+use m_machine::machine::{MMachine, MachineConfig};
+use mm_bench::alloc_probe;
+use mm_isa::reg::Reg;
+use std::sync::Arc;
+
+#[global_allocator]
+static ALLOC: alloc_probe::CountingAlloc = alloc_probe::CountingAlloc;
+
+/// Iterations far beyond the measured window, so the loop never halts
+/// mid-measurement.
+const ITERS: u64 = 1_000_000;
+
+#[test]
+fn steady_state_busy_cycles_allocate_nothing() {
+    assert!(
+        alloc_probe::enabled(),
+        "the counting allocator must be installed in this binary"
+    );
+
+    // A 2-node machine where both nodes run the busy kernel: a
+    // dependent integer chain, a CC-register compare + branch (C-Switch
+    // broadcast every iteration) and a store to the node's *own* home
+    // page (cache-hitting after warm-up, so the memory pipeline runs
+    // every iteration without faulting).
+    let mut cfg = MachineConfig::with_dims(2, 1, 1);
+    cfg.trace = false; // timeline recording allocates by design
+    cfg.engine = m_machine::sim::EngineConfig::serial();
+    let mut m = MMachine::build(cfg).expect("valid config");
+    let busy = Arc::new(
+        m_machine::isa::assemble(&format!(
+            "loop:\n\
+             \tadd r5, #1, r5\n\
+             \tadd r6, r5, r6\n\
+             \tadd r7, r6, r7\n\
+             \tst r5, [r8]\n\
+             \teq r5, #{ITERS}, gcc1\n\
+             \tbrf gcc1, loop\n\
+             \thalt\n"
+        ))
+        .expect("busy program assembles"),
+    );
+    for i in 0..m.node_count() {
+        m.load_user_program(i, 0, &busy).expect("slot 0 loads");
+        let own = m.home_ptr(i, 0);
+        m.set_user_reg(i, 0, 0, Reg::Int(8), own);
+    }
+
+    // Warm-up: boot transient (first-touch LTLB misses, handler
+    // bursts) plus enough steady cycles for every queue, heap and
+    // scratch buffer to reach its high-water capacity.
+    m.run_cycles(20_000);
+
+    // The measured window. Drain any allocator noise from the warm-up
+    // call itself by snapshotting *after* it returns.
+    let before = alloc_probe::allocations();
+    m.run_cycles(5_000);
+    let delta = alloc_probe::allocations() - before;
+
+    // The workload must still be busy (we measured busy cycles, not an
+    // idle tail) ...
+    for i in 0..m.node_count() {
+        assert_eq!(
+            m.node(i).thread_state(0, 0),
+            m_machine::sim::HState::Running,
+            "node {i} halted inside the measured window"
+        );
+    }
+    let stats = m.stats();
+    assert!(
+        stats.instructions > 10_000,
+        "the measured window must have issued instructions"
+    );
+    // ... and allocation-free.
+    assert_eq!(
+        delta, 0,
+        "steady-state busy cycles performed {delta} heap allocations"
+    );
+}
