@@ -14,6 +14,7 @@
 //! the quiescence win is zero and any speedup is host parallelism.
 //! Everything lands in `BENCH_scaling.json`.
 
+use mm_bench::coherence::{run_coherence, CoherencePoint};
 use mm_bench::scaling::{
     busy_traffic_comparison, host_cores, idle_heavy_comparison, run_mesh, BusyTrafficResult,
     IdleHeavyResult, ScalingPoint, ROUNDS,
@@ -40,6 +41,13 @@ const MESHES: &[(u8, u8, u8)] = &[
 
 /// The CI smoke subset (the 2×2×1 mesh the workflow checks).
 const SMOKE_MESHES: &[(u8, u8, u8)] = &[(2, 2, 1)];
+
+/// Coherence-stress meshes for the full sweep (§4.3 protocol over the
+/// fabric; every pair ping-pongs one shared block).
+const COHERENCE_MESHES: &[(u8, u8, u8)] = &[(2, 1, 1), (2, 2, 1), (2, 2, 2)];
+
+/// Interlocked smoothing iterations per node in the coherence scenario.
+const COHERENCE_ITERS: u64 = 64;
 
 fn json_points(points: &[ScalingPoint]) -> String {
     let mut out = String::from("  \"meshes\": [\n");
@@ -111,10 +119,81 @@ fn json_busy(r: &BusyTrafficResult) -> String {
     )
 }
 
+fn json_coherence(points: &[CoherencePoint]) -> String {
+    let mut out = String::from("  \"coherence\": [\n");
+    for (k, p) in points.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"dims\": \"{}x{}x{}\", \"nodes\": {}, \"iters\": {}, \"cycles\": {}, \
+             \"serial_wall_ms\": {:.3}, \"serial_cycles_per_sec\": {:.0}, \
+             \"parallel_workers\": {}, \"parallel_wall_ms\": {:.3}, \"speedup\": {:.2}, \
+             \"stats_match\": {}, \"coh_packets\": {}, \"block_fetches\": {}, \
+             \"invalidations\": {}, \"writebacks\": {}, \"miss_latency_avg\": {:.1}, \
+             \"invalidations_per_kcycle\": {:.2}}}{}",
+            p.dims.0,
+            p.dims.1,
+            p.dims.2,
+            p.nodes,
+            p.iters,
+            p.cycles,
+            p.serial_wall_ms,
+            p.serial_cycles_per_sec,
+            p.parallel_workers,
+            p.parallel_wall_ms,
+            p.speedup,
+            p.stats_match,
+            p.coh_packets,
+            p.block_fetches,
+            p.invalidations,
+            p.writebacks,
+            p.miss_latency_avg,
+            p.invalidations_per_kcycle,
+            if k + 1 == points.len() { "" } else { "," }
+        );
+    }
+    out.push_str("  ]");
+    out
+}
+
+fn run_coherence_meshes(
+    meshes: &[(u8, u8, u8)],
+    iters: u64,
+    workers: usize,
+) -> Vec<CoherencePoint> {
+    println!("\n== coherence stress: interlocked block ping-pong, {iters} iterations/node ==");
+    println!(
+        "{:<8} {:>6} {:>9} {:>9} {:>8} {:>8} {:>9} {:>10} {:>6}",
+        "mesh", "nodes", "cycles", "coh-pkts", "fetches", "invals", "misslat", "inv/kcyc", "match"
+    );
+    let mut points = Vec::new();
+    for &dims in meshes {
+        let p = run_coherence(dims, iters, Some(workers));
+        println!(
+            "{:<8} {:>6} {:>9} {:>9} {:>8} {:>8} {:>9.1} {:>10.2} {:>6}",
+            format!("{}x{}x{}", dims.0, dims.1, dims.2),
+            p.nodes,
+            p.cycles,
+            p.coh_packets,
+            p.block_fetches,
+            p.invalidations,
+            p.miss_latency_avg,
+            p.invalidations_per_kcycle,
+            p.stats_match
+        );
+        assert!(
+            p.stats_match,
+            "parallel engine diverged from serial on coherence {dims:?}"
+        );
+        points.push(p);
+    }
+    points
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let busy_only = args.iter().any(|a| a == "--busy-only");
+    let coherence_smoke = args.iter().any(|a| a == "--coherence-smoke");
     // The parallel legs always run with an *explicit* worker count:
     // auto-detection resolves to 1 on single-core hosts (and on hosts
     // that cap `available_parallelism`), which used to record
@@ -136,6 +215,22 @@ fn main() {
     } else {
         ((8, 8, 8), 128)
     };
+
+    if coherence_smoke {
+        // CI's coherence smoke: the 2×2×1 mesh, serial vs parallel, with
+        // the result words verified and the stats diffed inside
+        // `run_coherence`. Written to its own file so the workflow can
+        // assert on it without touching the committed sweep.
+        let points = run_coherence_meshes(&[(2, 2, 1)], 32, workers);
+        let json = format!(
+            "{{\n{},\n  \"host_cores\": {cores}\n}}\n",
+            json_coherence(&points)
+        );
+        std::fs::write("BENCH_coherence_smoke.json", &json)
+            .expect("write BENCH_coherence_smoke.json");
+        println!("wrote BENCH_coherence_smoke.json");
+        return;
+    }
 
     if busy_only {
         // CI's perf-tracking probe: just the full busy-traffic row,
@@ -230,12 +325,21 @@ fn main() {
     );
     assert!(busy.stats_match, "parallel engine diverged on busy traffic");
 
+    let coherence_meshes = if smoke {
+        &[(2u8, 2u8, 1u8)][..]
+    } else {
+        COHERENCE_MESHES
+    };
+    let coherence_iters = if smoke { 32 } else { COHERENCE_ITERS };
+    let coherence = run_coherence_meshes(coherence_meshes, coherence_iters, workers);
+
     let json = format!(
         "{{\n  \"scenario\": \"weak-scaling remote-store + synchronizing ping-pong\",\n  \
-         \"rounds_per_pair\": {ROUNDS},\n  \"host_cores\": {cores},\n{},\n{},\n{}\n}}\n",
+         \"rounds_per_pair\": {ROUNDS},\n  \"host_cores\": {cores},\n{},\n{},\n{},\n{}\n}}\n",
         json_points(&points),
         json_idle(&idle),
-        json_busy(&busy)
+        json_busy(&busy),
+        json_coherence(&coherence)
     );
     std::fs::write("BENCH_scaling.json", &json).expect("write BENCH_scaling.json");
     println!("\nwrote BENCH_scaling.json");

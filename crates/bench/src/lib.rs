@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod alloc_probe;
+pub mod coherence;
 pub mod scaling;
 
 use mm_core::machine::{MMachine, MachineConfig};

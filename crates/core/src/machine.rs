@@ -9,7 +9,6 @@ use mm_isa::pointer::{GuardedPointer, Perm};
 use mm_isa::reg::Reg;
 use mm_isa::word::Word;
 use mm_net::fabric::{Fabric, FabricConfig, FabricStats};
-use mm_net::gtlb::GLOBAL_PAGE_WORDS;
 use mm_net::message::{Message, NodeCoord, Packet};
 use mm_runtime::image::{boot_node, BootInfo, BootSpec, RuntimeImage};
 use mm_sim::{EngineConfig, HState, Node, NodeConfig, StepScratch, NUM_CLUSTERS, USER_SLOTS};
@@ -215,9 +214,10 @@ impl MMachine {
             loopback_latency: cfg.hop_latency,
         });
         let n = nodes.len();
+        let coords: Vec<NodeCoord> = nodes.iter().map(mm_sim::Node::coord).collect();
         let workers = cfg.engine.resolved_workers(n);
         Ok(MMachine {
-            coherence: CoherenceEngine::new(cfg.coherence, n),
+            coherence: CoherenceEngine::new(cfg.coherence, &coords),
             spec,
             image,
             nodes,
@@ -456,6 +456,18 @@ impl MMachine {
             .map_err(|e| MachineError::BadConfig(e.to_string()))
     }
 
+    /// Install an all-INVALID coherent frame on `node` for the page
+    /// holding `va` — the boot state of a locally-cached remote page
+    /// (§4.3), under which first touches take the coherent block-fetch
+    /// path (block-status fault → protocol messages) instead of the
+    /// LTLB-miss remote-access path. Experiment/workload setup for
+    /// coherence-bound scenarios.
+    pub fn map_coherent_page(&mut self, node: usize, va: u64) {
+        self.coherence
+            .map_coherent_page(node, &mut self.nodes[node], va);
+        self.wake_node(node);
+    }
+
     /// Advance the whole machine one cycle through the quiescence-aware
     /// engine: if no component can do work this cycle, only the clock
     /// moves.
@@ -475,69 +487,60 @@ impl MMachine {
         self.sched[idx].deadline = None;
     }
 
-    /// The home node of a virtual address under the boot layout's cyclic
-    /// page mapping, or `None` for unmapped addresses.
-    fn home_of(spec: &BootSpec, va: u64) -> Option<usize> {
-        let page = va / GLOBAL_PAGE_WORDS;
-        let n = spec.total_nodes();
-        if page / n >= spec.local_pages {
-            None
-        } else {
-            #[allow(clippy::cast_possible_truncation)]
-            Some((page % n) as usize)
-        }
-    }
-
     /// The earliest cycle `>= now` at which any component can do work,
     /// or `None` when the whole machine is provably quiescent (every
-    /// node asleep with no deadline, no in-flight flits, no pending
-    /// resends or coherence grants).
+    /// node asleep with no deadline — per-node deadlines fold in each
+    /// node's coherence handler — no in-flight flits, no pending
+    /// resends).
     fn next_work(&self, now: u64) -> Option<u64> {
         use mm_sim::engine::earliest;
         let mut best: Option<u64> = None;
         for s in &self.sched {
-            if s.awake || s.class0 {
+            if s.awake {
                 return Some(now);
             }
             if let Some(d) = s.deadline {
                 best = earliest(best, Some(d.max(now)));
             }
         }
-        // Fabric and coherence report absolute deadlines; here `now` is
-        // the *next* cycle to process (not one just processed, as in the
+        // The fabric reports absolute deadlines; here `now` is the
+        // *next* cycle to process (not one just processed, as in the
         // `Tick` contract), so a deadline due exactly at `now` must
         // clamp to `now`, not `now + 1`.
         best = earliest(best, self.fabric.next_delivery().map(|t| t.max(now)));
         for &(due, _, _) in &self.resends {
             best = earliest(best, Some(due.max(now)));
         }
-        best = earliest(best, self.coherence.next_activity().map(|t| t.max(now)));
         best
     }
 
-    /// Process one *active* cycle: step every awake or due node, run the
-    /// coherence firmware if it has work, pump the fabric, and handle
-    /// returned-message backoff — exactly the dense loop's phases, over
-    /// exactly the components that can act. Cycle-exact with
-    /// [`MMachine::naive_step`] by construction: a skipped node's step
-    /// would have been a no-op, and every skipped phase had no input.
+    /// Process one *active* cycle: step every awake or due node (its own
+    /// compute/memory tick plus its coherence-handler activation), pump
+    /// the fabric, and handle returned-message backoff — exactly the
+    /// dense loop's phases, over exactly the components that can act.
+    /// Cycle-exact with [`MMachine::naive_step`] by construction: a
+    /// skipped node's step would have been a no-op, and every skipped
+    /// phase had no input.
     ///
-    /// With a worker pool, phase 1 (the node/memory ticks — the only
-    /// phase that touches no cross-node state) runs sharded across the
-    /// pool; every later phase runs on this thread after the pool's
-    /// barrier, with cross-shard traffic merged in node-index order.
-    /// See the `shard` module for the determinism argument.
+    /// With a worker pool, phase 1 (the node/memory/coherence ticks —
+    /// which touch no cross-node state; see the `coherence` module) runs
+    /// sharded across the pool; every later phase runs on this thread
+    /// after the pool's barrier, with cross-shard traffic merged in
+    /// node-index order. See the `shard` module for the determinism
+    /// argument.
     fn step_cycle(&mut self, now: u64) {
         debug_assert_eq!(self.cycle, now, "step_cycle processes the current cycle");
 
-        // 1. Awake and due nodes compute; quiescent nodes are skipped.
+        // 1. Awake and due nodes compute (and run their coherence
+        // handlers); quiescent nodes are skipped.
         let mut stepped = std::mem::take(&mut self.stepped_buf);
         let mut staged = std::mem::take(&mut self.staged_buf);
         stepped.clear();
         staged.clear();
-        let any_class0 = match &mut self.pool {
+        match &mut self.pool {
             Some(pool) => pool.step_shards(
                 &mut self.nodes,
+                self.coherence.handlers_mut(),
                 &mut self.sched,
                 now,
                 &mut stepped,
@@ -545,6 +548,7 @@ impl MMachine {
             ),
             None => step_shard(
                 &mut self.nodes,
+                self.coherence.handlers_mut(),
                 &mut self.sched,
                 0,
                 now,
@@ -552,27 +556,12 @@ impl MMachine {
                 &mut staged,
                 &mut self.step_scratch,
             ),
-        };
-
-        // 2. Firmware coherence (class-0 events), when records are
-        // queued or a scheduled grant falls due.
-        if any_class0 || self.coherence.next_activity().is_some_and(|d| d <= now) {
-            let spec = self.spec;
-            let touched = self
-                .coherence
-                .step(now, &mut self.nodes, |va| Self::home_of(&spec, va));
-            for i in touched {
-                self.wake_node(i);
-            }
-            // The drain pass consumes every class-0 record machine-wide.
-            for s in &mut self.sched {
-                s.class0 = false;
-            }
         }
 
-        // 3. Drain outboxes into the fabric. Only stepped nodes can have
-        // staged packets (sends happen in `Node::step_with`; resends
-        // wake the node first), so the ascending `stepped` walk
+        // 2. Drain outboxes into the fabric. Only stepped nodes can have
+        // staged packets (sends happen in `Node::step_with` or the
+        // coherence handler; resends wake the node first), so the
+        // ascending `stepped` walk
         // preserves the dense loop's injection order. This is the
         // parallel engine's ordering barrier: packets staged
         // concurrently in per-node outboxes during phase 1 reach the
@@ -590,10 +579,10 @@ impl MMachine {
             self.fabric.inject_all(now, packets.drain(..));
         }
 
-        // 4. Deliver due packets (responses may stage more packets); a
+        // 3. Deliver due packets (responses may stage more packets); a
         // delivery is an external input, so the target wakes. A
         // delivered `Return` is the only way a returned message can
-        // appear, so remembering the targets here lets phase 5 skip
+        // appear, so remembering the targets here lets phase 4 skip
         // every other node.
         let mut deliveries = std::mem::take(&mut self.delivery_buf);
         let mut returned_to = std::mem::take(&mut self.returned_buf);
@@ -617,7 +606,7 @@ impl MMachine {
         self.delivery_buf = deliveries;
         self.packet_buf = packets;
 
-        // 5. Returned messages: hardware backoff, then re-inject (the
+        // 4. Returned messages: hardware backoff, then re-inject (the
         // re-staged packet is drained when the woken node steps).
         for &i in &returned_to {
             while let Some(m) = self.nodes[i].net.pop_returned() {
@@ -636,7 +625,7 @@ impl MMachine {
             }
         }
 
-        // 6. Trace bookkeeping: event enqueues and user-thread halts.
+        // 5. Trace bookkeeping: event enqueues and user-thread halts.
         // Only stepped nodes can have changed either.
         if self.cfg.trace {
             for &i in &stepped {
@@ -688,18 +677,16 @@ impl MMachine {
     pub fn naive_step(&mut self) {
         let now = self.cycle;
 
-        // 1. Every node computes.
+        // 1. Every node computes, then runs its coherence handler —
+        // the same per-node pairing the engines' `step_shard` performs.
         let scratch = &mut self.step_scratch;
-        for n in &mut self.nodes {
+        let handlers = self.coherence.handlers_mut();
+        for (n, coh) in self.nodes.iter_mut().zip(handlers.iter_mut()) {
             n.step_with(now, scratch);
+            coh.step(now, n);
         }
 
-        // 2. Firmware coherence (class-0 events).
-        let spec = self.spec;
-        self.coherence
-            .step(now, &mut self.nodes, |va| Self::home_of(&spec, va));
-
-        // 3. Drain outboxes into the fabric.
+        // 2. Drain outboxes into the fabric.
         for i in 0..self.nodes.len() {
             let staged = self.nodes[i].net.take_outbox();
             for p in &staged {
@@ -708,7 +695,7 @@ impl MMachine {
             self.fabric.inject_all(now, staged);
         }
 
-        // 4. Deliver due packets (responses may stage more packets).
+        // 3. Deliver due packets (responses may stage more packets).
         for p in self.fabric.deliveries(now) {
             let d = self.spec.linear_index(p.dest()) as usize;
             self.trace_packet(now, d, &p, false);
@@ -720,7 +707,7 @@ impl MMachine {
             self.fabric.inject_all(now, staged);
         }
 
-        // 5. Returned messages: hardware backoff, then re-inject.
+        // 4. Returned messages: hardware backoff, then re-inject.
         for i in 0..self.nodes.len() {
             while let Some(m) = self.nodes[i].net.pop_returned() {
                 self.resends.push((now + self.cfg.resend_delay, i, m));
@@ -736,7 +723,7 @@ impl MMachine {
             }
         }
 
-        // 6. Trace bookkeeping: event enqueues and user-thread halts.
+        // 5. Trace bookkeeping: event enqueues and user-thread halts.
         if self.cfg.trace {
             for i in 0..self.nodes.len() {
                 self.trace_node(now, i);
@@ -749,7 +736,6 @@ impl MMachine {
         for (i, s) in self.sched.iter_mut().enumerate() {
             s.awake = true;
             s.deadline = None;
-            s.class0 = self.nodes[i].event_records_queued(0) > 0;
             #[allow(clippy::cast_possible_truncation)]
             {
                 s.user_running = self.nodes[i].user_threads_running() as u32;
@@ -766,6 +752,7 @@ impl MMachine {
             Packet::User(_) => PacketKind::Message,
             Packet::Credit { .. } => PacketKind::Credit,
             Packet::Return(_) => PacketKind::Return,
+            Packet::Coh(_) => PacketKind::Coherence,
         };
         let phase = if inject {
             Phase::PacketInjected {

@@ -1,15 +1,17 @@
 //! Deterministic parallel execution of the node phase.
 //!
-//! A busy cycle of [`MMachine`](crate::machine::MMachine) has six
+//! A busy cycle of [`MMachine`](crate::machine::MMachine) has several
 //! phases; the first — every awake node's compute + memory-system tick
-//! — dominates on large meshes and touches nothing but the node's own
-//! state ([`Node`] owns its `MemorySystem` and `NodeNet`, so there is no
-//! shared mutable aliasing between nodes). The machine therefore shards
+//! *plus its coherence-handler activation* — dominates on large meshes
+//! and touches nothing but the node's own state ([`Node`] owns its
+//! `MemorySystem` and `NodeNet`, and each [`NodeCoh`] handler owns only
+//! its node's directory/wait state, so there is no shared mutable
+//! aliasing between nodes; inter-node coherence travels as fabric
+//! packets staged in per-node outboxes). The machine therefore shards
 //! the node array across a persistent pool of worker threads and runs
 //! phase 1 in parallel. Everything that crosses node boundaries —
-//! coherence firmware, fabric injection and delivery, resend backoff,
-//! trace bookkeeping — stays on the driving thread behind a per-cycle
-//! barrier.
+//! fabric injection and delivery, resend backoff, trace bookkeeping —
+//! stays on the driving thread behind a per-cycle barrier.
 //!
 //! ## Determinism argument
 //!
@@ -36,6 +38,8 @@
 //! loop vs. serial engine vs. parallel engine at 1, 2 and 4 workers
 //! must agree on stats, timelines, halt cycles and register files.
 
+use crate::coherence::NodeCoh;
+use mm_sim::engine::earliest;
 use mm_sim::{Node, StepScratch, Tick};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -56,9 +60,6 @@ pub(crate) struct NodeSched {
     /// Earliest self-scheduled work while asleep (`None` = fully inert
     /// until an external wake-up).
     pub(crate) deadline: Option<u64>,
-    /// The node holds class-0 event records the coherence firmware must
-    /// drain this cycle.
-    pub(crate) class0: bool,
     /// Mirror of the node's running user-thread tally, refreshed every
     /// step while the node is cache-hot (and re-synced wholesale after
     /// any external node mutation). The machine's halt predicate —
@@ -75,7 +76,6 @@ impl NodeSched {
         NodeSched {
             awake: true,
             deadline: None,
-            class0: false,
             user_running: 0,
             user_finished: 0,
         }
@@ -83,13 +83,19 @@ impl NodeSched {
 }
 
 /// Phase 1 of a busy cycle over one contiguous shard of the mesh:
-/// step every awake or due node, update its scheduler slot, and record
+/// step every awake or due node (its own compute/memory tick, then its
+/// coherence-handler activation), update its scheduler slot, and record
 /// the absolute indices stepped (ascending) plus — in `staged` — the
-/// subset that left packets in their outboxes. Returns whether any node
-/// in the shard holds class-0 event records. This is the *single*
+/// subset that left packets in their outboxes. This is the *single*
 /// implementation both engines run — the serial engine passes the whole
 /// node array, the parallel engine one disjoint chunk per worker — so
 /// cycle-exactness across engines holds by construction.
+///
+/// The coherence handler runs here, inside the shard, because it only
+/// ever touches its own node: class-0 records are drained from the
+/// node's own queues, protocol messages from the node's own coherence
+/// inbox, and everything it sends stages in the node's own outbox for
+/// the ordered fabric drain behind the barrier.
 ///
 /// The `staged` list is a locality optimization with no observable
 /// effect: the machine's outbox-drain phase walks it instead of
@@ -97,21 +103,22 @@ impl NodeSched {
 /// sent nothing, and the outbox length is read here while the node is
 /// still hot in cache). It is ascending per shard, so the shard-order
 /// merge keeps the fabric's node-index injection order.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn step_shard(
     nodes: &mut [Node],
+    coh: &mut [NodeCoh],
     sched: &mut [NodeSched],
     base: usize,
     now: u64,
     stepped: &mut Vec<usize>,
     staged: &mut Vec<usize>,
     scratch: &mut StepScratch,
-) -> bool {
+) {
     debug_assert_eq!(nodes.len(), sched.len());
-    let mut any_class0 = false;
+    debug_assert_eq!(nodes.len(), coh.len());
     for k in 0..nodes.len() {
         let s = &mut sched[k];
         if !(s.awake || s.deadline.is_some_and(|d| d <= now)) {
-            any_class0 |= s.class0;
             continue;
         }
         // Overlap the next node's DRAM fetches with this node's step:
@@ -121,29 +128,28 @@ pub(crate) fn step_shard(
             next.prefetch_hot();
         }
         let node = &mut nodes[k];
-        let progressed = node.step_with(now, scratch);
+        let mut progressed = node.step_with(now, scratch);
+        progressed |= coh[k].step(now, node);
         if progressed {
             s.awake = true;
             s.deadline = None;
         } else {
             s.awake = false;
             // The Tick contract: `now` was just processed without
-            // progress, so the node may sleep until this deadline.
-            s.deadline = Tick::next_activity(&*node, now);
+            // progress, so the node may sleep until the earlier of its
+            // own deadline and its coherence handler's.
+            s.deadline = earliest(Tick::next_activity(&*node, now), coh[k].next_activity(now));
         }
-        s.class0 = node.event_records_queued(0) > 0;
         #[allow(clippy::cast_possible_truncation)]
         {
             s.user_running = node.user_threads_running() as u32;
             s.user_finished = node.user_threads_finished() as u32;
         }
-        any_class0 |= s.class0;
         stepped.push(base + k);
         if node.net.outbox_len() > 0 {
             staged.push(base + k);
         }
     }
-    any_class0
 }
 
 /// A raw base pointer smuggled to a worker thread.
@@ -169,6 +175,7 @@ unsafe impl<T: Send> Send for ShardPtr<T> {}
 /// One cycle's work order for one worker.
 struct Job {
     nodes: ShardPtr<Node>,
+    coh: ShardPtr<NodeCoh>,
     sched: ShardPtr<NodeSched>,
     start: usize,
     len: usize,
@@ -189,7 +196,6 @@ struct Done {
     stepped: Vec<usize>,
     staged: Vec<usize>,
     scratch: StepScratch,
-    any_class0: bool,
     /// The shard's panic payload, if it panicked — re-raised by the
     /// dispatcher once the barrier has fully drained.
     panic: Option<Box<dyn std::any::Any + Send>>,
@@ -212,8 +218,8 @@ pub(crate) struct WorkerPool {
 }
 
 /// One shard's collected per-cycle output: (stepped indices, staged
-/// indices, any-class0 flag).
-type ShardResult = (Vec<usize>, Vec<usize>, bool);
+/// indices).
+type ShardResult = (Vec<usize>, Vec<usize>);
 
 impl std::fmt::Debug for WorkerPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -255,26 +261,29 @@ impl WorkerPool {
         self.handles.len()
     }
 
-    /// Run phase 1 of cycle `now` in parallel: partition `nodes` (and
-    /// the matching `sched` slots) into contiguous per-worker chunks,
-    /// step them concurrently, and merge the shards' stepped-index
-    /// lists in shard order — i.e. ascending node order, identical to
-    /// the serial walk. Returns the machine-wide class-0 flag.
+    /// Run phase 1 of cycle `now` in parallel: partition `nodes` (with
+    /// the matching coherence handlers and `sched` slots) into
+    /// contiguous per-worker chunks, step them concurrently, and merge
+    /// the shards' stepped-index lists in shard order — i.e. ascending
+    /// node order, identical to the serial walk.
     ///
     /// Blocks until every dispatched worker reports back, so the raw
     /// slices handed out never outlive this call.
     pub(crate) fn step_shards(
         &mut self,
         nodes: &mut [Node],
+        coh: &mut [NodeCoh],
         sched: &mut [NodeSched],
         now: u64,
         stepped: &mut Vec<usize>,
         staged: &mut Vec<usize>,
-    ) -> bool {
+    ) {
         let n = nodes.len();
         debug_assert_eq!(n, sched.len());
+        debug_assert_eq!(n, coh.len());
         let chunk = n.div_ceil(self.jobs.len()).max(1);
         let nodes_ptr = ShardPtr(nodes.as_mut_ptr());
+        let coh_ptr = ShardPtr(coh.as_mut_ptr());
         let sched_ptr = ShardPtr(sched.as_mut_ptr());
         let mut sent = 0;
         for tx in &self.jobs {
@@ -284,6 +293,7 @@ impl WorkerPool {
             }
             tx.send(Job {
                 nodes: nodes_ptr,
+                coh: coh_ptr,
                 sched: sched_ptr,
                 start,
                 len: chunk.min(n - start),
@@ -305,23 +315,20 @@ impl WorkerPool {
             let done = self.done_rx.recv().expect("shard worker alive");
             panic = panic.or(done.panic);
             self.scratches.push(done.scratch);
-            self.results[done.worker] = Some((done.stepped, done.staged, done.any_class0));
+            self.results[done.worker] = Some((done.stepped, done.staged));
         }
         if let Some(payload) = panic {
             // Re-raise the worker's own panic (assertion text, node
             // index and all) now that no worker holds the raw slices.
             std::panic::resume_unwind(payload);
         }
-        let mut any_class0 = false;
         for slot in self.results.drain(..) {
-            let (buf, staged_buf, class0) = slot.expect("every dispatched shard reports once");
+            let (buf, staged_buf) = slot.expect("every dispatched shard reports once");
             stepped.extend_from_slice(&buf);
             staged.extend_from_slice(&staged_buf);
-            any_class0 |= class0;
             self.bufs.push(buf);
             self.bufs.push(staged_buf);
         }
-        any_class0
     }
 }
 
@@ -341,6 +348,7 @@ fn worker_loop(worker: usize, rx: &Receiver<Job>, done: &Sender<Done>) {
     while let Ok(job) = rx.recv() {
         let Job {
             nodes,
+            coh,
             sched,
             start,
             len,
@@ -357,24 +365,25 @@ fn worker_loop(worker: usize, rx: &Receiver<Job>, done: &Sender<Done>) {
             // blocks on the barrier until this job's Done lands, so the
             // slices alias nothing and never dangle.
             let nodes = unsafe { std::slice::from_raw_parts_mut(nodes.0.add(start), len) };
+            let coh = unsafe { std::slice::from_raw_parts_mut(coh.0.add(start), len) };
             let sched = unsafe { std::slice::from_raw_parts_mut(sched.0.add(start), len) };
             step_shard(
                 nodes,
+                coh,
                 sched,
                 start,
                 now,
                 &mut stepped,
                 &mut staged,
                 &mut scratch,
-            )
+            );
         }));
         let report = match result {
-            Ok(any_class0) => Done {
+            Ok(()) => Done {
                 worker,
                 stepped,
                 staged,
                 scratch,
-                any_class0,
                 panic: None,
             },
             Err(payload) => Done {
@@ -382,7 +391,6 @@ fn worker_loop(worker: usize, rx: &Receiver<Job>, done: &Sender<Done>) {
                 stepped: Vec::new(),
                 staged: Vec::new(),
                 scratch: StepScratch::new(),
-                any_class0: false,
                 panic: Some(payload),
             },
         };
@@ -397,6 +405,14 @@ fn worker_loop(worker: usize, rx: &Receiver<Job>, done: &Sender<Done>) {
 mod tests {
     use super::*;
 
+    fn handlers(n: usize) -> Vec<NodeCoh> {
+        use mm_net::message::NodeCoord;
+        let cfg = crate::coherence::CoherenceConfig::default();
+        crate::coherence::CoherenceEngine::new(cfg, &vec![NodeCoord::new(0, 0, 0); n])
+            .handlers_mut()
+            .to_vec()
+    }
+
     /// The pool must survive (and the machine must keep working after)
     /// many dispatch/collect barriers with fewer nodes than workers.
     #[test]
@@ -407,6 +423,7 @@ mod tests {
             mm_sim::NodeConfig::default(),
             NodeCoord::new(0, 0, 0),
         )];
+        let mut coh = handlers(1);
         let mut sched = vec![NodeSched::awake()];
         let mut stepped = Vec::new();
         let mut staged = Vec::new();
@@ -414,8 +431,14 @@ mod tests {
             stepped.clear();
             staged.clear();
             sched[0].awake = true;
-            let class0 = pool.step_shards(&mut nodes, &mut sched, now, &mut stepped, &mut staged);
-            assert!(!class0);
+            pool.step_shards(
+                &mut nodes,
+                &mut coh,
+                &mut sched,
+                now,
+                &mut stepped,
+                &mut staged,
+            );
             assert_eq!(stepped, vec![0], "cycle {now}");
             assert!(staged.is_empty(), "an idle node stages nothing");
         }
@@ -431,10 +454,18 @@ mod tests {
         let mut nodes: Vec<Node> = (0..8)
             .map(|_| Node::new(mm_sim::NodeConfig::default(), NodeCoord::new(0, 0, 0)))
             .collect();
+        let mut coh = handlers(8);
         let mut sched = vec![NodeSched::awake(); 8];
         let mut stepped = Vec::new();
         let mut staged = Vec::new();
-        pool.step_shards(&mut nodes, &mut sched, 0, &mut stepped, &mut staged);
+        pool.step_shards(
+            &mut nodes,
+            &mut coh,
+            &mut sched,
+            0,
+            &mut stepped,
+            &mut staged,
+        );
         assert_eq!(stepped, (0..8).collect::<Vec<_>>());
     }
 }

@@ -17,6 +17,8 @@ pub enum PacketKind {
     Credit,
     /// A returned (bounced) message.
     Return,
+    /// A §4.3 coherence protocol message (fetch/grant/invalidate/…).
+    Coherence,
 }
 
 /// One observable phase transition.

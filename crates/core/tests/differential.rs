@@ -89,6 +89,9 @@ fn load_workload(m: &mut MMachine, genes0: &[Gene], genes1: &[Gene]) {
 fn assert_machines_agree(a: &MMachine, b: &MMachine) -> Result<(), TestCaseError> {
     prop_assert_eq!(a.cycle(), b.cycle(), "clocks diverged");
     prop_assert_eq!(a.stats(), b.stats(), "MachineStats diverged");
+    // PR 5 bugfix: class-0 records with unknown kinds used to vanish
+    // silently; no workload this harness generates may drop any.
+    prop_assert_eq!(a.stats().coherence.unknown_events, 0, "records dropped");
     prop_assert_eq!(
         a.timeline().events(),
         b.timeline().events(),
@@ -255,6 +258,68 @@ fn remote_read_scenario_is_cycle_exact() {
         assert_eq!(done_n, done_e, "halt cycle ({workers} workers)");
         assert_eq!(stats_n, stats_e, "machine stats ({workers} workers)");
         assert_eq!(tl_n, tl_e, "timelines ({workers} workers)");
+    }
+}
+
+/// The coherence-bound workload (PR 5's message-driven protocol) run
+/// three ways — dense loop, serial engine, parallel engine at 1, 2 and
+/// 4 workers — must be bit-identical: every fetch, invalidation,
+/// recall and replay rides fabric packets whose ordering the engines
+/// must reproduce exactly. This is the protocol's determinism proof.
+#[test]
+fn coherence_workload_is_engine_and_worker_invariant() {
+    use mm_runtime::kernels::coherent_smooth;
+    const ITERS: u64 = 6;
+    let build = |workers: Option<usize>| -> MMachine {
+        let mut cfg = MachineConfig::with_dims(2, 2, 1);
+        if let Some(w) = workers {
+            cfg.engine.workers = Some(w);
+        }
+        let mut m = MMachine::build(cfg).expect("valid config");
+        for pair in 0..2 {
+            let (even, odd) = (2 * pair, 2 * pair + 1);
+            let block = m.home_va(even, 2);
+            m.map_coherent_page(odd, block);
+            let ptr = m
+                .make_ptr(mm_isa::Perm::ReadWrite, 3, block)
+                .expect("block ptr");
+            for (node, own, other) in [(even, 0usize, 1usize), (odd, 1, 0)] {
+                let prog = coherent_smooth(own, other, ITERS);
+                m.load_user_program(node, 0, &prog).unwrap();
+                m.set_user_reg(node, 0, 0, Reg::Int(1), ptr);
+                m.set_user_reg(node, 0, 0, Reg::Fp(15), mm_isa::word::Word::from_f64(0.25));
+            }
+        }
+        m
+    };
+
+    let mut dense = build(None);
+    let done_dense = naive_run_until_halt(&mut dense, 200_000);
+    assert!(
+        dense.stats().fabric.coh_packets > 0,
+        "workload must move protocol messages over the fabric"
+    );
+    assert!(dense.stats().coherence.invalidations > 0, "no ping-pong");
+    assert_eq!(dense.stats().coherence.unknown_events, 0);
+
+    for workers in [1, 2, 4] {
+        let mut m = build(Some(workers));
+        assert_eq!(m.workers(), workers);
+        let done = m.run_until_halt(200_000).expect("engine run halts");
+        assert_eq!(done_dense, done, "halt cycle at {workers} workers");
+        assert_eq!(dense.stats(), m.stats(), "stats at {workers} workers");
+        assert_eq!(
+            dense.timeline().events(),
+            m.timeline().events(),
+            "timelines at {workers} workers"
+        );
+        for i in 0..m.node_count() {
+            assert_eq!(
+                dense.node(i).stats().cycles,
+                m.node(i).stats().cycles,
+                "node {i} cycles at {workers} workers"
+            );
+        }
     }
 }
 

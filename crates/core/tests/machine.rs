@@ -242,6 +242,60 @@ fn coherence_read_share_then_write_invalidate() {
 }
 
 #[test]
+fn remote_write_fault_travels_as_protocol_messages() {
+    // PR 5 acceptance: the coherence engine holds no `&mut` access to
+    // remote nodes — one remote-write block fault must be visible on
+    // the fabric as protocol packets (FETCH-WRITE to the home, the
+    // grant back; the grant's acceptance credit is a separate packet
+    // kind), not teleported state.
+    let mut m = machine();
+    let va = m.home_va(1, 2);
+    assert!(m
+        .node_mut(1)
+        .mem
+        .poke_va(va, MemWord::new(Word::from_u64(9))));
+    m.map_coherent_page(0, va);
+
+    let before = m.stats().fabric.coh_packets;
+    assert_eq!(before, 0, "no protocol traffic before the fault");
+    let wprog = Arc::new(assemble("st r2, [r1]\n halt\n").unwrap());
+    m.load_user_program(0, 0, &wprog).unwrap();
+    m.set_user_reg(0, 0, 0, Reg::Int(1), m.home_ptr(1, 2));
+    m.set_user_reg(0, 0, 0, Reg::Int(2), Word::from_u64(77));
+    m.run_until_halt(50_000).unwrap();
+    m.run_cycles(400);
+
+    let stats = m.stats();
+    assert!(
+        stats.fabric.coh_packets >= 2,
+        "expected at least FETCH-WRITE + GRANT-WRITE on the fabric, saw {}",
+        stats.fabric.coh_packets
+    );
+    assert_eq!(stats.coherence.block_fetches, 1, "one fetch serviced");
+    assert_eq!(stats.coherence.unknown_events, 0);
+    assert_eq!(
+        m.node(0).mem.peek_va(va).unwrap().word.bits(),
+        77,
+        "granted write landed in the requester's local copy"
+    );
+    // The home invalidated its own boot-mapped copy when it granted
+    // exclusivity, so a subsequent home write faults back through the
+    // protocol instead of silently diverging.
+    let hprog = Arc::new(assemble("st r2, [r1]\n halt\n").unwrap());
+    m.load_user_program(1, 0, &hprog).unwrap();
+    m.set_user_reg(1, 0, 0, Reg::Int(1), m.home_ptr(1, 2));
+    m.set_user_reg(1, 0, 0, Reg::Int(2), Word::from_u64(78));
+    m.run_until_halt(50_000).unwrap();
+    m.run_cycles(600);
+    let after = m.stats();
+    assert!(
+        after.coherence.writebacks >= 1,
+        "home write-fault must recall the remote dirty copy"
+    );
+    assert_eq!(m.node(1).mem.peek_va(va).unwrap().word.bits(), 78);
+}
+
+#[test]
 fn throttling_send_flood_makes_progress() {
     // Flood node 1's queue from node 0; with capacity 16 and returns,
     // every message must eventually be deliverable (the consumer drains).
@@ -268,6 +322,121 @@ fn throttling_send_flood_makes_progress() {
     let got = m.node(1).mem.peek_va(target).unwrap().word.bits();
     assert!((1000..1024).contains(&got), "unexpected value {got}");
     assert!(m.faulted_threads().is_empty());
+}
+
+#[test]
+fn recall_never_overtakes_a_charge_delayed_grant() {
+    // Regression (PR 5 review): with several read-sharers, a write
+    // grant is delayed by `invalidate_cycles` per sharer. A second
+    // writer's fetch used to compose a Recall to the new owner in that
+    // window; the recall overtook the grant, the "owner" ran out of
+    // patience with nothing to surrender, and garbage was written back
+    // over the home's fresh copy. Crank the charge so the grant delay
+    // (3 sharers × 200) far exceeds the recall patience and prove the
+    // two writes still serialize correctly.
+    let mut cfg = MachineConfig::with_dims(2, 2, 1);
+    cfg.coherence.invalidate_cycles = 200;
+    let mut m = MMachine::build(cfg).expect("valid config");
+    let block = m.home_va(0, 2);
+    assert!(m
+        .node_mut(0)
+        .mem
+        .poke_va(block, MemWord::new(Word::from_u64(7))));
+    for node in 1..4 {
+        m.map_coherent_page(node, block);
+    }
+    // Read-share the block on every remote node.
+    let rprog = Arc::new(assemble("ld [r1], r2\n add r2, #0, r3\n halt\n").unwrap());
+    for node in 1..4 {
+        m.load_user_program(node, 0, &rprog).unwrap();
+        m.set_user_reg(node, 0, 0, Reg::Int(1), m.home_ptr(0, 2));
+    }
+    m.run_until_halt(100_000).unwrap();
+    for node in 1..4 {
+        assert_eq!(m.user_reg(node, 0, 0, 3).unwrap().bits(), 7);
+    }
+    // Two writers race: node 1 takes ownership (grant delayed ~600
+    // cycles by three invalidations), node 2's write forces a recall of
+    // node 1 while that grant is still pending.
+    let w =
+        |val: u64| Arc::new(assemble(&format!("mov #{val}, r2\n st r2, [r1]\n halt\n")).unwrap());
+    m.load_user_program(1, 1, &w(111)).unwrap();
+    m.set_user_reg(1, 0, 1, Reg::Int(1), m.home_ptr(0, 2));
+    m.load_user_program(2, 1, &w(222)).unwrap();
+    let word1 = m.make_ptr(mm_isa::Perm::ReadWrite, 0, block + 1).unwrap();
+    m.set_user_reg(2, 0, 1, Reg::Int(1), word1);
+    m.run_until_halt(200_000).unwrap();
+    m.run_cycles(2_000);
+    assert!(m.faulted_threads().is_empty());
+    // Both writes must survive: 111 in word 0 (node 1's), 222 in word 1
+    // (node 2's) — visible in the freshest copy of each word.
+    for (off, want) in [(0u64, 111u64), (1, 222)] {
+        let freshest = (0..4)
+            .filter_map(|n| m.node(n).mem.peek_va(block + off))
+            .map(|w| w.word.bits())
+            .max()
+            .unwrap();
+        assert_eq!(freshest, want, "word {off} lost a write");
+    }
+    assert!(m.stats().coherence.writebacks >= 1, "a recall must happen");
+}
+
+#[test]
+fn saturated_queues_neither_leak_credits_nor_deadlock() {
+    // PR 5 (return-to-sender credit audit): with a one-message queue and
+    // two chatty nodes flooding each other — including remote *reads*,
+    // whose P1 replies were the phantom-credit source before the fix —
+    // messages must bounce, back off, resend and all eventually land,
+    // and after the drain every interface's credit counter must be back
+    // at exactly its initial value.
+    let mut cfg = MachineConfig::small();
+    cfg.node.iface.msg_queue_capacity = 1;
+    let mut m = MMachine::build(cfg).expect("valid config");
+    let initial = m.node(0).net.credits();
+
+    let mut src = String::new();
+    for i in 0..12 {
+        src.push_str(&format!("mov #{}, mc1\n send r10, r11, #1\n", 100 + i));
+    }
+    // A remote load at the end: LTLB-miss handler sends a read request,
+    // the peer's handler answers with a P1 reply.
+    src.push_str("ld [r8], r2\n add r2, #0, r3\n halt\n");
+    let prog = Arc::new(assemble(&src).unwrap());
+    for node in 0..2 {
+        let peer = 1 - node;
+        let target = m.home_va(peer, 3);
+        let peer_home = m.home_va(peer, 0);
+        assert!(m
+            .node_mut(peer)
+            .mem
+            .poke_va(peer_home, MemWord::new(Word::from_u64(5))));
+        m.load_user_program(node, 0, &prog).unwrap();
+        let ptr = m.make_ptr(mm_isa::Perm::ReadWrite, 0, target).unwrap();
+        m.set_user_reg(node, 0, 0, Reg::Int(10), ptr);
+        let write_dip = m.image().write_dip;
+        m.set_user_reg(node, 0, 0, Reg::Int(11), write_dip);
+        m.set_user_reg(node, 0, 0, Reg::Int(8), m.home_ptr(peer, 0));
+    }
+    m.run_until_halt(400_000).expect("flood must not deadlock");
+    m.run_cycles(10_000); // drain every return, resend and credit
+    assert!(m.faulted_threads().is_empty());
+    for node in 0..2 {
+        let st = m.node(node).net.stats();
+        assert_eq!(
+            st.received, 14,
+            "node {node}: 12 writes + 1 read request + 1 read reply must all land"
+        );
+        assert_eq!(m.user_reg(node, 0, 0, 3).unwrap().bits(), 5);
+        assert_eq!(
+            m.node(node).net.credits(),
+            initial,
+            "node {node}: credit counter must return to its initial value \
+             (a surplus means replies minted phantom credits; a deficit \
+             means a bounced message leaked its reserved slot)"
+        );
+    }
+    let returns: u64 = (0..2).map(|n| m.node(n).net.stats().returned_here).sum();
+    assert!(returns > 0, "capacity 1 must actually bounce messages");
 }
 
 #[test]

@@ -81,6 +81,9 @@ pub struct FabricStats {
     pub contention_cycles: u64,
     /// Total hops traversed.
     pub hops: u64,
+    /// Coherence protocol packets (subset of `packets`): every §4.3
+    /// fetch/grant/invalidate/writeback crossing the fabric.
+    pub coh_packets: u64,
 }
 
 /// The mesh interconnect.
@@ -233,6 +236,9 @@ impl Fabric {
         };
 
         self.stats.packets += 1;
+        if matches!(packet, Packet::Coh(_)) {
+            self.stats.coh_packets += 1;
+        }
         self.stats.flits += flits;
         self.stats.total_latency += deliver_at - now;
         self.in_flight.push(deliver_at, packet);

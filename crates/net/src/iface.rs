@@ -60,6 +60,10 @@ pub struct IfaceStats {
     pub returned_here: u64,
     /// Our messages that came back and await software resend.
     pub returns_received: u64,
+    /// Coherence protocol messages sent from this interface.
+    pub coh_sent: u64,
+    /// Coherence protocol messages accepted into the handler queue.
+    pub coh_received: u64,
 }
 
 /// One priority's register-mapped FIFO, word-granular like the real
@@ -80,6 +84,13 @@ pub struct NodeNet {
     credits: u32,
     returned: VecDeque<Message>,
     outbox: Vec<Packet>,
+    /// Arrived coherence protocol messages awaiting the node's class-0
+    /// handler (§4.3). Unbounded: the resident handler drains it every
+    /// cycle the node steps, so it never backs up the way the bounded
+    /// user queues can; injection is throttled at the *sender* by the
+    /// credit counter instead (P0 requests consume a credit like user
+    /// SENDs).
+    coh_in: VecDeque<Message>,
     stats: IfaceStats,
 }
 
@@ -100,6 +111,7 @@ impl NodeNet {
             credits: cfg.send_credits,
             returned: VecDeque::new(),
             outbox: Vec::new(),
+            coh_in: VecDeque::new(),
             stats: IfaceStats::default(),
             cfg,
         }
@@ -202,19 +214,31 @@ impl NodeNet {
         self.outbox.len()
     }
 
-    /// Handle a packet delivered by the fabric. Acceptance of a user
-    /// message stages a credit reply; overflow stages a return-to-sender.
+    /// Handle a packet delivered by the fabric. Acceptance of a
+    /// credit-consuming (P0) message stages a credit reply; overflow
+    /// stages a return-to-sender.
+    ///
+    /// Only P0 acceptances mint credits: the sender's counter was only
+    /// decremented for P0 sends, so crediting P1 replies too (as this
+    /// interface once did) leaked one phantom credit per reply and let a
+    /// reply-heavy workload inflate its P0 burst budget past the
+    /// reserved return-buffer space — defeating §4.1's throttling bound.
     pub fn deliver(&mut self, packet: Packet) {
         match packet {
             Packet::User(msg) => {
                 let pri = msg.priority.index();
                 if self.queues[pri].messages >= self.cfg.msg_queue_capacity {
-                    // No space: bounce the whole message back (§4.1).
+                    // No space: bounce the whole message back (§4.1). No
+                    // credit moves — the message still occupies the
+                    // return-buffer slot its send reserved, and exactly
+                    // one credit comes back when a later resend is
+                    // finally accepted.
                     self.stats.returned_here += 1;
                     self.outbox.push(Packet::Return(msg));
                     return;
                 }
                 self.stats.received += 1;
+                let credit = msg.priority == Priority::P0;
                 let words = msg.delivered_words();
                 let last = words.len() - 1;
                 let q = &mut self.queues[pri];
@@ -222,16 +246,14 @@ impl NodeNet {
                     q.words.push_back((w, i == last));
                 }
                 q.messages += 1;
-                if msg.src != self.coord {
-                    // Acceptance reply increments the sender's counter.
-                    self.outbox.push(Packet::Credit {
-                        dest: msg.src,
-                        from: self.coord,
-                    });
-                } else {
-                    // Loopback: credit immediately.
-                    self.credits += 1;
-                }
+                self.accept_credit(credit, msg.src);
+            }
+            Packet::Coh(msg) => {
+                self.stats.coh_received += 1;
+                let credit = msg.priority == Priority::P0;
+                let src = msg.src;
+                self.coh_in.push_back(msg);
+                self.accept_credit(credit, src);
             }
             Packet::Credit { .. } => {
                 self.credits += 1;
@@ -241,6 +263,52 @@ impl NodeNet {
                 self.returned.push_back(msg);
             }
         }
+    }
+
+    /// Stage the acceptance credit for a P0 message from `src` (or
+    /// restore it directly on loopback).
+    fn accept_credit(&mut self, credit: bool, src: NodeCoord) {
+        if !credit {
+            return;
+        }
+        if src != self.coord {
+            // Acceptance reply increments the sender's counter.
+            self.outbox.push(Packet::Credit {
+                dest: src,
+                from: self.coord,
+            });
+        } else {
+            // Loopback: credit immediately.
+            self.credits += 1;
+        }
+    }
+
+    /// Stage a coherence protocol message for injection. P0 requests
+    /// consume a send credit exactly like user SENDs (returns `false`
+    /// when the counter is dry — the firmware retries next cycle); P1
+    /// grants/invalidations bypass throttling like other replies.
+    pub fn send_coh(&mut self, msg: Message) -> bool {
+        if msg.priority == Priority::P0 {
+            if self.credits == 0 {
+                self.stats.credit_stalls += 1;
+                return false;
+            }
+            self.credits -= 1;
+        }
+        self.stats.coh_sent += 1;
+        self.outbox.push(Packet::Coh(msg));
+        true
+    }
+
+    /// Pop one arrived coherence protocol message, if any.
+    pub fn pop_coh(&mut self) -> Option<Message> {
+        self.coh_in.pop_front()
+    }
+
+    /// Coherence protocol messages awaiting the class-0 handler.
+    #[must_use]
+    pub fn coh_pending(&self) -> usize {
+        self.coh_in.len()
     }
 
     /// Is a word available on the priority-`pri` queue? (The scoreboard
@@ -456,6 +524,173 @@ mod tests {
         n.resend(got);
         assert_eq!(n.credits(), before);
         assert_eq!(n.take_outbox().len(), 1);
+    }
+
+    /// Regression (PR 5 bugfix): accepting a P1 reply used to stage a
+    /// credit for its sender even though P1 sends never spend one —
+    /// every reply minted a phantom credit, inflating the sender's P0
+    /// burst budget past its reserved return-buffer space and defeating
+    /// the §4.1 throttling bound.
+    #[test]
+    fn p1_acceptance_mints_no_credit() {
+        let mut n = iface_at(1);
+        n.deliver(user_msg(
+            NodeCoord::new(0, 0, 0),
+            NodeCoord::new(1, 0, 0),
+            Priority::P1,
+        ));
+        assert!(
+            n.take_outbox().is_empty(),
+            "a P1 reply spent no credit, so acceptance must mint none"
+        );
+        // P0 acceptance still credits.
+        n.deliver(user_msg(
+            NodeCoord::new(0, 0, 0),
+            NodeCoord::new(1, 0, 0),
+            Priority::P0,
+        ));
+        let out = n.take_outbox();
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0], Packet::Credit { .. }));
+    }
+
+    /// The loopback leg of the same regression: a self-addressed P1
+    /// message used to increment the counter directly.
+    #[test]
+    fn p1_loopback_mints_no_credit() {
+        let mut n = iface_at(0);
+        let before = n.credits();
+        n.deliver(user_msg(
+            NodeCoord::new(0, 0, 0),
+            NodeCoord::new(0, 0, 0),
+            Priority::P1,
+        ));
+        assert_eq!(n.credits(), before, "loopback P1 must not credit");
+    }
+
+    /// A returned message's full round trip — send, bounce, buffered
+    /// resend, eventual acceptance — must restore exactly one sender
+    /// credit: the send's decrement reserves the return-buffer slot, the
+    /// bounce moves no credit (the slot is now in use), the resend is
+    /// free (the slot stays reserved), and the final acceptance credit
+    /// releases it.
+    #[test]
+    fn return_resend_accept_restores_exactly_one_credit() {
+        let mut a = iface_at(0);
+        let mut b = NodeNet::new(
+            NodeCoord::new(1, 0, 0),
+            IfaceConfig {
+                msg_queue_capacity: 1,
+                ..IfaceConfig::default()
+            },
+        );
+        let initial = a.credits();
+        // A sends two messages (two credits spent).
+        for _ in 0..2 {
+            assert!(matches!(
+                a.send(
+                    Word::from_u64(9),
+                    Word::from_u64(GLOBAL_PAGE_WORDS),
+                    GLOBAL_PAGE_WORDS,
+                    vec![],
+                    Priority::P0,
+                ),
+                SendOutcome::Sent(_)
+            ));
+        }
+        assert_eq!(a.credits(), initial - 2);
+        let sent = a.take_outbox();
+        // B accepts the first (stages a credit), bounces the second.
+        for p in sent {
+            b.deliver(p);
+        }
+        let mut replies = b.take_outbox();
+        assert_eq!(replies.len(), 2);
+        assert!(matches!(replies[0], Packet::Credit { .. }));
+        assert!(matches!(replies[1], Packet::Return(_)));
+        assert_eq!(b.stats().returned_here, 1);
+        // The bounce restores nothing by itself.
+        let ret = replies.pop().unwrap();
+        a.deliver(replies.pop().unwrap());
+        assert_eq!(a.credits(), initial - 1, "one message still outstanding");
+        a.deliver(ret);
+        assert_eq!(a.stats().returns_received, 1);
+        assert_eq!(
+            a.credits(),
+            initial - 1,
+            "a bounced message still owns its reserved slot"
+        );
+        // Software resends (free), B has drained, acceptance credits.
+        let msg = a.pop_returned().unwrap();
+        a.resend(msg);
+        assert_eq!(a.credits(), initial - 1, "resend consumes no new credit");
+        while b.pop_word(Priority::P0).is_some() {}
+        for p in a.take_outbox() {
+            b.deliver(p);
+        }
+        for p in b.take_outbox() {
+            a.deliver(p);
+        }
+        assert_eq!(
+            a.credits(),
+            initial,
+            "the round trip restores exactly one credit"
+        );
+    }
+
+    /// Coherence protocol messages share the credit counter: P0 fetches
+    /// spend one and earn it back on acceptance; P1 grants are free.
+    #[test]
+    fn coherence_messages_share_the_throttle() {
+        let mut a = iface_at(0);
+        let mut b = iface_at(1);
+        let initial = a.credits();
+        let fetch = Message {
+            priority: Priority::P0,
+            src: a.coord(),
+            dest: b.coord(),
+            dip: Word::from_u64(2),
+            addr: Word::from_u64(64),
+            body: vec![],
+        };
+        assert!(a.send_coh(fetch));
+        assert_eq!(a.credits(), initial - 1);
+        for p in a.take_outbox() {
+            b.deliver(p);
+        }
+        assert_eq!(b.coh_pending(), 1);
+        assert!(b.pop_coh().is_some());
+        for p in b.take_outbox() {
+            a.deliver(p);
+        }
+        assert_eq!(a.credits(), initial, "acceptance credits the fetch");
+        // P1 grants bypass the counter entirely.
+        let mut dry = NodeNet::new(
+            NodeCoord::new(0, 0, 0),
+            IfaceConfig {
+                send_credits: 0,
+                ..IfaceConfig::default()
+            },
+        );
+        let grant = Message {
+            priority: Priority::P1,
+            src: dry.coord(),
+            dest: b.coord(),
+            dip: Word::from_u64(5),
+            addr: Word::from_u64(64),
+            body: vec![],
+        };
+        assert!(dry.send_coh(grant));
+        // And a dry counter refuses a P0 fetch.
+        let fetch2 = Message {
+            priority: Priority::P0,
+            src: dry.coord(),
+            dest: b.coord(),
+            dip: Word::from_u64(2),
+            addr: Word::from_u64(64),
+            body: vec![],
+        };
+        assert!(!dry.send_coh(fetch2));
     }
 
     #[test]

@@ -96,8 +96,10 @@ impl Message {
     }
 }
 
-/// What travels point-to-point: user messages plus the two hardware
-/// control packets of the return-to-sender throttling protocol (§4.1).
+/// What travels point-to-point: user messages, the two hardware control
+/// packets of the return-to-sender throttling protocol (§4.1), and the
+/// §4.3 software-coherence protocol messages exchanged by the resident
+/// class-0 event handlers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Packet {
     /// An ordinary message, delivered to the receiver's message queue.
@@ -115,6 +117,13 @@ pub enum Packet {
     /// copied into the buffer and resent at a later time" — the receiver
     /// had no queue space.
     Return(Message),
+    /// A software-coherence protocol message (§4.3): same wire format as
+    /// a user message (DIP word + address word + body), but delivered to
+    /// the receiving node's coherence-handler queue instead of the
+    /// register-mapped user queues. Priority-0 coherence requests
+    /// participate in send-credit throttling exactly like user sends;
+    /// priority-1 grants/invalidations ride the reply channel.
+    Coh(Message),
 }
 
 impl Packet {
@@ -122,7 +131,7 @@ impl Packet {
     #[must_use]
     pub fn dest(&self) -> NodeCoord {
         match self {
-            Packet::User(m) => m.dest,
+            Packet::User(m) | Packet::Coh(m) => m.dest,
             Packet::Credit { dest, .. } => *dest,
             Packet::Return(m) => m.src,
         }
@@ -132,7 +141,7 @@ impl Packet {
     #[must_use]
     pub fn src(&self) -> NodeCoord {
         match self {
-            Packet::User(m) => m.src,
+            Packet::User(m) | Packet::Coh(m) => m.src,
             Packet::Credit { from, .. } => *from,
             Packet::Return(m) => m.dest,
         }
@@ -142,7 +151,7 @@ impl Packet {
     #[must_use]
     pub fn wire_flits(&self) -> u64 {
         match self {
-            Packet::User(m) | Packet::Return(m) => m.wire_flits(),
+            Packet::User(m) | Packet::Return(m) | Packet::Coh(m) => m.wire_flits(),
             Packet::Credit { .. } => 1,
         }
     }
@@ -152,7 +161,7 @@ impl Packet {
     #[must_use]
     pub fn priority(&self) -> Priority {
         match self {
-            Packet::User(m) => m.priority,
+            Packet::User(m) | Packet::Coh(m) => m.priority,
             Packet::Credit { .. } | Packet::Return(_) => Priority::P1,
         }
     }

@@ -10,6 +10,11 @@ use mm_net::iface::{IfaceConfig, NodeNet};
 use mm_net::message::{Message, NodeCoord, Packet};
 use proptest::prelude::*;
 
+/// The node owning the group's very first page (wrap reference).
+fn before_run_start(e: &GdtEntry, first_va: u64) -> NodeCoord {
+    e.translate(first_va).unwrap()
+}
+
 proptest! {
     /// Fig. 8 encoding round-trips for all field values.
     #[test]
@@ -87,6 +92,79 @@ proptest! {
             body: vec![Word::ZERO; body],
         }));
         prop_assert_eq!(t, src.hops_to(dest) * 2 + 2 + body as u64);
+    }
+
+    /// The packed form puts every field exactly where Fig. 8 says:
+    /// `[vpage:42 | start:16 | ext_z:3 | ext_y:3 | ext_x:3 |
+    /// group_len:6 | pages_per_node:6]`, 79 bits total, vpage most
+    /// significant — checked field by field against independent masks,
+    /// not just by round-trip.
+    #[test]
+    fn gdt_entry_fields_land_at_fig8_positions(
+        vpage in 0u64..(1 << 42),
+        sx in 0u8..8, sy in 0u8..8, sz in 0u8..8,
+        ex in 0u8..8, ey in 0u8..8, ez in 0u8..8,
+        glen in 0u8..64,
+        ppn in 0u8..64,
+    ) {
+        let start = NodeCoord::new(sx, sy, sz);
+        let e = GdtEntry::new(vpage, start, (ex, ey, ez), glen, ppn);
+        let bits = e.encode();
+        prop_assert_eq!((bits & 63) as u8, ppn, "pages/node in bits 5:0");
+        prop_assert_eq!(((bits >> 6) & 63) as u8, glen, "group length in bits 11:6");
+        prop_assert_eq!(((bits >> 12) & 7) as u8, ex, "X extent in bits 14:12");
+        prop_assert_eq!(((bits >> 15) & 7) as u8, ey, "Y extent in bits 17:15");
+        prop_assert_eq!(((bits >> 18) & 7) as u8, ez, "Z extent in bits 20:18");
+        prop_assert_eq!(
+            ((bits >> 21) & 0xFFFF) as u64, start.encode(),
+            "starting node in bits 36:21"
+        );
+        prop_assert_eq!(((bits >> 37) & ((1 << 42) - 1)) as u64, vpage, "vpage on top");
+        prop_assert_eq!(bits >> 79, 0, "nothing above bit 78");
+        prop_assert_eq!(GdtEntry::decode(bits), e);
+    }
+
+    /// Translation at the page-group's boundaries: the first and last
+    /// word of the group map; one word past the end (and one before the
+    /// start, for non-zero vpages) does not; the last page of one
+    /// node's run and the first page of the next node's run land on
+    /// different (adjacent-index) nodes.
+    #[test]
+    fn gtlb_translate_region_boundaries(
+        vpage in 0u64..1024,
+        ex in 0u8..3, ey in 0u8..3,
+        ppn_log2 in 0u8..3,
+        extra in 0u8..4,
+    ) {
+        // Group strictly larger than one node-run so a run boundary
+        // exists inside it.
+        let glen = ppn_log2 + 1 + extra;
+        let e = GdtEntry::new(vpage, NodeCoord::new(0, 0, 0), (ex, ey, 0), glen, ppn_log2);
+        let first = vpage * GLOBAL_PAGE_WORDS;
+        let last = first + e.group_pages() * GLOBAL_PAGE_WORDS - 1;
+        prop_assert!(e.translate(first).is_some(), "first word of the group");
+        prop_assert!(e.translate(last).is_some(), "last word of the group");
+        prop_assert_eq!(e.translate(last + 1), None, "one past the end");
+        if vpage > 0 {
+            prop_assert_eq!(e.translate(first - 1), None, "one before the start");
+        }
+        // Run boundary: pages k*2^ppn - 1 and k*2^ppn sit on different
+        // nodes whenever the region has more than one node.
+        let run = 1u64 << ppn_log2;
+        let before = e.translate(first + (run * GLOBAL_PAGE_WORDS - 1)).unwrap();
+        let after = e.translate(first + run * GLOBAL_PAGE_WORDS).unwrap();
+        if e.region_nodes() > 1 {
+            prop_assert!(before != after, "run boundary must switch nodes");
+        } else {
+            prop_assert_eq!(before, after, "single-node region never switches");
+        }
+        // Cyclic wrap: one full sweep of the region returns to the start
+        // node when the group is long enough to wrap.
+        let sweep = e.region_nodes() * run;
+        if e.group_pages() > sweep {
+            let wrapped = e.translate(first + sweep * GLOBAL_PAGE_WORDS).unwrap();
+            prop_assert_eq!(wrapped, before_run_start(&e, first), "cyclic wrap");
+        }
     }
 
     /// Under random traffic, every injected message is eventually either

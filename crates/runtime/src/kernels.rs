@@ -190,9 +190,74 @@ pub fn stencil_kernel(neighbours: usize, threads: usize) -> StencilKernel {
     }
 }
 
+/// Generate one node's program for the **coherent smoothing sweep** —
+/// the first genuinely coherence-bound workload: `iters` interlocked
+/// iterations of a shared-heap relaxation step over a block that every
+/// participating node maps coherently (§4.3).
+///
+/// Per iteration the thread publishes its iteration count to its own
+/// word of the shared block (`own_off`), spins until its partner's word
+/// (`other_off`) has caught up, then folds the partner's value into a
+/// running smoothed sum in `f9` (`f9 += b · r_partner`, with `b`
+/// preloaded in `f15`). Both words live in the *same* 8-word block, so:
+///
+/// * every publish demands an exclusive copy — a block-status fault, a
+///   FETCH-WRITE to the home, and an invalidation of the partner;
+/// * every invalidation makes the partner's next spin-read fault — a
+///   FETCH-READ that recalls the dirty copy back through the home.
+///
+/// The iteration barrier keeps the two sides in lock-step, so the block
+/// genuinely ping-pongs for the whole run instead of one node racing
+/// ahead and finishing uncontended.
+///
+/// Register conventions: `r1` = pointer to the shared block, `f15` =
+/// the smoothing coefficient `b`. On halt, word `own_off` of the block
+/// equals `iters` (the verifiable result) and `f9` holds the smoothed
+/// partner sum.
+///
+/// # Panics
+///
+/// Panics if both offsets name the same word, either offset leaves the
+/// 8-word block, or the generated code fails to assemble (all bugs).
+#[must_use]
+pub fn coherent_smooth(own_off: usize, other_off: usize, iters: u64) -> Arc<Program> {
+    assert!(own_off != other_off, "the two words must differ");
+    assert!(own_off < 8 && other_off < 8, "offsets stay in one block");
+    let src = format!(
+        "loop:\n\
+         \tadd r5, #1, r5\n\
+         \tst r5, [r1+#{own_off}]\n\
+         spin:\n\
+         \tld [r1+#{other_off}], r6\n\
+         \tlt r6, r5, r7\n\
+         \tbrt r7, spin\n\
+         \tld [r1+#{other_off}], f1\n\
+         \tfmul f15, f1, f2\n\
+         \tfadd f9, f2, f9\n\
+         \teq r5, #{iters}, r7\n\
+         \tbrf r7, loop\n\
+         \thalt\n"
+    );
+    Arc::new(assemble(&src).unwrap_or_else(|e| panic!("coherent_smooth codegen bug: {e}\n{src}")))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn coherent_smooth_assembles_for_both_roles() {
+        for (own, other) in [(0usize, 1usize), (1, 0), (3, 7)] {
+            let p = coherent_smooth(own, other, 16);
+            assert!(p.len() > 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn coherent_smooth_rejects_aliasing_words() {
+        let _ = coherent_smooth(2, 2, 1);
+    }
 
     #[test]
     fn seven_point_depths_match_paper() {

@@ -502,6 +502,24 @@ impl Node {
         Some(rec)
     }
 
+    /// Push a whole 3-word event record into handler class `cluster`'s
+    /// queue (firmware/test injection — the mirror of
+    /// [`Node::pop_event_record`]). Returns `false` (and drops the
+    /// record, counting it) when the class queue is full, exactly like
+    /// the hardware enqueue path.
+    pub fn push_event_record(&mut self, cluster: usize, record: [Word; 3]) -> bool {
+        if self.event_records[cluster] >= self.cfg.event_queue_records {
+            self.stats.events_dropped += 1;
+            return false;
+        }
+        for w in record {
+            self.event_q[cluster].push_back(w);
+        }
+        self.event_records[cluster] += 1;
+        self.stats.events_enqueued[cluster] += 1;
+        true
+    }
+
     /// Re-submit a rebuilt memory request (firmware replay, the Rust-side
     /// equivalent of `mrestart`).
     ///
@@ -586,6 +604,12 @@ impl Node {
     pub fn next_activity(&self, now: u64) -> Option<u64> {
         use crate::engine::earliest;
         let mut best = self.mem.next_activity(now).map(|t| t.max(now + 1));
+        if self.net.coh_pending() > 0 {
+            // An arrived coherence protocol message awaits the node's
+            // class-0 handler dispatch (run by the machine layer right
+            // after the node's own step).
+            best = earliest(best, Some(now + 1));
+        }
         if let Some(r) = self.local_writes.next_ready() {
             best = earliest(best, Some(r.max(now + 1)));
         }
