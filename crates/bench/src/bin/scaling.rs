@@ -19,6 +19,8 @@ use mm_bench::scaling::{
     busy_traffic_comparison, host_cores, idle_heavy_comparison, run_mesh, BusyTrafficResult,
     IdleHeavyResult, ScalingPoint, ROUNDS,
 };
+use mm_bench::traffic::{run_traffic, TrafficPoint, TRAFFIC_COUNT, TRAFFIC_SWEEP};
+use mm_bench::workloads::{run_workload, WorkloadKind, WorkloadPoint};
 use std::fmt::Write as _;
 
 /// Count heap allocations so the busy-traffic row can report
@@ -44,7 +46,7 @@ const SMOKE_MESHES: &[(u8, u8, u8)] = &[(2, 2, 1)];
 
 /// Coherence-stress meshes for the full sweep (§4.3 protocol over the
 /// fabric; every pair ping-pongs one shared block).
-const COHERENCE_MESHES: &[(u8, u8, u8)] = &[(2, 1, 1), (2, 2, 1), (2, 2, 2)];
+const COHERENCE_MESHES: &[(u8, u8, u8)] = &[(2, 1, 1), (2, 2, 1), (2, 2, 2), (4, 2, 2)];
 
 /// Interlocked smoothing iterations per node in the coherence scenario.
 const COHERENCE_ITERS: u64 = 64;
@@ -155,6 +157,134 @@ fn json_coherence(points: &[CoherencePoint]) -> String {
     out
 }
 
+fn json_workloads(points: &[WorkloadPoint]) -> String {
+    let mut out = String::from("  \"workloads\": [\n");
+    for (k, p) in points.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"dims\": \"{}x{}x{}\", \"nodes\": {}, \"cycles\": {}, \
+             \"serial_wall_ms\": {:.3}, \"serial_cycles_per_sec\": {:.0}, \
+             \"parallel_workers\": {}, \"parallel_wall_ms\": {:.3}, \"speedup\": {:.2}, \
+             \"stats_match\": {}, \"messages\": {}, \"protected_calls\": {}, \
+             \"sync_retries\": {}}}{}",
+            p.kind.name(),
+            p.dims.0,
+            p.dims.1,
+            p.dims.2,
+            p.nodes,
+            p.cycles,
+            p.serial_wall_ms,
+            p.serial_cycles_per_sec,
+            p.parallel_workers,
+            p.parallel_wall_ms,
+            p.speedup,
+            p.stats_match,
+            p.messages,
+            p.protected_calls,
+            p.sync_retries,
+            if k + 1 == points.len() { "" } else { "," }
+        );
+    }
+    out.push_str("  ]");
+    out
+}
+
+fn json_traffic(points: &[TrafficPoint]) -> String {
+    let mut out = String::from("  \"traffic\": [\n");
+    for (k, p) in points.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"pattern\": \"{}\", \"gap\": {}, \"nodes\": {}, \"count\": {}, \
+             \"cycles\": {}, \"injected\": {}, \"delivered\": {}, \"returned\": {}, \
+             \"credit_stalls\": {}, \"delivered_per_kcycle\": {:.2}, \"stats_match\": {}}}{}",
+            p.pattern.name(),
+            p.gap,
+            p.nodes,
+            p.count,
+            p.cycles,
+            p.injected,
+            p.delivered,
+            p.returned,
+            p.credit_stalls,
+            p.delivered_per_kcycle,
+            p.stats_match,
+            if k + 1 == points.len() { "" } else { "," }
+        );
+    }
+    out.push_str("  ]");
+    out
+}
+
+fn run_workload_suite(workers: usize) -> Vec<WorkloadPoint> {
+    println!("\n== workload suite: four multicomputer kernels, serial vs parallel ==");
+    println!(
+        "{:<12} {:>6} {:>9} {:>9} {:>9} {:>8} {:>10} {:>6}",
+        "kernel", "nodes", "cycles", "messages", "prot", "syncrtr", "speedup", "match"
+    );
+    let mut points = Vec::new();
+    for kind in WorkloadKind::ALL {
+        let p = run_workload(kind, Some(workers));
+        println!(
+            "{:<12} {:>6} {:>9} {:>9} {:>9} {:>8} {:>9.2}x {:>6}",
+            kind.name(),
+            p.nodes,
+            p.cycles,
+            p.messages,
+            p.protected_calls,
+            p.sync_retries,
+            p.speedup,
+            p.stats_match
+        );
+        assert!(
+            p.stats_match,
+            "parallel engine diverged from serial on {}",
+            kind.name()
+        );
+        points.push(p);
+    }
+    points
+}
+
+fn run_traffic_sweep(count: u64, workers: usize) -> Vec<TrafficPoint> {
+    println!("\n== traffic generator: {count} messages/node, saturation + backoff ==");
+    println!(
+        "{:<10} {:>4} {:>9} {:>9} {:>10} {:>9} {:>8} {:>10} {:>6}",
+        "pattern",
+        "gap",
+        "cycles",
+        "injected",
+        "delivered",
+        "returned",
+        "crstall",
+        "del/kcyc",
+        "match"
+    );
+    let mut points = Vec::new();
+    for (pattern, gap) in TRAFFIC_SWEEP {
+        let p = run_traffic(pattern, gap, count, Some(workers));
+        println!(
+            "{:<10} {:>4} {:>9} {:>9} {:>10} {:>9} {:>8} {:>10.2} {:>6}",
+            pattern.name(),
+            p.gap,
+            p.cycles,
+            p.injected,
+            p.delivered,
+            p.returned,
+            p.credit_stalls,
+            p.delivered_per_kcycle,
+            p.stats_match
+        );
+        assert!(
+            p.stats_match,
+            "parallel engine diverged from serial on traffic {} gap {}",
+            pattern.name(),
+            gap
+        );
+        points.push(p);
+    }
+    points
+}
+
 fn run_coherence_meshes(
     meshes: &[(u8, u8, u8)],
     iters: u64,
@@ -194,6 +324,7 @@ fn main() {
     let smoke = args.iter().any(|a| a == "--smoke");
     let busy_only = args.iter().any(|a| a == "--busy-only");
     let coherence_smoke = args.iter().any(|a| a == "--coherence-smoke");
+    let traffic_smoke = args.iter().any(|a| a == "--traffic-smoke");
     // The parallel legs always run with an *explicit* worker count:
     // auto-detection resolves to 1 on single-core hosts (and on hosts
     // that cap `available_parallelism`), which used to record
@@ -221,7 +352,7 @@ fn main() {
         // the result words verified and the stats diffed inside
         // `run_coherence`. Written to its own file so the workflow can
         // assert on it without touching the committed sweep.
-        let points = run_coherence_meshes(&[(2, 2, 1)], 32, workers);
+        let points = run_coherence_meshes(&[(2, 2, 1), (4, 2, 2)], 32, workers);
         let json = format!(
             "{{\n{},\n  \"host_cores\": {cores}\n}}\n",
             json_coherence(&points)
@@ -229,6 +360,26 @@ fn main() {
         std::fs::write("BENCH_coherence_smoke.json", &json)
             .expect("write BENCH_coherence_smoke.json");
         println!("wrote BENCH_coherence_smoke.json");
+        return;
+    }
+
+    if traffic_smoke {
+        // CI's traffic smoke: the full pattern sweep at a reduced
+        // message count. `run_traffic` itself asserts every SEND
+        // injected and zero unknown event records; the row assertions
+        // here pin nonzero injection into its own file for the
+        // workflow to grep.
+        let points = run_traffic_sweep(16, workers);
+        assert!(
+            points.iter().all(|p| p.injected > 0),
+            "a traffic row injected nothing"
+        );
+        let json = format!(
+            "{{\n{},\n  \"host_cores\": {cores}\n}}\n",
+            json_traffic(&points)
+        );
+        std::fs::write("BENCH_traffic_smoke.json", &json).expect("write BENCH_traffic_smoke.json");
+        println!("wrote BENCH_traffic_smoke.json");
         return;
     }
 
@@ -333,13 +484,19 @@ fn main() {
     let coherence_iters = if smoke { 32 } else { COHERENCE_ITERS };
     let coherence = run_coherence_meshes(coherence_meshes, coherence_iters, workers);
 
+    let workloads = run_workload_suite(workers);
+    let traffic_count = if smoke { 16 } else { TRAFFIC_COUNT };
+    let traffic = run_traffic_sweep(traffic_count, workers);
+
     let json = format!(
         "{{\n  \"scenario\": \"weak-scaling remote-store + synchronizing ping-pong\",\n  \
-         \"rounds_per_pair\": {ROUNDS},\n  \"host_cores\": {cores},\n{},\n{},\n{},\n{}\n}}\n",
+         \"rounds_per_pair\": {ROUNDS},\n  \"host_cores\": {cores},\n{},\n{},\n{},\n{},\n{},\n{}\n}}\n",
         json_points(&points),
         json_idle(&idle),
         json_busy(&busy),
-        json_coherence(&coherence)
+        json_coherence(&coherence),
+        json_workloads(&workloads),
+        json_traffic(&traffic)
     );
     std::fs::write("BENCH_scaling.json", &json).expect("write BENCH_scaling.json");
     println!("\nwrote BENCH_scaling.json");

@@ -10,6 +10,8 @@
 pub mod alloc_probe;
 pub mod coherence;
 pub mod scaling;
+pub mod traffic;
+pub mod workloads;
 
 use mm_core::machine::{MMachine, MachineConfig};
 use mm_core::timeline::{PacketKind, Phase};

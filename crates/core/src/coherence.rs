@@ -182,6 +182,17 @@ struct CohMsg {
     data: Option<[MemWord; BLOCK_WORDS as usize]>,
 }
 
+/// Does this faulted access need an exclusive (writable) copy? Stores
+/// do, and so does a synchronizing *load* (descriptor bits 8:7 ≠ 0): its
+/// full/empty postcondition mutates the word, which a shared READ-ONLY
+/// copy cannot absorb. Serving such a load with a read grant would either
+/// silently drop the SetEmpty — letting two consumers take the same
+/// full word — or livelock replaying against a never-writable copy.
+fn record_needs_write(desc: Word) -> bool {
+    let bits = desc.bits();
+    bits & (1 << 4) != 0 || (bits >> 7) & 3 != 0
+}
+
 /// Compose a protocol message: DIP word = op descriptor, address word =
 /// block VA, body = the 8 data words plus one sync-bit mask word for
 /// data-bearing ops (tagged pointers ride the words' own tag bits).
@@ -516,7 +527,7 @@ impl NodeCoh {
     /// node's own GTLB and either service locally (this node is home) or
     /// request the block over the fabric.
     fn block_fault(&mut self, now: u64, node: &mut Node, record: [Word; 3]) {
-        let write = record[0].bits() & (1 << 4) != 0;
+        let write = record_needs_write(record[0]);
         let va = record[1].bits();
         let block = va & !(BLOCK_WORDS - 1);
         let Some(home) = node.net.gtlb_mut().probe(va) else {
@@ -684,6 +695,9 @@ impl NodeCoh {
                 // the waiting records are still queued and will replay
                 // when the re-service completes.
                 let me = self.coord;
+                if let Some(e) = self.directory.get_mut(&block) {
+                    e.grant_pending = false;
+                }
                 let backed = self.directory.get(&block).is_some_and(|e| {
                     if write {
                         e.owner == Some(me)
@@ -806,6 +820,17 @@ impl NodeCoh {
             // invalidation charge — flipping early would open a window
             // in which the thread's next store lands before the stale
             // faulted one replays over it.
+            //
+            // The local grant holds `grant_pending` exactly like a
+            // composed message grant: until it lands, further service of
+            // the block defers. Without this, a second fetch drained in
+            // the same cycle (e.g. queued behind the same writeback)
+            // re-steals the block before the home's waiting accesses
+            // complete — under contention the home's own stores starve
+            // forever, never reaching memory (observed as the task-queue
+            // producer's published stripe silently staying empty).
+            let e = self.directory.get_mut(&block).expect("entry exists");
+            e.grant_pending = true;
             self.pending
                 .push(now + extra, Pending::LocalGrant { block, write });
         } else {
@@ -854,7 +879,7 @@ impl NodeCoh {
         let mut kept = Vec::new();
         for (t0, record) in wait.records.drain(..) {
             let is_store = record[0].bits() & (1 << 4) != 0;
-            if is_store && !write {
+            if record_needs_write(record[0]) && !write {
                 kept.push((t0, record));
                 continue;
             }

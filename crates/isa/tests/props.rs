@@ -133,4 +133,39 @@ proptest! {
         let p2 = assemble(&printed).expect("printed source must re-assemble");
         prop_assert_eq!(p1, p2);
     }
+
+    /// §3.2 permission lattice: `check_execute` admits exactly EXECUTE and
+    /// ENTER, and an ENTER capability is execute-only — it never grants
+    /// data access, no matter the segment.
+    #[test]
+    fn enter_capability_is_execute_only(
+        perm in arb_perm(),
+        log2_len in 0u8..=54,
+        addr in 0u64..=ADDR_MASK,
+    ) {
+        let p = GuardedPointer::new(perm, log2_len, addr).unwrap();
+        prop_assert_eq!(
+            p.check_execute().is_ok(),
+            matches!(perm, Perm::Execute | Perm::Enter)
+        );
+        if perm == Perm::Enter {
+            prop_assert!(p.check_read().is_err());
+            prop_assert!(p.check_write().is_err());
+        }
+    }
+}
+
+/// A protected entry point survives the pointer bit-packing round trip with
+/// its permission intact — an ENTER capability cannot silently decay into a
+/// readable or writable one.
+#[test]
+fn enter_pointer_round_trips_with_permission() {
+    let p = GuardedPointer::new(Perm::Enter, 0, 42).unwrap();
+    let w = Word::from_pointer(p);
+    let q = w.pointer().unwrap();
+    assert_eq!(q.perm(), Perm::Enter);
+    assert_eq!(q.addr(), 42);
+    assert!(q.check_execute().is_ok());
+    assert!(q.check_read().is_err());
+    assert!(q.check_write().is_err());
 }

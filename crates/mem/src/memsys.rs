@@ -581,9 +581,14 @@ impl MemorySystem {
             return;
         };
         let status = entry.status_for_offset(offset);
+        // A synchronizing load mutates the word's full/empty bit, so like
+        // a store it needs a writable copy: filling a READ-ONLY shared
+        // block and silently dropping the SetEmpty postcondition would
+        // let two consumers take the same full word (§2's atomicity is
+        // exactly the pre/post pair executing against one copy).
         let allowed = match req.kind {
-            AccessKind::Load => status.readable(),
-            AccessKind::Store => status.writable(),
+            AccessKind::Load if req.post == SyncPost::Unchanged => status.readable(),
+            AccessKind::Load | AccessKind::Store => status.writable(),
         };
         if !allowed {
             self.raise(now, MemEventKind::BlockStatusFault { status }, req);
@@ -635,9 +640,18 @@ impl MemorySystem {
         match req.kind {
             AccessKind::Load => {
                 if req.post != SyncPost::Unchanged {
-                    let _ = self
+                    // The permission check above required a writable
+                    // block, and the line was just filled with that flag
+                    // — the postcondition cannot be dropped here.
+                    let outcome = self
                         .cache
                         .set_sync(req.va, Self::post_sync(req.post, fetched.sync));
+                    assert_eq!(
+                        outcome,
+                        StoreOutcome::Written,
+                        "sync postcondition lost on miss fill at va {:#x}",
+                        req.va
+                    );
                 }
                 // Critical-word-first: the register is written one cycle
                 // after the first burst word arrives.

@@ -2,6 +2,7 @@
 //! relative to a flat reference memory, and SECDED handles all single and
 //! double flips.
 
+use mm_isa::op::{SyncPost, SyncPre};
 use mm_isa::word::Word;
 use mm_mem::lpt::Lpt;
 use mm_mem::ltlb::{BlockStatus, LtlbEntry, PAGE_WORDS};
@@ -124,6 +125,107 @@ proptest! {
         }
         for &va in &addrs {
             prop_assert!(ms.peek_va(va).unwrap().sync, "sync bit lost at {va}");
+        }
+    }
+
+    /// §2 full/empty semantics under arbitrary interleavings of
+    /// synchronizing and plain accesses: every operation either completes
+    /// and applies its postcondition, or sync-faults with the bit's true
+    /// value and leaves the word — value *and* bit — untouched. A flat
+    /// (value, full/empty) model decides which, per word, across cache
+    /// fills and evictions.
+    #[test]
+    fn full_empty_bits_interleave_correctly(
+        ops in prop::collection::vec(
+            (any::<bool>(), 0u8..3, 0u8..3, 0u64..48, any::<u64>()),
+            1..48,
+        )
+    ) {
+        let mut cfg = MemConfig::default();
+        cfg.cache.words_per_bank = 64; // tiny cache: lots of evictions
+        let mut ms = MemorySystem::new(cfg);
+        let lpt = Lpt::new(4096, 64);
+        ms.set_lpt(lpt);
+        let entry = LtlbEntry::uniform(0, 2, BlockStatus::ReadWrite, 0);
+        let slot = lpt.insert(ms.sdram_mut(), &entry).unwrap();
+        prop_assert!(ms.tlb_install(slot));
+
+        // Words boot EMPTY with value 0 (matches `MemWord::new`).
+        let mut model: HashMap<u64, (u64, bool)> = HashMap::new();
+        let mut cycle: u64 = 0;
+
+        for (id, &(is_store, pre_s, post_s, va, value)) in ops.iter().enumerate() {
+            let id = id as u64 + 1;
+            let pre = [SyncPre::Any, SyncPre::Full, SyncPre::Empty][pre_s as usize];
+            let post =
+                [SyncPost::Unchanged, SyncPost::SetFull, SyncPost::SetEmpty][post_s as usize];
+            let mut req = if is_store {
+                MemRequest::store(id, va, Word::from_u64(value), 0)
+            } else {
+                MemRequest::load(id, va, 0)
+            };
+            req.pre = pre;
+            req.post = post;
+
+            let &(mval, msync) = model.get(&va).unwrap_or(&(0, false));
+            let want_fault = match pre {
+                SyncPre::Any => false,
+                SyncPre::Full => !msync,
+                SyncPre::Empty => msync,
+            };
+
+            let mut pending = Some(req);
+            let deadline = cycle + 500;
+            'op: loop {
+                prop_assert!(cycle < deadline, "request {id} stuck");
+                if let Some(r) = pending.take() {
+                    if let Err(back) = ms.submit(r) {
+                        pending = Some(back);
+                    }
+                }
+                let (resps, events) = ms.step(cycle);
+                cycle += 1;
+                if let Some(ev) = events.first() {
+                    prop_assert!(want_fault, "unexpected fault for {id}: {ev:?}");
+                    prop_assert_eq!(ev.req.id, id, "fault names the wrong request");
+                    match ev.kind {
+                        mm_mem::memsys::MemEventKind::SyncFault { sync_was } => {
+                            prop_assert_eq!(
+                                sync_was, msync,
+                                "fault reported the wrong bit value"
+                            );
+                        }
+                        other => {
+                            return Err(TestCaseError::fail(format!(
+                                "request {id}: wrong fault kind {other:?}"
+                            )));
+                        }
+                    }
+                    break 'op; // faulted op leaves the word untouched
+                }
+                if let Some(resp) = resps.first() {
+                    prop_assert_eq!(resp.req.id, id);
+                    prop_assert!(!want_fault, "request {id} should have sync-faulted");
+                    if !is_store {
+                        prop_assert_eq!(resp.value.bits(), mval, "load {id} wrong value");
+                    }
+                    let new_val = if is_store { value } else { mval };
+                    let new_sync = match post {
+                        SyncPost::Unchanged => msync,
+                        SyncPost::SetFull => true,
+                        SyncPost::SetEmpty => false,
+                    };
+                    model.insert(va, (new_val, new_sync));
+                    break 'op;
+                }
+            }
+        }
+
+        // The backdoor agrees with the model on every touched word.
+        for (&va, &(v, s)) in &model {
+            let got = ms.peek_va(va).unwrap();
+            prop_assert_eq!(got.word.bits(), v, "value mismatch at {}", va);
+            prop_assert_eq!(got.sync, s, "full/empty mismatch at {}", va);
         }
     }
 }

@@ -255,6 +255,22 @@ drop:
     br dispatch1
 ";
 
+/// Mint an ENTER capability for instruction index `pc` — a §3.2
+/// protected entry point: the holder may jump to exactly this address
+/// but can neither read nor write through it, nor derive any other
+/// code address from it. This is how the image builder makes DIPs, and
+/// how workloads hand task bodies to untrusting workers.
+///
+/// # Panics
+///
+/// Never in practice (every `u32` PC fits the 54-bit address field).
+#[must_use]
+pub fn enter_capability(pc: u32) -> Word {
+    Word::from_pointer(
+        GuardedPointer::new(Perm::Enter, 0, u64::from(pc)).expect("PC fits the address field"),
+    )
+}
+
 /// The assembled runtime: one program per event-handler cluster, plus
 /// the DIP capabilities senders need.
 #[derive(Debug, Clone)]
@@ -289,9 +305,7 @@ impl RuntimeImage {
         let p1_handler = Arc::new(assemble(MSG_P1_HANDLER).expect("P1 handler assembles"));
         let dip = |prog: &Program, label: &str| {
             let idx = prog.entry(label).expect("handler label");
-            Word::from_pointer(
-                GuardedPointer::new(Perm::Enter, 0, u64::from(idx)).expect("DIP fits"),
-            )
+            enter_capability(idx)
         };
         let read_dip = dip(&p0_handler, "remote_read");
         let write_dip = dip(&p0_handler, "remote_write");

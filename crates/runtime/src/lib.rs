@@ -4,14 +4,15 @@
 //! event-V-Thread handler programs and boot procedure ([`image`]) — the
 //! paper's "prototype runtime system consisting of primitive message and
 //! event handlers" (§5) — plus the Fig. 5 stencil kernel generators
-//! ([`kernels`]) and the Fig. 6 loop-synchronization codegen
-//! ([`barrier`]).
+//! ([`kernels`]), the Fig. 6 loop-synchronization codegen ([`barrier`])
+//! and the classic multicomputer kernel suite ([`workloads`]).
 
 #![warn(missing_docs)]
 
 pub mod barrier;
 pub mod image;
 pub mod kernels;
+pub mod workloads;
 
-pub use image::{boot_node, BootInfo, BootSpec, RuntimeImage};
+pub use image::{boot_node, enter_capability, BootInfo, BootSpec, RuntimeImage};
 pub use kernels::{stencil_kernel, StencilKernel};

@@ -240,6 +240,10 @@ pub struct NodeStats {
     pub stores: u64,
     /// Messages sent.
     pub sends: u64,
+    /// Protected calls taken: `jmp` through an ENTER-permission guarded
+    /// pointer (§3.2's protected entry points — DIP dispatches and
+    /// user-level protected subsystem calls both land here).
+    pub protected_calls: u64,
     /// Taken branches.
     pub branches_taken: u64,
     /// Synchronous faults raised.
@@ -1351,6 +1355,9 @@ impl Node {
                 let p = w.pointer().map_err(|_| Fault::NotAPointer)?;
                 p.check_execute().map_err(|_| Fault::Permission)?;
                 *next_pc = Some(u32::try_from(p.addr()).map_err(|_| Fault::PcOutOfRange)?);
+                if p.perm() == Perm::Enter {
+                    self.stats.protected_calls += 1;
+                }
                 Ok(())
             }
             IntOp::Empty { regs } => {

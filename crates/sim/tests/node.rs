@@ -446,3 +446,96 @@ fn synchronizing_store_then_load_pair() {
     assert_eq!(n.read_reg(0, 0, Reg::Int(3)).bits(), 7);
     assert!(!n.mem.peek_va(24).unwrap().sync, "ld.fe emptied the word");
 }
+
+// ---------------------------------------------------------------------------
+// §3.2 protected calls: ENTER-permission guarded pointers as entry points.
+// ---------------------------------------------------------------------------
+
+fn enter_ptr(pc: u32) -> Word {
+    Word::from_pointer(GuardedPointer::new(Perm::Enter, 0, u64::from(pc)).unwrap())
+}
+
+/// The protected-call program: the caller may only reach `task_body`
+/// through the ENTER capability in r12, and the body returns through the
+/// ENTER capability in r13. Neither address is forgeable by user code.
+const PROTECTED_CALL_SRC: &str = "\
+    jmp r12
+ret_here:
+    add r4, #1, r4
+    halt
+task_body:
+    add r4, #10, r4
+    jmp r13
+";
+
+#[test]
+fn protected_call_entry_and_return() {
+    let mut n = node();
+    let prog = Arc::new(assemble(PROTECTED_CALL_SRC).unwrap());
+    let body = prog.entry("task_body").unwrap();
+    let ret = prog.entry("ret_here").unwrap();
+    n.write_reg(0, 0, Reg::Int(12), enter_ptr(body));
+    n.write_reg(0, 0, Reg::Int(13), enter_ptr(ret));
+    n.load_program(0, 0, prog, 0);
+    run(&mut n, 100);
+    assert_eq!(n.thread_state(0, 0), HState::Halted);
+    // Body ran exactly once, then control returned past the call site.
+    assert_eq!(n.read_reg(0, 0, Reg::Int(4)).as_i64(), 11);
+    // Entry and return each went through an ENTER pointer.
+    assert_eq!(n.stats().protected_calls, 2);
+}
+
+#[test]
+fn out_of_segment_protected_jump_faults() {
+    let mut n = node();
+    let prog = Arc::new(assemble(PROTECTED_CALL_SRC).unwrap());
+    // An ENTER capability pointing past the end of the program: the jump
+    // itself is legal (the permission allows execution) but the fetch at
+    // the bogus PC faults the thread.
+    n.write_reg(0, 0, Reg::Int(12), enter_ptr(500));
+    n.load_program(0, 0, prog, 0);
+    run(&mut n, 100);
+    assert_eq!(n.thread_state(0, 0), HState::Faulted(Fault::PcOutOfRange));
+}
+
+#[test]
+fn jmp_through_data_pointer_faults_permission() {
+    let mut n = node();
+    let prog = Arc::new(assemble("jmp r12\n halt\n").unwrap());
+    // A read-write data capability must not be usable as a jump target.
+    n.write_reg(0, 0, Reg::Int(12), rw_ptr(8, 4));
+    n.load_program(0, 0, prog, 0);
+    run(&mut n, 100);
+    assert_eq!(n.thread_state(0, 0), HState::Faulted(Fault::Permission));
+    assert_eq!(n.stats().protected_calls, 0);
+}
+
+#[test]
+fn jmp_through_raw_integer_faults() {
+    let mut n = node();
+    let prog = Arc::new(assemble("jmp r12\n halt\n").unwrap());
+    // User code cannot forge an entry point from integer bits.
+    n.write_reg(0, 0, Reg::Int(12), Word::from_u64(3));
+    n.load_program(0, 0, prog, 0);
+    run(&mut n, 100);
+    assert_eq!(n.thread_state(0, 0), HState::Faulted(Fault::NotAPointer));
+    assert_eq!(n.stats().protected_calls, 0);
+}
+
+#[test]
+fn execute_perm_jmp_is_not_a_protected_call() {
+    let mut n = node();
+    let prog = Arc::new(assemble(PROTECTED_CALL_SRC).unwrap());
+    let body = prog.entry("task_body").unwrap();
+    let ret = prog.entry("ret_here").unwrap();
+    let x_ptr =
+        |pc: u32| Word::from_pointer(GuardedPointer::new(Perm::Execute, 0, u64::from(pc)).unwrap());
+    n.write_reg(0, 0, Reg::Int(12), x_ptr(body));
+    n.write_reg(0, 0, Reg::Int(13), x_ptr(ret));
+    n.load_program(0, 0, prog, 0);
+    run(&mut n, 100);
+    assert_eq!(n.thread_state(0, 0), HState::Halted);
+    assert_eq!(n.read_reg(0, 0, Reg::Int(4)).as_i64(), 11);
+    // Plain EXECUTE jumps are ordinary control flow, not protected entry.
+    assert_eq!(n.stats().protected_calls, 0);
+}
