@@ -12,8 +12,15 @@
 //! * `machine_busy_cycle` — a 4×4×4 mesh of busy nodes through the
 //!   full serial engine: the end-to-end per-cycle cost including the
 //!   scheduler walk, outbox drains and fabric pump.
+//! * `pooled_walk_busy` — the same end-to-end engine at 64 and 512
+//!   nodes, reported *per node-step* (`Throughput::Elements`): the
+//!   cost of one node-cycle through the shard's SoA pool walk. Flat
+//!   ns/element across the two sizes is the SoA layout's contract —
+//!   if the 512-node number drifts above the 64-node one, per-step
+//!   cost has stopped being size-independent and the weak-scaling
+//!   cliff is creeping back.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use mm_bench::scaling::build_busy_scenario;
 use mm_net::message::NodeCoord;
 use mm_sim::{Node, NodeConfig, StepScratch};
@@ -85,10 +92,33 @@ fn machine_busy_cycle(c: &mut Criterion) {
     g.finish();
 }
 
+fn pooled_walk_busy(c: &mut Criterion) {
+    // Busy meshes where every node steps every cycle, so node-steps per
+    // engine cycle equals the node count and `Throughput::Elements`
+    // turns wall time into ns per pooled node-step — directly
+    // comparable across mesh sizes.
+    const CYCLES_PER_ITER: u64 = 16;
+    let mut g = c.benchmark_group("pooled_walk");
+    for (dims, nodes, samples) in [((4u8, 4u8, 4u8), 64u64, 200), ((8, 8, 8), 512, 60)] {
+        let mut m = build_busy_scenario(dims, u64::MAX / 2, Some(1));
+        m.run_cycles(512); // past the boot transient
+        g.sample_size(samples);
+        g.throughput(Throughput::Elements(nodes * CYCLES_PER_ITER));
+        g.bench_function(&format!("pooled_walk_busy_{nodes}_nodes"), |b| {
+            b.iter(|| {
+                m.run_cycles(CYCLES_PER_ITER);
+                m.cycle()
+            });
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     node_step_busy,
     node_step_blocked,
-    machine_busy_cycle
+    machine_busy_cycle,
+    pooled_walk_busy
 );
 criterion_main!(benches);

@@ -4,6 +4,7 @@
 //! ```text
 //! cargo run -p mm-bench --release --bin scaling              # 2×1×1 … 8×8×8
 //! cargo run -p mm-bench --release --bin scaling -- --smoke   # CI: 2×2×1 only
+//! cargo run -p mm-bench --release --bin scaling -- --scaling-gate  # CI: 2→512 ratio
 //! cargo run -p mm-bench --release --bin scaling -- --workers 2
 //! ```
 //!
@@ -128,7 +129,8 @@ fn json_coherence(points: &[CoherencePoint]) -> String {
             out,
             "    {{\"dims\": \"{}x{}x{}\", \"nodes\": {}, \"iters\": {}, \"cycles\": {}, \
              \"serial_wall_ms\": {:.3}, \"serial_cycles_per_sec\": {:.0}, \
-             \"parallel_workers\": {}, \"parallel_wall_ms\": {:.3}, \"speedup\": {:.2}, \
+             \"parallel_workers\": {}, \"parallel_wall_ms\": {:.3}, \
+             \"parallel_cycles_per_sec\": {:.0}, \"speedup\": {:.2}, \
              \"stats_match\": {}, \"coh_packets\": {}, \"block_fetches\": {}, \
              \"invalidations\": {}, \"writebacks\": {}, \"miss_latency_avg\": {:.1}, \
              \"invalidations_per_kcycle\": {:.2}}}{}",
@@ -142,6 +144,7 @@ fn json_coherence(points: &[CoherencePoint]) -> String {
             p.serial_cycles_per_sec,
             p.parallel_workers,
             p.parallel_wall_ms,
+            p.parallel_cycles_per_sec,
             p.speedup,
             p.stats_match,
             p.coh_packets,
@@ -164,7 +167,8 @@ fn json_workloads(points: &[WorkloadPoint]) -> String {
             out,
             "    {{\"name\": \"{}\", \"dims\": \"{}x{}x{}\", \"nodes\": {}, \"cycles\": {}, \
              \"serial_wall_ms\": {:.3}, \"serial_cycles_per_sec\": {:.0}, \
-             \"parallel_workers\": {}, \"parallel_wall_ms\": {:.3}, \"speedup\": {:.2}, \
+             \"parallel_workers\": {}, \"parallel_wall_ms\": {:.3}, \
+             \"parallel_cycles_per_sec\": {:.0}, \"speedup\": {:.2}, \
              \"stats_match\": {}, \"messages\": {}, \"protected_calls\": {}, \
              \"sync_retries\": {}}}{}",
             p.kind.name(),
@@ -177,6 +181,7 @@ fn json_workloads(points: &[WorkloadPoint]) -> String {
             p.serial_cycles_per_sec,
             p.parallel_workers,
             p.parallel_wall_ms,
+            p.parallel_cycles_per_sec,
             p.speedup,
             p.stats_match,
             p.messages,
@@ -323,6 +328,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let busy_only = args.iter().any(|a| a == "--busy-only");
+    let scaling_gate = args.iter().any(|a| a == "--scaling-gate");
     let coherence_smoke = args.iter().any(|a| a == "--coherence-smoke");
     let traffic_smoke = args.iter().any(|a| a == "--traffic-smoke");
     // The parallel legs always run with an *explicit* worker count:
@@ -400,6 +406,38 @@ fn main() {
         );
         assert!(busy.stats_match, "parallel engine diverged on busy traffic");
         println!("wrote BENCH_busy_smoke.json");
+        return;
+    }
+
+    if scaling_gate {
+        // CI's weak-scaling probe: just the sweep's endpoints — the
+        // 2-node and 512-node meshes — written to their own file so the
+        // workflow can compare the small-to-large cycles/sec ratio (the
+        // weak-scaling cliff this suite exists to track) against the
+        // committed BENCH_scaling.json. Report-only soft gate: absolute
+        // cycles/sec varies with runner speed, but the *ratio* is a
+        // same-host quotient and moves only when per-node-cycle cost
+        // stops being flat across mesh sizes.
+        let small = run_mesh((2, 1, 1), ROUNDS, Some(workers));
+        let large = run_mesh((8, 8, 8), ROUNDS, Some(workers));
+        assert!(
+            small.stats_match && large.stats_match,
+            "parallel engine diverged on a gate mesh"
+        );
+        let ratio = small.cycles_per_sec / large.cycles_per_sec;
+        let json = format!(
+            "{{\n  \"weak_scaling_gate\": {{\"small_dims\": \"2x1x1\", \
+             \"small_cycles_per_sec\": {:.0}, \"large_dims\": \"8x8x8\", \
+             \"large_cycles_per_sec\": {:.0}, \"ratio\": {:.1}}},\n  \
+             \"host_cores\": {cores}\n}}\n",
+            small.cycles_per_sec, large.cycles_per_sec, ratio
+        );
+        std::fs::write("BENCH_scaling_gate.json", &json).expect("write BENCH_scaling_gate.json");
+        println!(
+            "weak-scaling gate: 2x1x1 {:.0} c/s, 8x8x8 {:.0} c/s, ratio {ratio:.1}x",
+            small.cycles_per_sec, large.cycles_per_sec
+        );
+        println!("wrote BENCH_scaling_gate.json");
         return;
     }
 

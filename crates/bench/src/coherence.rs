@@ -44,6 +44,8 @@ pub struct CoherencePoint {
     pub parallel_workers: usize,
     /// Parallel-engine wall-clock milliseconds.
     pub parallel_wall_ms: f64,
+    /// Parallel-engine simulated cycles per wall-clock second.
+    pub parallel_cycles_per_sec: f64,
     /// `serial_wall_ms / parallel_wall_ms`.
     pub speedup: f64,
     /// Did serial and parallel produce identical [`MachineStats`]?
@@ -158,6 +160,7 @@ pub fn run_coherence(dims: (u8, u8, u8), iters: u64, workers: Option<usize>) -> 
         serial_cycles_per_sec: serial_stats.cycles as f64 / serial_wall,
         parallel_workers,
         parallel_wall_ms: parallel_wall * 1e3,
+        parallel_cycles_per_sec: parallel_stats.cycles as f64 / parallel_wall,
         speedup: serial_wall / parallel_wall,
         stats_match: serial_stats == parallel_stats,
         coh_packets: serial_stats.fabric.coh_packets,

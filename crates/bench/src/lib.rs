@@ -544,7 +544,7 @@ pub fn network_sweep() -> Vec<NetworkRow> {
                 dest: NodeCoord::new(hops as u8, 0, 0),
                 dip: Word::ZERO,
                 addr: Word::ZERO,
-                body: vec![Word::ZERO],
+                body: [Word::ZERO].into(),
             }),
         );
         rows.push(NetworkRow { hops, latency: t });

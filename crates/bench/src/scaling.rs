@@ -38,6 +38,17 @@ pub const ROUNDS: u64 = 4;
 /// Cycle budget for one weak-scaling run.
 pub const RUN_LIMIT: u64 = 500_000;
 
+/// Warm-up cycles before the allocation window opens. Long enough for
+/// boot, first faults, first LTLB/GTLB misses, and every queue and
+/// buffer to reach its high-water mark — `VecDeque` growth in the
+/// event queues is the last transient and it is done well before this.
+pub const ALLOC_WARM_CYCLES: u64 = 20_000;
+
+/// Width of the steady-state allocation window. The busy scenario's
+/// loop period is a few hundred cycles, so 5 000 cycles covers many
+/// full compute/store/message rounds on every node.
+pub const ALLOC_WINDOW_CYCLES: u64 = 5_000;
+
 /// One mesh size's measurement: the same scenario under the serial and
 /// the parallel engine.
 #[derive(Debug, Clone)]
@@ -284,13 +295,16 @@ pub struct BusyTrafficResult {
     /// Issue-path hit rate of the serial run (instructions issued per
     /// issue-stage candidate probed; see `MachinePerf`).
     pub issue_hit_rate: f64,
-    /// Heap allocations per simulated cycle during the serial run, as
-    /// counted by [`crate::alloc_probe`] — 0.0 when the running binary
-    /// has not installed the probe allocator. Startup transients (boot,
-    /// first faults, buffer growth) are included, so a small value is
-    /// expected even with an allocation-free steady state; the
-    /// `zero_alloc` integration test pins the steady state itself to
-    /// exactly zero.
+    /// Heap allocations per simulated cycle in the *steady state*, as
+    /// counted by [`crate::alloc_probe`] over a
+    /// [`ALLOC_WINDOW_CYCLES`]-cycle window opened after
+    /// [`ALLOC_WARM_CYCLES`] warm-up cycles on a non-halting copy of
+    /// the scenario — 0.0 when the running binary has not installed
+    /// the probe allocator. This is the same window the `zero_alloc`
+    /// integration test pins to exactly zero, so with the probe
+    /// installed this field is expected to be exactly 0.0: startup
+    /// transients (boot, first faults, queue growth to high-water) are
+    /// excluded by the warm-up.
     pub allocs_per_cycle: f64,
 }
 
@@ -347,16 +361,13 @@ pub fn busy_traffic_comparison(
     workers: Option<usize>,
 ) -> BusyTrafficResult {
     // Serial leg, run by hand (not through `timed_run`) so the machine
-    // survives for the perf counters, with the allocation probe
-    // bracketing the run itself (setup allocations excluded).
+    // survives for the perf counters.
     let mut serial = build_busy_scenario(dims, iters, Some(1));
-    let allocs_before = crate::alloc_probe::allocations();
     let t0 = Instant::now();
     serial
         .run_until_halt(RUN_LIMIT)
         .expect("busy scenario completes");
     let serial_wall = t0.elapsed().as_secs_f64();
-    let alloc_delta = crate::alloc_probe::allocations() - allocs_before;
     assert!(
         serial.faulted_threads().is_empty(),
         "busy scenario faulted: {:?}",
@@ -364,6 +375,15 @@ pub fn busy_traffic_comparison(
     );
     let serial_stats = serial.stats();
     let perf = serial.perf();
+
+    // Steady-state allocation window, on a copy of the scenario with an
+    // iteration count large enough that it cannot halt inside the
+    // window. Same warm-up/window semantics as the `zero_alloc` test.
+    let mut steady = build_busy_scenario(dims, 1_000_000, Some(1));
+    steady.run_cycles(ALLOC_WARM_CYCLES);
+    let allocs_before = crate::alloc_probe::allocations();
+    steady.run_cycles(ALLOC_WINDOW_CYCLES);
+    let alloc_delta = crate::alloc_probe::allocations() - allocs_before;
 
     let parallel = build_busy_scenario(dims, iters, workers);
     let resolved = parallel.workers();
@@ -383,7 +403,7 @@ pub fn busy_traffic_comparison(
         speedup: serial_wall / parallel_wall,
         stats_match: serial_stats == parallel_stats,
         issue_hit_rate: perf.issue_hit_rate(),
-        allocs_per_cycle: alloc_delta as f64 / serial_stats.cycles.max(1) as f64,
+        allocs_per_cycle: alloc_delta as f64 / ALLOC_WINDOW_CYCLES as f64,
     }
 }
 

@@ -204,7 +204,7 @@ fn encode_msg(
     data: Option<&[MemWord; BLOCK_WORDS as usize]>,
 ) -> Message {
     debug_assert_eq!(op.carries_data(), data.is_some());
-    let mut body = Vec::new();
+    let mut body = mm_net::MsgBody::new();
     if let Some(words) = data {
         let mut sync_mask = 0u64;
         for (k, w) in words.iter().enumerate() {

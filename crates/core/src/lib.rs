@@ -25,6 +25,7 @@
 pub mod coherence;
 pub mod error;
 pub mod machine;
+mod pool;
 mod shard;
 pub mod timeline;
 

@@ -2,7 +2,8 @@
 
 use crate::coherence::{CoherenceConfig, CoherenceEngine, CoherenceStats};
 use crate::error::MachineError;
-use crate::shard::{step_shard, NodeSched, WorkerPool};
+use crate::pool::NodePool;
+use crate::shard::{step_shard, WorkerPool};
 use crate::timeline::{PacketKind, Phase, Timeline};
 use mm_isa::instr::Program;
 use mm_isa::pointer::{GuardedPointer, Perm};
@@ -110,6 +111,10 @@ pub struct MachinePerf {
     pub issue_probes: u64,
     /// Instructions actually issued.
     pub instructions: u64,
+    /// Node steps actually executed (`steps / (cycles * nodes)` is the
+    /// awake fraction — how much of the dense loop's walk the
+    /// quiescence engine skipped).
+    pub node_steps: u64,
 }
 
 impl MachinePerf {
@@ -142,7 +147,10 @@ pub struct MMachine {
     resends: Vec<(u64, usize, Message)>,
     prev_events: Vec<[u64; NUM_CLUSTERS]>,
     halted_seen: Vec<[[bool; 6]; NUM_CLUSTERS]>,
-    sched: Vec<NodeSched>,
+    /// The struct-of-arrays mirror of every node's hottest scheduling
+    /// state: deadline ladder, packed occupancy words, user-thread
+    /// tallies and their machine totals (see the `pool` module).
+    pool: NodePool,
     stepped_buf: Vec<usize>,
     /// Stepped nodes that staged outbox packets this cycle (subset of
     /// `stepped_buf`, same ascending order).
@@ -159,10 +167,10 @@ pub struct MMachine {
     /// Recycled buffer for the fabric's due deliveries (phase 4).
     delivery_buf: Vec<Packet>,
     /// Shard workers for the parallel node phase (`None` = serial).
-    pool: Option<WorkerPool>,
-    /// External node mutation may have invalidated the compact
-    /// user-thread mirrors in `sched`; the next `run_until` entry
-    /// re-syncs them before its first predicate evaluation.
+    worker_pool: Option<WorkerPool>,
+    /// External node mutation may have invalidated the pool's mirror
+    /// rows; the next `run_until` entry re-syncs them before its first
+    /// predicate evaluation.
     user_counts_stale: bool,
     cycle: u64,
 }
@@ -229,14 +237,14 @@ impl MMachine {
             halted_seen: vec![[[false; 6]; NUM_CLUSTERS]; n],
             // Everything starts awake; nodes prove themselves quiescent
             // on their first no-progress step.
-            sched: vec![NodeSched::awake(); n],
+            pool: NodePool::new(n),
             stepped_buf: Vec::with_capacity(n),
             staged_buf: Vec::with_capacity(n),
             returned_buf: Vec::new(),
             step_scratch: StepScratch::new(),
             packet_buf: Vec::new(),
             delivery_buf: Vec::new(),
-            pool: (workers > 1).then(|| WorkerPool::spawn(workers)),
+            worker_pool: (workers > 1).then(|| WorkerPool::spawn(workers)),
             user_counts_stale: true,
             cycle: 0,
             cfg,
@@ -246,7 +254,7 @@ impl MMachine {
     /// Worker threads the engine runs the node phase on (1 = serial).
     #[must_use]
     pub fn workers(&self) -> usize {
-        self.pool.as_ref().map_or(1, WorkerPool::workers)
+        self.worker_pool.as_ref().map_or(1, WorkerPool::workers)
     }
 
     /// Nodes in the machine.
@@ -338,6 +346,7 @@ impl MMachine {
         for n in &self.nodes {
             p.issue_probes += n.stats().issue_probes;
             p.instructions += n.stats().instructions;
+            p.node_steps += n.stats().steps;
         }
         p
     }
@@ -427,22 +436,25 @@ impl MMachine {
         self.wake_node(node);
     }
 
-    /// Re-sync the compact per-node user-thread mirrors in `sched` from
-    /// the nodes themselves. Cheap insurance run once per `run_until`
-    /// call when external mutation may have changed thread states; the
-    /// per-cycle path keeps the mirrors exact for every stepped node.
+    /// Re-sync the pool's mirror rows (occupancy words, user-thread
+    /// tallies and totals) from the nodes themselves. Cheap insurance
+    /// run once per `run_until` call when external mutation may have
+    /// changed thread states; the per-cycle path keeps the mirrors
+    /// exact for every stepped node.
     fn refresh_user_counts(&mut self) {
         if !self.user_counts_stale {
             return;
         }
-        for (s, n) in self.sched.iter_mut().zip(&self.nodes) {
-            #[allow(clippy::cast_possible_truncation)]
-            {
-                s.user_running = n.user_threads_running() as u32;
-                s.user_finished = n.user_threads_finished() as u32;
-            }
-        }
+        self.pool.refresh(&self.nodes);
         self.user_counts_stale = false;
+    }
+
+    /// Is any H-Thread (user or system slot) resident and runnable
+    /// anywhere in the machine? A single OR-fold over the pool's dense
+    /// packed-occupancy array — no node struct is touched.
+    #[must_use]
+    pub fn any_thread_running(&self) -> bool {
+        self.pool.any_thread_running()
     }
 
     /// A pointer word for arbitrary experiment data.
@@ -481,10 +493,9 @@ impl MMachine {
     }
 
     /// Mark a node as requiring a step at the next processed cycle
-    /// (external input may have unblocked it).
+    /// (external input may have unblocked it). O(1) in the ladder.
     fn wake_node(&mut self, idx: usize) {
-        self.sched[idx].awake = true;
-        self.sched[idx].deadline = None;
+        self.pool.wake(idx);
     }
 
     /// The earliest cycle `>= now` at which any component can do work,
@@ -492,17 +503,20 @@ impl MMachine {
     /// node asleep with no deadline — per-node deadlines fold in each
     /// node's coherence handler — no in-flight flits, no pending
     /// resends).
+    ///
+    /// The node reduction reads the ladder's block minima — one word
+    /// per 64 nodes — instead of walking per-node structs: an awake
+    /// node is slot value 0, so "any node due at `now`" and "earliest
+    /// future node deadline" are the same min-fold.
     fn next_work(&self, now: u64) -> Option<u64> {
+        use mm_sched::INERT;
         use mm_sim::engine::earliest;
-        let mut best: Option<u64> = None;
-        for s in &self.sched {
-            if s.awake {
-                return Some(now);
-            }
-            if let Some(d) = s.deadline {
-                best = earliest(best, Some(d.max(now)));
-            }
+        let md = self.pool.min_deadline();
+        if md <= now {
+            // An awake node (slot 0) or a deadline already due.
+            return Some(now);
         }
+        let mut best = (md != INERT).then_some(md);
         // The fabric reports absolute deadlines; here `now` is the
         // *next* cycle to process (not one just processed, as in the
         // `Tick` contract), so a deadline due exactly at `now` must
@@ -537,11 +551,11 @@ impl MMachine {
         let mut staged = std::mem::take(&mut self.staged_buf);
         stepped.clear();
         staged.clear();
-        match &mut self.pool {
-            Some(pool) => pool.step_shards(
+        let deltas = match &mut self.worker_pool {
+            Some(workers) => workers.step_shards(
                 &mut self.nodes,
                 self.coherence.handlers_mut(),
-                &mut self.sched,
+                &mut self.pool,
                 now,
                 &mut stepped,
                 &mut staged,
@@ -549,14 +563,15 @@ impl MMachine {
             None => step_shard(
                 &mut self.nodes,
                 self.coherence.handlers_mut(),
-                &mut self.sched,
+                self.pool.view_mut(),
                 0,
                 now,
                 &mut stepped,
                 &mut staged,
                 &mut self.step_scratch,
             ),
-        }
+        };
+        self.pool.apply_deltas(deltas.0, deltas.1);
 
         // 2. Drain outboxes into the fabric. Only stepped nodes can have
         // staged packets (sends happen in `Node::step_with` or the
@@ -732,16 +747,10 @@ impl MMachine {
 
         self.cycle += 1;
 
-        // Keep the engine's bookkeeping conservative after a dense step.
-        for (i, s) in self.sched.iter_mut().enumerate() {
-            s.awake = true;
-            s.deadline = None;
-            #[allow(clippy::cast_possible_truncation)]
-            {
-                s.user_running = self.nodes[i].user_threads_running() as u32;
-                s.user_finished = self.nodes[i].user_threads_finished() as u32;
-            }
-        }
+        // Keep the engine's bookkeeping conservative after a dense
+        // step: every node awake, every mirror row recomputed.
+        self.pool.wake_all();
+        self.pool.refresh(&self.nodes);
     }
 
     fn trace_packet(&mut self, now: u64, node: usize, p: &Packet, inject: bool) {
@@ -850,22 +859,14 @@ impl MMachine {
         // Done when no user H-Thread anywhere is still running, and at
         // least one was loaded (nodes without user work don't count).
         // Each node maintains O(1) user-thread tallies at every state
-        // transition, mirrored into the compact `sched` array while the
-        // node is cache-hot, so this predicate — evaluated every active
-        // cycle — scans one small contiguous array instead of 512
-        // multi-KB node structs. Semantically identical to the old full
-        // scan: false while any user H-Thread runs, true once none run
-        // and at least one finished.
-        let done = self.run_until(limit, |m| {
-            let mut any = false;
-            for s in &m.sched {
-                if s.user_running > 0 {
-                    return false;
-                }
-                any |= s.user_finished > 0;
-            }
-            any
-        })?;
+        // transition; the pool mirrors them per step (while the node
+        // is cache-hot) and folds the per-step deltas into machine
+        // totals, so this predicate — evaluated every active cycle —
+        // reads two integers instead of scanning anything.
+        // Semantically identical to the old full scan: false while any
+        // user H-Thread runs, true once none run and at least one
+        // finished.
+        let done = self.run_until(limit, |m| m.pool.halt_reached())?;
         // Drain stragglers (in-flight responses, replies, credits).
         self.run_cycles(64);
         Ok(done)

@@ -13,25 +13,46 @@
 //! fabric injection and delivery, resend backoff, trace bookkeeping —
 //! stays on the driving thread behind a per-cycle barrier.
 //!
+//! ## The pooled walk
+//!
+//! Per-node scheduling state lives in the machine's struct-of-arrays
+//! [`NodePool`](crate::pool::NodePool), not in the nodes: the walk
+//! first skips whole [`BLOCK`]-node blocks whose ladder minimum is in
+//! the future (one `u64` read per 64 sleeping nodes), then gathers the
+//! due indices of a live block into a stack array with a linear scan of
+//! the dense slot words. Only then does it touch `Node` structs — in a
+//! software-pipelined loop that issues [`Node::prefetch_hot`] two nodes
+//! ahead and [`Node::prefetch_active`] one node ahead, so the
+//! DRAM-latency-bound fetches of the *next* due node's header, thread
+//! block and scoreboard lines overlap the *current* node's step. Each
+//! stepped node's row is written back through a [`NodeCtx`] borrow
+//! while the node is cache-hot, and raised slots are folded into the
+//! block minimum with one 64-wide rebuild per dirty block.
+//!
 //! ## Determinism argument
 //!
 //! The parallel engine is bit-identical to the serial engine (and hence
 //! to the dense `naive_step` loop) for every worker count because:
 //!
 //! 1. **Node steps are independent.** [`step_shard`] mutates only the
-//!    nodes and scheduler slots of its own contiguous index range; two
-//!    shards share no state, so the interleaving of workers cannot be
-//!    observed.
+//!    nodes and pool rows of its own contiguous index range; shards are
+//!    split at [`BLOCK`]-aligned boundaries, so two workers share no
+//!    node, no row, and not even a ladder `block_min` word — the
+//!    interleaving of workers cannot be observed.
 //! 2. **Both engines run the same loop.** The serial engine calls
-//!    [`step_shard`] once over the whole array; the parallel engine
-//!    calls it once per shard. Same code, same per-node effects.
+//!    [`step_shard`] once over the whole pool view; the parallel engine
+//!    calls it once per disjoint window. Same code, same per-node
+//!    effects.
 //! 3. **Cross-shard traffic is merged in node-index order.** Packets
 //!    staged during parallel node steps accumulate in per-node
 //!    outboxes; after the barrier the driving thread drains them into
 //!    the fabric walking the stepped list, which is the concatenation
 //!    of the shards' ascending index lists in shard order — exactly the
 //!    serial engine's ascending walk. Fabric link arbitration and
-//!    delivery order therefore never depend on worker timing.
+//!    delivery order therefore never depend on worker timing. The
+//!    user-thread tally *deltas* each shard returns are summed by the
+//!    dispatcher; `i64` addition commutes, so the machine totals are
+//!    worker-count-invariant too.
 //!
 //! The three-way differential proptest harness
 //! (`crates/core/tests/differential.rs`) checks this end to end: dense
@@ -39,57 +60,24 @@
 //! must agree on stats, timelines, halt cycles and register files.
 
 use crate::coherence::NodeCoh;
+use crate::pool::{NodePool, PoolViewMut};
 use mm_sim::engine::earliest;
 use mm_sim::{Node, StepScratch, Tick};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
-/// Per-node scheduling state of the quiescence engine.
-///
-/// A node is either *awake* — it made progress last step (or an
-/// external input just arrived) and must be stepped every processed
-/// cycle until it proves itself blocked — or *asleep* with an optional
-/// `deadline` from [`Node::next_activity`]. Sleeping nodes are skipped
-/// entirely inside busy cycles; when every component sleeps, the global
-/// clock fast-forwards to the earliest deadline.
-#[derive(Debug, Clone)]
-pub(crate) struct NodeSched {
-    /// Step this node at the next processed cycle.
-    pub(crate) awake: bool,
-    /// Earliest self-scheduled work while asleep (`None` = fully inert
-    /// until an external wake-up).
-    pub(crate) deadline: Option<u64>,
-    /// Mirror of the node's running user-thread tally, refreshed every
-    /// step while the node is cache-hot (and re-synced wholesale after
-    /// any external node mutation). The machine's halt predicate —
-    /// evaluated every active cycle — reads this compact array instead
-    /// of touching 512 multi-KB node structs.
-    pub(crate) user_running: u32,
-    /// Mirror of the node's finished (halted/faulted) user-thread tally.
-    pub(crate) user_finished: u32,
-}
+pub(crate) use mm_sched::BLOCK;
 
-impl NodeSched {
-    /// The conservative boot/reset state: step at the next cycle.
-    pub(crate) fn awake() -> NodeSched {
-        NodeSched {
-            awake: true,
-            deadline: None,
-            user_running: 0,
-            user_finished: 0,
-        }
-    }
-}
-
-/// Phase 1 of a busy cycle over one contiguous shard of the mesh:
-/// step every awake or due node (its own compute/memory tick, then its
-/// coherence-handler activation), update its scheduler slot, and record
+/// Phase 1 of a busy cycle over one contiguous shard of the mesh: step
+/// every due node (its own compute/memory tick, then its
+/// coherence-handler activation), write its pool row back, and record
 /// the absolute indices stepped (ascending) plus — in `staged` — the
-/// subset that left packets in their outboxes. This is the *single*
+/// subset that left packets in their outboxes. Returns the shard's
+/// `(running, finished)` user-thread tally deltas. This is the *single*
 /// implementation both engines run — the serial engine passes the whole
-/// node array, the parallel engine one disjoint chunk per worker — so
-/// cycle-exactness across engines holds by construction.
+/// pool view, the parallel engine one disjoint block-aligned window per
+/// worker — so cycle-exactness across engines holds by construction.
 ///
 /// The coherence handler runs here, inside the shard, because it only
 /// ever touches its own node: class-0 records are drained from the
@@ -107,49 +95,84 @@ impl NodeSched {
 pub(crate) fn step_shard(
     nodes: &mut [Node],
     coh: &mut [NodeCoh],
-    sched: &mut [NodeSched],
+    mut pool: PoolViewMut<'_>,
     base: usize,
     now: u64,
     stepped: &mut Vec<usize>,
     staged: &mut Vec<usize>,
     scratch: &mut StepScratch,
-) {
-    debug_assert_eq!(nodes.len(), sched.len());
-    debug_assert_eq!(nodes.len(), coh.len());
-    for k in 0..nodes.len() {
-        let s = &mut sched[k];
-        if !(s.awake || s.deadline.is_some_and(|d| d <= now)) {
+) -> (i64, i64) {
+    let n = nodes.len();
+    debug_assert_eq!(n, pool.ladder.slots.len());
+    debug_assert_eq!(n, coh.len());
+    let (mut d_running, mut d_finished) = (0i64, 0i64);
+    // Stack scratch for one block's due indices (local node numbers).
+    let mut due = [0usize; BLOCK];
+    for b in 0..pool.ladder.block_min.len() {
+        // Block skip: 64 sleeping nodes cost one word read.
+        if pool.ladder.block_min[b] > now {
             continue;
         }
-        // Overlap the next node's DRAM fetches with this node's step:
-        // the walk is latency-bound on big meshes (each node's hot set
-        // is a few lines scattered across a multi-KB struct).
-        if let Some(next) = nodes.get(k + 1) {
-            next.prefetch_hot();
+        let lo = b * BLOCK;
+        let hi = (lo + BLOCK).min(n);
+        // Gather the block's due nodes from the dense slot words — no
+        // Node struct is touched until the prefetch pipeline below.
+        let mut cnt = 0;
+        for k in lo..hi {
+            if pool.ladder.slots[k] <= now {
+                due[cnt] = k;
+                cnt += 1;
+            }
         }
-        let node = &mut nodes[k];
-        let mut progressed = node.step_with(now, scratch);
-        progressed |= coh[k].step(now, node);
-        if progressed {
-            s.awake = true;
-            s.deadline = None;
-        } else {
-            s.awake = false;
-            // The Tick contract: `now` was just processed without
-            // progress, so the node may sleep until the earlier of its
-            // own deadline and its coherence handler's.
-            s.deadline = earliest(Tick::next_activity(&*node, now), coh[k].next_activity(now));
+        if cnt == 0 {
+            // Only reachable if the minimum was stale; restore it so
+            // the block skip works next cycle.
+            pool.ladder.rebuild_block(b);
+            continue;
         }
-        #[allow(clippy::cast_possible_truncation)]
-        {
-            s.user_running = node.user_threads_running() as u32;
-            s.user_finished = node.user_threads_finished() as u32;
+        // Warm the pipeline: headers of the first two due nodes.
+        nodes[due[0]].prefetch_hot();
+        if cnt > 1 {
+            nodes[due[1]].prefetch_hot();
         }
-        stepped.push(base + k);
-        if node.net.outbox_len() > 0 {
-            staged.push(base + k);
+        for i in 0..cnt {
+            // Two-stage prefetch, pipelined ahead of the step: node
+            // i+2's always-hot lines now, node i+1's occupancy-
+            // dependent lines (its header arrived one iteration ago).
+            if i + 2 < cnt {
+                nodes[due[i + 2]].prefetch_hot();
+            }
+            if i + 1 < cnt {
+                nodes[due[i + 1]].prefetch_active();
+            }
+            let k = due[i];
+            let mut ctx = pool.ctx(k, &mut nodes[k]);
+            let mut progressed = ctx.step(now, scratch);
+            progressed |= coh[k].step(now, ctx.node);
+            // The Tick contract: when `now` was processed without
+            // progress the node may sleep until the earlier of its own
+            // deadline and its coherence handler's.
+            let deadline = if progressed {
+                None
+            } else {
+                earliest(
+                    Tick::next_activity(&*ctx.node, now),
+                    coh[k].next_activity(now),
+                )
+            };
+            let (dr, df) = ctx.retire(progressed, deadline);
+            d_running += dr;
+            d_finished += df;
+            stepped.push(base + k);
+            if ctx.node.net.outbox_len() > 0 {
+                staged.push(base + k);
+            }
         }
+        // Slots were rewritten (some possibly raised): one 64-wide
+        // min recompute restores the block skip's soundness.
+        pool.ladder.rebuild_block(b);
     }
+    (d_running, d_finished)
 }
 
 /// A raw base pointer smuggled to a worker thread.
@@ -172,11 +195,24 @@ impl<T> Copy for ShardPtr<T> {}
 // sender joins the per-cycle barrier before reusing the memory.
 unsafe impl<T: Send> Send for ShardPtr<T> {}
 
+/// The pool's five arrays as raw base pointers (one bundle per job).
+/// Shard windows are built from these inside the worker at
+/// block-aligned offsets, so — like the node and handler slices — the
+/// windows are disjoint by the dispatch protocol.
+#[derive(Clone, Copy)]
+struct PoolPtrs {
+    slots: ShardPtr<u64>,
+    block_min: ShardPtr<u64>,
+    running: ShardPtr<u32>,
+    user_running: ShardPtr<u16>,
+    user_finished: ShardPtr<u16>,
+}
+
 /// One cycle's work order for one worker.
 struct Job {
     nodes: ShardPtr<Node>,
     coh: ShardPtr<NodeCoh>,
-    sched: ShardPtr<NodeSched>,
+    pool: PoolPtrs,
     start: usize,
     len: usize,
     now: u64,
@@ -196,6 +232,8 @@ struct Done {
     stepped: Vec<usize>,
     staged: Vec<usize>,
     scratch: StepScratch,
+    /// The shard's user-thread tally deltas.
+    deltas: (i64, i64),
     /// The shard's panic payload, if it panicked — re-raised by the
     /// dispatcher once the barrier has fully drained.
     panic: Option<Box<dyn std::any::Any + Send>>,
@@ -261,11 +299,16 @@ impl WorkerPool {
         self.handles.len()
     }
 
-    /// Run phase 1 of cycle `now` in parallel: partition `nodes` (with
-    /// the matching coherence handlers and `sched` slots) into
-    /// contiguous per-worker chunks, step them concurrently, and merge
-    /// the shards' stepped-index lists in shard order — i.e. ascending
-    /// node order, identical to the serial walk.
+    /// Run phase 1 of cycle `now` in parallel: partition the nodes
+    /// (with the matching coherence handlers and pool rows) into
+    /// contiguous block-aligned per-worker chunks, step them
+    /// concurrently, merge the shards' stepped-index lists in shard
+    /// order — i.e. ascending node order, identical to the serial walk
+    /// — and return the summed tally deltas.
+    ///
+    /// Chunks are rounded up to a [`BLOCK`] multiple so no ladder
+    /// `block_min` word straddles two workers; on meshes smaller than
+    /// `workers × BLOCK` some workers simply receive no chunk.
     ///
     /// Blocks until every dispatched worker reports back, so the raw
     /// slices handed out never outlive this call.
@@ -273,18 +316,27 @@ impl WorkerPool {
         &mut self,
         nodes: &mut [Node],
         coh: &mut [NodeCoh],
-        sched: &mut [NodeSched],
+        pool: &mut NodePool,
         now: u64,
         stepped: &mut Vec<usize>,
         staged: &mut Vec<usize>,
-    ) {
+    ) -> (i64, i64) {
         let n = nodes.len();
-        debug_assert_eq!(n, sched.len());
+        debug_assert_eq!(n, pool.len());
         debug_assert_eq!(n, coh.len());
-        let chunk = n.div_ceil(self.jobs.len()).max(1);
+        if n == 0 {
+            return (0, 0);
+        }
+        let chunk = n.div_ceil(self.jobs.len()).next_multiple_of(BLOCK);
         let nodes_ptr = ShardPtr(nodes.as_mut_ptr());
         let coh_ptr = ShardPtr(coh.as_mut_ptr());
-        let sched_ptr = ShardPtr(sched.as_mut_ptr());
+        let pool_ptrs = PoolPtrs {
+            slots: ShardPtr(pool.ladder.view_mut().slots.as_mut_ptr()),
+            block_min: ShardPtr(pool.ladder.view_mut().block_min.as_mut_ptr()),
+            running: ShardPtr(pool.running.as_mut_ptr()),
+            user_running: ShardPtr(pool.user_running.as_mut_ptr()),
+            user_finished: ShardPtr(pool.user_finished.as_mut_ptr()),
+        };
         let mut sent = 0;
         for tx in &self.jobs {
             let start = sent * chunk;
@@ -294,7 +346,7 @@ impl WorkerPool {
             tx.send(Job {
                 nodes: nodes_ptr,
                 coh: coh_ptr,
-                sched: sched_ptr,
+                pool: pool_ptrs,
                 start,
                 len: chunk.min(n - start),
                 now,
@@ -311,9 +363,12 @@ impl WorkerPool {
         self.results.clear();
         self.results.resize_with(sent, || None);
         let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        let (mut d_running, mut d_finished) = (0i64, 0i64);
         for _ in 0..sent {
             let done = self.done_rx.recv().expect("shard worker alive");
             panic = panic.or(done.panic);
+            d_running += done.deltas.0;
+            d_finished += done.deltas.1;
             self.scratches.push(done.scratch);
             self.results[done.worker] = Some((done.stepped, done.staged));
         }
@@ -329,6 +384,7 @@ impl WorkerPool {
             self.bufs.push(buf);
             self.bufs.push(staged_buf);
         }
+        (d_running, d_finished)
     }
 }
 
@@ -349,7 +405,7 @@ fn worker_loop(worker: usize, rx: &Receiver<Job>, done: &Sender<Done>) {
         let Job {
             nodes,
             coh,
-            sched,
+            pool,
             start,
             len,
             now,
@@ -359,18 +415,40 @@ fn worker_loop(worker: usize, rx: &Receiver<Job>, done: &Sender<Done>) {
         } = job;
         stepped.clear();
         staged.clear();
+        let mut deltas = (0i64, 0i64);
         let result = catch_unwind(AssertUnwindSafe(|| {
             // SAFETY: the dispatcher hands each worker a disjoint
-            // [start, start + len) range of live, len-checked arrays and
-            // blocks on the barrier until this job's Done lands, so the
-            // slices alias nothing and never dangle.
+            // BLOCK-aligned [start, start + len) range of live,
+            // len-checked arrays and blocks on the barrier until this
+            // job's Done lands, so the slices alias nothing and never
+            // dangle. `start` is a BLOCK multiple, so the block_min
+            // window [start / BLOCK, …) is disjoint too.
             let nodes = unsafe { std::slice::from_raw_parts_mut(nodes.0.add(start), len) };
             let coh = unsafe { std::slice::from_raw_parts_mut(coh.0.add(start), len) };
-            let sched = unsafe { std::slice::from_raw_parts_mut(sched.0.add(start), len) };
-            step_shard(
+            let view = unsafe {
+                PoolViewMut {
+                    ladder: mm_sched::LadderViewMut {
+                        slots: std::slice::from_raw_parts_mut(pool.slots.0.add(start), len),
+                        block_min: std::slice::from_raw_parts_mut(
+                            pool.block_min.0.add(start / BLOCK),
+                            len.div_ceil(BLOCK),
+                        ),
+                    },
+                    running: std::slice::from_raw_parts_mut(pool.running.0.add(start), len),
+                    user_running: std::slice::from_raw_parts_mut(
+                        pool.user_running.0.add(start),
+                        len,
+                    ),
+                    user_finished: std::slice::from_raw_parts_mut(
+                        pool.user_finished.0.add(start),
+                        len,
+                    ),
+                }
+            };
+            deltas = step_shard(
                 nodes,
                 coh,
-                sched,
+                view,
                 start,
                 now,
                 &mut stepped,
@@ -384,6 +462,7 @@ fn worker_loop(worker: usize, rx: &Receiver<Job>, done: &Sender<Done>) {
                 stepped,
                 staged,
                 scratch,
+                deltas,
                 panic: None,
             },
             Err(payload) => Done {
@@ -391,6 +470,7 @@ fn worker_loop(worker: usize, rx: &Receiver<Job>, done: &Sender<Done>) {
                 stepped: Vec::new(),
                 staged: Vec::new(),
                 scratch: StepScratch::new(),
+                deltas: (0, 0),
                 panic: Some(payload),
             },
         };
@@ -413,28 +493,31 @@ mod tests {
             .to_vec()
     }
 
+    fn nodes(n: usize) -> Vec<Node> {
+        use mm_net::message::NodeCoord;
+        (0..n)
+            .map(|_| Node::new(mm_sim::NodeConfig::default(), NodeCoord::new(0, 0, 0)))
+            .collect()
+    }
+
     /// The pool must survive (and the machine must keep working after)
     /// many dispatch/collect barriers with fewer nodes than workers.
     #[test]
     fn pool_handles_more_workers_than_nodes() {
-        use mm_net::message::NodeCoord;
         let mut pool = WorkerPool::spawn(4);
-        let mut nodes = vec![Node::new(
-            mm_sim::NodeConfig::default(),
-            NodeCoord::new(0, 0, 0),
-        )];
+        let mut nodes = nodes(1);
         let mut coh = handlers(1);
-        let mut sched = vec![NodeSched::awake()];
+        let mut npool = NodePool::new(1);
         let mut stepped = Vec::new();
         let mut staged = Vec::new();
         for now in 0..32 {
             stepped.clear();
             staged.clear();
-            sched[0].awake = true;
+            npool.wake(0);
             pool.step_shards(
                 &mut nodes,
                 &mut coh,
-                &mut sched,
+                &mut npool,
                 now,
                 &mut stepped,
                 &mut staged,
@@ -446,26 +529,86 @@ mod tests {
     }
 
     /// Shards merge in ascending node order regardless of which worker
-    /// finishes first.
+    /// finishes first — exercised across three real BLOCK-aligned
+    /// chunks so the merge actually has something to order.
     #[test]
     fn stepped_lists_merge_in_node_order() {
-        use mm_net::message::NodeCoord;
-        let mut pool = WorkerPool::spawn(3);
-        let mut nodes: Vec<Node> = (0..8)
-            .map(|_| Node::new(mm_sim::NodeConfig::default(), NodeCoord::new(0, 0, 0)))
-            .collect();
-        let mut coh = handlers(8);
-        let mut sched = vec![NodeSched::awake(); 8];
+        let n = 3 * BLOCK + 2;
+        let mut pool = WorkerPool::spawn(4);
+        let mut nodes = nodes(n);
+        let mut coh = handlers(n);
+        let mut npool = NodePool::new(n);
         let mut stepped = Vec::new();
         let mut staged = Vec::new();
         pool.step_shards(
             &mut nodes,
             &mut coh,
-            &mut sched,
+            &mut npool,
             0,
             &mut stepped,
             &mut staged,
         );
-        assert_eq!(stepped, (0..8).collect::<Vec<_>>());
+        assert_eq!(stepped, (0..n).collect::<Vec<_>>());
+        // Nothing progressed, so every slot went inert and the ladder
+        // reduction sees a fully quiescent machine.
+        assert_eq!(npool.min_deadline(), mm_sched::INERT);
+    }
+
+    /// The serial walk and the sharded walk leave identical pool state
+    /// (rows, minima, deltas) from identical inputs.
+    #[test]
+    fn serial_and_sharded_walks_agree() {
+        let n = 2 * BLOCK + 17;
+        let mut worker_pool = WorkerPool::spawn(3);
+        let mut nodes_a = nodes(n);
+        let mut nodes_b = nodes(n);
+        let prog = std::sync::Arc::new(mm_isa::assemble("add r1, #1, r1\nhalt\n").unwrap());
+        for k in [0, 1, BLOCK, BLOCK + 3, n - 1] {
+            nodes_a[k].load_program(0, 0, std::sync::Arc::clone(&prog), 0);
+            nodes_b[k].load_program(0, 0, std::sync::Arc::clone(&prog), 0);
+        }
+        let mut coh_a = handlers(n);
+        let mut coh_b = handlers(n);
+        let mut pool_a = NodePool::new(n);
+        let mut pool_b = NodePool::new(n);
+        pool_a.refresh(&nodes_a);
+        pool_b.refresh(&nodes_b);
+        let mut scratch = StepScratch::new();
+        for now in 0..16 {
+            let (mut sa, mut ga) = (Vec::new(), Vec::new());
+            let (mut sb, mut gb) = (Vec::new(), Vec::new());
+            let da = step_shard(
+                &mut nodes_a,
+                &mut coh_a,
+                pool_a.view_mut(),
+                0,
+                now,
+                &mut sa,
+                &mut ga,
+                &mut scratch,
+            );
+            pool_a.apply_deltas(da.0, da.1);
+            let db = worker_pool.step_shards(
+                &mut nodes_b,
+                &mut coh_b,
+                &mut pool_b,
+                now,
+                &mut sb,
+                &mut gb,
+            );
+            pool_b.apply_deltas(db.0, db.1);
+            assert_eq!(sa, sb, "stepped @ {now}");
+            assert_eq!(ga, gb, "staged @ {now}");
+            assert_eq!(da, db, "deltas @ {now}");
+        }
+        assert_eq!(pool_a.running, pool_b.running);
+        assert_eq!(pool_a.user_running, pool_b.user_running);
+        assert_eq!(pool_a.user_finished, pool_b.user_finished);
+        assert_eq!(pool_a.total_running, pool_b.total_running);
+        assert_eq!(pool_a.total_finished, pool_b.total_finished);
+        assert_eq!(pool_a.min_deadline(), pool_b.min_deadline());
+        for i in 0..n {
+            assert_eq!(pool_a.ladder.slot(i), pool_b.ladder.slot(i), "slot {i}");
+        }
     }
 }

@@ -188,17 +188,30 @@ impl Sdram {
     ///
     /// Panics if the range exceeds the capacity.
     pub fn read(&mut self, now: u64, addr: u64, len: u64) -> (u64, u64, Vec<Option<MemWord>>) {
+        let mut out = vec![None; len as usize];
+        let (first, last) = self.read_into(now, addr, &mut out);
+        (first, last, out)
+    }
+
+    /// Read `out.len()` words starting at `addr` into a caller-owned
+    /// buffer — the allocation-free form of [`Sdram::read`] the line-fill
+    /// path uses (one stack array per fill instead of a heap `Vec`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the capacity.
+    pub fn read_into(&mut self, now: u64, addr: u64, out: &mut [Option<MemWord>]) -> (u64, u64) {
+        let len = out.len() as u64;
         assert!(
             addr + len <= self.cfg.capacity_words,
             "SDRAM read out of range: {addr:#x}+{len}"
         );
         let first = self.access_timing(now, addr, len);
         let last = first + self.cfg.burst_per_word * len.saturating_sub(1);
-        let mut out = Vec::with_capacity(len as usize);
-        for i in 0..len {
-            let cell = self.words[(addr + i) as usize];
-            match decode(cell.word.bits(), cell.ecc) {
-                Decoded::Clean(_) => out.push(Some(cell)),
+        for (i, slot) in out.iter_mut().enumerate() {
+            let cell = self.words[addr as usize + i];
+            *slot = match decode(cell.word.bits(), cell.ecc) {
+                Decoded::Clean(_) => Some(cell),
                 Decoded::Corrected { data, .. } => {
                     self.stats.ecc_corrected += 1;
                     let repaired = MemWord {
@@ -207,16 +220,16 @@ impl Sdram {
                         ecc: encode(data),
                     };
                     // Scrub the corrected word back to the array.
-                    self.words[(addr + i) as usize] = repaired;
-                    out.push(Some(repaired));
+                    self.words[addr as usize + i] = repaired;
+                    Some(repaired)
                 }
                 Decoded::DoubleError => {
                     self.stats.ecc_double_errors += 1;
-                    out.push(None);
+                    None
                 }
-            }
+            };
         }
-        (first, last, out)
+        (first, last)
     }
 
     /// Write `words` starting at `addr`, beginning no earlier than `now`;

@@ -42,7 +42,7 @@ impl Decoded {
 
 /// Hamming position (1-based) of data bit `i` — skipping power-of-two
 /// positions, which hold check bits.
-fn data_position(i: u32) -> u32 {
+const fn data_position(i: u32) -> u32 {
     // Positions 1,2,4,8,... are check bits; data fills the rest in order.
     let mut pos: u32 = 0;
     let mut remaining = i + 1;
@@ -56,34 +56,67 @@ fn data_position(i: u32) -> u32 {
 }
 
 /// Precomputed positions for the 64 data bits.
-fn positions() -> [u32; 64] {
+const POSITIONS: [u32; 64] = {
     let mut p = [0u32; 64];
-    for (i, slot) in p.iter_mut().enumerate() {
-        #[allow(clippy::cast_possible_truncation)]
-        {
-            *slot = data_position(i as u32);
-        }
+    let mut i = 0;
+    while i < 64 {
+        p[i as usize] = data_position(i);
+        i += 1;
     }
     p
+};
+
+/// `MASKS[k]`: the data bits whose Hamming position has bit `k` set.
+/// The syndrome "XOR of the positions of set data bits" is then, per
+/// syndrome bit, the parity of `data & MASKS[k]` — 7 mask-and-popcount
+/// steps instead of a 64-iteration position scan. (Positions reach 72,
+/// so 7 bits cover them.)
+const MASKS: [u64; 7] = {
+    let mut m = [0u64; 7];
+    let mut i = 0;
+    while i < 64 {
+        let mut k = 0;
+        while k < 7 {
+            if (POSITIONS[i] >> k) & 1 == 1 {
+                m[k] |= 1u64 << i;
+            }
+            k += 1;
+        }
+        i += 1;
+    }
+    m
+};
+
+/// Data-bit index for each Hamming position (255 = a check bit or out of
+/// range) — the correction path's reverse lookup.
+const POS_TO_DATA: [u8; 128] = {
+    let mut t = [255u8; 128];
+    let mut i = 0;
+    while i < 64 {
+        t[POSITIONS[i] as usize] = i as u8;
+        i += 1;
+    }
+    t
+};
+
+/// XOR of the Hamming positions of `data`'s set bits, one parity per
+/// syndrome bit.
+#[inline]
+fn hamming_syndrome(data: u64) -> u32 {
+    let mut s: u32 = 0;
+    let mut k = 0;
+    while k < 7 {
+        s |= ((data & MASKS[k]).count_ones() & 1) << k;
+        k += 1;
+    }
+    s
 }
 
 /// Compute the 8 check bits for a data word.
 #[must_use]
 pub fn encode(data: u64) -> u8 {
-    let pos = positions();
-    let mut syndrome: u32 = 0;
-    for (i, &p) in pos.iter().enumerate() {
-        if (data >> i) & 1 == 1 {
-            syndrome ^= p;
-        }
-    }
-    // 7 Hamming check bits from the syndrome.
-    let mut check: u8 = 0;
-    for k in 0..7 {
-        if (syndrome >> k) & 1 == 1 {
-            check |= 1 << k;
-        }
-    }
+    #[allow(clippy::cast_possible_truncation)]
+    let check = hamming_syndrome(data) as u8;
     // Overall parity (bit 7) over data + 7 check bits for double detection.
     let parity = (data.count_ones() + u32::from(check & 0x7F).count_ones()) & 1;
     #[allow(clippy::cast_possible_truncation)]
@@ -97,19 +130,8 @@ pub fn encode(data: u64) -> u8 {
 pub fn decode(data: u64, check: u8) -> Decoded {
     // Hamming syndrome over the *received* word: XOR of the positions of
     // set data bits, compared against the received check bits.
-    let pos = positions();
-    let mut hamming: u32 = 0;
-    for (i, &p) in pos.iter().enumerate() {
-        if (data >> i) & 1 == 1 {
-            hamming ^= p;
-        }
-    }
-    let mut received_check: u32 = 0;
-    for k in 0..7 {
-        if (check >> k) & 1 == 1 {
-            received_check |= 1 << k;
-        }
-    }
+    let hamming = hamming_syndrome(data);
+    let received_check = u32::from(check & 0x7F);
     let syndrome = hamming ^ received_check;
 
     // Overall parity of the received code word (data + 7 check bits +
@@ -140,14 +162,12 @@ pub fn decode(data: u64, check: u8) -> Decoded {
         };
     }
     // A data bit flipped: find which data index has this position.
-    let pos = positions();
-    for (i, &p) in pos.iter().enumerate() {
-        if p == syndrome {
-            return Decoded::Corrected {
-                data: data ^ (1u64 << i),
-                position: syndrome,
-            };
-        }
+    let i = POS_TO_DATA[(syndrome & 127) as usize];
+    if i != 255 {
+        return Decoded::Corrected {
+            data: data ^ (1u64 << i),
+            position: syndrome,
+        };
     }
     Decoded::DoubleError
 }

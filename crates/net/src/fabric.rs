@@ -322,7 +322,7 @@ mod tests {
             dest,
             dip: Word::from_u64(1),
             addr: Word::from_u64(2),
-            body: vec![Word::ZERO; body],
+            body: std::iter::repeat_n(Word::ZERO, body).collect(),
         })
     }
 

@@ -8,7 +8,7 @@
 //! implements the throttling protocol of §4.1.
 
 use crate::gtlb::Gtlb;
-use crate::message::{Message, NodeCoord, Packet};
+use crate::message::{Message, MsgBody, NodeCoord, Packet};
 use mm_isa::op::Priority;
 use mm_isa::word::Word;
 use std::collections::VecDeque;
@@ -157,7 +157,7 @@ impl NodeNet {
         dip: Word,
         addr: Word,
         addr_va: u64,
-        body: Vec<Word>,
+        body: MsgBody,
         priority: Priority,
     ) -> SendOutcome {
         let Some(dest) = self.gtlb.probe(addr_va) else {
@@ -239,10 +239,9 @@ impl NodeNet {
                 }
                 self.stats.received += 1;
                 let credit = msg.priority == Priority::P0;
-                let words = msg.delivered_words();
-                let last = words.len() - 1;
+                let last = 1 + msg.body.len();
                 let q = &mut self.queues[pri];
-                for (i, w) in words.into_iter().enumerate() {
+                for (i, w) in msg.delivered_words().enumerate() {
                     q.words.push_back((w, i == last));
                 }
                 q.messages += 1;
@@ -372,7 +371,7 @@ mod tests {
             Word::from_u64(9),
             Word::from_u64(GLOBAL_PAGE_WORDS),
             GLOBAL_PAGE_WORDS, // page 1 → node (1,0,0)
-            vec![Word::from_u64(5)],
+            [Word::from_u64(5)].into(),
             Priority::P0,
         );
         assert!(matches!(out, SendOutcome::Sent(_)));
@@ -389,7 +388,7 @@ mod tests {
             Word::ZERO,
             Word::ZERO,
             1000 * GLOBAL_PAGE_WORDS,
-            vec![],
+            MsgBody::new(),
             Priority::P0,
         );
         assert_eq!(out, SendOutcome::Unmapped);
@@ -406,15 +405,15 @@ mod tests {
         n.gtlb_mut()
             .add_entry(GdtEntry::new(0, NodeCoord::new(1, 0, 0), (0, 0, 0), 4, 0));
         assert!(matches!(
-            n.send(Word::ZERO, Word::ZERO, 0, vec![], Priority::P0),
+            n.send(Word::ZERO, Word::ZERO, 0, MsgBody::new(), Priority::P0),
             SendOutcome::Sent(_)
         ));
         assert!(matches!(
-            n.send(Word::ZERO, Word::ZERO, 0, vec![], Priority::P0),
+            n.send(Word::ZERO, Word::ZERO, 0, MsgBody::new(), Priority::P0),
             SendOutcome::Sent(_)
         ));
         assert_eq!(
-            n.send(Word::ZERO, Word::ZERO, 0, vec![], Priority::P0),
+            n.send(Word::ZERO, Word::ZERO, 0, MsgBody::new(), Priority::P0),
             SendOutcome::NoCredit
         );
         assert_eq!(n.stats().credit_stalls, 1);
@@ -423,7 +422,7 @@ mod tests {
             from: NodeCoord::new(1, 0, 0),
         });
         assert!(matches!(
-            n.send(Word::ZERO, Word::ZERO, 0, vec![], Priority::P0),
+            n.send(Word::ZERO, Word::ZERO, 0, MsgBody::new(), Priority::P0),
             SendOutcome::Sent(_)
         ));
     }
@@ -438,7 +437,7 @@ mod tests {
         n.gtlb_mut()
             .add_entry(GdtEntry::new(0, NodeCoord::new(1, 0, 0), (0, 0, 0), 4, 0));
         assert!(matches!(
-            n.send(Word::ZERO, Word::ZERO, 0, vec![], Priority::P1),
+            n.send(Word::ZERO, Word::ZERO, 0, MsgBody::new(), Priority::P1),
             SendOutcome::Sent(_)
         ));
     }
@@ -450,7 +449,7 @@ mod tests {
             dest,
             dip: Word::from_u64(11),
             addr: Word::from_u64(22),
-            body: vec![Word::from_u64(33)],
+            body: [Word::from_u64(33)].into(),
         })
     }
 
@@ -513,7 +512,7 @@ mod tests {
             dest: NodeCoord::new(1, 0, 0),
             dip: Word::ZERO,
             addr: Word::ZERO,
-            body: vec![],
+            body: MsgBody::new(),
         };
         n.deliver(Packet::Return(m.clone()));
         assert_eq!(n.returned_len(), 1);
@@ -592,7 +591,7 @@ mod tests {
                     Word::from_u64(9),
                     Word::from_u64(GLOBAL_PAGE_WORDS),
                     GLOBAL_PAGE_WORDS,
-                    vec![],
+                    MsgBody::new(),
                     Priority::P0,
                 ),
                 SendOutcome::Sent(_)
@@ -651,7 +650,7 @@ mod tests {
             dest: b.coord(),
             dip: Word::from_u64(2),
             addr: Word::from_u64(64),
-            body: vec![],
+            body: MsgBody::new(),
         };
         assert!(a.send_coh(fetch));
         assert_eq!(a.credits(), initial - 1);
@@ -678,7 +677,7 @@ mod tests {
             dest: b.coord(),
             dip: Word::from_u64(5),
             addr: Word::from_u64(64),
-            body: vec![],
+            body: MsgBody::new(),
         };
         assert!(dry.send_coh(grant));
         // And a dry counter refuses a P0 fetch.
@@ -688,7 +687,7 @@ mod tests {
             dest: b.coord(),
             dip: Word::from_u64(2),
             addr: Word::from_u64(64),
-            body: vec![],
+            body: MsgBody::new(),
         };
         assert!(!dry.send_coh(fetch2));
     }

@@ -30,7 +30,7 @@
 //! a.gtlb_mut().add_entry(GdtEntry::new(0, NodeCoord::new(1, 0, 0), (0, 0, 0), 1, 0));
 //!
 //! assert!(matches!(
-//!     a.send(Word::from_u64(7), Word::ZERO, 0, vec![Word::from_u64(42)], Priority::P0),
+//!     a.send(Word::from_u64(7), Word::ZERO, 0, [Word::from_u64(42)].into(), Priority::P0),
 //!     SendOutcome::Sent(_)
 //! ));
 //! for p in a.take_outbox() {
@@ -53,4 +53,4 @@ pub mod message;
 pub use fabric::{Dir, Fabric, FabricConfig, FabricStats};
 pub use gtlb::{GdtEntry, Gtlb, GLOBAL_PAGE_WORDS};
 pub use iface::{IfaceConfig, IfaceStats, NodeNet, SendOutcome};
-pub use message::{Message, NodeCoord, Packet};
+pub use message::{Message, MsgBody, NodeCoord, Packet, MAX_BODY_WORDS};

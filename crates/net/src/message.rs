@@ -60,6 +60,105 @@ impl fmt::Display for NodeCoord {
     }
 }
 
+/// The longest message body on the wire: a user SEND carries at most
+/// `mc1..=mc7`, and a §4.3 coherence data message carries 8 block words
+/// plus one sync-mask word.
+pub const MAX_BODY_WORDS: usize = 9;
+
+/// A message body: a fixed-capacity inline word array. Messages travel
+/// through per-cycle queues (outboxes, the fabric's in-flight heap, the
+/// receiver FIFOs) by value, so keeping the body inline makes the whole
+/// busy-traffic message path allocation-free — the old `Vec<Word>` body
+/// was the last steady-state heap traffic on that path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgBody {
+    len: u8,
+    words: [Word; MAX_BODY_WORDS],
+}
+
+impl MsgBody {
+    /// An empty body.
+    #[must_use]
+    pub const fn new() -> MsgBody {
+        MsgBody {
+            len: 0,
+            words: [Word::ZERO; MAX_BODY_WORDS],
+        }
+    }
+
+    /// A body holding a copy of `words`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` exceeds [`MAX_BODY_WORDS`].
+    #[must_use]
+    pub fn from_slice(words: &[Word]) -> MsgBody {
+        assert!(words.len() <= MAX_BODY_WORDS, "message body too long");
+        let mut b = MsgBody::new();
+        b.words[..words.len()].copy_from_slice(words);
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            b.len = words.len() as u8;
+        }
+        b
+    }
+
+    /// Append a word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the body is already [`MAX_BODY_WORDS`] long.
+    pub fn push(&mut self, w: Word) {
+        assert!((self.len as usize) < MAX_BODY_WORDS, "message body full");
+        self.words[self.len as usize] = w;
+        self.len += 1;
+    }
+
+    /// Remove and return the last word, if any.
+    pub fn pop(&mut self) -> Option<Word> {
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        Some(self.words[self.len as usize])
+    }
+}
+
+impl Default for MsgBody {
+    fn default() -> MsgBody {
+        MsgBody::new()
+    }
+}
+
+impl std::ops::Deref for MsgBody {
+    type Target = [Word];
+    fn deref(&self) -> &[Word] {
+        &self.words[..self.len as usize]
+    }
+}
+
+impl From<&[Word]> for MsgBody {
+    fn from(words: &[Word]) -> MsgBody {
+        MsgBody::from_slice(words)
+    }
+}
+
+impl<const N: usize> From<[Word; N]> for MsgBody {
+    fn from(words: [Word; N]) -> MsgBody {
+        MsgBody::from_slice(&words)
+    }
+}
+
+impl FromIterator<Word> for MsgBody {
+    fn from_iter<I: IntoIterator<Item = Word>>(iter: I) -> MsgBody {
+        let mut b = MsgBody::new();
+        for w in iter {
+            b.push(w);
+        }
+        b
+    }
+}
+
 /// A message as carried by the network.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Message {
@@ -74,18 +173,17 @@ pub struct Message {
     /// Destination virtual address (second word delivered).
     pub addr: Word,
     /// Body words (`mc1..=mc{len}` at the sender).
-    pub body: Vec<Word>,
+    pub body: MsgBody,
 }
 
 impl Message {
-    /// Words delivered into the receiver's queue: DIP + address + body.
-    #[must_use]
-    pub fn delivered_words(&self) -> Vec<Word> {
-        let mut v = Vec::with_capacity(2 + self.body.len());
-        v.push(self.dip);
-        v.push(self.addr);
-        v.extend_from_slice(&self.body);
-        v
+    /// Words delivered into the receiver's queue, in order: DIP +
+    /// address + body. Allocation-free — the receive path iterates
+    /// straight into its register-mapped FIFO.
+    pub fn delivered_words(&self) -> impl Iterator<Item = Word> + '_ {
+        [self.dip, self.addr]
+            .into_iter()
+            .chain(self.body.iter().copied())
     }
 
     /// Length on the wire in flits (one word per flit: DIP + address +
@@ -198,14 +296,14 @@ mod tests {
             dest: NodeCoord::new(1, 0, 0),
             dip: Word::from_u64(100),
             addr: Word::from_u64(200),
-            body: vec![Word::from_u64(7); body],
+            body: std::iter::repeat_n(Word::from_u64(7), body).collect(),
         }
     }
 
     #[test]
     fn delivered_word_order_matches_fig7() {
         let m = msg(1);
-        let words = m.delivered_words();
+        let words: Vec<Word> = m.delivered_words().collect();
         assert_eq!(words.len(), 3);
         assert_eq!(words[0].bits(), 100, "DIP first");
         assert_eq!(words[1].bits(), 200, "address second");

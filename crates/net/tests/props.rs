@@ -89,7 +89,7 @@ proptest! {
             dest,
             dip: Word::ZERO,
             addr: Word::ZERO,
-            body: vec![Word::ZERO; body],
+            body: std::iter::repeat_n(Word::ZERO, body).collect(),
         }));
         prop_assert_eq!(t, src.hops_to(dest) * 2 + 2 + body as u64);
     }
@@ -201,7 +201,7 @@ proptest! {
                 Word::from_u64(i as u64),
                 Word::from_u64(u64::from(page) * GLOBAL_PAGE_WORDS),
                 u64::from(page) * GLOBAL_PAGE_WORDS,
-                vec![Word::ZERO; body],
+                std::iter::repeat_n(Word::ZERO, body).collect(),
                 Priority::P0,
             );
             prop_assert!(matches!(out, mm_net::iface::SendOutcome::Sent(_)));

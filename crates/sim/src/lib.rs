@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod ctx;
 pub mod engine;
 pub mod event;
 pub mod node;
@@ -40,6 +41,7 @@ pub use config::{
     EngineConfig, NodeConfig, EVENT_SLOT, EXCEPTION_SLOT, MIN_NODES_PER_WORKER, NUM_CLUSTERS,
     NUM_SLOTS, USER_SLOTS,
 };
+pub use ctx::NodeCtx;
 pub use engine::Tick;
 pub use event::EventKind;
 pub use node::{Fault, HState, Node, NodeStats, StepScratch};

@@ -162,34 +162,6 @@ impl HThread {
     }
 }
 
-/// One execution cluster: register files and H-Thread slots. Register
-/// files and thread slots are inline arrays (one contiguous block per
-/// cluster) so the issue stage's per-cycle scan walks consecutive
-/// cache lines instead of chasing per-slot heap pointers.
-#[derive(Debug, Clone)]
-struct Cluster {
-    regs: [ThreadRegs; NUM_SLOTS],
-    threads: [HThread; NUM_SLOTS],
-    rr: usize,
-    /// Bitmask of thread slots currently in [`HState::Running`] — the
-    /// issue stage iterates set bits only, so slots that are idle,
-    /// halted or faulted are never touched (their `HThread` entries
-    /// stay out of cache entirely), and an all-idle cluster costs one
-    /// field read per cycle.
-    running: u8,
-}
-
-impl Cluster {
-    fn new() -> Cluster {
-        Cluster {
-            regs: std::array::from_fn(|_| ThreadRegs::new()),
-            threads: std::array::from_fn(|_| HThread::idle()),
-            rr: 0,
-            running: 0,
-        }
-    }
-}
-
 /// A scheduled local register write (a unit's writeback). The ready
 /// cycle lives in the [`ReadyQueue`] key, not the payload.
 #[derive(Debug, Clone, Copy)]
@@ -269,6 +241,11 @@ pub struct NodeStats {
     /// engines. The issue-path hit rate is `instructions /
     /// issue_probes`.
     pub issue_probes: u64,
+    /// `step_with` invocations — a *host* perf counter like
+    /// `issue_probes` (the quiescence engines skip provably-idle steps,
+    /// so this measures how much of the walk each engine actually
+    /// performed; `steps / cycles` is the awake fraction).
+    pub steps: u64,
 }
 
 /// Reusable buffers one [`Node::step_with`] call drains memory-system
@@ -297,38 +274,76 @@ impl StepScratch {
 }
 
 /// A complete MAP node.
+///
+/// Field order is deliberate — this struct is ~18 KB (register files
+/// dominate) and the engines walk hundreds of them per simulated
+/// cycle, so the per-step working set must span as few cache lines as
+/// possible. The layout groups state by access temperature:
+///
+/// 1. **Hot header** (first lines): the per-cluster `running` masks
+///    and round-robin cursors, queue headers ([`ReadyQueue`] minima),
+///    tallies and counters — everything the skip/issue decisions read
+///    *every* step.
+/// 2. **Warm block**: the 24 `HThread` control slots as one
+///    contiguous array (~1 KB; only running slots' entries are
+///    touched, and they sit consecutively per cluster).
+/// 3. **Owned subsystems** ([`MemorySystem`], [`NodeNet`], queues,
+///    stats) — each touched through its own hot header.
+/// 4. **Cold tail**: the 24 inline [`ThreadRegs`] files (~16 KB);
+///    a step touches at most a few lines of the active slots' files.
 #[derive(Debug, Clone)]
 pub struct Node {
-    cfg: NodeConfig,
-    coord: NodeCoord,
-    /// The four execution clusters, inline: one contiguous block per
-    /// node (no per-cluster heap hop on the issue path).
-    clusters: [Cluster; NUM_CLUSTERS],
-    /// The memory system (public for boot/firmware access).
-    pub mem: MemorySystem,
-    /// The network interface (public for the machine pump).
-    pub net: NodeNet,
-    event_q: Vec<VecDeque<Word>>,
-    event_records: [usize; NUM_CLUSTERS],
-    exc_q: Vec<VecDeque<Word>>,
-    /// Pending unit writebacks, applied in `(ready, issue order)`.
+    // --- hot header ---------------------------------------------------
+    /// Per-cluster bitmask of thread slots currently
+    /// [`HState::Running`] — the issue stage iterates set bits only, so
+    /// slots that are idle, halted or faulted are never touched (their
+    /// `HThread` entries stay out of cache entirely), and an all-idle
+    /// cluster costs one byte read in this header. Packed as four
+    /// bytes so "anything runnable on this node?" is one `u32` load
+    /// (mirrored into the machine's node pool for batch reductions).
+    running: [u8; NUM_CLUSTERS],
+    /// Per-cluster round-robin issue cursor.
+    rr: [u8; NUM_CLUSTERS],
+    /// Whole 3-word event records queued per handler class.
+    event_records: [u32; NUM_CLUSTERS],
+    next_req_id: u64,
+    /// User-slot H-Threads currently [`HState::Running`] (maintained at
+    /// every state transition, so halt predicates are O(1) per node).
+    user_running: u32,
+    /// User-slot H-Threads halted or faulted.
+    user_finished: u32,
+    /// Cycles accounted in `stats.cycles` (`step` catches up from here,
+    /// so a node skipped over idle cycles still reports wall-clock
+    /// cycles observed, not steps executed).
+    accounted: u64,
+    /// Pending unit writebacks, applied in `(ready, issue order)`. The
+    /// queue header (its due-minimum mirror) lives here in the hot
+    /// header; storage is heap-side.
     local_writes: ReadyQueue<PendingWrite>,
     /// C-Switch transfers in flight, delivered in `(ready, issue
     /// order)` — the ready-ordered replacement for the old per-cycle
     /// `sort_by_key` + in-order `remove` loop, with identical delivery
     /// order (see `mm_sched`).
     csw: ReadyQueue<CswTransfer>,
-    next_req_id: u64,
-    /// User-slot H-Threads currently [`HState::Running`] (maintained at
-    /// every state transition, so halt predicates are O(1) per node).
-    user_running: usize,
-    /// User-slot H-Threads halted or faulted.
-    user_finished: usize,
-    /// Cycles accounted in `stats.cycles` (`step` catches up from here,
-    /// so a node skipped over idle cycles still reports wall-clock
-    /// cycles observed, not steps executed).
-    accounted: u64,
+    // --- warm: thread control slots, one contiguous block -------------
+    /// H-Thread control state, `[cluster][slot]`.
+    threads: [[HThread; NUM_SLOTS]; NUM_CLUSTERS],
+    // --- owned subsystems ---------------------------------------------
+    /// The memory system (public for boot/firmware access).
+    pub mem: MemorySystem,
+    /// The network interface (public for the machine pump).
+    pub net: NodeNet,
+    event_q: Vec<VecDeque<Word>>,
+    exc_q: Vec<VecDeque<Word>>,
     stats: NodeStats,
+    cfg: NodeConfig,
+    coord: NodeCoord,
+    // --- cold tail: the register files --------------------------------
+    /// Register files, `[cluster][slot]` (~16 KB — the bulk of the
+    /// node). Kept last so the hot header and thread block of the
+    /// *next* node sit as close as possible in the machine's node
+    /// array walk.
+    regs: [[ThreadRegs; NUM_SLOTS]; NUM_CLUSTERS],
 }
 
 // The machine-level engine shards nodes across worker threads; a node
@@ -347,7 +362,10 @@ impl Node {
         Node {
             mem: MemorySystem::new(cfg.mem.clone()),
             net: NodeNet::new(coord, cfg.iface.clone()),
-            clusters: std::array::from_fn(|_| Cluster::new()),
+            running: [0; NUM_CLUSTERS],
+            rr: [0; NUM_CLUSTERS],
+            threads: std::array::from_fn(|_| std::array::from_fn(|_| HThread::idle())),
+            regs: std::array::from_fn(|_| std::array::from_fn(|_| ThreadRegs::new())),
             event_q: (0..NUM_CLUSTERS).map(|_| VecDeque::new()).collect(),
             event_records: [0; NUM_CLUSTERS],
             exc_q: (0..NUM_CLUSTERS).map(|_| VecDeque::new()).collect(),
@@ -390,9 +408,9 @@ impl Node {
         let runs = |s: HState| s == HState::Running;
         let finished = |s: HState| matches!(s, HState::Halted | HState::Faulted(_));
         if runs(old) && !runs(new) {
-            self.clusters[cluster].running &= !(1u8 << slot);
+            self.running[cluster] &= !(1u8 << slot);
         } else if !runs(old) && runs(new) {
-            self.clusters[cluster].running |= 1u8 << slot;
+            self.running[cluster] |= 1u8 << slot;
         }
         if slot < crate::config::USER_SLOTS {
             if runs(old) && !runs(new) {
@@ -415,7 +433,7 @@ impl Node {
     ///
     /// Panics on out-of-range cluster/slot.
     pub fn load_program(&mut self, cluster: usize, slot: usize, program: Arc<Program>, entry: u32) {
-        let t = &mut self.clusters[cluster].threads[slot];
+        let t = &mut self.threads[cluster][slot];
         let old = t.state;
         t.program = Some(program);
         t.pc = entry;
@@ -427,32 +445,32 @@ impl Node {
 
     /// Stop and unload the H-Thread at `(cluster, slot)`.
     pub fn unload_program(&mut self, cluster: usize, slot: usize) {
-        let old = self.clusters[cluster].threads[slot].state;
-        self.clusters[cluster].threads[slot] = HThread::idle();
+        let old = self.threads[cluster][slot].state;
+        self.threads[cluster][slot] = HThread::idle();
         self.account_state(cluster, slot, old, HState::Idle);
     }
 
     /// The H-Thread's state.
     #[must_use]
     pub fn thread_state(&self, cluster: usize, slot: usize) -> HState {
-        self.clusters[cluster].threads[slot].state
+        self.threads[cluster][slot].state
     }
 
     /// The H-Thread's current PC.
     #[must_use]
     pub fn thread_pc(&self, cluster: usize, slot: usize) -> u32 {
-        self.clusters[cluster].threads[slot].pc
+        self.threads[cluster][slot].pc
     }
 
     /// Read a register (tests, loaders, result extraction).
     #[must_use]
     pub fn read_reg(&self, cluster: usize, slot: usize, reg: Reg) -> Word {
-        self.clusters[cluster].regs[slot].read(reg)
+        self.regs[cluster][slot].read(reg)
     }
 
     /// Write a register directly (boot-time setup).
     pub fn write_reg(&mut self, cluster: usize, slot: usize, reg: Reg, value: Word) {
-        self.clusters[cluster].regs[slot].write(reg, value);
+        self.regs[cluster][slot].write(reg, value);
     }
 
     /// Are all user-slot H-Threads with programs finished (halted or
@@ -468,13 +486,13 @@ impl Node {
     /// per node per cycle instead of scanning every thread slot).
     #[must_use]
     pub fn user_threads_running(&self) -> usize {
-        self.user_running
+        self.user_running as usize
     }
 
     /// User-slot H-Threads halted or faulted (O(1)).
     #[must_use]
     pub fn user_threads_finished(&self) -> usize {
-        self.user_finished
+        self.user_finished as usize
     }
 
     /// Words waiting in the event queue of handler class `cluster`.
@@ -512,7 +530,7 @@ impl Node {
     /// record, counting it) when the class queue is full, exactly like
     /// the hardware enqueue path.
     pub fn push_event_record(&mut self, cluster: usize, record: [Word; 3]) -> bool {
-        if self.event_records[cluster] >= self.cfg.event_queue_records {
+        if self.event_records[cluster] as usize >= self.cfg.event_queue_records {
             self.stats.events_dropped += 1;
             return false;
         }
@@ -545,36 +563,104 @@ impl Node {
     /// pollers use this to decide whether a drain pass is needed).
     #[must_use]
     pub fn event_records_queued(&self, class: usize) -> usize {
-        self.event_records[class]
+        self.event_records[class] as usize
     }
 
-    /// Hint the CPU to pull this node's per-cycle hot state into cache.
+    /// The four per-cluster running masks packed into one word — the
+    /// value mirrored into the machine's node pool so "anything
+    /// runnable anywhere?" is an OR-fold over a dense `u32` array.
+    /// Native byte order: the word is only ever tested against zero,
+    /// bit-scanned, or compared to itself, never persisted.
+    #[must_use]
+    pub fn running_word(&self) -> u32 {
+        u32::from_ne_bytes(self.running)
+    }
+
+    /// Hint the CPU to pull this node's hot header into cache.
     ///
     /// The machine's engines walk hundreds of nodes per simulated cycle;
     /// each node's working set is a handful of cache lines scattered
     /// across a multi-kilobyte struct, so the serial walk is bound by
-    /// DRAM *latency*, not bandwidth. Prefetching node `i + 1` while
-    /// stepping node `i` overlaps those misses with useful work. Pure
-    /// hint: no architectural effect, and a no-op on targets without a
-    /// prefetch instruction.
+    /// DRAM *latency*, not bandwidth. Prefetching upcoming nodes while
+    /// stepping the current one overlaps those misses with useful work.
+    /// Pure hint: no architectural effect, and a no-op on targets
+    /// without a prefetch instruction.
+    ///
+    /// This covers the always-touched lines: the hot header (running
+    /// masks, cursors, queue minima), the stats counters, and the
+    /// memory-system and interface headers. The deeper, occupancy-
+    /// dependent lines (thread slots, active register files) are the
+    /// job of [`Node::prefetch_active`], which needs the header
+    /// resident to know what to fetch.
     #[inline]
     pub fn prefetch_hot(&self) {
         #[cfg(target_arch = "x86_64")]
         {
             use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
-            let lines: [*const i8; 7] = [
+            let lines: [*const i8; 5] = [
                 std::ptr::from_ref(self).cast(),
-                std::ptr::from_ref(&self.stats).cast(),
+                // The hot header spans two lines (the second holds the
+                // `local_writes`/`csw` queue headers the step always
+                // reads).
+                std::ptr::from_ref(&self.csw).cast(),
                 std::ptr::from_ref(&self.mem).cast(),
-                std::ptr::from_ref(&self.clusters[0].threads).cast(),
-                std::ptr::from_ref(&self.clusters[1].threads).cast(),
-                std::ptr::from_ref(&self.clusters[2].threads).cast(),
-                std::ptr::from_ref(&self.clusters[3].threads).cast(),
+                std::ptr::from_ref(&self.net).cast(),
+                std::ptr::from_ref(&self.stats).cast(),
             ];
             for p in lines {
                 // SAFETY: prefetch is a pure performance hint on valid
                 // addresses derived from live references.
                 unsafe { _mm_prefetch(p, _MM_HINT_T0) };
+            }
+            // The memory system's per-cycle fast path reads its tail
+            // queue headers — separate lines, address-computable now.
+            self.mem.prefetch_meta();
+        }
+    }
+
+    /// Second-stage prefetch: read the (already-resident) running
+    /// masks and pull the lines the coming step will actually walk —
+    /// each occupied cluster's contiguous thread-slot block and the
+    /// scoreboard line of every running slot's register file. Issued
+    /// one node ahead of the step walk so the fetches overlap the
+    /// previous node's work.
+    #[inline]
+    pub fn prefetch_active(&self) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            // Heap-side storage the step dereferences: the writeback and
+            // C-Switch ready queues (every ALU issue pushes a pending
+            // writeback; the next cycle pops it) and the memory system's
+            // response heap / bank rings. Their inline headers are
+            // resident from stage one, so chasing the pointers here is
+            // stall-free.
+            self.local_writes.prefetch();
+            self.csw.prefetch();
+            self.mem.prefetch_deep();
+            for c in 0..NUM_CLUSTERS {
+                let mut mask = self.running[c];
+                if mask == 0 {
+                    continue;
+                }
+                // SAFETY: prefetch is a pure performance hint on valid
+                // addresses derived from live references.
+                unsafe {
+                    while mask != 0 {
+                        let slot = mask.trailing_zeros() as usize;
+                        mask &= mask - 1;
+                        // The slot's control state, its scoreboard line,
+                        // and the second register-file line (the integer
+                        // operand registers a typical ALU op reads).
+                        _mm_prefetch(
+                            std::ptr::from_ref(&self.threads[c][slot]).cast(),
+                            _MM_HINT_T0,
+                        );
+                        let rf: *const i8 = std::ptr::from_ref(&self.regs[c][slot]).cast();
+                        _mm_prefetch(rf, _MM_HINT_T0);
+                        _mm_prefetch(rf.wrapping_add(64), _MM_HINT_T0);
+                    }
+                }
             }
         }
     }
@@ -620,13 +706,13 @@ impl Node {
         if let Some(r) = self.csw.next_ready() {
             best = earliest(best, Some(r.max(now + 1)));
         }
-        for c in &self.clusters {
-            let mut mask = c.running;
+        for c in 0..NUM_CLUSTERS {
+            let mut mask = self.running[c];
             while mask != 0 {
                 #[allow(clippy::cast_possible_truncation)]
                 let slot = mask.trailing_zeros() as usize;
                 mask &= mask - 1;
-                let t = &c.threads[slot];
+                let t = &self.threads[c][slot];
                 if t.stall_until > now {
                     best = earliest(best, Some(t.stall_until));
                 }
@@ -662,6 +748,7 @@ impl Node {
     pub fn step_with(&mut self, now: u64, scratch: &mut StepScratch) -> bool {
         self.stats.cycles += (now + 1).saturating_sub(self.accounted);
         self.accounted = self.accounted.max(now + 1);
+        self.stats.steps += 1;
         let mut progressed = false;
 
         // Phase 1: memory responses and events (submissions from earlier
@@ -675,15 +762,14 @@ impl Node {
             self.stats.last_response_cycle = self.stats.last_response_cycle.max(r.ready);
             if r.req.kind == AccessKind::Load {
                 if let Some(ra) = RegAddr::decode(r.req.tag) {
-                    self.clusters[ra.cluster as usize].regs[ra.slot as usize]
-                        .write(ra.reg, r.value);
+                    self.regs[ra.cluster as usize][ra.slot as usize].write(ra.reg, r.value);
                 }
             }
         }
         for ev in scratch.events.drain(..) {
             let (kind, words) = format_event(&ev);
             let class = kind.handler_class();
-            if self.event_records[class] >= self.cfg.event_queue_records {
+            if self.event_records[class] as usize >= self.cfg.event_queue_records {
                 self.stats.events_dropped += 1;
                 continue;
             }
@@ -697,7 +783,7 @@ impl Node {
         // Phase 2: local unit writebacks due this cycle, in (ready,
         // issue) order.
         while let Some(w) = self.local_writes.pop_due(now) {
-            self.clusters[w.cluster].regs[w.slot].write(w.reg, w.value);
+            self.regs[w.cluster][w.slot].write(w.reg, w.value);
             progressed = true;
         }
 
@@ -711,11 +797,11 @@ impl Node {
             };
             match t.target {
                 CswTarget::Reg { cluster, slot, reg } => {
-                    self.clusters[cluster].regs[slot].write(reg, t.value);
+                    self.regs[cluster][slot].write(reg, t.value);
                 }
                 CswTarget::GccBroadcast { slot, reg } => {
-                    for c in &mut self.clusters {
-                        c.regs[slot].write(reg, t.value);
+                    for cr in &mut self.regs {
+                        cr[slot].write(reg, t.value);
                     }
                 }
             }
@@ -759,11 +845,11 @@ impl Node {
     /// per-issue `Instruction::clone` was the single largest heap/copy
     /// cost on the busy-cycle path.
     fn issue_cluster(&mut self, now: u64, c: usize) -> bool {
-        let running = self.clusters[c].running;
+        let running = self.running[c];
         if running == 0 {
             return false;
         }
-        let rr = self.clusters[c].rr;
+        let rr = usize::from(self.rr[c]);
         let mut acted = false;
         for k in 0..NUM_SLOTS {
             let slot = (rr + k) % NUM_SLOTS;
@@ -771,8 +857,7 @@ impl Node {
                 continue;
             }
             let pc = {
-                let cluster = &self.clusters[c];
-                let t = &cluster.threads[slot];
+                let t = &self.threads[c][slot];
                 if now < t.stall_until {
                     continue;
                 }
@@ -786,7 +871,7 @@ impl Node {
                         continue;
                     }
                     Some(IssueBlock::Regs { pc, version })
-                        if pc == t.pc && cluster.regs[slot].version() == version =>
+                        if pc == t.pc && self.regs[c][slot].version() == version =>
                     {
                         continue;
                     }
@@ -804,7 +889,7 @@ impl Node {
             let mut ready = false;
             let mut memo: Option<IssueBlock> = None;
             {
-                let t = &self.clusters[c].threads[slot];
+                let t = &self.threads[c][slot];
                 let prog = t.program.as_ref().expect("checked above");
                 match prog.instrs.get(pc as usize) {
                     None => pc_out_of_range = true,
@@ -835,7 +920,7 @@ impl Node {
                             {
                                 memo = Some(IssueBlock::Regs {
                                     pc,
-                                    version: self.clusters[c].regs[slot].version(),
+                                    version: self.regs[c][slot].version(),
                                 });
                             }
                         }
@@ -849,22 +934,25 @@ impl Node {
             }
             if !ready {
                 if let Some(b) = memo {
-                    self.clusters[c].threads[slot].blocked = Some(b);
+                    self.threads[c][slot].blocked = Some(b);
                 }
                 continue;
             }
             // Issue: the execute path mutates the node, so the borrow
             // is kept alive across it by one refcount bump.
             let prog = Arc::clone(
-                self.clusters[c].threads[slot]
+                self.threads[c][slot]
                     .program
                     .as_ref()
                     .expect("checked above"),
             );
             let instr = &prog.instrs[pc as usize];
-            self.clusters[c].threads[slot].blocked = None;
+            self.threads[c][slot].blocked = None;
             self.execute(now, c, slot, instr);
-            self.clusters[c].rr = (slot + 1) % NUM_SLOTS;
+            #[allow(clippy::cast_possible_truncation)]
+            {
+                self.rr[c] = ((slot + 1) % NUM_SLOTS) as u8;
+            }
             self.stats.instructions += 1;
             self.stats.issued_per_slot[c][slot] += 1;
             acted = true;
@@ -931,7 +1019,7 @@ impl Node {
                 Some(avail) => avail >= qn.counts[idx],
             }
         } else {
-            self.clusters[c].regs[slot].is_full(reg)
+            self.regs[c][slot].is_full(reg)
         }
     }
 
@@ -939,7 +1027,7 @@ impl Node {
     /// empty/fill receive protocol, §3.1).
     fn dst_ready(&self, c: usize, slot: usize, dst: &Dst) -> bool {
         match dst {
-            Dst::Local(reg) if !reg.is_queue() => self.clusters[c].regs[slot].is_full(*reg),
+            Dst::Local(reg) if !reg.is_queue() => self.regs[c][slot].is_full(*reg),
             _ => true,
         }
     }
@@ -989,7 +1077,7 @@ impl Node {
                     && self.reg_ready(c, slot, *data, qn)
                     && self
                         .mem
-                        .can_accept(self.clusters[c].regs[slot].read(*vaddr).bits(), false)
+                        .can_accept(self.regs[c][slot].read(*vaddr).bits(), false)
             }
             IntOp::NodeId { dst } => self.dst_ready(c, slot, dst),
         }
@@ -1064,7 +1152,7 @@ impl Node {
 
     /// Can the memory system take a request through the pointer in `base`?
     fn mem_can_accept_via(&self, c: usize, slot: usize, base: Reg) -> bool {
-        let w = self.clusters[c].regs[slot].read(base);
+        let w = self.regs[c][slot].read(base);
         match w.pointer() {
             Ok(p) => self.mem.can_accept(p.addr(), p.perm() == Perm::Physical),
             Err(_) => true, // will fault at execute, not stall
@@ -1077,7 +1165,7 @@ impl Node {
 
     fn fault(&mut self, now: u64, c: usize, slot: usize, fault: Fault) {
         self.stats.faults += 1;
-        let t = &mut self.clusters[c].threads[slot];
+        let t = &mut self.threads[c][slot];
         let pc = t.pc;
         let old = t.state;
         t.state = HState::Faulted(fault);
@@ -1121,7 +1209,7 @@ impl Node {
                 }
                 Ok(w)
             }
-            r => Ok(self.clusters[c].regs[slot].read(r)),
+            r => Ok(self.regs[c][slot].read(r)),
         }
     }
 
@@ -1147,7 +1235,7 @@ impl Node {
                     // The writer's own copy empties at issue, so its own
                     // dependent reads (e.g. the branch after a compare)
                     // wait for the broadcast to land.
-                    self.clusters[c].regs[slot].clear(reg);
+                    self.regs[c][slot].clear(reg);
                     self.csw.push(
                         now + latency + self.cfg.cswitch_latency,
                         CswTransfer {
@@ -1157,7 +1245,7 @@ impl Node {
                     );
                     return Ok(());
                 }
-                self.clusters[c].regs[slot].clear(reg);
+                self.regs[c][slot].clear(reg);
                 self.local_writes.push(
                     now + latency,
                     PendingWrite {
@@ -1233,7 +1321,7 @@ impl Node {
             return;
         }
 
-        let t = &mut self.clusters[c].threads[slot];
+        let t = &mut self.threads[c][slot];
         if halted {
             let old = t.state;
             t.state = HState::Halted;
@@ -1362,7 +1450,7 @@ impl Node {
             }
             IntOp::Empty { regs } => {
                 for r in regs {
-                    self.clusters[c].regs[slot].clear(*r);
+                    self.regs[c][slot].clear(*r);
                 }
                 Ok(())
             }
@@ -1460,7 +1548,7 @@ impl Node {
                     Dst::Remote { cluster, reg } => (*cluster as usize, *reg),
                 };
                 if *dst == Dst::Local(reg) && !reg.is_queue() {
-                    self.clusters[c].regs[slot].clear(reg);
+                    self.regs[c][slot].clear(reg);
                 }
                 let tag = RegAddr {
                     slot: slot as u8,
@@ -1526,9 +1614,9 @@ impl Node {
                 let dest_ptr = d.pointer().map_err(|_| Fault::NotAPointer)?;
                 let dip_ptr = dp.pointer().map_err(|_| Fault::BadDip)?;
                 dip_ptr.check_execute().map_err(|_| Fault::BadDip)?;
-                let mut body = Vec::with_capacity(usize::from(*len));
+                let mut body = mm_net::MsgBody::new();
                 for i in 1..=*len {
-                    body.push(self.clusters[c].regs[slot].read(Reg::Mc(i)));
+                    body.push(self.regs[c][slot].read(Reg::Mc(i)));
                 }
                 match self.net.send(dp, d, dest_ptr.addr(), body, *priority) {
                     SendOutcome::Sent(_) => Ok(()),
@@ -1589,7 +1677,7 @@ impl Node {
             }
             FpOp::Empty { regs } => {
                 for r in regs {
-                    self.clusters[c].regs[slot].clear(*r);
+                    self.regs[c][slot].clear(*r);
                 }
                 Ok(())
             }

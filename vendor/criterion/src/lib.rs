@@ -19,6 +19,16 @@ pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
 
+/// How much work one benchmark iteration performs, so the report can
+/// print a per-element time next to the per-iteration one.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Each iteration processes this many logical elements.
+    Elements(u64),
+    /// Each iteration processes this many bytes.
+    Bytes(u64),
+}
+
 /// Drives one benchmark body.
 #[derive(Debug)]
 pub struct Bencher {
@@ -47,7 +57,7 @@ pub struct Criterion {
 
 const DEFAULT_SAMPLES: u64 = 10;
 
-fn run_one(name: &str, samples: u64, f: impl FnOnce(&mut Bencher)) {
+fn run_one(name: &str, samples: u64, throughput: Option<Throughput>, f: impl FnOnce(&mut Bencher)) {
     let mut b = Bencher {
         samples,
         elapsed: Duration::ZERO,
@@ -59,8 +69,17 @@ fn run_one(name: &str, samples: u64, f: impl FnOnce(&mut Bencher)) {
     } else {
         b.elapsed / u32::try_from(b.iterations).unwrap_or(u32::MAX)
     };
+    let per_elem = throughput.map_or(String::new(), |t| {
+        let (n, unit) = match t {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "byte"),
+        };
+        #[allow(clippy::cast_precision_loss)]
+        let each = mean.as_secs_f64() / (n.max(1) as f64);
+        format!("  {:.1} ns/{unit}", each * 1e9)
+    });
     println!(
-        "bench {name:<40} {mean:>12.2?}/iter ({} iters)",
+        "bench {name:<40} {mean:>12.2?}/iter ({} iters){per_elem}",
         b.iterations
     );
 }
@@ -68,7 +87,7 @@ fn run_one(name: &str, samples: u64, f: impl FnOnce(&mut Bencher)) {
 impl Criterion {
     /// Time a single benchmark function.
     pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
-        run_one(name, self.sample_size.unwrap_or(DEFAULT_SAMPLES), f);
+        run_one(name, self.sample_size.unwrap_or(DEFAULT_SAMPLES), None, f);
         self
     }
 
@@ -77,6 +96,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.to_owned(),
             sample_size: self.sample_size.unwrap_or(DEFAULT_SAMPLES),
+            throughput: None,
             _parent: self,
         }
     }
@@ -87,6 +107,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: u64,
+    throughput: Option<Throughput>,
     _parent: &'a mut Criterion,
 }
 
@@ -97,9 +118,21 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Declare the work one iteration performs; subsequent benchmarks
+    /// in the group also report time per element/byte.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
     /// Time one benchmark within the group.
     pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
-        run_one(&format!("{}/{}", self.name, name), self.sample_size, f);
+        run_one(
+            &format!("{}/{}", self.name, name),
+            self.sample_size,
+            self.throughput,
+            f,
+        );
         self
     }
 
