@@ -4,10 +4,17 @@
 //! cargo run -p mm-bench --release --bin reproduce            # everything
 //! cargo run -p mm-bench --release --bin reproduce -- table1  # one artifact
 //! ```
+//!
+//! `--telemetry` additionally streams a per-epoch metrics JSONL for a
+//! small dedicated run to `reproduce_telemetry.jsonl`. It never touches
+//! stdout: the printed artifacts stay byte-identical with or without
+//! the flag (telemetry only *reads* counters).
 
+use mm_bench::scaling::{build_busy_scenario_telemetry, RUN_LIMIT};
 use mm_bench::{
     fig5, fig6, fig9, interleave, network_sweep, page_mode_ablation, table1, throttle_ablation,
 };
+use mm_telemetry::TelemetryConfig;
 
 fn print_table1() {
     println!("== Table 1: local and remote access times (cycles) ==");
@@ -123,8 +130,29 @@ fn print_ablations() {
     println!();
 }
 
+/// Stream a small dedicated run's metrics to
+/// `reproduce_telemetry.jsonl` (stderr chatter only — stdout carries
+/// the paper artifacts and must stay byte-identical).
+fn write_telemetry_stream() {
+    const PATH: &str = "reproduce_telemetry.jsonl";
+    let tel = TelemetryConfig {
+        enabled: true,
+        epoch_cycles: 512,
+        ring_epochs: 0,
+        stream_path: Some(PATH.into()),
+    };
+    let mut m = build_busy_scenario_telemetry((2, 2, 1), 256, Some(1), tel);
+    m.run_until_halt(RUN_LIMIT)
+        .expect("telemetry scenario completes");
+    m.telemetry_flush();
+    let epochs = m.telemetry().map_or(0, |t| t.ring().len());
+    eprintln!("wrote {PATH} ({epochs} epochs)");
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let telemetry = args.iter().any(|a| a == "--telemetry");
+    args.retain(|a| a != "--telemetry");
     let all = args.is_empty();
     let want = |k: &str| all || args.iter().any(|a| a.trim_start_matches('-') == k);
 
@@ -152,5 +180,8 @@ fn main() {
     }
     if want("ablations") {
         print_ablations();
+    }
+    if telemetry {
+        write_telemetry_stream();
     }
 }

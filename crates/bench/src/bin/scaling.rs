@@ -4,8 +4,9 @@
 //! ```text
 //! cargo run -p mm-bench --release --bin scaling              # 2×1×1 … 8×8×8
 //! cargo run -p mm-bench --release --bin scaling -- --smoke   # CI: 2×2×1 only
-//! cargo run -p mm-bench --release --bin scaling -- --scaling-gate  # CI: 2→512 ratio
+//! cargo run -p mm-bench --release --bin scaling -- --gate    # CI: telemetry-driven soft gates
 //! cargo run -p mm-bench --release --bin scaling -- --workers 2
+//! cargo run -p mm-bench --release --bin scaling -- --smoke --telemetry --epoch 64
 //! ```
 //!
 //! Each mesh runs under the serial engine and the parallel engine
@@ -14,14 +15,27 @@
 //! is the parallel engine's headline: all nodes awake every cycle, so
 //! the quiescence win is zero and any speedup is host parallelism.
 //! Everything lands in `BENCH_scaling.json`.
+//!
+//! `--gate` is CI's perf soft gate: it re-measures the busy 8×8×8 row
+//! with telemetry streaming (the fresh cycles/sec is summed off the
+//! JSONL stream, not a separate stopwatch) plus the weak-scaling
+//! endpoints, compares both against the committed `BENCH_scaling.json`
+//! (override with `--baseline <path>`), writes `BENCH_gate.json`, and
+//! exits non-zero only on a hard fail.
+//!
+//! `--telemetry` makes the busy leg also run with a streaming sampler,
+//! writing one JSONL record per epoch to `--telemetry-out` (default
+//! `telemetry.jsonl`) at `--epoch` cycles per epoch (default 4096).
 
 use mm_bench::coherence::{run_coherence, CoherencePoint};
+use mm_bench::gate;
 use mm_bench::scaling::{
-    busy_traffic_comparison, host_cores, idle_heavy_comparison, run_mesh, BusyTrafficResult,
-    IdleHeavyResult, ScalingPoint, ROUNDS,
+    build_busy_scenario_telemetry, busy_traffic_comparison, host_cores, idle_heavy_comparison,
+    run_mesh, BusyTrafficResult, IdleHeavyResult, ScalingPoint, ROUNDS, RUN_LIMIT,
 };
 use mm_bench::traffic::{run_traffic, TrafficPoint, TRAFFIC_COUNT, TRAFFIC_SWEEP};
 use mm_bench::workloads::{run_workload, WorkloadKind, WorkloadPoint};
+use mm_telemetry::TelemetryConfig;
 use std::fmt::Write as _;
 
 /// Count heap allocations so the busy-traffic row can report
@@ -103,7 +117,10 @@ fn json_busy(r: &BusyTrafficResult) -> String {
          \"cycles\": {}, \"workers\": {}, \"serial_wall_ms\": {:.3}, \
          \"serial_cycles_per_sec\": {:.0}, \"parallel_wall_ms\": {:.3}, \
          \"parallel_cycles_per_sec\": {:.0}, \"speedup\": {:.2}, \"stats_match\": {}, \
-         \"issue_hit_rate\": {:.3}, \"allocs_per_cycle\": {:.2}}}",
+         \"issue_hit_rate\": {:.3}, \"allocs_per_cycle\": {:.2}, \
+         \"telemetry_wall_ms\": {:.3}, \"telemetry_cycles_per_sec\": {:.0}, \
+         \"telemetry_overhead_pct\": {:.2}, \"telemetry_stats_match\": {}, \
+         \"telemetry_epochs\": {}}}",
         r.dims.0,
         r.dims.1,
         r.dims.2,
@@ -118,7 +135,12 @@ fn json_busy(r: &BusyTrafficResult) -> String {
         r.speedup,
         r.stats_match,
         r.issue_hit_rate,
-        r.allocs_per_cycle
+        r.allocs_per_cycle,
+        r.telemetry_wall_ms,
+        r.telemetry_cycles_per_sec,
+        r.telemetry_overhead_pct,
+        r.telemetry_stats_match,
+        r.telemetry_epochs
     )
 }
 
@@ -324,13 +346,107 @@ fn run_coherence_meshes(
     points
 }
 
+/// The value following `--flag`, if the flag is present.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|k| {
+        args.get(k + 1)
+            .cloned()
+            .unwrap_or_else(|| panic!("{flag} takes a value"))
+    })
+}
+
+/// Run the busy scenario serially with a streaming sampler, flush, and
+/// return the epoch count written to `path`.
+fn stream_busy_telemetry(dims: (u8, u8, u8), iters: u64, epoch_cycles: u64, path: &str) -> usize {
+    let tel = TelemetryConfig {
+        enabled: true,
+        epoch_cycles,
+        ring_epochs: 0,
+        stream_path: Some(path.into()),
+    };
+    let mut m = build_busy_scenario_telemetry(dims, iters, Some(1), tel);
+    m.run_until_halt(RUN_LIMIT)
+        .expect("busy scenario completes with telemetry streaming");
+    assert!(
+        m.faulted_threads().is_empty(),
+        "telemetry scenario faulted: {:?}",
+        m.faulted_threads()
+    );
+    m.telemetry_flush();
+    m.telemetry().map_or(0, |t| t.ring().len())
+}
+
+/// `scaling --gate`: CI's perf soft gate over the telemetry stream and
+/// the committed baseline. Writes `BENCH_gate.json` and returns the
+/// process exit code.
+fn run_gate(workers: usize, epoch_cycles: u64, baseline_path: &str, stream_path: &str) -> i32 {
+    let cores = host_cores();
+    let baseline_text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+    let baseline = gate::parse_baseline(&baseline_text).expect("committed baseline parses");
+
+    // Busy leg: serial busy 8×8×8 with the sampler streaming JSONL; the
+    // fresh cycles/sec is summed off the stream itself, so the gate
+    // exercises exactly what it gates on.
+    let epochs = stream_busy_telemetry((8, 8, 8), 128, epoch_cycles, stream_path);
+    let stream = std::fs::read_to_string(stream_path).expect("read back telemetry stream");
+    let totals = gate::stream_totals(&stream).expect("telemetry stream sums");
+    println!(
+        "busy 8x8x8 telemetry stream: {} epochs, {} cycles, {:.0} cycles/sec",
+        totals.epochs,
+        totals.cycles,
+        totals.cycles_per_sec()
+    );
+
+    // Weak-scaling leg: the sweep's endpoints, measured the same way
+    // the committed baseline was.
+    let small = run_mesh((2, 1, 1), ROUNDS, Some(workers));
+    let large = run_mesh((8, 8, 8), ROUNDS, Some(workers));
+    assert!(
+        small.stats_match && large.stats_match,
+        "parallel engine diverged on a gate mesh"
+    );
+    let fresh_ratio = small.cycles_per_sec / large.cycles_per_sec;
+
+    let checks = [
+        gate::busy_gate(totals.cycles_per_sec(), baseline.busy_cycles_per_sec),
+        gate::weak_scaling_gate(fresh_ratio, baseline.weak_scaling_ratio()),
+    ];
+    for c in &checks {
+        println!(
+            "{:<22} measured {:>12.1}  baseline {:>12.1}  ratio {:.2}x  [{}]",
+            c.name,
+            c.measured,
+            c.baseline,
+            c.ratio,
+            c.status.label()
+        );
+        if let Some(a) = c.annotation() {
+            println!("{a}");
+        }
+    }
+    let json = gate::summary_json(&checks, epochs, cores);
+    std::fs::write("BENCH_gate.json", &json).expect("write BENCH_gate.json");
+    println!(
+        "wrote BENCH_gate.json (status: {})",
+        gate::overall(&checks).label()
+    );
+    gate::exit_code(&checks)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let busy_only = args.iter().any(|a| a == "--busy-only");
-    let scaling_gate = args.iter().any(|a| a == "--scaling-gate");
+    let gate_mode = args.iter().any(|a| a == "--gate");
     let coherence_smoke = args.iter().any(|a| a == "--coherence-smoke");
     let traffic_smoke = args.iter().any(|a| a == "--traffic-smoke");
+    let telemetry = args.iter().any(|a| a == "--telemetry");
+    let telemetry_out =
+        flag_value(&args, "--telemetry-out").unwrap_or_else(|| "telemetry.jsonl".into());
+    let epoch_cycles: u64 =
+        flag_value(&args, "--epoch").map_or(0, |v| v.parse().expect("--epoch takes a cycle count"));
+    let baseline_path =
+        flag_value(&args, "--baseline").unwrap_or_else(|| "BENCH_scaling.json".into());
     // The parallel legs always run with an *explicit* worker count:
     // auto-detection resolves to 1 on single-core hosts (and on hosts
     // that cap `available_parallelism`), which used to record
@@ -389,56 +505,19 @@ fn main() {
         return;
     }
 
-    if busy_only {
-        // CI's perf-tracking probe: just the full busy-traffic row,
-        // written to its own file so the smoke job can diff its
-        // cycles/sec against the committed BENCH_scaling.json
-        // (report-only; runner speed varies).
-        let busy = busy_traffic_comparison((8, 8, 8), 128, Some(workers));
-        let json = format!("{{\n{},\n  \"host_cores\": {cores}\n}}\n", json_busy(&busy));
-        std::fs::write("BENCH_busy_smoke.json", &json).expect("write BENCH_busy_smoke.json");
-        println!(
-            "busy-traffic 8x8x8: serial {:.1} ms ({:.0} cycles/sec), parallel {:.1} ms, match {}",
-            busy.serial_wall_ms,
-            busy.serial_cycles_per_sec,
-            busy.parallel_wall_ms,
-            busy.stats_match
-        );
-        assert!(busy.stats_match, "parallel engine diverged on busy traffic");
-        println!("wrote BENCH_busy_smoke.json");
-        return;
-    }
-
-    if scaling_gate {
-        // CI's weak-scaling probe: just the sweep's endpoints — the
-        // 2-node and 512-node meshes — written to their own file so the
-        // workflow can compare the small-to-large cycles/sec ratio (the
-        // weak-scaling cliff this suite exists to track) against the
-        // committed BENCH_scaling.json. Report-only soft gate: absolute
-        // cycles/sec varies with runner speed, but the *ratio* is a
-        // same-host quotient and moves only when per-node-cycle cost
-        // stops being flat across mesh sizes.
-        let small = run_mesh((2, 1, 1), ROUNDS, Some(workers));
-        let large = run_mesh((8, 8, 8), ROUNDS, Some(workers));
-        assert!(
-            small.stats_match && large.stats_match,
-            "parallel engine diverged on a gate mesh"
-        );
-        let ratio = small.cycles_per_sec / large.cycles_per_sec;
-        let json = format!(
-            "{{\n  \"weak_scaling_gate\": {{\"small_dims\": \"2x1x1\", \
-             \"small_cycles_per_sec\": {:.0}, \"large_dims\": \"8x8x8\", \
-             \"large_cycles_per_sec\": {:.0}, \"ratio\": {:.1}}},\n  \
-             \"host_cores\": {cores}\n}}\n",
-            small.cycles_per_sec, large.cycles_per_sec, ratio
-        );
-        std::fs::write("BENCH_scaling_gate.json", &json).expect("write BENCH_scaling_gate.json");
-        println!(
-            "weak-scaling gate: 2x1x1 {:.0} c/s, 8x8x8 {:.0} c/s, ratio {ratio:.1}x",
-            small.cycles_per_sec, large.cycles_per_sec
-        );
-        println!("wrote BENCH_scaling_gate.json");
-        return;
+    if gate_mode {
+        // CI's perf soft gate, rebuilt on the metrics stream: both the
+        // busy-row and the weak-scaling checks live in `mm_bench::gate`
+        // (tested pass/warn/fail logic) instead of two copy-pasted
+        // workflow scripts. The busy epoch defaults to 256 cycles so
+        // the ~1k-cycle run produces a multi-epoch stream.
+        let gate_epoch = if epoch_cycles == 0 { 256 } else { epoch_cycles };
+        let stream_path = if telemetry_out == "telemetry.jsonl" {
+            "BENCH_busy_telemetry.jsonl".to_owned()
+        } else {
+            telemetry_out
+        };
+        std::process::exit(run_gate(workers, gate_epoch, &baseline_path, &stream_path));
     }
 
     println!(
@@ -513,6 +592,31 @@ fn main() {
         busy.speedup, busy.stats_match
     );
     assert!(busy.stats_match, "parallel engine diverged on busy traffic");
+    println!(
+        "telemetry: {:>9.2} ms   ({:.0} cycles/sec, {:+.2}% overhead, {} epochs, stats match {})",
+        busy.telemetry_wall_ms,
+        busy.telemetry_cycles_per_sec,
+        busy.telemetry_overhead_pct,
+        busy.telemetry_epochs,
+        busy.telemetry_stats_match
+    );
+    assert!(
+        busy.telemetry_stats_match,
+        "telemetry sampling changed the simulation"
+    );
+
+    if telemetry {
+        // Stream one more serial busy run as JSONL for consumers (CI's
+        // telemetry smoke validates every line against the committed
+        // schema via `mmctl check`).
+        let eff = if epoch_cycles == 0 {
+            mm_telemetry::DEFAULT_EPOCH_CYCLES
+        } else {
+            epoch_cycles
+        };
+        let epochs = stream_busy_telemetry(busy_dims, busy_iters, epoch_cycles, &telemetry_out);
+        println!("wrote {telemetry_out} ({epochs} epochs at {eff} cycles/epoch)");
+    }
 
     let coherence_meshes = if smoke {
         &[(2u8, 2u8, 1u8)][..]

@@ -1,0 +1,398 @@
+//! CI soft-gate logic: fresh measurements vs. the committed baseline.
+//!
+//! The `scaling --gate` subcommand replaces what used to be two
+//! copy-pasted bash/python steps in the workflow. It re-measures the
+//! busy-traffic row (reading the result off the telemetry JSONL stream
+//! the run produces) and the weak-scaling endpoints, compares both
+//! against the committed `BENCH_scaling.json`, and emits:
+//!
+//! * one human line per check,
+//! * GitHub `::error::` / `::warning::` annotations on breach,
+//! * a machine-readable `BENCH_gate.json` summary,
+//! * a process exit code (non-zero only on a hard fail).
+//!
+//! Thresholds are the ones the bash steps used: absolute cycles/sec
+//! tracks runner speed, so the busy row only *fails* below 0.70× of
+//! baseline (a magnitude that has always meant a real cycle-kernel
+//! regression) and warns below 0.90×; the weak-scaling small/large
+//! ratio is a same-host quotient, failing above 1.50× of the committed
+//! ratio and warning above 1.20×.
+
+use mm_telemetry::json::{parse, JsonValue};
+use std::fmt::Write as _;
+
+/// Busy-row hard-fail threshold: fresh/baseline cycles/sec below this
+/// fails the build.
+pub const BUSY_FAIL_BELOW: f64 = 0.70;
+
+/// Busy-row warn threshold.
+pub const BUSY_WARN_BELOW: f64 = 0.90;
+
+/// Weak-scaling hard-fail threshold: fresh ratio / baseline ratio
+/// above this fails the build.
+pub const SCALING_FAIL_ABOVE: f64 = 1.50;
+
+/// Weak-scaling warn threshold.
+pub const SCALING_WARN_ABOVE: f64 = 1.20;
+
+/// Outcome of one gate check, ordered by severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum GateStatus {
+    /// Within noise of the committed baseline.
+    Pass,
+    /// Outside noise; surfaced as a `::warning::` annotation.
+    Warn,
+    /// A real regression; fails the build.
+    Fail,
+}
+
+impl GateStatus {
+    /// Lower-case label used in `BENCH_gate.json`.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            GateStatus::Pass => "pass",
+            GateStatus::Warn => "warn",
+            GateStatus::Fail => "fail",
+        }
+    }
+}
+
+/// One named comparison against the committed baseline.
+#[derive(Debug, Clone)]
+pub struct GateCheck {
+    /// Check name (stable key in `BENCH_gate.json`).
+    pub name: &'static str,
+    /// Freshly measured value.
+    pub measured: f64,
+    /// Committed baseline value.
+    pub baseline: f64,
+    /// `measured / baseline`.
+    pub ratio: f64,
+    /// Verdict.
+    pub status: GateStatus,
+    /// Human-readable explanation (also the annotation body).
+    pub detail: String,
+}
+
+impl GateCheck {
+    /// The GitHub workflow annotation for this check, if any.
+    #[must_use]
+    pub fn annotation(&self) -> Option<String> {
+        match self.status {
+            GateStatus::Pass => None,
+            GateStatus::Warn => Some(format!("::warning::{}", self.detail)),
+            GateStatus::Fail => Some(format!("::error::{}", self.detail)),
+        }
+    }
+}
+
+/// The busy-traffic check: fresh serial cycles/sec (as summed off the
+/// telemetry stream) vs. the committed row.
+#[must_use]
+pub fn busy_gate(measured: f64, baseline: f64) -> GateCheck {
+    let ratio = measured / baseline;
+    let (status, detail) = if ratio < BUSY_FAIL_BELOW {
+        (
+            GateStatus::Fail,
+            format!(
+                "busy-row cycles/sec regressed >{:.0}% vs committed baseline \
+                 ({ratio:.2}x) — cycle-kernel regression",
+                (1.0 - BUSY_FAIL_BELOW) * 100.0
+            ),
+        )
+    } else if ratio < BUSY_WARN_BELOW {
+        (
+            GateStatus::Warn,
+            format!(
+                "busy-row cycles/sec {ratio:.2}x of committed baseline \
+                 (>{:.0}% down; check if runner noise or regression)",
+                (1.0 - BUSY_WARN_BELOW) * 100.0
+            ),
+        )
+    } else {
+        (
+            GateStatus::Pass,
+            format!("busy-row cycles/sec {ratio:.2}x of committed baseline"),
+        )
+    };
+    GateCheck {
+        name: "busy_cycles_per_sec",
+        measured,
+        baseline,
+        ratio,
+        status,
+        detail,
+    }
+}
+
+/// The weak-scaling check: fresh small/large cycles/sec ratio vs. the
+/// committed ratio. Growth means per-node-cycle cost is no longer flat
+/// across mesh sizes — the cliff the SoA node pool flattened.
+#[must_use]
+pub fn weak_scaling_gate(measured: f64, baseline: f64) -> GateCheck {
+    let ratio = measured / baseline;
+    let (status, detail) = if ratio > SCALING_FAIL_ABOVE {
+        (
+            GateStatus::Fail,
+            format!(
+                "weak-scaling ratio regressed >{:.0}% vs committed baseline \
+                 ({measured:.1}x vs {baseline:.1}x) — per-node-cycle cost is \
+                 no longer flat across mesh sizes",
+                (SCALING_FAIL_ABOVE - 1.0) * 100.0
+            ),
+        )
+    } else if ratio > SCALING_WARN_ABOVE {
+        (
+            GateStatus::Warn,
+            format!(
+                "weak-scaling ratio {measured:.1}x vs committed {baseline:.1}x \
+                 (>{:.0}% up; check if runner noise or regression)",
+                (SCALING_WARN_ABOVE - 1.0) * 100.0
+            ),
+        )
+    } else {
+        (
+            GateStatus::Pass,
+            format!("weak-scaling ratio {measured:.1}x vs committed {baseline:.1}x"),
+        )
+    };
+    GateCheck {
+        name: "weak_scaling_ratio",
+        measured,
+        baseline,
+        ratio,
+        status,
+        detail,
+    }
+}
+
+/// The most severe status among `checks` (`Pass` when empty).
+#[must_use]
+pub fn overall(checks: &[GateCheck]) -> GateStatus {
+    checks
+        .iter()
+        .map(|c| c.status)
+        .max()
+        .unwrap_or(GateStatus::Pass)
+}
+
+/// Process exit code for the gate: non-zero only on a hard fail.
+#[must_use]
+pub fn exit_code(checks: &[GateCheck]) -> i32 {
+    i32::from(overall(checks) == GateStatus::Fail)
+}
+
+/// The baseline numbers the gate needs out of the committed
+/// `BENCH_scaling.json`.
+#[derive(Debug, Clone, Copy)]
+pub struct Baseline {
+    /// `busy_traffic.serial_cycles_per_sec`.
+    pub busy_cycles_per_sec: f64,
+    /// 2×1×1 mesh serial cycles/sec.
+    pub small_cycles_per_sec: f64,
+    /// 8×8×8 mesh serial cycles/sec.
+    pub large_cycles_per_sec: f64,
+}
+
+impl Baseline {
+    /// Committed small/large weak-scaling ratio.
+    #[must_use]
+    pub fn weak_scaling_ratio(&self) -> f64 {
+        self.small_cycles_per_sec / self.large_cycles_per_sec
+    }
+}
+
+fn mesh_cps(meshes: &[JsonValue], dims: &str) -> Result<f64, String> {
+    meshes
+        .iter()
+        .find(|m| m.get("dims").and_then(JsonValue::as_str) == Some(dims))
+        .and_then(|m| m.get("cycles_per_sec").and_then(JsonValue::as_f64))
+        .ok_or_else(|| format!("baseline has no {dims} mesh row"))
+}
+
+/// Parse the committed `BENCH_scaling.json` into the gate's baseline.
+///
+/// # Errors
+///
+/// Malformed JSON or a missing row/field.
+pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
+    let v = parse(text).map_err(|e| format!("baseline JSON: {e}"))?;
+    let busy = v
+        .get("busy_traffic")
+        .and_then(|b| b.get("serial_cycles_per_sec"))
+        .and_then(JsonValue::as_f64)
+        .ok_or("baseline has no busy_traffic.serial_cycles_per_sec")?;
+    let meshes = v
+        .get("meshes")
+        .and_then(JsonValue::as_array)
+        .ok_or("baseline has no meshes array")?;
+    Ok(Baseline {
+        busy_cycles_per_sec: busy,
+        small_cycles_per_sec: mesh_cps(meshes, "2x1x1")?,
+        large_cycles_per_sec: mesh_cps(meshes, "8x8x8")?,
+    })
+}
+
+/// Totals summed over a telemetry JSONL stream.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamTotals {
+    /// Epoch records in the stream.
+    pub epochs: usize,
+    /// Simulated cycles covered.
+    pub cycles: u64,
+    /// Wall nanoseconds covered.
+    pub wall_ns: u64,
+}
+
+impl StreamTotals {
+    /// Whole-stream simulated cycles per wall second.
+    #[must_use]
+    pub fn cycles_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.cycles as f64 * 1e9 / self.wall_ns as f64
+            }
+        }
+    }
+}
+
+/// Sum cycles and wall time over a telemetry JSONL stream — the gate's
+/// fresh busy-row measurement is read off the stream, not off a
+/// separate stopwatch.
+///
+/// # Errors
+///
+/// An empty stream or a malformed line.
+pub fn stream_totals(jsonl: &str) -> Result<StreamTotals, String> {
+    let mut t = StreamTotals {
+        epochs: 0,
+        cycles: 0,
+        wall_ns: 0,
+    };
+    for (k, line) in jsonl.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let v = parse(line).map_err(|e| format!("stream line {}: {e}", k + 1))?;
+        let field = |name: &str| -> Result<u64, String> {
+            v.get(name)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("stream line {} has no {name}", k + 1))
+        };
+        let (start, end) = (field("start_cycle")?, field("end_cycle")?);
+        t.cycles += end.saturating_sub(start);
+        t.wall_ns += field("wall_ns")?;
+        t.epochs += 1;
+    }
+    if t.epochs == 0 {
+        return Err("telemetry stream is empty".into());
+    }
+    Ok(t)
+}
+
+/// Render the checks as the `BENCH_gate.json` document.
+#[must_use]
+pub fn summary_json(checks: &[GateCheck], telemetry_epochs: usize, host_cores: usize) -> String {
+    let mut out = String::from("{\n  \"gate\": [\n");
+    for (k, c) in checks.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"measured\": {:.4}, \"baseline\": {:.4}, \
+             \"ratio\": {:.4}, \"status\": \"{}\"}}{}",
+            c.name,
+            c.measured,
+            c.baseline,
+            c.ratio,
+            c.status.label(),
+            if k + 1 == checks.len() { "" } else { "," }
+        );
+    }
+    let _ = write!(
+        out,
+        "  ],\n  \"status\": \"{}\",\n  \"telemetry_epochs\": {telemetry_epochs},\n  \
+         \"host_cores\": {host_cores}\n}}\n",
+        overall(checks).label()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_thresholds() {
+        assert_eq!(busy_gate(100.0, 100.0).status, GateStatus::Pass);
+        assert_eq!(busy_gate(95.0, 100.0).status, GateStatus::Pass);
+        assert_eq!(busy_gate(80.0, 100.0).status, GateStatus::Warn);
+        assert_eq!(busy_gate(50.0, 100.0).status, GateStatus::Fail);
+        // Faster than baseline is a pass, never a warn.
+        assert_eq!(busy_gate(300.0, 100.0).status, GateStatus::Pass);
+    }
+
+    #[test]
+    fn weak_scaling_thresholds() {
+        assert_eq!(weak_scaling_gate(250.0, 260.0).status, GateStatus::Pass);
+        assert_eq!(weak_scaling_gate(260.0, 200.0).status, GateStatus::Warn);
+        assert_eq!(weak_scaling_gate(320.0, 200.0).status, GateStatus::Fail);
+        // A *better* (smaller) ratio is a pass.
+        assert_eq!(weak_scaling_gate(100.0, 200.0).status, GateStatus::Pass);
+    }
+
+    #[test]
+    fn annotations_and_exit_code() {
+        let pass = busy_gate(100.0, 100.0);
+        let warn = busy_gate(80.0, 100.0);
+        let fail = weak_scaling_gate(400.0, 200.0);
+        assert!(pass.annotation().is_none());
+        assert!(warn.annotation().unwrap().starts_with("::warning::"));
+        assert!(fail.annotation().unwrap().starts_with("::error::"));
+        assert_eq!(exit_code(std::slice::from_ref(&pass)), 0);
+        assert_eq!(exit_code(&[pass.clone(), warn.clone()]), 0);
+        assert_eq!(exit_code(&[pass, warn, fail]), 1);
+    }
+
+    #[test]
+    fn baseline_parses_committed_shape() {
+        let text = r#"{
+          "busy_traffic": {"dims": "8x8x8", "serial_cycles_per_sec": 5072},
+          "meshes": [
+            {"dims": "2x1x1", "cycles_per_sec": 1795348},
+            {"dims": "8x8x8", "cycles_per_sec": 6833}
+          ]
+        }"#;
+        let b = parse_baseline(text).unwrap();
+        assert!((b.busy_cycles_per_sec - 5072.0).abs() < 1e-9);
+        assert!((b.weak_scaling_ratio() - 1_795_348.0 / 6833.0).abs() < 1e-6);
+        assert!(parse_baseline("{}").is_err());
+    }
+
+    #[test]
+    fn stream_totals_sum_epochs() {
+        let jsonl = "{\"start_cycle\":0,\"end_cycle\":4096,\"wall_ns\":1000}\n\
+                     {\"start_cycle\":4096,\"end_cycle\":8192,\"wall_ns\":3000}\n";
+        let t = stream_totals(jsonl).unwrap();
+        assert_eq!(t.epochs, 2);
+        assert_eq!(t.cycles, 8192);
+        assert_eq!(t.wall_ns, 4000);
+        assert!((t.cycles_per_sec() - 8192.0 * 1e9 / 4000.0).abs() < 1e-6);
+        assert!(stream_totals("").is_err());
+        assert!(stream_totals("not json\n").is_err());
+    }
+
+    #[test]
+    fn summary_json_is_valid_json() {
+        let checks = [busy_gate(85.0, 100.0), weak_scaling_gate(160.0, 100.0)];
+        let s = summary_json(&checks, 7, 4);
+        let v = parse(&s).expect("summary parses");
+        assert_eq!(v.get("status").unwrap().as_str(), Some("fail"));
+        let gate = v.get("gate").unwrap().as_array().unwrap();
+        assert_eq!(gate.len(), 2);
+        assert_eq!(gate[0].get("status").unwrap().as_str(), Some("warn"));
+        assert_eq!(v.get("telemetry_epochs").unwrap().as_u64(), Some(7));
+    }
+}

@@ -9,6 +9,7 @@
 
 pub mod alloc_probe;
 pub mod coherence;
+pub mod gate;
 pub mod scaling;
 pub mod traffic;
 pub mod workloads;

@@ -308,6 +308,31 @@ struct BlockWait {
     write_sent: bool,
 }
 
+/// Read-only occupancy summary of one node's coherence handler — what
+/// `mmctl snapshot` prints per node. Sizes only, no protocol state:
+/// cheap to gather and stable across internal refactors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CohInspect {
+    /// Blocks with a directory entry at this home.
+    pub directory_blocks: usize,
+    /// Sharer registrations across all directory entries.
+    pub sharers: usize,
+    /// Directory entries with a recall in flight.
+    pub recalling: usize,
+    /// Fetches queued at the home behind outstanding recalls.
+    pub queued_fetches: usize,
+    /// Requester-side blocks with faulted accesses awaiting a grant.
+    pub waiting_blocks: usize,
+    /// Faulted records queued across those blocks.
+    pub waiting_records: usize,
+    /// Charged firmware actions scheduled for future cycles.
+    pub pending_actions: usize,
+    /// Composed protocol messages awaiting injection.
+    pub outbound_msgs: usize,
+    /// Remote-block frames allocated on this node.
+    pub frames: usize,
+}
+
 /// A charged firmware action scheduled for a future cycle, fired in
 /// `(due, schedule order)`.
 #[derive(Debug, Clone)]
@@ -401,6 +426,29 @@ impl NodeCoh {
             outbound: VecDeque::new(),
             frames: BTreeMap::new(),
             stats: CoherenceStats::default(),
+        }
+    }
+
+    /// This handler's accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> CoherenceStats {
+        self.stats
+    }
+
+    /// Occupancy summary for the inspector (sizes of every internal
+    /// queue and table; no protocol state leaks out).
+    #[must_use]
+    pub fn inspect(&self) -> CohInspect {
+        CohInspect {
+            directory_blocks: self.directory.len(),
+            sharers: self.directory.values().map(|e| e.sharers.len()).sum(),
+            recalling: self.directory.values().filter(|e| e.recalling).count(),
+            queued_fetches: self.directory.values().map(|e| e.queued.len()).sum(),
+            waiting_blocks: self.waiting.len(),
+            waiting_records: self.waiting.values().map(|w| w.records.len()).sum(),
+            pending_actions: self.pending.len(),
+            outbound_msgs: self.outbound.len(),
+            frames: self.frames.len(),
         }
     }
 
@@ -1111,6 +1159,12 @@ impl CoherenceEngine {
     /// The per-node handlers, for the machine's sharded node phase.
     pub(crate) fn handlers_mut(&mut self) -> &mut [NodeCoh] {
         &mut self.nodes
+    }
+
+    /// Read-only view of the per-node handlers (inspector path).
+    #[must_use]
+    pub fn handlers(&self) -> &[NodeCoh] {
+        &self.nodes
     }
 
     /// Install an all-INVALID coherent frame on `node` for the page

@@ -27,9 +27,10 @@ pub mod error;
 pub mod machine;
 mod pool;
 mod shard;
+pub mod snapshot;
 pub mod timeline;
 
-pub use coherence::{CoherenceConfig, CoherenceEngine, CoherenceStats};
+pub use coherence::{CohInspect, CoherenceConfig, CoherenceEngine, CoherenceStats};
 pub use error::MachineError;
 pub use machine::{MMachine, MachineConfig, MachineStats};
 pub use timeline::{PacketKind, Phase, Timeline};

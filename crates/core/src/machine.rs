@@ -13,6 +13,7 @@ use mm_net::fabric::{Fabric, FabricConfig, FabricStats};
 use mm_net::message::{Message, NodeCoord, Packet};
 use mm_runtime::image::{boot_node, BootInfo, BootSpec, RuntimeImage};
 use mm_sim::{EngineConfig, HState, Node, NodeConfig, StepScratch, NUM_CLUSTERS, USER_SLOTS};
+use mm_telemetry::{CounterSnapshot, Telemetry, TelemetryConfig, MAX_SHARDS};
 use std::sync::Arc;
 
 /// Machine-wide configuration.
@@ -40,6 +41,10 @@ pub struct MachineConfig {
     /// node phase). Purely a wall-clock knob: simulated results are
     /// bit-identical for every worker count.
     pub engine: EngineConfig,
+    /// Streaming telemetry (per-epoch metrics ring + optional JSONL
+    /// sink). Host-side and read-only: simulated results are
+    /// bit-identical with telemetry on or off.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for MachineConfig {
@@ -63,6 +68,7 @@ impl MachineConfig {
             coherence: CoherenceConfig::default(),
             trace: true,
             engine: EngineConfig::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -172,6 +178,19 @@ pub struct MMachine {
     /// rows; the next `run_until` entry re-syncs them before its first
     /// predicate evaluation.
     user_counts_stale: bool,
+    /// The epoch sampler (`None` when telemetry is disabled — the whole
+    /// per-cycle cost is then one branch on this option).
+    telemetry: Option<Telemetry>,
+    /// Node-index width of one engine shard (the same block-aligned
+    /// chunk `WorkerPool::step_shards` dispatches), so telemetry can
+    /// attribute per-node step counts to shards. Equal to the node
+    /// count when the engine is serial.
+    shard_chunk: usize,
+    /// Directed mesh link × virtual-channel count — the constant
+    /// denominator of telemetry's link-occupancy rate. Counts only
+    /// links that physically exist (interior faces), not the edge
+    /// channels `Fabric` allocates but never uses.
+    mesh_links: u64,
     cycle: u64,
 }
 
@@ -224,6 +243,22 @@ impl MMachine {
         let n = nodes.len();
         let coords: Vec<NodeCoord> = nodes.iter().map(mm_sim::Node::coord).collect();
         let workers = cfg.engine.resolved_workers(n);
+        let shard_chunk = if workers > 1 {
+            n.div_ceil(workers).next_multiple_of(crate::shard::BLOCK)
+        } else {
+            n.max(1)
+        };
+        let (xl, yl, zl) = (u64::from(x), u64::from(y), u64::from(z));
+        // Directed interior links × 2 virtual channels per direction.
+        let mesh_links = 2 * 2 * ((xl - 1) * yl * zl + xl * (yl - 1) * zl + xl * yl * (zl - 1));
+        let telemetry = if cfg.telemetry.enabled {
+            Some(
+                Telemetry::new(cfg.telemetry.clone())
+                    .map_err(|e| MachineError::BadConfig(format!("telemetry stream: {e}")))?,
+            )
+        } else {
+            None
+        };
         Ok(MMachine {
             coherence: CoherenceEngine::new(cfg.coherence, &coords),
             spec,
@@ -246,6 +281,9 @@ impl MMachine {
             delivery_buf: Vec::new(),
             worker_pool: (workers > 1).then(|| WorkerPool::spawn(workers)),
             user_counts_stale: true,
+            telemetry,
+            shard_chunk,
+            mesh_links,
             cycle: 0,
             cfg,
         })
@@ -349,6 +387,96 @@ impl MMachine {
             p.node_steps += n.stats().steps;
         }
         p
+    }
+
+    /// Total flit-hops carried over mesh links (telemetry counter,
+    /// outside [`FabricStats`]).
+    #[must_use]
+    pub fn fabric_flit_hops(&self) -> u64 {
+        self.fabric.flit_hops()
+    }
+
+    /// Per-virtual-channel flit counters, indexed `(linear node ×
+    /// NUM_DIRS + direction) × 2 + priority` — the inspector's heatmap
+    /// data.
+    #[must_use]
+    pub fn fabric_link_flits(&self) -> &[u64] {
+        self.fabric.link_flits()
+    }
+
+    /// Read-only per-node coherence handlers (inspector path).
+    #[must_use]
+    pub fn coherence_handlers(&self) -> &[crate::coherence::NodeCoh] {
+        self.coherence.handlers()
+    }
+
+    /// The telemetry sampler, when enabled (ring access, Prometheus and
+    /// JSONL re-serialization for inspectors).
+    #[must_use]
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// One flat reading of every counter the telemetry stream reports
+    /// (cumulative totals since boot). Public so the stream-vs-totals
+    /// test harness and `mmctl` can take their own readings; gathering
+    /// allocates nothing.
+    #[must_use]
+    pub fn counter_snapshot(&self) -> CounterSnapshot {
+        let fabric = self.fabric.stats();
+        let coherence = self.coherence.stats();
+        let mut snap = CounterSnapshot {
+            cycles: self.cycle,
+            fabric_packets: fabric.packets,
+            flit_hops: self.fabric.flit_hops(),
+            links: self.mesh_links,
+            coh_packets: fabric.coh_packets,
+            coh_misses: coherence.block_fetches,
+            coh_invalidations: coherence.invalidations,
+            coh_writebacks: coherence.writebacks,
+            sync_retries: coherence.sync_retries,
+            ..CounterSnapshot::default()
+        };
+        let chunk = self.shard_chunk;
+        snap.shards = u32::try_from(self.nodes.len().div_ceil(chunk).clamp(1, MAX_SHARDS))
+            .expect("MAX_SHARDS fits u32");
+        for (i, n) in self.nodes.iter().enumerate() {
+            let st = n.stats();
+            snap.instructions += st.instructions;
+            snap.issue_probes += st.issue_probes;
+            snap.node_steps += st.steps;
+            snap.messages += st.sends;
+            snap.shard_steps[(i / chunk).min(MAX_SHARDS - 1)] += st.steps;
+        }
+        snap
+    }
+
+    /// Sample an epoch if the clock has crossed the next boundary. One
+    /// branch when telemetry is disabled; one comparison per processed
+    /// cycle when enabled.
+    #[inline]
+    fn poll_telemetry(&mut self) {
+        if let Some(t) = &self.telemetry {
+            if self.cycle >= t.next_due() {
+                let snap = self.counter_snapshot();
+                if let Some(t) = &mut self.telemetry {
+                    t.sample(&snap);
+                }
+            }
+        }
+    }
+
+    /// Close the partial telemetry epoch in progress (if any cycles have
+    /// elapsed since the last boundary) and flush the stream sink. Call
+    /// at end of run so per-epoch deltas sum exactly to end-of-run
+    /// stats. No-op when telemetry is disabled.
+    pub fn telemetry_flush(&mut self) {
+        if self.telemetry.is_some() {
+            let snap = self.counter_snapshot();
+            if let Some(t) = &mut self.telemetry {
+                t.flush(&snap);
+            }
+        }
     }
 
     /// A read-write pointer to node `idx`'s `page`-th local global page.
@@ -490,6 +618,7 @@ impl MMachine {
         }
         self.cycle = now + 1;
         self.catch_up_nodes();
+        self.poll_telemetry();
     }
 
     /// Mark a node as requiring a step at the next processed cycle
@@ -751,6 +880,7 @@ impl MMachine {
         // step: every node awake, every mirror row recomputed.
         self.pool.wake_all();
         self.pool.refresh(&self.nodes);
+        self.poll_telemetry();
     }
 
     fn trace_packet(&mut self, now: u64, node: usize, p: &Packet, inject: bool) {
@@ -802,6 +932,9 @@ impl MMachine {
                 }
                 _ => self.cycle = target,
             }
+            // A fast-forward may cross several epoch boundaries at
+            // once; they collapse into one wider sample.
+            self.poll_telemetry();
         }
         self.catch_up_nodes();
     }
@@ -846,6 +979,7 @@ impl MMachine {
                 }
                 _ => self.cycle = end,
             }
+            self.poll_telemetry();
         }
     }
 

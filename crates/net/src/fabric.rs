@@ -100,6 +100,15 @@ pub struct Fabric {
     /// O(1) next-delivery deadline for the cycle engine.
     in_flight: ReadyQueue<Packet>,
     stats: FabricStats,
+    /// Flits carried per (node, direction, priority) virtual channel,
+    /// same indexing as `link_free`. Telemetry-only: kept outside
+    /// `FabricStats` so the struct the differential harness compares
+    /// bit-for-bit is untouched. Feeds the `mmctl` fabric heatmap.
+    link_flits: Vec<u64>,
+    /// Total flit-hops carried over mesh links (loopback traffic never
+    /// touches a link and contributes nothing). The telemetry layer
+    /// turns deltas of this into per-epoch link occupancy.
+    flit_hops: u64,
 }
 
 impl Fabric {
@@ -109,9 +118,11 @@ impl Fabric {
         let nodes = usize::from(cfg.dims.0) * usize::from(cfg.dims.1) * usize::from(cfg.dims.2);
         Fabric {
             link_free: vec![0; nodes * NUM_DIRS * 2],
+            link_flits: vec![0; nodes * NUM_DIRS * 2],
             cfg,
             in_flight: ReadyQueue::new(),
             stats: FabricStats::default(),
+            flit_hops: 0,
         }
     }
 
@@ -133,6 +144,27 @@ impl Fabric {
     #[must_use]
     pub fn stats(&self) -> FabricStats {
         self.stats
+    }
+
+    /// Total flit-hops carried over mesh links so far (telemetry
+    /// counter; excluded from [`FabricStats`] on purpose).
+    #[must_use]
+    pub fn flit_hops(&self) -> u64 {
+        self.flit_hops
+    }
+
+    /// Flits carried per virtual channel, indexed `(linear node ×
+    /// NUM_DIRS + direction) × 2 + priority` — the raw data behind the
+    /// `mmctl` fabric heatmap.
+    #[must_use]
+    pub fn link_flits(&self) -> &[u64] {
+        &self.link_flits
+    }
+
+    /// Number of virtual channels in the mesh (`nodes × NUM_DIRS × 2`).
+    #[must_use]
+    pub fn link_count(&self) -> usize {
+        self.link_free.len()
     }
 
     /// Total nodes in the mesh.
@@ -228,10 +260,12 @@ impl Fabric {
                 self.stats.contention_cycles += actual - earliest;
                 t_head = actual;
                 self.link_free[link] = t_head + flits;
+                self.link_flits[link] += flits;
                 cur = next;
                 hops += 1;
             }
             self.stats.hops += hops;
+            self.flit_hops += hops * flits;
             t_head + flits
         };
 
@@ -430,6 +464,24 @@ mod tests {
         batched.inject_all(7, packets);
         assert_eq!(per_packet.stats(), batched.stats());
         assert_eq!(per_packet.next_delivery(), batched.next_delivery());
+    }
+
+    #[test]
+    fn per_link_flit_counters_track_route_and_skip_loopback() {
+        let mut f = fabric(3, 1, 1);
+        let a = NodeCoord::new(0, 0, 0);
+        // 1-word body → 4 wire flits, 2 hops: 8 flit-hops total.
+        f.inject(0, msg(a, NodeCoord::new(2, 0, 0), 1, Priority::P0));
+        let flits = f.stats().flits;
+        assert_eq!(f.flit_hops(), 2 * flits);
+        let busy: Vec<usize> = (0..f.link_count())
+            .filter(|&i| f.link_flits()[i] > 0)
+            .collect();
+        assert_eq!(busy.len(), 2, "one VC per hop on the X route");
+        assert_eq!(f.link_flits()[busy[0]], flits);
+        // Loopback never touches a mesh link.
+        f.inject(10, msg(a, a, 1, Priority::P0));
+        assert_eq!(f.flit_hops(), 2 * flits);
     }
 
     #[test]

@@ -44,5 +44,5 @@ pub use config::{
 pub use ctx::NodeCtx;
 pub use engine::Tick;
 pub use event::EventKind;
-pub use node::{Fault, HState, Node, NodeStats, StepScratch};
+pub use node::{Fault, HState, Node, NodeInspect, NodeStats, StepScratch};
 pub use regfile::ThreadRegs;

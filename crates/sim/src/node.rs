@@ -248,6 +248,37 @@ pub struct NodeStats {
     pub steps: u64,
 }
 
+/// Read-only pipeline/queue summary of one node — the per-node row
+/// `mmctl snapshot` prints. Counts only (no register or program state),
+/// and gathering one allocates nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeInspect {
+    /// H-Threads currently eligible for issue, over all slots.
+    pub running: usize,
+    /// H-Threads that executed `halt`.
+    pub halted: usize,
+    /// H-Threads stopped by a synchronous fault.
+    pub faulted: usize,
+    /// Words queued in each handler class's event queue.
+    pub event_words: [usize; NUM_CLUSTERS],
+    /// Words queued in each cluster's exception queue.
+    pub exc_words: [usize; NUM_CLUSTERS],
+    /// Staged outbound packets awaiting fabric injection.
+    pub outbox: usize,
+    /// Inbound messages queued at priority 0 / priority 1.
+    pub inbound: [usize; 2],
+    /// Refused messages awaiting software resend.
+    pub returned: usize,
+    /// Coherence protocol messages awaiting handler dispatch.
+    pub coh_pending: usize,
+    /// Remaining send credits.
+    pub credits: u32,
+    /// Instructions issued so far (cumulative).
+    pub instructions: u64,
+    /// Node steps executed so far (cumulative).
+    pub steps: u64,
+}
+
 /// Reusable buffers one [`Node::step_with`] call drains memory-system
 /// completions into. Steady-state cycles never allocate: the buffers
 /// are cleared (capacity kept) at the top of each step. The machine's
@@ -505,6 +536,37 @@ impl Node {
     #[must_use]
     pub fn exception_queue_len(&self, cluster: usize) -> usize {
         self.exc_q[cluster].len()
+    }
+
+    /// Queue/pipeline summary for the inspector (`mmctl snapshot`).
+    #[must_use]
+    pub fn inspect(&self) -> NodeInspect {
+        let mut ni = NodeInspect {
+            instructions: self.stats.instructions,
+            steps: self.stats.steps,
+            outbox: self.net.outbox_len(),
+            inbound: [
+                self.net.queue_len(Priority::P0),
+                self.net.queue_len(Priority::P1),
+            ],
+            returned: self.net.returned_len(),
+            coh_pending: self.net.coh_pending(),
+            credits: self.net.credits(),
+            ..NodeInspect::default()
+        };
+        for c in 0..NUM_CLUSTERS {
+            for s in 0..NUM_SLOTS {
+                match self.threads[c][s].state {
+                    HState::Running => ni.running += 1,
+                    HState::Halted => ni.halted += 1,
+                    HState::Faulted(_) => ni.faulted += 1,
+                    HState::Idle => {}
+                }
+            }
+            ni.event_words[c] = self.event_q[c].len();
+            ni.exc_words[c] = self.exc_q[c].len();
+        }
+        ni
     }
 
     /// Pop a whole 3-word event record from handler class `cluster`

@@ -1,0 +1,273 @@
+//! Serializers for the metrics stream: JSON-lines (one record per
+//! epoch, the format `docs/telemetry.schema.json` pins and CI
+//! validates) and Prometheus text exposition.
+//!
+//! [`write_jsonl_line`] is called from the sampling hot path, so it
+//! appends to a caller-owned buffer using only `core::fmt` — no heap
+//! allocation as long as the buffer has capacity.
+
+use crate::{EpochSample, MetricsRing, MAX_SHARDS, STREAM_VERSION};
+use std::fmt::Write as _;
+
+/// Append one JSONL record (including the trailing newline) for `s` to
+/// `out`. Field order is fixed and matches the committed schema.
+pub fn write_jsonl_line(s: &EpochSample, out: &mut String) {
+    let _ = write!(
+        out,
+        "{{\"v\":{STREAM_VERSION},\"epoch\":{},\"start_cycle\":{},\"end_cycle\":{},\
+         \"wall_ns\":{},\"cycles_per_sec\":{:.1},\"instructions\":{},\"issue_probes\":{},\
+         \"issue_hit_rate\":{:.6},\"node_steps\":{},\"messages\":{},\"fabric_packets\":{},\
+         \"flit_hops\":{},\"link_occupancy\":{:.6},\"coh_packets\":{},\"coh_misses\":{},\
+         \"coh_invalidations\":{},\"coh_writebacks\":{},\"sync_retries\":{},\"shard_steps\":[",
+        s.epoch,
+        s.start_cycle,
+        s.end_cycle,
+        s.wall_ns,
+        s.cycles_per_sec,
+        s.instructions,
+        s.issue_probes,
+        s.issue_hit_rate,
+        s.node_steps,
+        s.messages,
+        s.fabric_packets,
+        s.flit_hops,
+        s.link_occupancy,
+        s.coh_packets,
+        s.coh_misses,
+        s.coh_invalidations,
+        s.coh_writebacks,
+        s.sync_retries,
+    );
+    let shards = (s.shards as usize).clamp(1, MAX_SHARDS);
+    for k in 0..shards {
+        let _ = write!(out, "{}{}", if k == 0 { "" } else { "," }, s.shard_steps[k]);
+    }
+    out.push_str("]}\n");
+}
+
+/// Keys every JSONL record carries, in emission order (shared with the
+/// schema validator tests and `mmctl`).
+pub const JSONL_FIELDS: &[&str] = &[
+    "v",
+    "epoch",
+    "start_cycle",
+    "end_cycle",
+    "wall_ns",
+    "cycles_per_sec",
+    "instructions",
+    "issue_probes",
+    "issue_hit_rate",
+    "node_steps",
+    "messages",
+    "fabric_packets",
+    "flit_hops",
+    "link_occupancy",
+    "coh_packets",
+    "coh_misses",
+    "coh_invalidations",
+    "coh_writebacks",
+    "sync_retries",
+    "shard_steps",
+];
+
+/// Render a ring as Prometheus text exposition: monotone counters are
+/// summed over the ring's samples (`_total` suffix), instantaneous
+/// rates are gauges from the newest sample.
+#[must_use]
+pub fn prometheus(ring: &MetricsRing) -> String {
+    let mut out = String::new();
+    let mut cycles = 0u64;
+    let mut instructions = 0u64;
+    let mut messages = 0u64;
+    let mut fabric_packets = 0u64;
+    let mut flit_hops = 0u64;
+    let mut coh_packets = 0u64;
+    let mut coh_misses = 0u64;
+    let mut coh_invalidations = 0u64;
+    let mut coh_writebacks = 0u64;
+    let mut node_steps = 0u64;
+    for s in ring.iter() {
+        cycles += s.end_cycle - s.start_cycle;
+        instructions += s.instructions;
+        messages += s.messages;
+        fabric_packets += s.fabric_packets;
+        flit_hops += s.flit_hops;
+        coh_packets += s.coh_packets;
+        coh_misses += s.coh_misses;
+        coh_invalidations += s.coh_invalidations;
+        coh_writebacks += s.coh_writebacks;
+        node_steps += s.node_steps;
+    }
+    for (name, help, v) in [
+        (
+            "mm_cycles_total",
+            "Simulated cycles covered by the ring",
+            cycles,
+        ),
+        ("mm_instructions_total", "Instructions issued", instructions),
+        ("mm_messages_total", "User messages sent", messages),
+        (
+            "mm_fabric_packets_total",
+            "Fabric packets injected",
+            fabric_packets,
+        ),
+        (
+            "mm_flit_hops_total",
+            "Flit-hops carried by mesh links",
+            flit_hops,
+        ),
+        (
+            "mm_coh_packets_total",
+            "Coherence protocol packets",
+            coh_packets,
+        ),
+        ("mm_coh_misses_total", "Coherence block fetches", coh_misses),
+        (
+            "mm_coh_invalidations_total",
+            "Sharer copies invalidated",
+            coh_invalidations,
+        ),
+        (
+            "mm_coh_writebacks_total",
+            "Dirty blocks written back",
+            coh_writebacks,
+        ),
+        ("mm_node_steps_total", "Node steps executed", node_steps),
+    ] {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    if let Some(s) = ring.last() {
+        for (name, help, v) in [
+            (
+                "mm_cycles_per_sec",
+                "Simulated cycles per wall second (last epoch)",
+                s.cycles_per_sec,
+            ),
+            (
+                "mm_issue_hit_rate",
+                "Issue-stage hit rate (last epoch)",
+                s.issue_hit_rate,
+            ),
+            (
+                "mm_link_occupancy",
+                "Mean fabric link occupancy (last epoch)",
+                s.link_occupancy,
+            ),
+        ] {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v:.6}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, JsonValue};
+
+    fn sample() -> EpochSample {
+        EpochSample {
+            epoch: 3,
+            start_cycle: 12288,
+            end_cycle: 16384,
+            wall_ns: 2_000_000,
+            cycles_per_sec: 2_048_000.0,
+            instructions: 900,
+            issue_probes: 1000,
+            issue_hit_rate: 0.9,
+            node_steps: 8192,
+            messages: 40,
+            fabric_packets: 90,
+            flit_hops: 260,
+            link_occupancy: 0.002,
+            coh_packets: 10,
+            coh_misses: 4,
+            coh_invalidations: 3,
+            coh_writebacks: 2,
+            sync_retries: 1,
+            shards: 2,
+            shard_steps: {
+                let mut a = [0; MAX_SHARDS];
+                a[0] = 5000;
+                a[1] = 3192;
+                a
+            },
+        }
+    }
+
+    #[test]
+    fn jsonl_line_parses_and_carries_every_field() {
+        let mut line = String::new();
+        write_jsonl_line(&sample(), &mut line);
+        assert!(line.ends_with('\n'));
+        let v = parse(&line).expect("line is valid JSON");
+        let JsonValue::Object(fields) = &v else {
+            panic!("line is not an object")
+        };
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, JSONL_FIELDS, "emission order matches the schema");
+        assert_eq!(v.get("epoch").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("end_cycle").unwrap().as_u64(), Some(16384));
+        let shard = v.get("shard_steps").unwrap();
+        let JsonValue::Array(items) = shard else {
+            panic!("shard_steps is not an array")
+        };
+        assert_eq!(items.len(), 2, "only the reported shards are emitted");
+        assert_eq!(items[0].as_u64(), Some(5000));
+        assert!((v.get("issue_hit_rate").unwrap().as_f64().unwrap() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jsonl_line_fits_preallocated_capacity() {
+        let worst = EpochSample {
+            epoch: u64::MAX,
+            start_cycle: u64::MAX,
+            end_cycle: u64::MAX,
+            wall_ns: u64::MAX,
+            cycles_per_sec: 1e18,
+            instructions: u64::MAX,
+            issue_probes: u64::MAX,
+            issue_hit_rate: 1.0,
+            node_steps: u64::MAX,
+            messages: u64::MAX,
+            fabric_packets: u64::MAX,
+            flit_hops: u64::MAX,
+            link_occupancy: 1.0,
+            coh_packets: u64::MAX,
+            coh_misses: u64::MAX,
+            coh_invalidations: u64::MAX,
+            coh_writebacks: u64::MAX,
+            sync_retries: u64::MAX,
+            shards: MAX_SHARDS as u32,
+            shard_steps: [u64::MAX; MAX_SHARDS],
+        };
+        let mut line = String::new();
+        write_jsonl_line(&worst, &mut line);
+        assert!(
+            line.len() < 1024,
+            "worst-case line ({} bytes) must fit the preallocated buffer",
+            line.len()
+        );
+    }
+
+    #[test]
+    fn prometheus_sums_counters_and_reports_gauges() {
+        let mut ring = MetricsRing::new(8);
+        ring.push(sample());
+        let mut second = sample();
+        second.epoch = 4;
+        second.start_cycle = 16384;
+        second.end_cycle = 20480;
+        second.instructions = 100;
+        ring.push(second);
+        let text = prometheus(&ring);
+        assert!(text.contains("mm_instructions_total 1000"));
+        assert!(text.contains("mm_cycles_total 8192"));
+        assert!(text.contains("# TYPE mm_issue_hit_rate gauge"));
+        assert!(text.contains("mm_issue_hit_rate 0.900000"));
+    }
+}

@@ -1,0 +1,230 @@
+//! `mmctl` — operator inspector for the M-Machine simulator.
+//!
+//! ```text
+//! mmctl check <stream.jsonl> [--schema docs/telemetry.schema.json]
+//! mmctl tail <stream.jsonl> [-n 10] [--follow]
+//! mmctl snapshot <snapshot.json>
+//! mmctl prom <stream.jsonl>
+//! mmctl run [--dims 2x2x1] [--iters 64] [--workers 1] [--epoch 64]
+//!           [--out run.jsonl] [--snapshot-out snap.json] [--prom]
+//! ```
+//!
+//! `check` validates every JSONL record against the committed schema
+//! plus the cross-line invariants (epoch monotonicity, contiguous cycle
+//! coverage) — CI's telemetry smoke runs exactly this. `snapshot`
+//! renders a dumped [`mm_core::machine::MMachine::snapshot_json`]
+//! document as a per-node pipeline/queue/directory table and a
+//! per-link fabric heatmap. `run` attaches the whole pipeline to an
+//! in-process sim run of the busy-traffic scenario.
+
+use mm_telemetry::json::parse;
+use mm_telemetry::TelemetryConfig;
+use mm_tools::render::{epoch_brief, prometheus_from_stream, render_snapshot};
+use mm_tools::stream::check_stream;
+
+const USAGE: &str = "usage: mmctl <check|tail|snapshot|prom|run> [args]
+  check <stream.jsonl> [--schema <schema.json>]   validate a telemetry stream
+  tail <stream.jsonl> [-n N] [--follow]           show the last N epochs
+  snapshot <snapshot.json>                        render node table + link heatmap
+  prom <stream.jsonl>                             convert JSONL to Prometheus text
+  run [--dims XxYxZ] [--iters N] [--workers N] [--epoch N]
+      [--out <stream.jsonl>] [--snapshot-out <snap.json>] [--prom]
+                                                  run the busy scenario in-process";
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|k| {
+        args.get(k + 1)
+            .unwrap_or_else(|| panic!("{flag} takes a value"))
+            .clone()
+    })
+}
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("mmctl: read {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn cmd_check(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("{USAGE}");
+        return 2;
+    };
+    let schema = flag_value(args, "--schema").map(|p| {
+        parse(&read(&p)).unwrap_or_else(|e| {
+            eprintln!("mmctl: schema {p}: {e}");
+            std::process::exit(2);
+        })
+    });
+    let report = check_stream(&read(path), schema.as_ref());
+    println!(
+        "{path}: {} epochs, {} cycles, {} instructions",
+        report.lines, report.cycles, report.instructions
+    );
+    if report.lines == 0 {
+        eprintln!("mmctl: {path}: stream is empty");
+        return 1;
+    }
+    if report.is_ok() {
+        println!("ok: schema and stream invariants hold");
+        0
+    } else {
+        for e in &report.errors {
+            eprintln!("error: {e}");
+        }
+        eprintln!("mmctl: {} violation(s)", report.errors.len());
+        1
+    }
+}
+
+fn print_tail(text: &str, n: usize) -> usize {
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    let start = lines.len().saturating_sub(n);
+    for l in &lines[start..] {
+        println!("{}", epoch_brief(l));
+    }
+    text.len()
+}
+
+fn cmd_tail(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("{USAGE}");
+        return 2;
+    };
+    let n: usize = flag_value(args, "-n").map_or(10, |v| v.parse().expect("-n takes a count"));
+    let follow = args.iter().any(|a| a == "--follow");
+    let mut seen = print_tail(&read(path), n);
+    if follow {
+        loop {
+            std::thread::sleep(std::time::Duration::from_millis(200));
+            let text = std::fs::read_to_string(path).unwrap_or_default();
+            if text.len() > seen {
+                // Print only complete new lines past the prior offset.
+                for l in text[seen..].lines().filter(|l| !l.trim().is_empty()) {
+                    println!("{}", epoch_brief(l));
+                }
+                seen = text.len();
+            }
+        }
+    }
+    0
+}
+
+fn cmd_snapshot(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("{USAGE}");
+        return 2;
+    };
+    match render_snapshot(&read(path)) {
+        Ok(s) => {
+            print!("{s}");
+            0
+        }
+        Err(e) => {
+            eprintln!("mmctl: {path}: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_prom(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("{USAGE}");
+        return 2;
+    };
+    match prometheus_from_stream(&read(path)) {
+        Ok(s) => {
+            print!("{s}");
+            0
+        }
+        Err(e) => {
+            eprintln!("mmctl: {path}: {e}");
+            1
+        }
+    }
+}
+
+fn parse_dims(s: &str) -> (u8, u8, u8) {
+    let parts: Vec<u8> = s
+        .split('x')
+        .map(|p| p.parse().expect("--dims takes XxYxZ"))
+        .collect();
+    assert!(parts.len() == 3, "--dims takes XxYxZ");
+    (parts[0], parts[1], parts[2])
+}
+
+fn cmd_run(args: &[String]) -> i32 {
+    let dims = flag_value(args, "--dims").map_or((2, 2, 1), |v| parse_dims(&v));
+    let iters: u64 =
+        flag_value(args, "--iters").map_or(64, |v| v.parse().expect("--iters takes a count"));
+    let workers: usize =
+        flag_value(args, "--workers").map_or(1, |v| v.parse().expect("--workers takes a count"));
+    let epoch: u64 =
+        flag_value(args, "--epoch").map_or(64, |v| v.parse().expect("--epoch takes a cycle count"));
+    let out = flag_value(args, "--out");
+    let snapshot_out = flag_value(args, "--snapshot-out");
+    let want_prom = args.iter().any(|a| a == "--prom");
+
+    let tel = TelemetryConfig {
+        enabled: true,
+        epoch_cycles: epoch,
+        ring_epochs: 0,
+        stream_path: out.clone().map(Into::into),
+    };
+    let mut m = mm_bench::scaling::build_busy_scenario_telemetry(dims, iters, Some(workers), tel);
+    m.run_until_halt(mm_bench::scaling::RUN_LIMIT)
+        .expect("busy scenario completes");
+    m.telemetry_flush();
+
+    let stats = m.stats();
+    println!(
+        "ran busy {}x{}x{} ({} iters/node, {} workers): {} cycles, {} instructions, {} messages",
+        dims.0,
+        dims.1,
+        dims.2,
+        iters,
+        m.workers(),
+        stats.cycles,
+        stats.instructions,
+        stats.messages
+    );
+    let ring_jsonl = m.telemetry().expect("telemetry enabled").ring_jsonl();
+    println!("--- last epochs ---");
+    print_tail(&ring_jsonl, 5);
+    if let Some(p) = &out {
+        println!("wrote {p}");
+    }
+    if want_prom {
+        print!("{}", m.telemetry().expect("telemetry enabled").prometheus());
+    }
+    if let Some(p) = snapshot_out {
+        std::fs::write(&p, m.snapshot_json()).expect("write snapshot");
+        println!("wrote {p}");
+    }
+    println!("--- snapshot ---");
+    match render_snapshot(&m.snapshot_json()) {
+        Ok(s) => print!("{s}"),
+        Err(e) => {
+            eprintln!("mmctl: snapshot render: {e}");
+            return 1;
+        }
+    }
+    0
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("tail") => cmd_tail(&args[1..]),
+        Some("snapshot") => cmd_snapshot(&args[1..]),
+        Some("prom") => cmd_prom(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            2
+        }
+    };
+    std::process::exit(code);
+}

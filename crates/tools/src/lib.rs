@@ -1,0 +1,5 @@
+//! Library half of `mmctl` (unit-testable pieces live here; the binary
+//! is argument parsing plus I/O around these functions).
+
+pub mod render;
+pub mod stream;

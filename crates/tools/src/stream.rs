@@ -1,0 +1,165 @@
+//! Telemetry stream checking: per-line schema validation plus the
+//! cross-line invariants (epoch monotonicity, contiguous cycle
+//! coverage) that no per-record schema can express. `mmctl validate`
+//! and the CI telemetry-smoke job both run through here.
+
+use mm_telemetry::json::{parse, JsonValue};
+use mm_telemetry::schema::validate;
+
+/// Outcome of checking a JSONL stream.
+#[derive(Debug, Default)]
+pub struct StreamReport {
+    /// Number of non-empty lines examined.
+    pub lines: usize,
+    /// Total simulated cycles covered by the stream.
+    pub cycles: u64,
+    /// Total instructions over the stream.
+    pub instructions: u64,
+    /// All violations found, each prefixed with its 1-based line number.
+    pub errors: Vec<String>,
+}
+
+impl StreamReport {
+    /// True when every line parsed, validated, and chained correctly.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// Check every line of `text` against `schema` (when given) and the
+/// stream invariants:
+///
+/// - `epoch` starts at 0 and increases by exactly 1 per record
+/// - `start_cycle` equals the previous record's `end_cycle`
+/// - `end_cycle` is strictly greater than `start_cycle`
+pub fn check_stream(text: &str, schema: Option<&JsonValue>) -> StreamReport {
+    let mut report = StreamReport::default();
+    let mut prev_epoch: Option<u64> = None;
+    let mut prev_end: Option<u64> = None;
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        report.lines += 1;
+        let lineno = idx + 1;
+        let v = match parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                report.errors.push(format!("line {lineno}: not JSON: {e}"));
+                continue;
+            }
+        };
+        if let Some(schema) = schema {
+            for e in validate(schema, &v) {
+                report.errors.push(format!("line {lineno}: {e}"));
+            }
+        }
+        let epoch = v.get("epoch").and_then(JsonValue::as_u64);
+        let start = v.get("start_cycle").and_then(JsonValue::as_u64);
+        let end = v.get("end_cycle").and_then(JsonValue::as_u64);
+        match (epoch, prev_epoch) {
+            (Some(e), None) if e != 0 => {
+                report
+                    .errors
+                    .push(format!("line {lineno}: first epoch is {e}, expected 0"));
+            }
+            (Some(e), Some(p)) if e != p + 1 => {
+                report.errors.push(format!(
+                    "line {lineno}: epoch {e} does not follow {p} (+1 expected)"
+                ));
+            }
+            _ => {}
+        }
+        if let (Some(s), Some(p)) = (start, prev_end) {
+            if s != p {
+                report.errors.push(format!(
+                    "line {lineno}: start_cycle {s} != previous end_cycle {p}"
+                ));
+            }
+        }
+        if let (Some(s), Some(e)) = (start, end) {
+            if e <= s {
+                report
+                    .errors
+                    .push(format!("line {lineno}: end_cycle {e} <= start_cycle {s}"));
+            } else {
+                report.cycles += e - s;
+            }
+        }
+        if let Some(n) = v.get("instructions").and_then(JsonValue::as_u64) {
+            report.instructions += n;
+        }
+        prev_epoch = epoch.or(prev_epoch);
+        prev_end = end.or(prev_end);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCHEMA: &str = include_str!("../../../docs/telemetry.schema.json");
+
+    fn line(epoch: u64, start: u64, end: u64) -> String {
+        format!(
+            "{{\"v\":1,\"epoch\":{epoch},\"start_cycle\":{start},\"end_cycle\":{end},\
+             \"wall_ns\":10,\"cycles_per_sec\":1.0,\"instructions\":5,\"issue_probes\":10,\
+             \"issue_hit_rate\":0.500000,\"node_steps\":8,\"messages\":0,\"fabric_packets\":0,\
+             \"flit_hops\":0,\"link_occupancy\":0.000000,\"coh_packets\":0,\"coh_misses\":0,\
+             \"coh_invalidations\":0,\"coh_writebacks\":0,\"sync_retries\":0,\"shard_steps\":[8]}}\n"
+        )
+    }
+
+    #[test]
+    fn clean_stream_passes() {
+        let schema = parse(SCHEMA).unwrap();
+        let text = format!(
+            "{}{}{}",
+            line(0, 0, 4096),
+            line(1, 4096, 8192),
+            line(2, 8192, 9000)
+        );
+        let r = check_stream(&text, Some(&schema));
+        assert!(r.is_ok(), "{:?}", r.errors);
+        assert_eq!(r.lines, 3);
+        assert_eq!(r.cycles, 9000);
+        assert_eq!(r.instructions, 15);
+    }
+
+    #[test]
+    fn flags_epoch_gap_and_cycle_discontinuity() {
+        let text = format!("{}{}", line(0, 0, 4096), line(2, 5000, 8192));
+        let r = check_stream(&text, None);
+        assert!(r
+            .errors
+            .iter()
+            .any(|e| e.contains("epoch 2 does not follow 0")));
+        assert!(r
+            .errors
+            .iter()
+            .any(|e| e.contains("start_cycle 5000 != previous end_cycle 4096")));
+    }
+
+    #[test]
+    fn flags_nonzero_first_epoch_and_empty_epoch_span() {
+        let text = format!("{}{}", line(3, 0, 4096), line(4, 4096, 4096));
+        let r = check_stream(&text, None);
+        assert!(r.errors.iter().any(|e| e.contains("first epoch is 3")));
+        assert!(r
+            .errors
+            .iter()
+            .any(|e| e.contains("end_cycle 4096 <= start_cycle 4096")));
+    }
+
+    #[test]
+    fn flags_schema_violations_with_line_numbers() {
+        let schema = parse(SCHEMA).unwrap();
+        let text = "{\"v\":2,\"epoch\":0}\nnot json\n";
+        let r = check_stream(text, Some(&schema));
+        assert!(!r.is_ok());
+        assert!(r.errors.iter().any(|e| e.starts_with("line 1:")));
+        assert!(r.errors.iter().any(|e| e.starts_with("line 2: not JSON")));
+    }
+}

@@ -16,8 +16,11 @@
 
 use m_machine::machine::{MMachine, MachineConfig};
 use mm_bench::alloc_probe;
-use mm_bench::scaling::{build_busy_scenario, ALLOC_WARM_CYCLES, ALLOC_WINDOW_CYCLES};
+use mm_bench::scaling::{
+    build_busy_scenario, build_busy_scenario_telemetry, ALLOC_WARM_CYCLES, ALLOC_WINDOW_CYCLES,
+};
 use mm_isa::reg::Reg;
+use mm_telemetry::TelemetryConfig;
 use std::sync::Arc;
 
 #[global_allocator]
@@ -121,6 +124,46 @@ fn steady_state_busy_cycles_allocate_nothing() {
         "steady-state busy-traffic (remote store) cycles performed \
          {delta} heap allocations"
     );
+
+    // Phase 2b: the same busy-traffic scenario with telemetry sampling
+    // *on*, streaming JSONL to a sink, at a deliberately small epoch so
+    // the measured window crosses dozens of boundaries. This pins the
+    // observability layer's allocation discipline (mm-telemetry crate
+    // docs): the ring is pre-allocated, the counter snapshot is a flat
+    // `Copy` struct, and each stream line is formatted into a
+    // capacity-reserved buffer — so a window full of samples still
+    // allocates exactly nothing.
+    let sink = std::env::temp_dir().join("mm_zero_alloc_telemetry.jsonl");
+    let telemetry = TelemetryConfig {
+        enabled: true,
+        epoch_cycles: 64,
+        ring_epochs: 0,
+        stream_path: Some(sink.clone()),
+    };
+    let mut tele = build_busy_scenario_telemetry((4, 4, 1), ITERS, Some(1), telemetry);
+    tele.run_cycles(ALLOC_WARM_CYCLES);
+    let epochs_before = tele.telemetry().expect("telemetry enabled").ring().len();
+    let before = alloc_probe::allocations();
+    tele.run_cycles(ALLOC_WINDOW_CYCLES);
+    let delta = alloc_probe::allocations() - before;
+    let epochs_sampled = tele.telemetry().expect("telemetry enabled").ring().len() - epochs_before;
+    for i in 0..tele.node_count() {
+        assert_eq!(
+            tele.node(i).thread_state(0, 0),
+            m_machine::sim::HState::Running,
+            "telemetry-on busy node {i} halted inside the measured window"
+        );
+    }
+    assert!(
+        epochs_sampled >= 50,
+        "the window must actually sample epochs (got {epochs_sampled})"
+    );
+    assert_eq!(
+        delta, 0,
+        "telemetry-on busy cycles performed {delta} heap allocations \
+         across {epochs_sampled} sampled epochs"
+    );
+    let _ = std::fs::remove_file(&sink);
 
     // Phase 3: the §4.3 software-coherence scenario. The *cycle kernel*
     // and the message path stay allocation-free (bodies are inline
