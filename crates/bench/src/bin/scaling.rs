@@ -28,6 +28,7 @@
 //! `telemetry.jsonl`) at `--epoch` cycles per epoch (default 4096).
 
 use mm_bench::coherence::{run_coherence, CoherencePoint};
+use mm_bench::faults::{run_crash_recovery, run_fault_campaign};
 use mm_bench::gate;
 use mm_bench::scaling::{
     build_busy_scenario_telemetry, busy_traffic_comparison, host_cores, idle_heavy_comparison,
@@ -440,6 +441,9 @@ fn main() {
     let gate_mode = args.iter().any(|a| a == "--gate");
     let coherence_smoke = args.iter().any(|a| a == "--coherence-smoke");
     let traffic_smoke = args.iter().any(|a| a == "--traffic-smoke");
+    let fault_campaign = args.iter().any(|a| a == "--fault-campaign");
+    let fault_seed: u64 = flag_value(&args, "--fault-seed")
+        .map_or(7, |v| v.parse().expect("--fault-seed takes an integer"));
     let telemetry = args.iter().any(|a| a == "--telemetry");
     let telemetry_out =
         flag_value(&args, "--telemetry-out").unwrap_or_else(|| "telemetry.jsonl".into());
@@ -502,6 +506,98 @@ fn main() {
         );
         std::fs::write("BENCH_traffic_smoke.json", &json).expect("write BENCH_traffic_smoke.json");
         println!("wrote BENCH_traffic_smoke.json");
+        return;
+    }
+
+    if fault_campaign {
+        // CI's fault smoke and the robustness headline: a seeded
+        // campaign (link corruption/drops/delays, DRAM upsets, a stall
+        // window) over the busy-traffic scenario, serial vs parallel,
+        // plus the crash-recovery round trip (watchdog trip →
+        // checkpoint restore → completed run, bit-identical to a run
+        // that never crashed).
+        println!("== fault campaign: seeded injection over busy traffic (seed {fault_seed}) ==");
+        let p = run_fault_campaign((2, 2, 1), 24, workers, fault_seed);
+        println!(
+            "2x2x1: {} cycles, corrupted {}, dropped {}, delayed {}, dram flips {}, \
+             scheduled events {}",
+            p.cycles,
+            p.report.packets_corrupted,
+            p.report.packets_dropped,
+            p.report.packets_delayed,
+            p.report.dram_flips,
+            p.report.events_applied
+        );
+        println!(
+            "recovery: {} crc-nacks, {} retransmits, {} dup-drops, {} ecc-corrected, \
+             {} ecc-double",
+            p.crc_nacks, p.report.retransmits, p.dup_drops, p.ecc_corrected, p.ecc_double_errors
+        );
+        println!(
+            "deterministic across engines: {}   completed despite faults: {}",
+            p.stats_match, p.completed
+        );
+        assert!(p.stats_match, "fault campaign diverged across engines");
+        assert!(p.completed, "fault campaign left faulted threads");
+        assert!(
+            p.report.packets_corrupted + p.report.packets_dropped > 0 && p.report.retransmits > 0,
+            "campaign must fault packets and recover them"
+        );
+
+        println!("\n== crash recovery: watchdog trip -> checkpoint restore -> completion ==");
+        let r = run_crash_recovery((2, 1, 1), 1_000, workers);
+        println!(
+            "checkpoint at cycle {} ({} bytes); watchdog tripped at {}; diagnostic {}",
+            r.checkpoint_at,
+            r.checkpoint_bytes,
+            r.tripped_at,
+            if r.diagnostic_captured {
+                "captured"
+            } else {
+                "MISSING"
+            }
+        );
+        println!(
+            "restored run completed: {}   bit-identical to uninterrupted run: {}",
+            r.recovered, r.stats_match
+        );
+        assert!(
+            r.diagnostic_captured && r.recovered && r.stats_match,
+            "crash-recovery round trip failed"
+        );
+
+        let json = format!(
+            "{{\n  \"fault_campaign\": {{\"dims\": \"2x2x1\", \"seed\": {}, \"cycles\": {}, \
+             \"packets_corrupted\": {}, \"packets_dropped\": {}, \"packets_delayed\": {}, \
+             \"dram_flips\": {}, \"events_applied\": {}, \"crc_nacks\": {}, \"retransmits\": {}, \
+             \"dup_drops\": {}, \"ecc_corrected\": {}, \"ecc_double_errors\": {}, \
+             \"stats_match\": {}, \"completed\": {}}},\n  \
+             \"crash_recovery\": {{\"dims\": \"2x1x1\", \"checkpoint_at\": {}, \
+             \"checkpoint_bytes\": {}, \"tripped_at\": {}, \"diagnostic_captured\": {}, \
+             \"recovered\": {}, \"stats_match\": {}}},\n  \"host_cores\": {cores}\n}}\n",
+            p.seed,
+            p.cycles,
+            p.report.packets_corrupted,
+            p.report.packets_dropped,
+            p.report.packets_delayed,
+            p.report.dram_flips,
+            p.report.events_applied,
+            p.crc_nacks,
+            p.report.retransmits,
+            p.dup_drops,
+            p.ecc_corrected,
+            p.ecc_double_errors,
+            p.stats_match,
+            p.completed,
+            r.checkpoint_at,
+            r.checkpoint_bytes,
+            r.tripped_at,
+            r.diagnostic_captured,
+            r.recovered,
+            r.stats_match
+        );
+        std::fs::write("BENCH_faults.json", &json).expect("write BENCH_faults.json");
+        println!("wrote BENCH_faults.json");
         return;
     }
 

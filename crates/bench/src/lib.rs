@@ -9,6 +9,7 @@
 
 pub mod alloc_probe;
 pub mod coherence;
+pub mod faults;
 pub mod gate;
 pub mod scaling;
 pub mod traffic;
@@ -546,6 +547,7 @@ pub fn network_sweep() -> Vec<NetworkRow> {
                 dip: Word::ZERO,
                 addr: Word::ZERO,
                 body: [Word::ZERO].into(),
+                wire: Default::default(),
             }),
         );
         rows.push(NetworkRow { hops, latency: t });

@@ -359,9 +359,29 @@ pub fn build_busy_scenario_telemetry(
     workers: Option<usize>,
     telemetry: TelemetryConfig,
 ) -> MMachine {
+    build_busy_scenario_full(dims, iters, workers, telemetry, None)
+}
+
+/// [`build_busy_scenario_telemetry`] with an optional fault campaign
+/// armed — the fault-injection benches, `scaling --fault-campaign` and
+/// `mmctl run --faults` all build their machines here so every consumer
+/// runs the identical workload.
+///
+/// # Panics
+///
+/// As [`build_busy_scenario`].
+#[must_use]
+pub fn build_busy_scenario_full(
+    dims: (u8, u8, u8),
+    iters: u64,
+    workers: Option<usize>,
+    telemetry: TelemetryConfig,
+    faults: Option<mm_faults::FaultPlanConfig>,
+) -> MMachine {
     let mut cfg = scenario_config(dims);
     cfg.engine.workers = workers;
     cfg.telemetry = telemetry;
+    cfg.faults = faults;
     let mut m = MMachine::build(cfg).expect("scenario config is valid");
     let n = m.node_count();
     assert!(

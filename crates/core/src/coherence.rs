@@ -35,6 +35,7 @@
 //! producer/consumer code the paper's "thread does not block until it
 //! needs the data" behaviour. They never leave the node.
 
+use mm_faults::{CkptError, Dec, Enc};
 use mm_isa::op::{Priority, SyncPost, SyncPre};
 use mm_isa::word::Word;
 use mm_mem::ltlb::{BlockStatus, LtlbEntry, BLOCK_WORDS, PAGE_WORDS};
@@ -222,6 +223,7 @@ fn encode_msg(
         dip: Word::from_u64(op as u64),
         addr: Word::from_u64(block_va),
         body,
+        wire: Default::default(),
     }
 }
 
@@ -1121,6 +1123,286 @@ impl NodeCoh {
         self.frames.insert(vpn, slot);
         assert!(node.mem.tlb_install(slot));
     }
+
+    /// Serialize the handler's complete protocol state (directory, wait
+    /// records, charged actions, composed messages, frame table, stats).
+    /// Config and coordinates are not written — restore targets an
+    /// identically-built machine.
+    pub(crate) fn save_state(&self, e: &mut Enc) {
+        e.usize(self.directory.len());
+        for (block, entry) in &self.directory {
+            e.u64(*block);
+            e.usize(entry.sharers.len());
+            for s in &entry.sharers {
+                e.u64(s.encode());
+            }
+            match entry.owner {
+                Some(o) => {
+                    e.u8(1);
+                    e.u64(o.encode());
+                }
+                None => e.u8(0),
+            }
+            e.bool(entry.recalling);
+            e.bool(entry.grant_pending);
+            e.usize(entry.queued.len());
+            for q in &entry.queued {
+                e.u64(q.from.encode());
+                e.bool(q.write);
+            }
+        }
+        e.usize(self.waiting.len());
+        for (block, w) in &self.waiting {
+            e.u64(*block);
+            e.usize(w.records.len());
+            for (t0, rec) in &w.records {
+                e.u64(*t0);
+                encode_record_words(e, rec);
+            }
+            e.bool(w.read_sent);
+            e.bool(w.write_sent);
+        }
+        let pending = self.pending.snapshot();
+        e.usize(pending.len());
+        for (ready, p) in pending {
+            e.u64(ready);
+            encode_pending(e, p);
+        }
+        e.usize(self.outbound.len());
+        for m in &self.outbound {
+            m.encode(e);
+        }
+        e.usize(self.frames.len());
+        for (vpn, slot) in &self.frames {
+            e.u64(*vpn);
+            e.u64(*slot);
+        }
+        e.u64(self.next_frame);
+        let s = &self.stats;
+        for v in [
+            s.block_fetches,
+            s.invalidations,
+            s.writebacks,
+            s.sync_retries,
+            s.unknown_events,
+            s.unmapped_faults,
+            s.replay_decode_errors,
+            s.fetch_latency_cycles,
+            s.fetch_replays,
+        ] {
+            e.u64(v);
+        }
+    }
+
+    /// Restore state saved by [`NodeCoh::save_state`].
+    pub(crate) fn load_state(&mut self, d: &mut Dec<'_>) -> Result<(), CkptError> {
+        self.directory.clear();
+        for _ in 0..d.usize()? {
+            let block = d.u64()?;
+            let mut sharers = BTreeSet::new();
+            for _ in 0..d.usize()? {
+                sharers.insert(NodeCoord::decode(d.u64()?));
+            }
+            let owner = match d.u8()? {
+                0 => None,
+                1 => Some(NodeCoord::decode(d.u64()?)),
+                t => return Err(CkptError(format!("bad owner tag {t}"))),
+            };
+            let recalling = d.bool()?;
+            let grant_pending = d.bool()?;
+            let mut queued = VecDeque::new();
+            for _ in 0..d.usize()? {
+                queued.push_back(QFetch {
+                    from: NodeCoord::decode(d.u64()?),
+                    write: d.bool()?,
+                });
+            }
+            self.directory.insert(
+                block,
+                DirEntry {
+                    sharers,
+                    owner,
+                    recalling,
+                    grant_pending,
+                    queued,
+                },
+            );
+        }
+        self.waiting.clear();
+        for _ in 0..d.usize()? {
+            let block = d.u64()?;
+            let mut records = Vec::new();
+            for _ in 0..d.usize()? {
+                let t0 = d.u64()?;
+                records.push((t0, decode_record_words(d)?));
+            }
+            self.waiting.insert(
+                block,
+                BlockWait {
+                    records,
+                    read_sent: d.bool()?,
+                    write_sent: d.bool()?,
+                },
+            );
+        }
+        let mut pending = Vec::new();
+        for _ in 0..d.usize()? {
+            let ready = d.u64()?;
+            pending.push((ready, decode_pending(d)?));
+        }
+        self.pending.restore(pending);
+        self.outbound.clear();
+        for _ in 0..d.usize()? {
+            self.outbound.push_back(Message::decode(d)?);
+        }
+        self.frames.clear();
+        for _ in 0..d.usize()? {
+            let vpn = d.u64()?;
+            let slot = d.u64()?;
+            self.frames.insert(vpn, slot);
+        }
+        self.next_frame = d.u64()?;
+        self.stats = CoherenceStats {
+            block_fetches: d.u64()?,
+            invalidations: d.u64()?,
+            writebacks: d.u64()?,
+            sync_retries: d.u64()?,
+            unknown_events: d.u64()?,
+            unmapped_faults: d.u64()?,
+            replay_decode_errors: d.u64()?,
+            fetch_latency_cycles: d.u64()?,
+            fetch_replays: d.u64()?,
+        };
+        Ok(())
+    }
+}
+
+/// Encode one `[Word; 3]` event/replay record.
+fn encode_record_words(e: &mut Enc, rec: &[Word; 3]) {
+    for w in rec {
+        mm_net::message::encode_word(e, *w);
+    }
+}
+
+fn decode_record_words(d: &mut Dec<'_>) -> Result<[Word; 3], CkptError> {
+    Ok([
+        mm_net::message::decode_word(d)?,
+        mm_net::message::decode_word(d)?,
+        mm_net::message::decode_word(d)?,
+    ])
+}
+
+/// Encode one 8-word block payload (value bits, pointer tag, sync bit).
+fn encode_block_data(e: &mut Enc, data: &[MemWord; BLOCK_WORDS as usize]) {
+    for w in data {
+        e.u64(w.word.bits());
+        e.bool(w.word.is_pointer());
+        e.bool(w.sync);
+    }
+}
+
+fn decode_block_data(d: &mut Dec<'_>) -> Result<[MemWord; BLOCK_WORDS as usize], CkptError> {
+    let mut data = [MemWord::default(); BLOCK_WORDS as usize];
+    for w in &mut data {
+        let bits = d.u64()?;
+        let ptr = d.bool()?;
+        *w = MemWord::with_sync(Word::from_raw(bits, ptr), d.bool()?);
+    }
+    Ok(data)
+}
+
+/// Tagged codec for charged firmware actions (tags follow declaration
+/// order; any change here is a checkpoint format change).
+fn encode_pending(e: &mut Enc, p: &Pending) {
+    match p {
+        Pending::Replay(rec) => {
+            e.u8(0);
+            encode_record_words(e, rec);
+        }
+        Pending::SendFetch { block, write, home } => {
+            e.u8(1);
+            e.u64(*block);
+            e.bool(*write);
+            e.u64(home.encode());
+        }
+        Pending::Service { from, block, write } => {
+            e.u8(2);
+            e.u64(from.encode());
+            e.u64(*block);
+            e.bool(*write);
+        }
+        Pending::ServiceRecall {
+            block,
+            home,
+            patience,
+        } => {
+            e.u8(3);
+            e.u64(*block);
+            e.u64(home.encode());
+            e.u64(*patience);
+        }
+        Pending::ServiceWriteback { block, data } => {
+            e.u8(4);
+            e.u64(*block);
+            encode_block_data(e, data);
+        }
+        Pending::ServiceGrant { block, write, data } => {
+            e.u8(5);
+            e.u64(*block);
+            e.bool(*write);
+            encode_block_data(e, data);
+        }
+        Pending::ServiceInvalidate { block } => {
+            e.u8(6);
+            e.u64(*block);
+        }
+        Pending::LocalGrant { block, write } => {
+            e.u8(7);
+            e.u64(*block);
+            e.bool(*write);
+        }
+        Pending::SendMsg(msg) => {
+            e.u8(8);
+            msg.encode(e);
+        }
+    }
+}
+
+fn decode_pending(d: &mut Dec<'_>) -> Result<Pending, CkptError> {
+    Ok(match d.u8()? {
+        0 => Pending::Replay(decode_record_words(d)?),
+        1 => Pending::SendFetch {
+            block: d.u64()?,
+            write: d.bool()?,
+            home: NodeCoord::decode(d.u64()?),
+        },
+        2 => Pending::Service {
+            from: NodeCoord::decode(d.u64()?),
+            block: d.u64()?,
+            write: d.bool()?,
+        },
+        3 => Pending::ServiceRecall {
+            block: d.u64()?,
+            home: NodeCoord::decode(d.u64()?),
+            patience: d.u64()?,
+        },
+        4 => Pending::ServiceWriteback {
+            block: d.u64()?,
+            data: decode_block_data(d)?,
+        },
+        5 => Pending::ServiceGrant {
+            block: d.u64()?,
+            write: d.bool()?,
+            data: decode_block_data(d)?,
+        },
+        6 => Pending::ServiceInvalidate { block: d.u64()? },
+        7 => Pending::LocalGrant {
+            block: d.u64()?,
+            write: d.bool()?,
+        },
+        8 => Pending::SendMsg(Message::decode(d)?),
+        t => return Err(CkptError(format!("bad pending-action tag {t}"))),
+    })
 }
 
 // ====================================================================
@@ -1171,6 +1453,29 @@ impl CoherenceEngine {
     /// holding `va` (experiment setup; see [`NodeCoh::map_coherent_page`]).
     pub(crate) fn map_coherent_page(&mut self, idx: usize, node: &mut Node, va: u64) {
         self.nodes[idx].map_coherent_page(node, va);
+    }
+
+    /// Serialize every handler, in node order.
+    pub(crate) fn save_state(&self, e: &mut Enc) {
+        e.usize(self.nodes.len());
+        for n in &self.nodes {
+            n.save_state(e);
+        }
+    }
+
+    /// Restore state saved by [`CoherenceEngine::save_state`].
+    pub(crate) fn load_state(&mut self, d: &mut Dec<'_>) -> Result<(), CkptError> {
+        let n = d.usize()?;
+        if n != self.nodes.len() {
+            return Err(CkptError(format!(
+                "coherence handler count mismatch: checkpoint has {n}, machine has {}",
+                self.nodes.len()
+            )));
+        }
+        for h in &mut self.nodes {
+            h.load_state(d)?;
+        }
+        Ok(())
     }
 }
 

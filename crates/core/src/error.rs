@@ -16,6 +16,19 @@ pub enum MachineError {
     },
     /// Assembly failed while preparing a program.
     Asm(mm_isa::AsmError),
+    /// The liveness watchdog saw user threads running but zero progress
+    /// for the configured number of consecutive epochs and aborted the
+    /// run deterministically (diagnostic state was dumped first — see
+    /// [`crate::machine::MMachine::last_diagnostic`]).
+    WatchdogTripped {
+        /// Consecutive progress-free epochs observed.
+        epochs: u64,
+        /// The machine cycle at which the watchdog fired.
+        at: u64,
+    },
+    /// A checkpoint could not be decoded or does not match this
+    /// machine's configuration.
+    Checkpoint(String),
 }
 
 impl fmt::Display for MachineError {
@@ -29,6 +42,12 @@ impl fmt::Display for MachineError {
                 )
             }
             MachineError::Asm(e) => write!(f, "assembly failed: {e}"),
+            MachineError::WatchdogTripped { epochs, at } => write!(
+                f,
+                "liveness watchdog tripped at cycle {at}: threads running but \
+                 no progress for {epochs} consecutive epochs"
+            ),
+            MachineError::Checkpoint(s) => write!(f, "checkpoint rejected: {s}"),
         }
     }
 }
@@ -45,6 +64,12 @@ impl std::error::Error for MachineError {
 impl From<mm_isa::AsmError> for MachineError {
     fn from(e: mm_isa::AsmError) -> MachineError {
         MachineError::Asm(e)
+    }
+}
+
+impl From<mm_faults::CkptError> for MachineError {
+    fn from(e: mm_faults::CkptError) -> MachineError {
+        MachineError::Checkpoint(e.0)
     }
 }
 

@@ -5,6 +5,9 @@ use crate::error::MachineError;
 use crate::pool::NodePool;
 use crate::shard::{step_shard, WorkerPool};
 use crate::timeline::{PacketKind, Phase, Timeline};
+use mm_faults::{
+    CkptError, Dec, Enc, FaultKind, FaultPlan, FaultPlanConfig, PacketFault, ScheduledFault,
+};
 use mm_isa::instr::Program;
 use mm_isa::pointer::{GuardedPointer, Perm};
 use mm_isa::reg::Reg;
@@ -14,7 +17,20 @@ use mm_net::message::{Message, NodeCoord, Packet};
 use mm_runtime::image::{boot_node, BootInfo, BootSpec, RuntimeImage};
 use mm_sim::{EngineConfig, HState, Node, NodeConfig, StepScratch, NUM_CLUSTERS, USER_SLOTS};
 use mm_telemetry::{CounterSnapshot, Telemetry, TelemetryConfig, MAX_SHARDS};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+
+/// Checkpoint stream magic ("MMCKPT01" as bytes, sort of).
+const CKPT_MAGIC: u64 = 0x4D4D_434B_5054_3031;
+/// Checkpoint format version.
+const CKPT_VERSION: u32 = 1;
+/// Retransmissions a single message may suffer faults across before
+/// the plan stops touching it — bounded retry, so an adversarial
+/// `corrupt_pct: 100` campaign still makes forward progress.
+const RETRY_CAP: u32 = 8;
+/// Watchdog epoch width when the config leaves it zero.
+const WATCHDOG_EPOCH_DEFAULT: u64 = 4096;
 
 /// Machine-wide configuration.
 #[derive(Debug, Clone)]
@@ -45,6 +61,19 @@ pub struct MachineConfig {
     /// sink). Host-side and read-only: simulated results are
     /// bit-identical with telemetry on or off.
     pub telemetry: TelemetryConfig,
+    /// Deterministic fault campaign (`None` = no hooks armed; the whole
+    /// per-cycle cost is then one branch per phase). The plan is a pure
+    /// function of the config and the node count, so dense/serial/
+    /// parallel runs of one campaign stay bit-identical.
+    pub faults: Option<FaultPlanConfig>,
+    /// Liveness watchdog: abort [`MMachine::run_until`] after this many
+    /// *consecutive* progress-free epochs while threads are still
+    /// running. 0 disables the watchdog entirely (the default — no
+    /// behavior change for existing configurations).
+    pub watchdog_epochs: u64,
+    /// Watchdog epoch width in cycles (0 picks the built-in default of
+    /// 4096).
+    pub watchdog_epoch_cycles: u64,
 }
 
 impl Default for MachineConfig {
@@ -69,6 +98,9 @@ impl MachineConfig {
             trace: true,
             engine: EngineConfig::default(),
             telemetry: TelemetryConfig::default(),
+            faults: None,
+            watchdog_epochs: 0,
+            watchdog_epoch_cycles: 0,
         }
     }
 
@@ -139,6 +171,148 @@ impl MachinePerf {
     }
 }
 
+/// End-of-run counters of an armed fault campaign (what the campaign
+/// did and what the recovery machinery absorbed). All architectural:
+/// identical across engines and worker counts for one plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Scheduled events (DRAM flips, stall windows) applied so far.
+    pub events_applied: u64,
+    /// DRAM upset events landed (each may flip one or two bits).
+    pub dram_flips: u64,
+    /// User packets corrupted in flight.
+    pub packets_corrupted: u64,
+    /// User packets that lost a flit in flight.
+    pub packets_dropped: u64,
+    /// User packets delivered late.
+    pub packets_delayed: u64,
+    /// Pristine copies re-sent after a checksum NACK came back.
+    pub retransmits: u64,
+    /// Faults suppressed because the message already burned its retry
+    /// budget (`RETRY_CAP` faults) — the liveness escape hatch.
+    pub retries_capped: u64,
+}
+
+/// The machine-side runtime of an armed [`FaultPlan`]: the event
+/// cursor, the per-cycle packet counters feeding the plan's pure
+/// per-packet decision, and the pristine copies backing NACK-driven
+/// retransmission. Fully serialized into checkpoints.
+#[derive(Debug)]
+struct FaultState {
+    plan: FaultPlan,
+    /// Next unapplied index into `plan.events()`.
+    cursor: usize,
+    /// Any link window exists → user packets are CRC-sealed at
+    /// injection and delivered through the checking path.
+    link_armed: bool,
+    /// Per-node `(cycle, packets injected that cycle)` — the
+    /// deterministic `nth` fed to the plan's pure packet decision,
+    /// reset by tag comparison so no per-cycle sweep is needed.
+    inject_marks: Vec<(u64, u32)>,
+    /// Pristine copies of messages a fault mutated, keyed by
+    /// `(source coord encode, wire seq)`; the value counts faults that
+    /// message has suffered so retries stay bounded. Entries persist
+    /// for the run (bounded by faults injected, not messages sent).
+    pristine: BTreeMap<(u64, u64), (Message, u32)>,
+    report: FaultReport,
+}
+
+impl FaultState {
+    fn new(plan: FaultPlan, nodes: usize) -> FaultState {
+        FaultState {
+            link_armed: plan.has_link_faults(),
+            plan,
+            cursor: 0,
+            inject_marks: vec![(0, 0); nodes],
+            pristine: BTreeMap::new(),
+            report: FaultReport::default(),
+        }
+    }
+
+    /// May this message be faulted (again)? Records the pristine copy on
+    /// first fault; refuses once the per-message budget is spent.
+    fn fault_budget(&mut self, msg: &Message) -> bool {
+        if msg.wire.seq == 0 {
+            return false;
+        }
+        let key = (msg.src.encode(), msg.wire.seq);
+        let entry = self.pristine.entry(key).or_insert_with(|| (msg.clone(), 0));
+        if entry.1 >= RETRY_CAP {
+            self.report.retries_capped += 1;
+            return false;
+        }
+        entry.1 += 1;
+        true
+    }
+
+    /// A returned message is entering the resend path. A checksum
+    /// mismatch means the fabric mangled it — substitute the pristine
+    /// copy (the NACK-driven retransmission); an intact return is the
+    /// ordinary §4.1 queue-full bounce and resends as-is.
+    fn reclaim(&mut self, m: Message) -> Message {
+        if m.wire.seq != 0 && !m.crc_ok() {
+            if let Some((pristine, _)) = self.pristine.get(&(m.src.encode(), m.wire.seq)) {
+                self.report.retransmits += 1;
+                return pristine.clone();
+            }
+        }
+        m
+    }
+}
+
+/// Drain one node's staged packets into the fabric through the armed
+/// fault plan: seal every user message's checksum, then apply the
+/// plan's pure per-packet decision (corrupt / drop a flit / delay).
+/// Free function over split borrows so the machine's phase loops can
+/// call it while iterating nodes.
+fn inject_faulted(
+    fabric: &mut Fabric,
+    fs: &mut FaultState,
+    now: u64,
+    src: usize,
+    packets: &mut Vec<Packet>,
+) {
+    for mut p in packets.drain(..) {
+        let mut delay = 0;
+        if let Packet::User(msg) = &mut p {
+            msg.seal_crc();
+            let mark = &mut fs.inject_marks[src];
+            if mark.0 != now {
+                *mark = (now, 0);
+            }
+            let nth = mark.1;
+            mark.1 += 1;
+            #[allow(clippy::cast_possible_truncation)]
+            let src32 = src as u32;
+            match fs.plan.packet_fault(now, src32, nth) {
+                PacketFault::None => {}
+                PacketFault::Corrupt => {
+                    if fs.fault_budget(msg) {
+                        let (w, b) = fs.plan.corrupt_site(now, src32, nth, msg.payload_words());
+                        msg.corrupt_payload(w, b);
+                        fs.report.packets_corrupted += 1;
+                    }
+                }
+                PacketFault::Drop => {
+                    if fs.fault_budget(msg) {
+                        msg.drop_flit();
+                        fs.report.packets_dropped += 1;
+                    }
+                }
+                PacketFault::Delay(d) => {
+                    fs.report.packets_delayed += 1;
+                    delay = d;
+                }
+            }
+        }
+        if delay > 0 {
+            fabric.inject_delayed(now, p, delay);
+        } else {
+            fabric.inject(now, p);
+        }
+    }
+}
+
 /// The whole multicomputer.
 #[derive(Debug)]
 pub struct MMachine {
@@ -191,6 +365,18 @@ pub struct MMachine {
     /// links that physically exist (interior faces), not the edge
     /// channels `Fabric` allocates but never uses.
     mesh_links: u64,
+    /// The armed fault campaign (`None` in fault-free configurations:
+    /// every hook below degenerates to one branch).
+    faults: Option<FaultState>,
+    /// Consecutive progress-free watchdog epochs observed.
+    watchdog_strikes: u64,
+    /// Progress fingerprint at the last closed watchdog epoch.
+    watchdog_last: u64,
+    /// Next watchdog epoch boundary (cycle).
+    watchdog_next: u64,
+    /// The diagnostic document (reason + full state snapshot) dumped by
+    /// the last watchdog trip or protocol-panic abort.
+    last_diagnostic: Option<String>,
     cycle: u64,
 }
 
@@ -259,6 +445,16 @@ impl MMachine {
         } else {
             None
         };
+        let faults = cfg.faults.clone().map(|fc| {
+            #[allow(clippy::cast_possible_truncation)]
+            let nodes32 = n as u32;
+            FaultState::new(FaultPlan::build(fc, nodes32), n)
+        });
+        let wd_width = if cfg.watchdog_epoch_cycles == 0 {
+            WATCHDOG_EPOCH_DEFAULT
+        } else {
+            cfg.watchdog_epoch_cycles
+        };
         Ok(MMachine {
             coherence: CoherenceEngine::new(cfg.coherence, &coords),
             spec,
@@ -284,6 +480,11 @@ impl MMachine {
             telemetry,
             shard_chunk,
             mesh_links,
+            faults,
+            watchdog_strikes: 0,
+            watchdog_last: 0,
+            watchdog_next: wd_width,
+            last_diagnostic: None,
             cycle: 0,
             cfg,
         })
@@ -447,6 +648,16 @@ impl MMachine {
             snap.node_steps += st.steps;
             snap.messages += st.sends;
             snap.shard_steps[(i / chunk).min(MAX_SHARDS - 1)] += st.steps;
+            let ns = n.net.stats();
+            snap.crc_nacks += ns.crc_nacks;
+            snap.dup_drops += ns.dup_drops;
+            snap.bounces += ns.returned_here;
+            let ms = n.mem.sdram_stats();
+            snap.ecc_corrected += ms.ecc_corrected;
+            snap.ecc_double_errors += ms.ecc_double_errors;
+        }
+        if let Some(fs) = &self.faults {
+            snap.retransmits = fs.report.retransmits;
         }
         snap
     }
@@ -654,7 +865,168 @@ impl MMachine {
         for &(due, _, _) in &self.resends {
             best = earliest(best, Some(due.max(now)));
         }
+        // The next scheduled fault forces an active cycle: a
+        // fast-forward must never jump over a DRAM upset or a stall
+        // window opening.
+        if let Some(fs) = &self.faults {
+            if let Some(ev) = fs.plan.events().get(fs.cursor) {
+                best = earliest(best, Some(ev.at.max(now)));
+            }
+        }
         best
+    }
+
+    /// Apply every scheduled fault due at or before `now`: DRAM bit
+    /// flips land directly in the target node's SDRAM array (ECC left
+    /// stale — that is the point), stall windows gate the node's issue
+    /// stage. One branch per cycle when no campaign is armed.
+    fn apply_due_faults(&mut self, now: u64) {
+        let Some(fs) = &mut self.faults else { return };
+        while let Some(&ScheduledFault { at, kind }) = fs.plan.events().get(fs.cursor) {
+            if at > now {
+                break;
+            }
+            fs.cursor += 1;
+            fs.report.events_applied += 1;
+            match kind {
+                FaultKind::DramFlip {
+                    node,
+                    addr,
+                    bit,
+                    second_bit,
+                } => {
+                    let i = (node as usize).min(self.nodes.len() - 1);
+                    let sdram = self.nodes[i].mem.sdram_mut();
+                    let cap = sdram.capacity().max(1);
+                    sdram.inject_bit_flip(addr % cap, u32::from(bit) % 64);
+                    if let Some(b2) = second_bit {
+                        sdram.inject_bit_flip(addr % cap, u32::from(b2) % 64);
+                    }
+                    fs.report.dram_flips += 1;
+                }
+                FaultKind::StallIssue { node, until } => {
+                    let i = (node as usize).min(self.nodes.len() - 1);
+                    self.nodes[i].stall_issue_until(until);
+                    self.pool.wake(i);
+                }
+            }
+        }
+    }
+
+    /// The watchdog's architectural progress fingerprint: instructions
+    /// issued plus fabric packets carried. Pure machine state, so the
+    /// verdict is identical across engines and worker counts.
+    fn progress_fingerprint(&self) -> u64 {
+        let mut fp = self.fabric.stats().packets;
+        for n in &self.nodes {
+            fp += n.stats().instructions;
+        }
+        fp
+    }
+
+    /// Close every watchdog epoch the clock has crossed; trip after the
+    /// configured number of consecutive progress-free epochs with
+    /// threads still running. Cost when disabled: one comparison per
+    /// processed cycle. A fast-forward may cross several boundaries at
+    /// once; each counts (the machine provably did nothing in them).
+    fn watchdog_poll(&mut self) -> Result<(), MachineError> {
+        if self.cfg.watchdog_epochs == 0 || self.watchdog_next > self.cycle {
+            return Ok(());
+        }
+        let width = self.watchdog_width();
+        // One fingerprint sample covers every boundary the clock has
+        // crossed since the last poll. Crossings are usually single:
+        // `run_until` clamps fast-forwards at the next boundary. A
+        // multi-epoch crossing happens only when cycles were run
+        // through a non-polling driver (`run_cycles`, `naive_step`)
+        // in between — then one comparison decides for the whole span,
+        // which can only under-count stuck epochs, never invent them.
+        let crossed = (self.cycle - self.watchdog_next) / width + 1;
+        let boundary = self.watchdog_next + (crossed - 1) * width;
+        self.watchdog_next = boundary + width;
+        let fp = self.progress_fingerprint();
+        let stuck = fp == self.watchdog_last && self.pool.any_thread_running();
+        self.watchdog_last = fp;
+        if !stuck {
+            self.watchdog_strikes = 0;
+            return Ok(());
+        }
+        self.watchdog_strikes += crossed;
+        if self.watchdog_strikes >= self.cfg.watchdog_epochs {
+            let epochs = self.watchdog_strikes;
+            self.watchdog_strikes = 0;
+            self.record_diagnostic("watchdog");
+            return Err(MachineError::WatchdogTripped {
+                epochs,
+                at: boundary,
+            });
+        }
+        Ok(())
+    }
+
+    /// Reconfigure the liveness watchdog on a live machine — the
+    /// operator knob a recovery run uses to restore a checkpoint with
+    /// more patience than the configuration that aborted the original.
+    /// `epochs == 0` disables the watchdog; `epoch_cycles == 0` keeps
+    /// the default epoch width. Strikes reset and the next epoch starts
+    /// one (new) width from now.
+    pub fn set_watchdog(&mut self, epochs: u64, epoch_cycles: u64) {
+        self.cfg.watchdog_epochs = epochs;
+        self.cfg.watchdog_epoch_cycles = epoch_cycles;
+        self.watchdog_strikes = 0;
+        self.watchdog_last = self.progress_fingerprint();
+        self.watchdog_next = self.cycle + self.watchdog_width();
+    }
+
+    /// The watchdog epoch width in cycles (config, with the default
+    /// applied).
+    fn watchdog_width(&self) -> u64 {
+        if self.cfg.watchdog_epoch_cycles == 0 {
+            WATCHDOG_EPOCH_DEFAULT
+        } else {
+            self.cfg.watchdog_epoch_cycles
+        }
+    }
+
+    /// Flush telemetry and capture the full inspectable state as the
+    /// diagnostic document readable via [`MMachine::last_diagnostic`].
+    fn record_diagnostic(&mut self, reason: &str) {
+        self.telemetry_flush();
+        let snap = self.snapshot_json();
+        let mut doc = String::with_capacity(snap.len() + 48);
+        doc.push_str("{\"reason\":\"");
+        doc.push_str(reason);
+        doc.push_str("\",\"snapshot\":");
+        doc.push_str(&snap);
+        doc.push('}');
+        self.last_diagnostic = Some(doc);
+    }
+
+    /// A protocol invariant just panicked mid-cycle (bounded patience,
+    /// unmapped coherent block): dump the diagnostic state to stderr so
+    /// the abort is debuggable, then let the caller re-raise.
+    fn dump_panic_diagnostic(&mut self) {
+        self.record_diagnostic("panic");
+        if let Some(doc) = &self.last_diagnostic {
+            eprintln!(
+                "mm-core: fatal protocol error at cycle {}; diagnostic state:\n{doc}",
+                self.cycle
+            );
+        }
+    }
+
+    /// The diagnostic document (reason + full state snapshot) recorded
+    /// by the last watchdog trip or protocol-panic abort, if any.
+    #[must_use]
+    pub fn last_diagnostic(&self) -> Option<&str> {
+        self.last_diagnostic.as_deref()
+    }
+
+    /// End-of-run counters of the armed fault campaign (`None` when the
+    /// configuration is fault-free).
+    #[must_use]
+    pub fn fault_report(&self) -> Option<FaultReport> {
+        self.faults.as_ref().map(|f| f.report)
     }
 
     /// Process one *active* cycle: step every awake or due node (its own
@@ -674,31 +1046,57 @@ impl MMachine {
     fn step_cycle(&mut self, now: u64) {
         debug_assert_eq!(self.cycle, now, "step_cycle processes the current cycle");
 
+        // 0. Land scheduled faults due this cycle (one branch when no
+        // campaign is armed; `next_work` folds the next event in, so a
+        // fast-forward always stops exactly on an event's cycle).
+        self.apply_due_faults(now);
+        let checked = self.faults.as_ref().is_some_and(|f| f.link_armed);
+
         // 1. Awake and due nodes compute (and run their coherence
-        // handlers); quiescent nodes are skipped.
+        // handlers); quiescent nodes are skipped. A protocol panic
+        // (bounded patience, unmapped coherent block) unwinds through
+        // here: dump the diagnostic state first, then re-raise it
+        // unchanged.
         let mut stepped = std::mem::take(&mut self.stepped_buf);
         let mut staged = std::mem::take(&mut self.staged_buf);
         stepped.clear();
         staged.clear();
-        let deltas = match &mut self.worker_pool {
-            Some(workers) => workers.step_shards(
-                &mut self.nodes,
-                self.coherence.handlers_mut(),
-                &mut self.pool,
-                now,
-                &mut stepped,
-                &mut staged,
-            ),
-            None => step_shard(
-                &mut self.nodes,
-                self.coherence.handlers_mut(),
-                self.pool.view_mut(),
-                0,
-                now,
-                &mut stepped,
-                &mut staged,
-                &mut self.step_scratch,
-            ),
+        let result = {
+            let MMachine {
+                worker_pool,
+                nodes,
+                coherence,
+                pool,
+                step_scratch,
+                ..
+            } = self;
+            catch_unwind(AssertUnwindSafe(|| match worker_pool {
+                Some(workers) => workers.step_shards(
+                    nodes,
+                    coherence.handlers_mut(),
+                    pool,
+                    now,
+                    &mut stepped,
+                    &mut staged,
+                ),
+                None => step_shard(
+                    nodes,
+                    coherence.handlers_mut(),
+                    pool.view_mut(),
+                    0,
+                    now,
+                    &mut stepped,
+                    &mut staged,
+                    step_scratch,
+                ),
+            }))
+        };
+        let deltas = match result {
+            Ok(d) => d,
+            Err(payload) => {
+                self.dump_panic_diagnostic();
+                resume_unwind(payload);
+            }
         };
         self.pool.apply_deltas(deltas.0, deltas.1);
 
@@ -720,7 +1118,10 @@ impl MMachine {
             for p in &packets {
                 self.trace_packet(now, i, p, true);
             }
-            self.fabric.inject_all(now, packets.drain(..));
+            match &mut self.faults {
+                Some(fs) => inject_faulted(&mut self.fabric, fs, now, i, &mut packets),
+                None => self.fabric.inject_all(now, packets.drain(..)),
+            }
         }
 
         // 3. Deliver due packets (responses may stage more packets); a
@@ -739,21 +1140,34 @@ impl MMachine {
                 returned_to.push(d);
             }
             self.trace_packet(now, d, &p, false);
-            self.nodes[d].net.deliver(p);
+            if checked {
+                self.nodes[d].net.deliver_checked(p);
+            } else {
+                self.nodes[d].net.deliver(p);
+            }
             self.nodes[d].net.drain_outbox_into(&mut packets);
             for out in &packets {
                 self.trace_packet(now, d, out, true);
             }
-            self.fabric.inject_all(now, packets.drain(..));
+            match &mut self.faults {
+                Some(fs) => inject_faulted(&mut self.fabric, fs, now, d, &mut packets),
+                None => self.fabric.inject_all(now, packets.drain(..)),
+            }
             self.wake_node(d);
         }
         self.delivery_buf = deliveries;
         self.packet_buf = packets;
 
         // 4. Returned messages: hardware backoff, then re-inject (the
-        // re-staged packet is drained when the woken node steps).
+        // re-staged packet is drained when the woken node steps). Under
+        // an armed campaign a returned message failing its checksum is
+        // a NACK of an in-flight fault: the pristine copy is resent.
         for &i in &returned_to {
             while let Some(m) = self.nodes[i].net.pop_returned() {
+                let m = match &mut self.faults {
+                    Some(fs) => fs.reclaim(m),
+                    None => m,
+                };
                 self.resends.push((now + self.cfg.resend_delay, i, m));
             }
         }
@@ -821,39 +1235,72 @@ impl MMachine {
     pub fn naive_step(&mut self) {
         let now = self.cycle;
 
+        // 0. Land scheduled faults due this cycle — the same hook, at
+        // the same point in the cycle, as the quiescence engine's.
+        self.apply_due_faults(now);
+        let checked = self.faults.as_ref().is_some_and(|f| f.link_armed);
+
         // 1. Every node computes, then runs its coherence handler —
         // the same per-node pairing the engines' `step_shard` performs.
-        let scratch = &mut self.step_scratch;
-        let handlers = self.coherence.handlers_mut();
-        for (n, coh) in self.nodes.iter_mut().zip(handlers.iter_mut()) {
-            n.step_with(now, scratch);
-            coh.step(now, n);
+        // Protocol panics dump diagnostic state before re-raising.
+        let result = {
+            let MMachine {
+                nodes,
+                coherence,
+                step_scratch,
+                ..
+            } = self;
+            catch_unwind(AssertUnwindSafe(|| {
+                let handlers = coherence.handlers_mut();
+                for (n, coh) in nodes.iter_mut().zip(handlers.iter_mut()) {
+                    n.step_with(now, step_scratch);
+                    coh.step(now, n);
+                }
+            }))
+        };
+        if let Err(payload) = result {
+            self.dump_panic_diagnostic();
+            resume_unwind(payload);
         }
 
         // 2. Drain outboxes into the fabric.
         for i in 0..self.nodes.len() {
-            let staged = self.nodes[i].net.take_outbox();
+            let mut staged = self.nodes[i].net.take_outbox();
             for p in &staged {
                 self.trace_packet(now, i, p, true);
             }
-            self.fabric.inject_all(now, staged);
+            match &mut self.faults {
+                Some(fs) => inject_faulted(&mut self.fabric, fs, now, i, &mut staged),
+                None => self.fabric.inject_all(now, staged.drain(..)),
+            }
         }
 
         // 3. Deliver due packets (responses may stage more packets).
         for p in self.fabric.deliveries(now) {
             let d = self.spec.linear_index(p.dest()) as usize;
             self.trace_packet(now, d, &p, false);
-            self.nodes[d].net.deliver(p);
-            let staged = self.nodes[d].net.take_outbox();
+            if checked {
+                self.nodes[d].net.deliver_checked(p);
+            } else {
+                self.nodes[d].net.deliver(p);
+            }
+            let mut staged = self.nodes[d].net.take_outbox();
             for out in &staged {
                 self.trace_packet(now, d, out, true);
             }
-            self.fabric.inject_all(now, staged);
+            match &mut self.faults {
+                Some(fs) => inject_faulted(&mut self.fabric, fs, now, d, &mut staged),
+                None => self.fabric.inject_all(now, staged.drain(..)),
+            }
         }
 
         // 4. Returned messages: hardware backoff, then re-inject.
         for i in 0..self.nodes.len() {
             while let Some(m) = self.nodes[i].net.pop_returned() {
+                let m = match &mut self.faults {
+                    Some(fs) => fs.reclaim(m),
+                    None => m,
+                };
                 self.resends.push((now + self.cfg.resend_delay, i, m));
             }
         }
@@ -950,7 +1397,11 @@ impl MMachine {
     ///
     /// # Errors
     ///
-    /// [`MachineError::Timeout`] if the predicate never held.
+    /// [`MachineError::Timeout`] if the predicate never held;
+    /// [`MachineError::WatchdogTripped`] if the liveness watchdog is
+    /// enabled and saw running threads make zero progress for the
+    /// configured number of consecutive epochs (the diagnostic state is
+    /// captured first — see [`MMachine::last_diagnostic`]).
     pub fn run_until<F: Fn(&MMachine) -> bool>(
         &mut self,
         limit: u64,
@@ -973,13 +1424,41 @@ impl MMachine {
             }
             match self.next_work(self.cycle) {
                 Some(t) if t < end => {
-                    self.cycle = t;
-                    self.step_cycle(t);
-                    self.cycle = t + 1;
+                    // Stop at a pending watchdog boundary before leaping
+                    // to a far-future active cycle: the poll must close
+                    // the epochs the machine provably slept through
+                    // while the fingerprint is still frozen — the step
+                    // at `t` would make progress and erase the hang.
+                    if self.cfg.watchdog_epochs != 0
+                        && self.watchdog_next > self.cycle
+                        && t > self.watchdog_next
+                    {
+                        self.cycle = self.watchdog_next;
+                    } else {
+                        self.cycle = t;
+                        self.step_cycle(t);
+                        self.cycle = t + 1;
+                    }
                 }
-                _ => self.cycle = end,
+                _ => {
+                    // A quiescent fast-forward stops at each watchdog
+                    // boundary so a machine that is asleep forever with
+                    // threads still running accrues one strike per
+                    // epoch instead of leaping over them all.
+                    let mut target = end;
+                    if self.cfg.watchdog_epochs != 0 {
+                        target = target.min(self.watchdog_next.max(self.cycle));
+                    }
+                    self.cycle = target;
+                }
             }
             self.poll_telemetry();
+            // The liveness watchdog closes any epoch boundary the clock
+            // just crossed (active cycle or fast-forward alike).
+            if let Err(e) = self.watchdog_poll() {
+                self.catch_up_nodes();
+                return Err(e);
+            }
         }
     }
 
@@ -1004,6 +1483,238 @@ impl MMachine {
         // Drain stragglers (in-flight responses, replies, credits).
         self.run_cycles(64);
         Ok(done)
+    }
+
+    /// Serialize the complete simulated machine state — every node
+    /// (registers, memories, queues, TLBs), the fabric, the coherence
+    /// handlers, in-flight resends, the fault-campaign runtime and the
+    /// watchdog — into one versioned binary checkpoint.
+    ///
+    /// Host-side state is deliberately *not* captured: the timeline,
+    /// telemetry ring/sink, and loaded program text (programs are
+    /// shared `Arc`s; [`MMachine::restore`] targets a machine built
+    /// from the same config with the same programs loaded). Restoring
+    /// a checkpoint into such a machine and continuing is bit-identical
+    /// to never having stopped, at any worker count.
+    #[must_use]
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u64(CKPT_MAGIC);
+        e.u32(CKPT_VERSION);
+        let (x, y, z) = self.cfg.dims;
+        e.u8(x);
+        e.u8(y);
+        e.u8(z);
+        e.u64(self.cfg.local_pages);
+        e.u64(self.cfg.lpt_slots);
+        e.u64(self.cfg.hop_latency);
+        e.u64(self.cfg.resend_delay);
+        e.usize(self.nodes.len());
+        match &self.faults {
+            None => e.u8(0),
+            Some(fs) => {
+                e.u8(1);
+                fs.plan.encode(&mut e);
+            }
+        }
+        e.u64(self.cycle);
+        for n in &self.nodes {
+            n.save_state(&mut e);
+        }
+        self.fabric.save_state(&mut e);
+        self.coherence.save_state(&mut e);
+        e.usize(self.resends.len());
+        for (due, idx, m) in &self.resends {
+            e.u64(*due);
+            e.usize(*idx);
+            m.encode(&mut e);
+        }
+        for pe in &self.prev_events {
+            for v in pe {
+                e.u64(*v);
+            }
+        }
+        for hs in &self.halted_seen {
+            for c in hs {
+                for b in c {
+                    e.bool(*b);
+                }
+            }
+        }
+        if let Some(fs) = &self.faults {
+            e.usize(fs.cursor);
+            e.usize(fs.pristine.len());
+            for ((src, seq), (m, count)) in &fs.pristine {
+                e.u64(*src);
+                e.u64(*seq);
+                m.encode(&mut e);
+                e.u32(*count);
+            }
+            let r = &fs.report;
+            e.u64(r.events_applied);
+            e.u64(r.dram_flips);
+            e.u64(r.packets_corrupted);
+            e.u64(r.packets_dropped);
+            e.u64(r.packets_delayed);
+            e.u64(r.retransmits);
+            e.u64(r.retries_capped);
+        }
+        e.u64(self.watchdog_strikes);
+        e.u64(self.watchdog_last);
+        e.u64(self.watchdog_next);
+        // The engine's sleep schedule (one wake-up slot per node).
+        // Host-side, but captured so a restored run steps each node at
+        // exactly the cycles the original would have — keeping host
+        // counters like `steps` and the fast-forward pattern identical.
+        for i in 0..self.nodes.len() {
+            e.u64(self.pool.deadline(i));
+        }
+        e.finish()
+    }
+
+    /// Restore a checkpoint taken by [`MMachine::checkpoint`] on an
+    /// identically-configured machine (same dims, sizes, latencies,
+    /// node count and fault plan — validated before anything is
+    /// touched) with the same programs loaded.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::Checkpoint`] on a magic/version/config mismatch
+    /// (machine untouched) or a truncated/corrupt stream (machine
+    /// state unspecified — rebuild before reuse).
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), MachineError> {
+        let mut d = Dec::new(bytes);
+        if d.u64()? != CKPT_MAGIC {
+            return Err(MachineError::Checkpoint("not a checkpoint stream".into()));
+        }
+        let ver = d.u32()?;
+        if ver != CKPT_VERSION {
+            return Err(MachineError::Checkpoint(format!(
+                "checkpoint version {ver}, this build reads {CKPT_VERSION}"
+            )));
+        }
+        let dims = (d.u8()?, d.u8()?, d.u8()?);
+        if dims != self.cfg.dims {
+            return Err(MachineError::Checkpoint(format!(
+                "checkpoint is for a {}x{}x{} mesh, this machine is {}x{}x{}",
+                dims.0, dims.1, dims.2, self.cfg.dims.0, self.cfg.dims.1, self.cfg.dims.2
+            )));
+        }
+        for (name, have, want) in [
+            ("local_pages", d.u64()?, self.cfg.local_pages),
+            ("lpt_slots", d.u64()?, self.cfg.lpt_slots),
+            ("hop_latency", d.u64()?, self.cfg.hop_latency),
+            ("resend_delay", d.u64()?, self.cfg.resend_delay),
+        ] {
+            if have != want {
+                return Err(MachineError::Checkpoint(format!(
+                    "config mismatch: checkpoint {name}={have}, machine has {want}"
+                )));
+            }
+        }
+        let n = d.usize()?;
+        if n != self.nodes.len() {
+            return Err(MachineError::Checkpoint(format!(
+                "checkpoint has {n} nodes, machine has {}",
+                self.nodes.len()
+            )));
+        }
+        let has_plan = d.u8()? != 0;
+        if has_plan != self.faults.is_some() {
+            return Err(MachineError::Checkpoint(
+                "fault-campaign presence differs between checkpoint and machine".into(),
+            ));
+        }
+        if has_plan {
+            #[allow(clippy::cast_possible_truncation)]
+            let plan = FaultPlan::decode(&mut d, n as u32)?;
+            let fs = self.faults.as_ref().expect("presence checked");
+            if plan != fs.plan {
+                return Err(MachineError::Checkpoint(
+                    "checkpoint was taken under a different fault plan".into(),
+                ));
+            }
+        }
+        // Validation done — load. From here on an error leaves the
+        // machine partially restored.
+        self.cycle = d.u64()?;
+        for node in &mut self.nodes {
+            node.load_state(&mut d)?;
+        }
+        self.fabric.load_state(&mut d)?;
+        self.coherence.load_state(&mut d)?;
+        let rn = d.usize()?;
+        self.resends.clear();
+        for _ in 0..rn {
+            let due = d.u64()?;
+            let idx = d.usize()?;
+            if idx >= n {
+                return Err(CkptError(format!("resend node {idx} out of range")).into());
+            }
+            let m = Message::decode(&mut d)?;
+            self.resends.push((due, idx, m));
+        }
+        for pe in &mut self.prev_events {
+            for v in pe.iter_mut() {
+                *v = d.u64()?;
+            }
+        }
+        for hs in &mut self.halted_seen {
+            for c in hs.iter_mut() {
+                for b in c.iter_mut() {
+                    *b = d.bool()?;
+                }
+            }
+        }
+        if let Some(fs) = &mut self.faults {
+            fs.cursor = d.usize()?.min(fs.plan.events().len());
+            fs.pristine.clear();
+            let pn = d.usize()?;
+            for _ in 0..pn {
+                let src = d.u64()?;
+                let seq = d.u64()?;
+                let m = Message::decode(&mut d)?;
+                let count = d.u32()?;
+                fs.pristine.insert((src, seq), (m, count));
+            }
+            fs.report = FaultReport {
+                events_applied: d.u64()?,
+                dram_flips: d.u64()?,
+                packets_corrupted: d.u64()?,
+                packets_dropped: d.u64()?,
+                packets_delayed: d.u64()?,
+                retransmits: d.u64()?,
+                retries_capped: d.u64()?,
+            };
+            for mark in &mut fs.inject_marks {
+                *mark = (0, 0);
+            }
+        }
+        self.watchdog_strikes = d.u64()?;
+        self.watchdog_last = d.u64()?;
+        self.watchdog_next = d.u64()?;
+        let mut deadlines = Vec::with_capacity(n);
+        for _ in 0..n {
+            deadlines.push(d.u64()?);
+        }
+        if d.remaining() != 0 {
+            return Err(MachineError::Checkpoint(format!(
+                "{} trailing bytes after checkpoint payload",
+                d.remaining()
+            )));
+        }
+        // Reinstate the exact sleep schedule the checkpoint captured —
+        // waking everything instead would step idle nodes the original
+        // run never stepped — and recompute every mirror row from the
+        // restored nodes.
+        self.timeline.clear();
+        for (i, dl) in deadlines.into_iter().enumerate() {
+            self.pool.set_deadline(i, dl);
+        }
+        self.pool.refresh(&self.nodes);
+        self.user_counts_stale = false;
+        self.last_diagnostic = None;
+        Ok(())
     }
 
     /// Do any user threads sit in a faulted state?

@@ -82,6 +82,16 @@ impl NodePool {
         self.ladder.wake_all();
     }
 
+    /// Node `i`'s current wake-up slot (checkpoint capture).
+    pub(crate) fn deadline(&self, i: usize) -> u64 {
+        self.ladder.slot(i)
+    }
+
+    /// Overwrite node `i`'s wake-up slot (checkpoint restore).
+    pub(crate) fn set_deadline(&mut self, i: usize, deadline: u64) {
+        self.ladder.set_slot(i, deadline);
+    }
+
     /// The minimum wake-up slot across all nodes ([`mm_sched::AWAKE`]
     /// when anything is awake, [`INERT`] when everything is) — the
     /// machine's batched next-activity reduction, one word per block.

@@ -1,0 +1,699 @@
+//! Deterministic fault injection plans and the checkpoint byte codec.
+//!
+//! The M-Machine paper builds robustness into the hardware — SECDED
+//! memory words (§2) and return-to-sender message backoff (§4.1) — and
+//! this crate provides the *adversary* that exercises those paths end to
+//! end: a seeded [`FaultPlan`] whose every decision is a pure function of
+//! `(seed, cycle, location)`, so the dense loop, the serial engine and
+//! the parallel engine at any worker count inject byte-identical fault
+//! sequences.
+//!
+//! Two kinds of decision live here:
+//!
+//! * **Scheduled events** ([`FaultPlan::events`]): DRAM bit flips and
+//!   node issue-stall windows, pre-generated from the seed at plan build
+//!   time and sorted by cycle. The machine folds the next event's cycle
+//!   into its quiescence scheduler and applies due events exactly once —
+//!   a cursor, serialized with checkpoints, tracks how far the plan has
+//!   been consumed.
+//! * **Per-packet decisions** ([`FaultPlan::packet_fault`]): fabric
+//!   corruption / drop / delay rolls, evaluated at injection time from
+//!   the pure hash — no cursor, no state.
+//!
+//! The crate also owns the little-endian binary [`Enc`]/[`Dec`] codec
+//! that every simulator crate serializes its checkpoint state through
+//! (it is dependency-free and sits at the bottom of the workspace DAG,
+//! so `mm-mem`, `mm-net`, `mm-sim` and `mm-core` can all reach it).
+
+use std::fmt;
+
+// ---------------------------------------------------------------------
+// Deterministic hashing
+// ---------------------------------------------------------------------
+
+/// SplitMix64 finalizer: the one-way mixer behind every plan decision.
+#[must_use]
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Mix an arbitrary word list into one decision hash. Order-sensitive.
+#[must_use]
+pub fn mix(words: &[u64]) -> u64 {
+    let mut h = 0x4D4D_4641_554C_5453u64; // "MMFAULTS"
+    for &w in words {
+        h = splitmix64(h ^ w);
+    }
+    h
+}
+
+/// The per-message checksum the network interface seals into outgoing
+/// messages when fault injection is armed (a stand-in for the per-flit
+/// CRC real fabrics carry). 32 bits of the mixed word stream.
+#[must_use]
+pub fn checksum(words: &[u64]) -> u32 {
+    #[allow(clippy::cast_possible_truncation)]
+    {
+        mix(words) as u32
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault plan configuration
+// ---------------------------------------------------------------------
+
+/// A window of DRAM bit-flip injections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DramFaultConfig {
+    /// Total single-event upsets to schedule inside the window.
+    pub flips: u32,
+    /// Every `double_every`-th flip (1-based) upsets *two* bits of the
+    /// same word — the uncorrectable SECDED double-error path. 0 never.
+    pub double_every: u32,
+    /// Cycle window `[start, end)` the flips land in.
+    pub window: (u64, u64),
+    /// Physical word-address range `[lo, hi)` targeted on each node.
+    pub addr: (u64, u64),
+}
+
+/// A window of fabric packet faults at the sending network interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkFaultConfig {
+    /// Cycle window `[start, end)` the faults are armed in.
+    pub window: (u64, u64),
+    /// Percent of user packets injected in-window that get one payload
+    /// bit flipped in flight (CRC mismatch at the receiver).
+    pub corrupt_pct: u8,
+    /// Percent that lose a flit in flight (truncation; also a CRC
+    /// mismatch — the paper's fabric never silently loses *messages*).
+    pub drop_pct: u8,
+    /// Percent that are delayed `delay_cycles` in the router.
+    pub delay_pct: u8,
+    /// Extra delivery latency for delayed packets.
+    pub delay_cycles: u64,
+}
+
+/// A node issue-stall window (clock-gate of the issue stage only: the
+/// memory pipeline and network interface keep draining, threads just
+/// stop issuing until the window closes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallFaultConfig {
+    /// Linear node index.
+    pub node: u32,
+    /// Cycle window `[start, end)`. `end == u64::MAX` never lifts — the
+    /// "fatal fault" the crash-recovery scenario uses.
+    pub window: (u64, u64),
+}
+
+/// Everything a fault campaign configures. Deterministic: two plans
+/// built from equal configs (and node counts) are identical.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlanConfig {
+    /// The campaign seed every decision derives from.
+    pub seed: u64,
+    /// DRAM upset windows.
+    pub dram: Vec<DramFaultConfig>,
+    /// Fabric fault windows.
+    pub links: Vec<LinkFaultConfig>,
+    /// Node stall windows.
+    pub stalls: Vec<StallFaultConfig>,
+}
+
+// ---------------------------------------------------------------------
+// The built plan
+// ---------------------------------------------------------------------
+
+/// One scheduled fault, applied by the machine at exactly `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledFault {
+    /// The cycle the fault lands on.
+    pub at: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// The scheduled fault kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Flip `bit` (and, for a double error, `second_bit`) of the stored
+    /// word at physical address `addr` on node `node`.
+    DramFlip {
+        /// Linear node index.
+        node: u32,
+        /// Physical word address.
+        addr: u64,
+        /// First upset bit (0..64).
+        bit: u8,
+        /// Second upset bit for uncorrectable double errors.
+        second_bit: Option<u8>,
+    },
+    /// Gate node `node`'s issue stage until cycle `until`.
+    StallIssue {
+        /// Linear node index.
+        node: u32,
+        /// First cycle the node may issue again.
+        until: u64,
+    },
+}
+
+/// The per-packet injection-time decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketFault {
+    /// Deliver untouched.
+    None,
+    /// Flip one payload bit in flight.
+    Corrupt,
+    /// Lose one flit in flight (truncate the payload).
+    Drop,
+    /// Deliver late by the given number of cycles.
+    Delay(u64),
+}
+
+/// A built fault plan: the sorted event schedule plus the pure
+/// packet-decision function. Stateless — the machine owns the cursor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    cfg: FaultPlanConfig,
+    events: Vec<ScheduledFault>,
+}
+
+impl FaultPlan {
+    /// Build the plan for a `nodes`-node machine. Pure: equal inputs
+    /// yield equal plans.
+    #[must_use]
+    pub fn build(cfg: FaultPlanConfig, nodes: u32) -> FaultPlan {
+        let mut events = Vec::new();
+        let n = u64::from(nodes.max(1));
+        for (wi, d) in cfg.dram.iter().enumerate() {
+            let (start, end) = d.window;
+            let span = end.saturating_sub(start).max(1);
+            let (lo, hi) = d.addr;
+            let arange = hi.saturating_sub(lo).max(1);
+            for k in 0..u64::from(d.flips) {
+                let h = mix(&[cfg.seed, 1, wi as u64, k]);
+                let at = start + mix(&[h, 0]) % span;
+                let node = mix(&[h, 1]) % n;
+                let addr = lo + mix(&[h, 2]) % arange;
+                let bit = (mix(&[h, 3]) % 64) as u8;
+                let second_bit = if d.double_every > 0 && (k + 1) % u64::from(d.double_every) == 0 {
+                    // A distinct second bit of the same word.
+                    Some(((u64::from(bit) + 1 + mix(&[h, 4]) % 63) % 64) as u8)
+                } else {
+                    None
+                };
+                #[allow(clippy::cast_possible_truncation)]
+                events.push(ScheduledFault {
+                    at,
+                    kind: FaultKind::DramFlip {
+                        node: node as u32,
+                        addr,
+                        bit,
+                        second_bit,
+                    },
+                });
+            }
+        }
+        for s in &cfg.stalls {
+            events.push(ScheduledFault {
+                at: s.window.0,
+                kind: FaultKind::StallIssue {
+                    node: s.node,
+                    until: s.window.1,
+                },
+            });
+        }
+        // Total order: cycle, then a stable encoding of the event, so
+        // equal configs sort identically on every host.
+        events.sort_by_key(|e| (e.at, event_sort_key(&e.kind)));
+        FaultPlan { cfg, events }
+    }
+
+    /// The configuration the plan was built from.
+    #[must_use]
+    pub fn config(&self) -> &FaultPlanConfig {
+        &self.cfg
+    }
+
+    /// The full sorted event schedule.
+    #[must_use]
+    pub fn events(&self) -> &[ScheduledFault] {
+        &self.events
+    }
+
+    /// Does any link-fault window exist at all? (Lets the machine skip
+    /// sealing checksums when the plan can never corrupt a packet.)
+    #[must_use]
+    pub fn has_link_faults(&self) -> bool {
+        !self.cfg.links.is_empty()
+    }
+
+    /// The injection-time decision for the `nth` packet injected by
+    /// node `src` during cycle `cycle`. Pure.
+    #[must_use]
+    pub fn packet_fault(&self, cycle: u64, src: u32, nth: u32) -> PacketFault {
+        for (wi, l) in self.cfg.links.iter().enumerate() {
+            if cycle < l.window.0 || cycle >= l.window.1 {
+                continue;
+            }
+            let roll = (mix(&[
+                self.cfg.seed,
+                2,
+                wi as u64,
+                cycle,
+                u64::from(src),
+                u64::from(nth),
+            ]) % 100) as u8;
+            let c = l.corrupt_pct;
+            let d = c.saturating_add(l.drop_pct);
+            let y = d.saturating_add(l.delay_pct);
+            if roll < c {
+                return PacketFault::Corrupt;
+            } else if roll < d {
+                return PacketFault::Drop;
+            } else if roll < y {
+                return PacketFault::Delay(l.delay_cycles);
+            }
+        }
+        PacketFault::None
+    }
+
+    /// Which payload bit a [`PacketFault::Corrupt`] decision flips, for
+    /// a packet whose payload spans `words` words. Returns
+    /// `(word_index, bit)`. Pure.
+    #[must_use]
+    pub fn corrupt_site(&self, cycle: u64, src: u32, nth: u32, words: u32) -> (u32, u8) {
+        let h = mix(&[self.cfg.seed, 3, cycle, u64::from(src), u64::from(nth)]);
+        #[allow(clippy::cast_possible_truncation)]
+        (
+            (h % u64::from(words.max(1))) as u32,
+            ((h >> 32) % 54) as u8, // stay inside guarded-pointer address bits
+        )
+    }
+
+    /// Serialize the plan config (checkpoints embed it so a restored
+    /// machine can verify it is resuming under the same plan).
+    pub fn encode(&self, e: &mut Enc) {
+        let c = &self.cfg;
+        e.u64(c.seed);
+        e.u64(c.dram.len() as u64);
+        for d in &c.dram {
+            e.u32(d.flips);
+            e.u32(d.double_every);
+            e.u64(d.window.0);
+            e.u64(d.window.1);
+            e.u64(d.addr.0);
+            e.u64(d.addr.1);
+        }
+        e.u64(c.links.len() as u64);
+        for l in &c.links {
+            e.u64(l.window.0);
+            e.u64(l.window.1);
+            e.u8(l.corrupt_pct);
+            e.u8(l.drop_pct);
+            e.u8(l.delay_pct);
+            e.u64(l.delay_cycles);
+        }
+        e.u64(c.stalls.len() as u64);
+        for s in &c.stalls {
+            e.u32(s.node);
+            e.u64(s.window.0);
+            e.u64(s.window.1);
+        }
+    }
+
+    /// Decode a plan config and rebuild the plan for `nodes` nodes.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError`] on truncated or malformed input.
+    pub fn decode(d: &mut Dec, nodes: u32) -> Result<FaultPlan, CkptError> {
+        let seed = d.u64()?;
+        let mut cfg = FaultPlanConfig {
+            seed,
+            ..FaultPlanConfig::default()
+        };
+        for _ in 0..d.u64()? {
+            cfg.dram.push(DramFaultConfig {
+                flips: d.u32()?,
+                double_every: d.u32()?,
+                window: (d.u64()?, d.u64()?),
+                addr: (d.u64()?, d.u64()?),
+            });
+        }
+        for _ in 0..d.u64()? {
+            cfg.links.push(LinkFaultConfig {
+                window: (d.u64()?, d.u64()?),
+                corrupt_pct: d.u8()?,
+                drop_pct: d.u8()?,
+                delay_pct: d.u8()?,
+                delay_cycles: d.u64()?,
+            });
+        }
+        for _ in 0..d.u64()? {
+            cfg.stalls.push(StallFaultConfig {
+                node: d.u32()?,
+                window: (d.u64()?, d.u64()?),
+            });
+        }
+        Ok(FaultPlan::build(cfg, nodes))
+    }
+}
+
+fn event_sort_key(k: &FaultKind) -> (u8, u64, u64, u64) {
+    match *k {
+        FaultKind::DramFlip {
+            node, addr, bit, ..
+        } => (0, u64::from(node), addr, u64::from(bit)),
+        FaultKind::StallIssue { node, until } => (1, u64::from(node), until, 0),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint codec
+// ---------------------------------------------------------------------
+
+/// Error from decoding a checkpoint byte stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CkptError(pub String);
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "checkpoint decode: {}", self.0)
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+/// Little-endian byte encoder for checkpoint state.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// A fresh encoder.
+    #[must_use]
+    pub fn new() -> Enc {
+        Enc {
+            buf: Vec::with_capacity(4096),
+        }
+    }
+
+    /// Append a byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Append a little-endian u16.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian i64.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a usize as u64.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Bytes encoded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Is the buffer empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Take the encoded bytes.
+    #[must_use]
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Little-endian byte decoder for checkpoint state.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Decode from `buf`.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CkptError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| CkptError("length overflow".into()))?;
+        if end > self.buf.len() {
+            return Err(CkptError(format!(
+                "truncated: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, CkptError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a bool byte.
+    pub fn bool(&mut self) -> Result<bool, CkptError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(CkptError(format!("bad bool byte {b}"))),
+        }
+    }
+
+    /// Read a little-endian u16.
+    pub fn u16(&mut self) -> Result<u16, CkptError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian u32.
+    pub fn u32(&mut self) -> Result<u32, CkptError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian u64.
+    pub fn u64(&mut self) -> Result<u64, CkptError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian i64.
+    pub fn i64(&mut self) -> Result<i64, CkptError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a u64 and narrow it to usize.
+    pub fn usize(&mut self) -> Result<usize, CkptError> {
+        usize::try_from(self.u64()?).map_err(|_| CkptError("usize overflow".into()))
+    }
+
+    /// Unread bytes remaining.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_round_trip() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.bool(true);
+        e.u16(0xBEEF);
+        e.u32(0xDEAD_BEEF);
+        e.u64(u64::MAX - 3);
+        e.i64(-42);
+        e.usize(99);
+        let bytes = e.finish();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert!(d.bool().unwrap());
+        assert_eq!(d.u16().unwrap(), 0xBEEF);
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(d.i64().unwrap(), -42);
+        assert_eq!(d.usize().unwrap(), 99);
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn decoder_flags_truncation() {
+        let mut d = Dec::new(&[1, 2]);
+        assert!(d.u64().is_err());
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let cfg = FaultPlanConfig {
+            seed: 1234,
+            dram: vec![DramFaultConfig {
+                flips: 50,
+                double_every: 5,
+                window: (1000, 9000),
+                addr: (4096, 8192),
+            }],
+            links: vec![LinkFaultConfig {
+                window: (0, 100_000),
+                corrupt_pct: 10,
+                drop_pct: 5,
+                delay_pct: 5,
+                delay_cycles: 64,
+            }],
+            stalls: vec![StallFaultConfig {
+                node: 1,
+                window: (500, 700),
+            }],
+        };
+        let a = FaultPlan::build(cfg.clone(), 4);
+        let b = FaultPlan::build(cfg, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.events().len(), 51);
+        // Events are sorted and in-window.
+        for w in a.events().windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        for ev in a.events() {
+            match ev.kind {
+                FaultKind::DramFlip {
+                    node, addr, bit, ..
+                } => {
+                    assert!(node < 4);
+                    assert!((4096..8192).contains(&addr));
+                    assert!(bit < 64);
+                    assert!((1000..9000).contains(&ev.at));
+                }
+                FaultKind::StallIssue { node, until } => {
+                    assert_eq!(node, 1);
+                    assert_eq!(until, 700);
+                }
+            }
+        }
+        // Double errors appear at the configured rate.
+        let doubles = a
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    FaultKind::DramFlip {
+                        second_bit: Some(_),
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(doubles, 10);
+        // Packet decisions are pure.
+        assert_eq!(a.packet_fault(50, 0, 0), a.packet_fault(50, 0, 0));
+        assert_eq!(a.packet_fault(200_000, 0, 0), PacketFault::None);
+    }
+
+    #[test]
+    fn double_flip_bits_differ() {
+        let cfg = FaultPlanConfig {
+            seed: 7,
+            dram: vec![DramFaultConfig {
+                flips: 200,
+                double_every: 1,
+                window: (0, 100),
+                addr: (0, 64),
+            }],
+            ..FaultPlanConfig::default()
+        };
+        for ev in FaultPlan::build(cfg, 2).events() {
+            if let FaultKind::DramFlip {
+                bit,
+                second_bit: Some(b2),
+                ..
+            } = ev.kind
+            {
+                assert_ne!(bit, b2);
+                assert!(b2 < 64);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_codec_round_trip() {
+        let cfg = FaultPlanConfig {
+            seed: 99,
+            dram: vec![DramFaultConfig {
+                flips: 3,
+                double_every: 2,
+                window: (10, 20),
+                addr: (0, 100),
+            }],
+            links: vec![LinkFaultConfig {
+                window: (5, 50),
+                corrupt_pct: 1,
+                drop_pct: 2,
+                delay_pct: 3,
+                delay_cycles: 9,
+            }],
+            stalls: vec![StallFaultConfig {
+                node: 0,
+                window: (1, u64::MAX),
+            }],
+        };
+        let plan = FaultPlan::build(cfg, 2);
+        let mut e = Enc::new();
+        plan.encode(&mut e);
+        let bytes = e.finish();
+        let back = FaultPlan::decode(&mut Dec::new(&bytes), 2).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn corrupt_site_in_bounds() {
+        let plan = FaultPlan::build(FaultPlanConfig::default(), 1);
+        for n in 0..100 {
+            let (w, b) = plan.corrupt_site(n, 0, 0, 11);
+            assert!(w < 11);
+            assert!(b < 54);
+        }
+    }
+}

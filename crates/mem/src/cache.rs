@@ -14,6 +14,7 @@
 //! remote data fault even on a cache hit.
 
 use crate::dram::MemWord;
+use mm_faults::{CkptError, Dec, Enc};
 
 /// Words per cache line (= words per block-status block).
 pub const LINE_WORDS: u64 = 8;
@@ -322,6 +323,93 @@ impl Cache {
         None
     }
 
+    /// Serialize every valid line plus the statistics into a checkpoint
+    /// stream (invalid lines are skipped; restore re-empties them).
+    pub fn save_state(&self, e: &mut Enc) {
+        e.u64(self.cfg.num_lines());
+        let valid = self.lines.iter().filter(|l| l.valid).count();
+        e.usize(valid);
+        for (idx, l) in self.lines.iter().enumerate().filter(|(_, l)| l.valid) {
+            e.usize(idx);
+            e.u64(l.tag);
+            e.bool(l.dirty);
+            e.bool(l.writable);
+            e.u64(l.pa_base);
+            for w in &l.data {
+                e.u64(w.word.bits());
+                e.bool(w.word.is_pointer());
+                e.bool(w.sync);
+                e.u8(w.ecc);
+            }
+        }
+        let s = &self.stats;
+        for v in [
+            s.read_hits,
+            s.read_misses,
+            s.write_hits,
+            s.write_misses,
+            s.writebacks,
+        ] {
+            e.u64(v);
+        }
+    }
+
+    /// Restore state saved by [`Cache::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError`] on truncated input or a geometry mismatch.
+    pub fn load_state(&mut self, d: &mut Dec<'_>) -> Result<(), CkptError> {
+        let n = d.u64()?;
+        if n != self.cfg.num_lines() {
+            return Err(CkptError(format!(
+                "cache line-count mismatch: checkpoint has {n}, cache has {}",
+                self.cfg.num_lines()
+            )));
+        }
+        for l in &mut self.lines {
+            *l = Line::empty();
+        }
+        for _ in 0..d.usize()? {
+            let idx = d.usize()?;
+            if idx >= self.lines.len() {
+                return Err(CkptError(format!("cache line index {idx} out of range")));
+            }
+            let tag = d.u64()?;
+            let dirty = d.bool()?;
+            let writable = d.bool()?;
+            let pa_base = d.u64()?;
+            let mut data = [MemWord::default(); LINE_WORDS as usize];
+            for w in &mut data {
+                let bits = d.u64()?;
+                let ptr = d.bool()?;
+                let sync = d.bool()?;
+                let ecc = d.u8()?;
+                *w = MemWord {
+                    word: mm_isa::word::Word::from_raw(bits, ptr),
+                    sync,
+                    ecc,
+                };
+            }
+            self.lines[idx] = Line {
+                valid: true,
+                tag,
+                dirty,
+                writable,
+                pa_base,
+                data,
+            };
+        }
+        self.stats = CacheStats {
+            read_hits: d.u64()?,
+            read_misses: d.u64()?,
+            write_hits: d.u64()?,
+            write_misses: d.u64()?,
+            writebacks: d.u64()?,
+        };
+        Ok(())
+    }
+
     /// Downgrade the line containing `va` to read-only (coherence), if
     /// present. Returns its contents if it was dirty (for write-back).
     pub fn downgrade(&mut self, va: u64) -> Option<Victim> {
@@ -466,6 +554,34 @@ mod tests {
         assert_eq!(v.data[1].word.bits(), 5);
         assert_eq!(c.write(1, mk(6)), StoreOutcome::NotWritable);
         assert!(c.contains(0));
+    }
+
+    /// A cache with valid, dirty and read-only lines round-trips through
+    /// the checkpoint codec.
+    #[test]
+    fn cache_state_round_trips() {
+        let mut c = cache();
+        c.fill(0, 0, line(0..8), true);
+        c.write(3, mk(99));
+        c.fill(8, 8, line(8..16), false);
+        let mut e = Enc::new();
+        c.save_state(&mut e);
+        let bytes = e.finish();
+        let mut r = cache();
+        let mut d = Dec::new(&bytes);
+        r.load_state(&mut d).expect("load");
+        assert_eq!(d.remaining(), 0);
+        assert_eq!(r.stats(), c.stats());
+        assert_eq!(r.peek(3).unwrap().word.bits(), 99);
+        assert_eq!(r.write(8, mk(1)), StoreOutcome::NotWritable);
+        // The restored dirty bit still produces a victim on conflict.
+        assert!(r.fill(256, 256, line(0..8), true).is_some());
+        // A different geometry refuses the checkpoint.
+        let mut other = Cache::new(CacheConfig {
+            banks: 4,
+            words_per_bank: 32,
+        });
+        assert!(other.load_state(&mut Dec::new(&bytes)).is_err());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! stream one word per cycle.
 
 use crate::secded::{decode, encode, Decoded};
+use mm_faults::{CkptError, Dec, Enc};
 use mm_isa::word::Word;
 
 /// One word of storage: data bits + pointer tag + synchronization bit +
@@ -273,6 +274,112 @@ impl Sdram {
         cell.word = Word::from_raw(flipped, cell.word.is_pointer());
         // Deliberately do NOT recompute ECC: that's the point.
     }
+
+    /// Serialize the array (run-length encoded — a mostly-zero megaword
+    /// array collapses to a handful of runs), controller state and
+    /// statistics into a checkpoint stream.
+    pub fn save_state(&self, e: &mut Enc) {
+        e.u64(self.cfg.capacity_words);
+        let mut i = 0usize;
+        while i < self.words.len() {
+            let w = self.words[i];
+            let mut run = 1usize;
+            while i + run < self.words.len() && self.words[i + run] == w {
+                run += 1;
+            }
+            e.u64(run as u64);
+            e.u64(w.word.bits());
+            e.bool(w.word.is_pointer());
+            e.bool(w.sync);
+            e.u8(w.ecc);
+            i += run;
+        }
+        e.u64(0); // run terminator
+        e.usize(self.open_rows.len());
+        for r in &self.open_rows {
+            match r {
+                None => e.u8(0),
+                Some(v) => {
+                    e.u8(1);
+                    e.u64(*v);
+                }
+            }
+        }
+        e.u64(self.busy_until);
+        let s = &self.stats;
+        for v in [
+            s.row_hits,
+            s.row_misses,
+            s.words_transferred,
+            s.ecc_corrected,
+            s.ecc_double_errors,
+        ] {
+            e.u64(v);
+        }
+    }
+
+    /// Restore state saved by [`Sdram::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError`] on truncated input or a geometry mismatch (the
+    /// checkpoint came from a differently-sized SDRAM).
+    pub fn load_state(&mut self, d: &mut Dec<'_>) -> Result<(), CkptError> {
+        let cap = d.u64()?;
+        if cap != self.cfg.capacity_words {
+            return Err(CkptError(format!(
+                "SDRAM capacity mismatch: checkpoint has {cap} words, array has {}",
+                self.cfg.capacity_words
+            )));
+        }
+        let mut i = 0usize;
+        loop {
+            let run = d.u64()? as usize;
+            if run == 0 {
+                break;
+            }
+            let bits = d.u64()?;
+            let tag = d.bool()?;
+            let sync = d.bool()?;
+            let ecc = d.u8()?;
+            let w = MemWord {
+                word: Word::from_raw(bits, tag),
+                sync,
+                ecc,
+            };
+            if i + run > self.words.len() {
+                return Err(CkptError("SDRAM runs overflow the array".into()));
+            }
+            self.words[i..i + run].fill(w);
+            i += run;
+        }
+        if i != self.words.len() {
+            return Err(CkptError(format!(
+                "SDRAM runs cover {i} of {} words",
+                self.words.len()
+            )));
+        }
+        let banks = d.usize()?;
+        if banks != self.open_rows.len() {
+            return Err(CkptError("SDRAM bank count mismatch".into()));
+        }
+        for r in &mut self.open_rows {
+            *r = match d.u8()? {
+                0 => None,
+                1 => Some(d.u64()?),
+                b => return Err(CkptError(format!("bad open-row tag {b}"))),
+            };
+        }
+        self.busy_until = d.u64()?;
+        self.stats = SdramStats {
+            row_hits: d.u64()?,
+            row_misses: d.u64()?,
+            words_transferred: d.u64()?,
+            ecc_corrected: d.u64()?,
+            ecc_double_errors: d.u64()?,
+        };
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -367,6 +474,38 @@ mod tests {
     fn read_out_of_range_panics() {
         let mut d = small();
         let _ = d.read(0, 4090, 8);
+    }
+
+    /// A lived-in SDRAM (writes, pending ECC damage, open rows, busy
+    /// controller) round-trips through the RLE checkpoint codec.
+    #[test]
+    fn sdram_state_round_trips() {
+        let mut d = small();
+        d.poke(5, MemWord::with_sync(Word::from_u64(0xABCD), true));
+        d.poke(4000, MemWord::new(Word::from_i64(-9)));
+        d.inject_bit_flip(5, 3); // un-scrubbed upset survives the trip
+        let _ = d.read(0, 100, 8);
+        let mut e = Enc::new();
+        d.save_state(&mut e);
+        let bytes = e.finish();
+        let mut r = small();
+        let mut dec = Dec::new(&bytes);
+        r.load_state(&mut dec).expect("load");
+        assert_eq!(dec.remaining(), 0);
+        assert_eq!(r.stats(), d.stats());
+        for addr in [0u64, 5, 100, 4000, 4095] {
+            assert_eq!(r.peek(addr), d.peek(addr), "word {addr}");
+        }
+        // The restored array still corrects (and counts) the upset.
+        let (_, _, words) = r.read(200, 5, 1);
+        assert_eq!(words[0].unwrap().word.bits(), 0xABCD);
+        assert_eq!(r.stats().ecc_corrected, 1);
+        // A different geometry refuses the checkpoint.
+        let mut other = Sdram::new(SdramConfig {
+            capacity_words: 2048,
+            ..SdramConfig::default()
+        });
+        assert!(other.load_state(&mut Dec::new(&bytes)).is_err());
     }
 
     #[test]

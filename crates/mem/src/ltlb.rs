@@ -7,6 +7,8 @@
 //! READ-ONLY / READ/WRITE / DIRTY states that let local DRAM cache remote
 //! data (§4.3).
 
+use mm_faults::{CkptError, Dec, Enc};
+
 /// Words per local page.
 pub const PAGE_WORDS: u64 = 512;
 /// 8-word blocks per page.
@@ -271,6 +273,74 @@ impl Ltlb {
     pub fn iter(&self) -> impl Iterator<Item = &LtlbEntry> {
         self.entries.iter().flatten()
     }
+
+    /// Serialize slots (position-preserving, so LRU victim selection is
+    /// unchanged after restore), LRU clocks and statistics into a
+    /// checkpoint stream. The `vpn → slot` index is not written — it is
+    /// a pure function of the slots and is rebuilt on load.
+    pub fn save_state(&self, e: &mut Enc) {
+        e.usize(self.entries.len());
+        for (slot, lu) in self.entries.iter().zip(&self.last_use) {
+            match slot {
+                None => e.u8(0),
+                Some(en) => {
+                    e.u8(1);
+                    e.u64(en.vpn);
+                    e.u64(en.ppn);
+                    e.u64(en.status_lo);
+                    e.u64(en.status_hi);
+                    e.u64(en.lpt_addr);
+                }
+            }
+            e.u64(*lu);
+        }
+        e.u64(self.clock);
+        e.u64(self.stats.hits);
+        e.u64(self.stats.misses);
+        e.u64(self.stats.evictions);
+    }
+
+    /// Restore state saved by [`Ltlb::save_state`], rebuilding the
+    /// lookup index from the slots.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError`] on truncated input or a capacity mismatch.
+    pub fn load_state(&mut self, d: &mut Dec<'_>) -> Result<(), CkptError> {
+        let n = d.usize()?;
+        if n != self.entries.len() {
+            return Err(CkptError(format!(
+                "LTLB capacity mismatch: checkpoint has {n}, TLB has {}",
+                self.entries.len()
+            )));
+        }
+        self.map.clear();
+        for i in 0..n {
+            self.entries[i] = match d.u8()? {
+                0 => None,
+                1 => {
+                    let en = LtlbEntry {
+                        vpn: d.u64()?,
+                        ppn: d.u64()?,
+                        status_lo: d.u64()?,
+                        status_hi: d.u64()?,
+                        lpt_addr: d.u64()?,
+                    };
+                    self.map.insert(en.vpn, i);
+                    Some(en)
+                }
+                b => return Err(CkptError(format!("bad LTLB slot tag {b}"))),
+            };
+            self.last_use[i] = d.u64()?;
+        }
+        self.clock = d.u64()?;
+        self.stats = LtlbStats {
+            hits: d.u64()?,
+            misses: d.u64()?,
+            evictions: d.u64()?,
+        };
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -363,6 +433,31 @@ mod tests {
         assert!(t.invalidate(1).is_some());
         assert!(t.probe(1).is_none());
         assert!(t.invalidate(1).is_none());
+    }
+
+    /// Restore preserves slot positions (and therefore LRU victim
+    /// choice) and rebuilds the lookup index.
+    #[test]
+    fn ltlb_state_round_trips() {
+        let mut t = Ltlb::new(2);
+        t.insert(LtlbEntry::uniform(1, 1, BlockStatus::ReadWrite, 0));
+        t.insert(LtlbEntry::uniform(2, 2, BlockStatus::ReadOnly, 64));
+        let _ = t.lookup(1); // 2 becomes the LRU victim
+        let mut e = Enc::new();
+        t.save_state(&mut e);
+        let bytes = e.finish();
+        let mut r = Ltlb::new(2);
+        let mut d = Dec::new(&bytes);
+        r.load_state(&mut d).expect("load");
+        assert_eq!(d.remaining(), 0);
+        assert_eq!(r.stats(), t.stats());
+        assert_eq!(r.probe(1).unwrap().ppn, 1);
+        assert_eq!(r.probe(2).unwrap().ppn, 2);
+        let evicted = r
+            .insert(LtlbEntry::uniform(3, 3, BlockStatus::ReadWrite, 0))
+            .expect("eviction");
+        assert_eq!(evicted.vpn, 2, "LRU order survives the round trip");
+        assert!(Ltlb::new(4).load_state(&mut Dec::new(&bytes)).is_err());
     }
 
     #[test]

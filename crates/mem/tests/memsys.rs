@@ -412,3 +412,54 @@ fn access_kind_and_helpers() {
     assert_eq!(s.kind, AccessKind::Store);
     assert!(!s.data_ptr_tag);
 }
+
+#[test]
+fn memsys_state_round_trips_mid_flight() {
+    use mm_faults::{Dec, Enc};
+
+    // Build up interesting state: a warm cache line, pending misses,
+    // staged responses, and a raised event — then checkpoint mid-flight.
+    let mut ms = booted();
+    ms.submit(MemRequest::load(1, 8, 0)).unwrap();
+    for cycle in 0..30 {
+        let _ = ms.step(cycle);
+    }
+    ms.submit(MemRequest::store(2, 8, Word::from_u64(77), 0))
+        .unwrap();
+    ms.submit(MemRequest::load(3, 128, 0)).unwrap(); // miss in flight
+    ms.submit(MemRequest::load(4, 9 * PAGE_WORDS, 0)).unwrap(); // LTLB miss event
+    let _ = ms.step(30);
+    let _ = ms.step(31);
+
+    let mut e = Enc::default();
+    ms.save_state(&mut e);
+    let bytes = e.finish();
+
+    let mut restored = MemorySystem::new(MemConfig::default());
+    let mut d = Dec::new(&bytes);
+    restored.load_state(&mut d).unwrap();
+    assert_eq!(d.remaining(), 0);
+
+    // Re-save must be byte-identical (covers every private field the
+    // codec touches).
+    let mut e2 = Enc::default();
+    restored.save_state(&mut e2);
+    assert_eq!(e2.finish(), bytes, "re-saved checkpoint differs");
+
+    // Running both forward produces identical responses and events.
+    for cycle in 32..200 {
+        let (r1, v1) = ms.step(cycle);
+        let (r2, v2) = restored.step(cycle);
+        assert_eq!(r1, r2, "responses diverge at cycle {cycle}");
+        assert_eq!(v1, v2, "events diverge at cycle {cycle}");
+    }
+    assert_eq!(ms.stats().responses, restored.stats().responses);
+    assert!(ms.is_idle() && restored.is_idle());
+
+    // A differently-configured target refuses the checkpoint.
+    let mut wrong = MemorySystem::new(MemConfig {
+        ltlb_entries: 8,
+        ..MemConfig::default()
+    });
+    assert!(wrong.load_state(&mut Dec::new(&bytes)).is_err());
+}

@@ -10,6 +10,7 @@
 //! remote node (5 cycles)".
 
 use crate::message::{NodeCoord, Packet};
+use mm_faults::{CkptError, Dec, Enc};
 use mm_sched::ReadyQueue;
 
 /// A mesh direction.
@@ -238,6 +239,17 @@ impl Fabric {
     ///
     /// Panics if either endpoint is outside the mesh.
     pub fn inject(&mut self, now: u64, packet: Packet) -> u64 {
+        self.inject_delayed(now, packet, 0)
+    }
+
+    /// [`Fabric::inject`] with `extra` cycles of router delay tacked
+    /// onto the delivery — the fault injector's delayed-packet path.
+    /// `extra == 0` is exactly `inject`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is outside the mesh.
+    pub fn inject_delayed(&mut self, now: u64, packet: Packet, extra: u64) -> u64 {
         let src = packet.src();
         let dest = packet.dest();
         assert!(self.contains(src), "source {src} outside mesh");
@@ -245,29 +257,30 @@ impl Fabric {
         let flits = packet.wire_flits();
         let pri = packet.priority().index();
 
-        let deliver_at = if src == dest {
-            now + self.cfg.loopback_latency + flits
-        } else {
-            let mut t_head = now;
-            let mut cur = src;
-            let mut hops = 0u64;
-            while cur != dest {
-                let (dir, next) = Self::next_hop(cur, dest);
-                let link = self.link_index(cur, dir, pri);
-                let free = self.link_free[link];
-                let earliest = t_head + self.cfg.hop_latency;
-                let actual = earliest.max(free);
-                self.stats.contention_cycles += actual - earliest;
-                t_head = actual;
-                self.link_free[link] = t_head + flits;
-                self.link_flits[link] += flits;
-                cur = next;
-                hops += 1;
-            }
-            self.stats.hops += hops;
-            self.flit_hops += hops * flits;
-            t_head + flits
-        };
+        let deliver_at = extra
+            + if src == dest {
+                now + self.cfg.loopback_latency + flits
+            } else {
+                let mut t_head = now;
+                let mut cur = src;
+                let mut hops = 0u64;
+                while cur != dest {
+                    let (dir, next) = Self::next_hop(cur, dest);
+                    let link = self.link_index(cur, dir, pri);
+                    let free = self.link_free[link];
+                    let earliest = t_head + self.cfg.hop_latency;
+                    let actual = earliest.max(free);
+                    self.stats.contention_cycles += actual - earliest;
+                    t_head = actual;
+                    self.link_free[link] = t_head + flits;
+                    self.link_flits[link] += flits;
+                    cur = next;
+                    hops += 1;
+                }
+                self.stats.hops += hops;
+                self.flit_hops += hops * flits;
+                t_head + flits
+            };
 
         self.stats.packets += 1;
         if matches!(packet, Packet::Coh(_)) {
@@ -333,6 +346,85 @@ impl Fabric {
     pub fn next_activity(&self) -> Option<u64> {
         self.next_delivery()
     }
+
+    /// Serialize link reservations, in-flight packets (in delivery
+    /// order), statistics and telemetry counters into a checkpoint
+    /// stream. Configuration is not written — restore targets an
+    /// identically-built fabric.
+    pub fn save_state(&self, e: &mut Enc) {
+        e.usize(self.link_free.len());
+        for &v in &self.link_free {
+            e.u64(v);
+        }
+        let snap = self.in_flight.snapshot();
+        e.usize(snap.len());
+        for (at, p) in snap {
+            e.u64(at);
+            p.encode(e);
+        }
+        let s = &self.stats;
+        for v in [
+            s.packets,
+            s.flits,
+            s.total_latency,
+            s.contention_cycles,
+            s.hops,
+            s.coh_packets,
+        ] {
+            e.u64(v);
+        }
+        e.usize(self.link_flits.len());
+        for &v in &self.link_flits {
+            e.u64(v);
+        }
+        e.u64(self.flit_hops);
+    }
+
+    /// Restore state saved by [`Fabric::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError`] on truncated input or a link-table size mismatch
+    /// (the checkpoint came from a different mesh).
+    pub fn load_state(&mut self, d: &mut Dec<'_>) -> Result<(), CkptError> {
+        let n = d.usize()?;
+        if n != self.link_free.len() {
+            return Err(CkptError(format!(
+                "fabric link table mismatch: checkpoint has {n} VCs, mesh has {}",
+                self.link_free.len()
+            )));
+        }
+        for v in &mut self.link_free {
+            *v = d.u64()?;
+        }
+        let inflight = d.usize()?;
+        let mut items = Vec::with_capacity(inflight);
+        for _ in 0..inflight {
+            let at = d.u64()?;
+            items.push((at, Packet::decode(d)?));
+        }
+        self.in_flight.restore(items);
+        self.stats = FabricStats {
+            packets: d.u64()?,
+            flits: d.u64()?,
+            total_latency: d.u64()?,
+            contention_cycles: d.u64()?,
+            hops: d.u64()?,
+            coh_packets: d.u64()?,
+        };
+        let m = d.usize()?;
+        if m != self.link_flits.len() {
+            return Err(CkptError(format!(
+                "fabric flit table mismatch: checkpoint has {m} VCs, mesh has {}",
+                self.link_flits.len()
+            )));
+        }
+        for v in &mut self.link_flits {
+            *v = d.u64()?;
+        }
+        self.flit_hops = d.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -357,7 +449,48 @@ mod tests {
             dip: Word::from_u64(1),
             addr: Word::from_u64(2),
             body: std::iter::repeat_n(Word::ZERO, body).collect(),
+            wire: Default::default(),
         })
+    }
+
+    /// An in-flight fabric round-trips through the checkpoint codec and
+    /// delivers the same packets at the same cycles.
+    #[test]
+    fn fabric_state_round_trips() {
+        let mut f = fabric(3, 1, 1);
+        let a = NodeCoord::new(0, 0, 0);
+        f.inject(0, msg(a, NodeCoord::new(2, 0, 0), 1, Priority::P0));
+        f.inject(0, msg(a, NodeCoord::new(1, 0, 0), 1, Priority::P0));
+        let mut e = Enc::new();
+        f.save_state(&mut e);
+        let bytes = e.finish();
+        let mut g = fabric(3, 1, 1);
+        let mut d = Dec::new(&bytes);
+        g.load_state(&mut d).expect("load");
+        assert_eq!(d.remaining(), 0);
+        assert_eq!(g.stats(), f.stats());
+        assert_eq!(g.next_delivery(), f.next_delivery());
+        assert_eq!(g.flit_hops(), f.flit_hops());
+        loop {
+            let (df, dg) = (f.deliveries(100), g.deliveries(100));
+            assert_eq!(df, dg);
+            if df.is_empty() {
+                break;
+            }
+        }
+        // A different mesh refuses the checkpoint.
+        assert!(fabric(2, 1, 1).load_state(&mut Dec::new(&bytes)).is_err());
+    }
+
+    /// Delayed injection shifts delivery without touching arbitration.
+    #[test]
+    fn inject_delayed_shifts_delivery() {
+        let mut f = fabric(2, 1, 1);
+        let a = NodeCoord::new(0, 0, 0);
+        let b = NodeCoord::new(1, 0, 0);
+        let t = f.inject_delayed(0, msg(a, b, 1, Priority::P0), 40);
+        assert_eq!(t, 45, "5-cycle route + 40 router-fault cycles");
+        assert_eq!(f.next_delivery(), Some(45));
     }
 
     #[test]

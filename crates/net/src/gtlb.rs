@@ -16,6 +16,7 @@
 //! cyclic interleavings".
 
 use crate::message::NodeCoord;
+use mm_faults::{CkptError, Dec, Enc};
 
 /// Words per *global* page (distinct from the 512-word local page).
 pub const GLOBAL_PAGE_WORDS: u64 = 1024;
@@ -219,6 +220,54 @@ impl Gtlb {
             .iter()
             .find(|e| e.contains(va))
             .and_then(|e| e.translate(va))
+    }
+
+    /// Serialize the GDT, the cached set (FIFO order) and the statistics
+    /// into a checkpoint stream. The capacity comes from configuration.
+    pub fn save_state(&self, e: &mut Enc) {
+        let pack = |e: &mut Enc, entry: &GdtEntry| {
+            let bits = entry.encode();
+            e.u64(bits as u64);
+            e.u64((bits >> 64) as u64);
+        };
+        e.usize(self.gdt.len());
+        for entry in &self.gdt {
+            pack(e, entry);
+        }
+        e.usize(self.cached.len());
+        for entry in &self.cached {
+            pack(e, entry);
+        }
+        e.u64(self.stats.hits);
+        e.u64(self.stats.misses);
+        e.u64(self.stats.unmapped);
+    }
+
+    /// Restore state saved by [`Gtlb::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError`] on truncated or malformed input.
+    pub fn load_state(&mut self, d: &mut Dec<'_>) -> Result<(), CkptError> {
+        let unpack = |d: &mut Dec<'_>| -> Result<GdtEntry, CkptError> {
+            let lo = d.u64()?;
+            let hi = d.u64()?;
+            Ok(GdtEntry::decode(u128::from(lo) | (u128::from(hi) << 64)))
+        };
+        self.gdt.clear();
+        for _ in 0..d.usize()? {
+            self.gdt.push(unpack(d)?);
+        }
+        self.cached.clear();
+        for _ in 0..d.usize()? {
+            self.cached.push(unpack(d)?);
+        }
+        self.stats = GtlbStats {
+            hits: d.u64()?,
+            misses: d.u64()?,
+            unmapped: d.u64()?,
+        };
+        Ok(())
     }
 }
 

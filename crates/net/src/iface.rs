@@ -8,10 +8,11 @@
 //! implements the throttling protocol of §4.1.
 
 use crate::gtlb::Gtlb;
-use crate::message::{Message, MsgBody, NodeCoord, Packet};
+use crate::message::{decode_word, encode_word, Message, MsgBody, NodeCoord, Packet};
+use mm_faults::{CkptError, Dec, Enc};
 use mm_isa::op::Priority;
 use mm_isa::word::Word;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Interface configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,6 +65,44 @@ pub struct IfaceStats {
     pub coh_sent: u64,
     /// Coherence protocol messages accepted into the handler queue.
     pub coh_received: u64,
+    /// Messages NACKed back to their senders on checksum mismatch
+    /// (fault injection corrupted or truncated them in flight).
+    pub crc_nacks: u64,
+    /// Duplicate retransmissions dropped by the idempotent-receive
+    /// window (the original was already applied).
+    pub dup_drops: u64,
+}
+
+/// One sender's idempotent-receive window: every sequence number at or
+/// below `floor` has been applied; `above` holds the (few, sorted)
+/// applied sequence numbers past a gap. Gaps are real — a §4.1 bounce
+/// retries out of order relative to later sends — but bounded by the
+/// sender's credit allowance, so `above` stays small.
+#[derive(Debug, Clone, Default)]
+struct SrcWindow {
+    floor: u64,
+    above: Vec<u64>,
+}
+
+impl SrcWindow {
+    /// Record `seq` as applied. Returns `false` (and records nothing)
+    /// when it was already applied — a duplicate delivery.
+    fn mark(&mut self, seq: u64) -> bool {
+        if seq <= self.floor {
+            return false;
+        }
+        match self.above.binary_search(&seq) {
+            Ok(_) => false,
+            Err(i) => {
+                self.above.insert(i, seq);
+                while self.above.first() == Some(&(self.floor + 1)) {
+                    self.floor += 1;
+                    self.above.remove(0);
+                }
+                true
+            }
+        }
+    }
 }
 
 /// One priority's register-mapped FIFO, word-granular like the real
@@ -92,6 +131,14 @@ pub struct NodeNet {
     /// SENDs).
     coh_in: VecDeque<Message>,
     stats: IfaceStats,
+    /// Monotonic sequence number stamped on outgoing user messages.
+    /// Always assigned (one increment per send); only ever *consulted*
+    /// by the fault-armed checked delivery path.
+    next_seq: u64,
+    /// Per-sender idempotent-receive windows, keyed by encoded source
+    /// coordinate. Empty (no allocation) until the first checked
+    /// delivery records a sequence number.
+    dedup: BTreeMap<u64, SrcWindow>,
 }
 
 // Staged sends accumulate in per-node outboxes while the machine's
@@ -113,6 +160,8 @@ impl NodeNet {
             outbox: Vec::new(),
             coh_in: VecDeque::new(),
             stats: IfaceStats::default(),
+            next_seq: 0,
+            dedup: BTreeMap::new(),
             cfg,
         }
     }
@@ -170,6 +219,7 @@ impl NodeNet {
             }
             self.credits -= 1;
         }
+        self.next_seq += 1;
         let msg = Message {
             priority,
             src: self.coord,
@@ -177,6 +227,10 @@ impl NodeNet {
             dip,
             addr,
             body,
+            wire: crate::message::WireMeta {
+                seq: self.next_seq,
+                crc: 0,
+            },
         };
         self.stats.sent += 1;
         self.outbox.push(Packet::User(msg));
@@ -264,6 +318,45 @@ impl NodeNet {
         }
     }
 
+    /// [`NodeNet::deliver`] with fault detection in front: a user
+    /// message whose sealed checksum no longer matches its payload is
+    /// NACKed straight back to the sender (no credit moves — exactly
+    /// the §4.1 bounce contract, so the sender's existing resend
+    /// machinery retransmits it), and a retransmission whose sequence
+    /// number was already applied is dropped so a retry is never
+    /// applied twice. Only the fault-armed machine calls this; the
+    /// fault-free delivery path never pays for either check.
+    pub fn deliver_checked(&mut self, packet: Packet) {
+        let packet = match packet {
+            Packet::User(msg) => {
+                if !msg.crc_ok() {
+                    self.stats.crc_nacks += 1;
+                    self.outbox.push(Packet::Return(msg));
+                    return;
+                }
+                if msg.wire.seq != 0 {
+                    // Record only what will actually be applied: an
+                    // overflow bounce must stay replayable.
+                    let full =
+                        self.queues[msg.priority.index()].messages >= self.cfg.msg_queue_capacity;
+                    if !full
+                        && !self
+                            .dedup
+                            .entry(msg.src.encode())
+                            .or_default()
+                            .mark(msg.wire.seq)
+                    {
+                        self.stats.dup_drops += 1;
+                        return;
+                    }
+                }
+                Packet::User(msg)
+            }
+            other => other,
+        };
+        self.deliver(packet);
+    }
+
     /// Stage the acceptance credit for a P0 message from `src` (or
     /// restore it directly on loopback).
     fn accept_credit(&mut self, credit: bool, src: NodeCoord) {
@@ -348,6 +441,112 @@ impl NodeNet {
     #[must_use]
     pub fn returned_len(&self) -> usize {
         self.returned.len()
+    }
+
+    /// Serialize the complete interface state (GTLB included) into a
+    /// checkpoint stream. Configuration and coordinates are *not*
+    /// written — restore targets an identically-built machine.
+    pub fn save_state(&self, e: &mut Enc) {
+        self.gtlb.save_state(e);
+        for q in &self.queues {
+            e.usize(q.words.len());
+            for &(w, last) in &q.words {
+                encode_word(e, w);
+                e.bool(last);
+            }
+            e.usize(q.messages);
+        }
+        e.u32(self.credits);
+        e.usize(self.returned.len());
+        for m in &self.returned {
+            m.encode(e);
+        }
+        e.usize(self.outbox.len());
+        for p in &self.outbox {
+            p.encode(e);
+        }
+        e.usize(self.coh_in.len());
+        for m in &self.coh_in {
+            m.encode(e);
+        }
+        let s = &self.stats;
+        for v in [
+            s.sent,
+            s.received,
+            s.credit_stalls,
+            s.returned_here,
+            s.returns_received,
+            s.coh_sent,
+            s.coh_received,
+            s.crc_nacks,
+            s.dup_drops,
+        ] {
+            e.u64(v);
+        }
+        e.u64(self.next_seq);
+        e.usize(self.dedup.len());
+        for (src, w) in &self.dedup {
+            e.u64(*src);
+            e.u64(w.floor);
+            e.usize(w.above.len());
+            for &s in &w.above {
+                e.u64(s);
+            }
+        }
+    }
+
+    /// Restore state saved by [`NodeNet::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError`] on truncated or malformed input.
+    pub fn load_state(&mut self, d: &mut Dec<'_>) -> Result<(), CkptError> {
+        self.gtlb.load_state(d)?;
+        for q in &mut self.queues {
+            q.words.clear();
+            for _ in 0..d.usize()? {
+                let w = decode_word(d)?;
+                let last = d.bool()?;
+                q.words.push_back((w, last));
+            }
+            q.messages = d.usize()?;
+        }
+        self.credits = d.u32()?;
+        self.returned.clear();
+        for _ in 0..d.usize()? {
+            self.returned.push_back(Message::decode(d)?);
+        }
+        self.outbox.clear();
+        for _ in 0..d.usize()? {
+            self.outbox.push(Packet::decode(d)?);
+        }
+        self.coh_in.clear();
+        for _ in 0..d.usize()? {
+            self.coh_in.push_back(Message::decode(d)?);
+        }
+        self.stats = IfaceStats {
+            sent: d.u64()?,
+            received: d.u64()?,
+            credit_stalls: d.u64()?,
+            returned_here: d.u64()?,
+            returns_received: d.u64()?,
+            coh_sent: d.u64()?,
+            coh_received: d.u64()?,
+            crc_nacks: d.u64()?,
+            dup_drops: d.u64()?,
+        };
+        self.next_seq = d.u64()?;
+        self.dedup.clear();
+        for _ in 0..d.usize()? {
+            let src = d.u64()?;
+            let floor = d.u64()?;
+            let mut above = Vec::new();
+            for _ in 0..d.usize()? {
+                above.push(d.u64()?);
+            }
+            self.dedup.insert(src, SrcWindow { floor, above });
+        }
+        Ok(())
     }
 }
 
@@ -450,6 +649,7 @@ mod tests {
             dip: Word::from_u64(11),
             addr: Word::from_u64(22),
             body: [Word::from_u64(33)].into(),
+            wire: Default::default(),
         })
     }
 
@@ -513,6 +713,7 @@ mod tests {
             dip: Word::ZERO,
             addr: Word::ZERO,
             body: MsgBody::new(),
+            wire: Default::default(),
         };
         n.deliver(Packet::Return(m.clone()));
         assert_eq!(n.returned_len(), 1);
@@ -651,6 +852,7 @@ mod tests {
             dip: Word::from_u64(2),
             addr: Word::from_u64(64),
             body: MsgBody::new(),
+            wire: Default::default(),
         };
         assert!(a.send_coh(fetch));
         assert_eq!(a.credits(), initial - 1);
@@ -678,6 +880,7 @@ mod tests {
             dip: Word::from_u64(5),
             addr: Word::from_u64(64),
             body: MsgBody::new(),
+            wire: Default::default(),
         };
         assert!(dry.send_coh(grant));
         // And a dry counter refuses a P0 fetch.
@@ -688,8 +891,120 @@ mod tests {
             dip: Word::from_u64(2),
             addr: Word::from_u64(64),
             body: MsgBody::new(),
+            wire: Default::default(),
         };
         assert!(!dry.send_coh(fetch2));
+    }
+
+    /// The checked delivery path: a corrupted sealed message NACKs home
+    /// with no credit minted; the intact retransmit is applied once and
+    /// a second copy of the same sequence number is dropped.
+    #[test]
+    fn checked_delivery_nacks_corruption_and_drops_duplicates() {
+        let mut a = iface_at(0);
+        let mut b = iface_at(1);
+        assert!(matches!(
+            a.send(
+                Word::from_u64(9),
+                Word::from_u64(GLOBAL_PAGE_WORDS),
+                GLOBAL_PAGE_WORDS,
+                [Word::from_u64(5)].into(),
+                Priority::P0,
+            ),
+            SendOutcome::Sent(_)
+        ));
+        let mut pkts = a.take_outbox();
+        let Packet::User(mut msg) = pkts.pop().unwrap() else {
+            panic!("expected a user packet");
+        };
+        msg.seal_crc();
+        let pristine = msg.clone();
+
+        // In-flight corruption → NACK, nothing queued, no credit staged.
+        let mut corrupted = msg.clone();
+        corrupted.corrupt_payload(1, 7);
+        b.deliver_checked(Packet::User(corrupted));
+        assert_eq!(b.stats().crc_nacks, 1);
+        assert!(!b.queue_ready(Priority::P0));
+        let out = b.take_outbox();
+        assert_eq!(out.len(), 1);
+        let Packet::Return(nacked) = &out[0] else {
+            panic!("expected a NACK return");
+        };
+        assert_eq!(nacked.wire.seq, pristine.wire.seq);
+
+        // The retransmitted pristine copy is applied and credited…
+        b.deliver_checked(Packet::User(pristine.clone()));
+        assert_eq!(b.queue_len(Priority::P0), 1);
+        assert_eq!(b.stats().received, 1);
+        assert!(matches!(b.take_outbox()[..], [Packet::Credit { .. }]));
+
+        // …and a duplicate of it is dropped without re-queueing.
+        b.deliver_checked(Packet::User(pristine));
+        assert_eq!(b.stats().dup_drops, 1);
+        assert_eq!(b.queue_len(Priority::P0), 1);
+        assert!(b.take_outbox().is_empty(), "duplicates mint no credit");
+    }
+
+    /// Out-of-order application (a bounced-then-resent message landing
+    /// after its successors) must not confuse the dedup window.
+    #[test]
+    fn dedup_window_tolerates_out_of_order_gaps() {
+        let mut w = SrcWindow::default();
+        assert!(w.mark(2), "gap: seq 1 still in flight");
+        assert!(w.mark(4));
+        assert!(!w.mark(2), "already applied past the floor");
+        assert!(w.mark(1), "late bounce retry fills the gap");
+        assert_eq!(w.floor, 2, "floor advances through the filled run");
+        assert!(w.mark(3));
+        assert_eq!(w.floor, 4);
+        assert!(w.above.is_empty());
+        assert!(!w.mark(3), "below the floor after compaction");
+    }
+
+    /// Interface state round-trips through the checkpoint codec.
+    #[test]
+    fn iface_state_round_trips() {
+        let mut n = iface_at(0);
+        let _ = n.send(
+            Word::from_u64(9),
+            Word::from_u64(GLOBAL_PAGE_WORDS),
+            GLOBAL_PAGE_WORDS,
+            [Word::from_u64(5)].into(),
+            Priority::P0,
+        );
+        n.deliver(user_msg(
+            NodeCoord::new(1, 0, 0),
+            NodeCoord::new(0, 0, 0),
+            Priority::P0,
+        ));
+        let mut sealed = Message {
+            priority: Priority::P0,
+            src: NodeCoord::new(1, 0, 0),
+            dest: NodeCoord::new(0, 0, 0),
+            dip: Word::from_u64(1),
+            addr: Word::from_u64(2),
+            body: MsgBody::new(),
+            wire: crate::message::WireMeta { seq: 3, crc: 0 },
+        };
+        sealed.seal_crc();
+        n.deliver_checked(Packet::User(sealed));
+        let mut e = Enc::new();
+        n.save_state(&mut e);
+        let bytes = e.finish();
+
+        let mut m = iface_at(0);
+        let mut d = Dec::new(&bytes);
+        m.load_state(&mut d).expect("load");
+        assert_eq!(d.remaining(), 0);
+        let mut e1 = Enc::new();
+        let mut e2 = Enc::new();
+        n.save_state(&mut e1);
+        m.save_state(&mut e2);
+        assert_eq!(e1.finish(), e2.finish(), "re-save is byte-identical");
+        assert_eq!(m.stats(), n.stats());
+        assert_eq!(m.credits(), n.credits());
+        assert_eq!(m.queue_len(Priority::P0), n.queue_len(Priority::P0));
     }
 
     #[test]

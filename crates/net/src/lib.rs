@@ -53,4 +53,4 @@ pub mod message;
 pub use fabric::{Dir, Fabric, FabricConfig, FabricStats};
 pub use gtlb::{GdtEntry, Gtlb, GLOBAL_PAGE_WORDS};
 pub use iface::{IfaceConfig, IfaceStats, NodeNet, SendOutcome};
-pub use message::{Message, MsgBody, NodeCoord, Packet, MAX_BODY_WORDS};
+pub use message::{Message, MsgBody, NodeCoord, Packet, WireMeta, MAX_BODY_WORDS};

@@ -6,6 +6,7 @@
 //! (DIP) to the body, so the receiver's register-mapped queue yields
 //! `[DIP, dest-VA, body...]` — exactly the order Fig. 7's handler consumes.
 
+use mm_faults::{CkptError, Dec, Enc};
 use mm_isa::op::Priority;
 use mm_isa::word::Word;
 use std::fmt;
@@ -122,6 +123,16 @@ impl MsgBody {
         self.len -= 1;
         Some(self.words[self.len as usize])
     }
+
+    /// Overwrite word `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn set(&mut self, i: usize, w: Word) {
+        assert!(i < self.len as usize, "message body index out of bounds");
+        self.words[i] = w;
+    }
 }
 
 impl Default for MsgBody {
@@ -159,6 +170,20 @@ impl FromIterator<Word> for MsgBody {
     }
 }
 
+/// Fault-detection metadata riding the message header flit: a per-sender
+/// sequence number (idempotent receive) and the checksum the sending
+/// interface seals over the payload when a fault plan is armed (the
+/// stand-in for a real fabric's per-flit CRC). Both are zero — and
+/// never consulted — on fault-free configurations, so the wire format,
+/// flit counts and all architectural statistics are unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireMeta {
+    /// Per-sender message sequence number (assigned by the interface).
+    pub seq: u64,
+    /// Payload checksum sealed at injection (0 = unsealed).
+    pub crc: u32,
+}
+
 /// A message as carried by the network.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Message {
@@ -174,6 +199,8 @@ pub struct Message {
     pub addr: Word,
     /// Body words (`mc1..=mc{len}` at the sender).
     pub body: MsgBody,
+    /// Fault-detection metadata (sequence number + sealed checksum).
+    pub wire: WireMeta,
 }
 
 impl Message {
@@ -192,6 +219,134 @@ impl Message {
     pub fn wire_flits(&self) -> u64 {
         2 + self.body.len() as u64
     }
+
+    /// The checksum of the payload as it stands right now (priority,
+    /// endpoints, sequence number, DIP, address, body).
+    #[must_use]
+    pub fn compute_crc(&self) -> u32 {
+        let mut words = [0u64; 8 + 2 * MAX_BODY_WORDS];
+        words[0] = self.priority.index() as u64;
+        words[1] = self.src.encode();
+        words[2] = self.dest.encode();
+        words[3] = self.wire.seq;
+        words[4] = self.dip.bits();
+        words[5] = u64::from(self.dip.is_pointer());
+        words[6] = self.addr.bits();
+        words[7] = u64::from(self.addr.is_pointer());
+        let mut n = 8;
+        for w in self.body.iter() {
+            words[n] = w.bits();
+            words[n + 1] = u64::from(w.is_pointer());
+            n += 2;
+        }
+        mm_faults::checksum(&words[..n])
+    }
+
+    /// Seal the current payload's checksum into the header.
+    pub fn seal_crc(&mut self) {
+        self.wire.crc = 0;
+        self.wire.crc = self.compute_crc();
+    }
+
+    /// Does the sealed checksum match the payload? Unsealed messages
+    /// (crc 0 — fault-free configurations) always verify.
+    #[must_use]
+    pub fn crc_ok(&self) -> bool {
+        self.wire.crc == 0 || self.wire.crc == self.compute_crc()
+    }
+
+    /// Payload words a fault can corrupt: the address word plus the
+    /// body (the DIP flit carries the routing header's own protection).
+    #[must_use]
+    pub fn payload_words(&self) -> u32 {
+        1 + self.body.len() as u32
+    }
+
+    /// Flip `bit` of payload word `word_idx` (0 = address word,
+    /// 1.. = body words) — an in-flight upset. The sealed checksum is
+    /// deliberately left alone: that is what detection keys on.
+    pub fn corrupt_payload(&mut self, word_idx: u32, bit: u8) {
+        let mask = 1u64 << (bit % 54);
+        if word_idx == 0 || self.body.is_empty() {
+            self.addr = Word::from_raw(self.addr.bits() ^ mask, self.addr.is_pointer());
+        } else {
+            let i = (word_idx as usize - 1) % self.body.len();
+            let w = self.body[i];
+            self.body
+                .set(i, Word::from_raw(w.bits() ^ mask, w.is_pointer()));
+        }
+    }
+
+    /// Lose one flit in flight: truncate the last body word (or upset
+    /// the address flit when there is no body). Also a checksum
+    /// mismatch at the receiver.
+    pub fn drop_flit(&mut self) {
+        if self.body.pop().is_none() {
+            self.corrupt_payload(0, 11);
+        }
+    }
+
+    /// Serialize into a checkpoint stream.
+    pub fn encode(&self, e: &mut Enc) {
+        e.u8(self.priority.index() as u8);
+        e.u64(self.src.encode());
+        e.u64(self.dest.encode());
+        encode_word(e, self.dip);
+        encode_word(e, self.addr);
+        e.usize(self.body.len());
+        for w in self.body.iter() {
+            encode_word(e, *w);
+        }
+        e.u64(self.wire.seq);
+        e.u32(self.wire.crc);
+    }
+
+    /// Deserialize from a checkpoint stream.
+    pub fn decode(d: &mut Dec<'_>) -> Result<Message, CkptError> {
+        let priority = match d.u8()? {
+            0 => Priority::P0,
+            1 => Priority::P1,
+            p => return Err(CkptError(format!("bad message priority {p}"))),
+        };
+        let src = NodeCoord::decode(d.u64()?);
+        let dest = NodeCoord::decode(d.u64()?);
+        let dip = decode_word(d)?;
+        let addr = decode_word(d)?;
+        let n = d.usize()?;
+        if n > MAX_BODY_WORDS {
+            return Err(CkptError(format!("message body too long ({n})")));
+        }
+        let mut body = MsgBody::new();
+        for _ in 0..n {
+            body.push(decode_word(d)?);
+        }
+        let wire = WireMeta {
+            seq: d.u64()?,
+            crc: d.u32()?,
+        };
+        Ok(Message {
+            priority,
+            src,
+            dest,
+            dip,
+            addr,
+            body,
+            wire,
+        })
+    }
+}
+
+/// Serialize a tagged machine word into a checkpoint stream.
+pub fn encode_word(e: &mut Enc, w: Word) {
+    e.u64(w.bits());
+    e.bool(w.is_pointer());
+}
+
+/// Deserialize a tagged machine word from a checkpoint stream.
+pub fn decode_word(d: &mut Dec<'_>) -> Result<Word, CkptError> {
+    let bits = d.u64()?;
+    let tag = d.bool()?;
+    Ok(Word::from_raw(bits, tag))
 }
 
 /// What travels point-to-point: user messages, the two hardware control
@@ -263,6 +418,43 @@ impl Packet {
             Packet::Credit { .. } | Packet::Return(_) => Priority::P1,
         }
     }
+
+    /// Serialize into a checkpoint stream.
+    pub fn encode(&self, e: &mut Enc) {
+        match self {
+            Packet::User(m) => {
+                e.u8(0);
+                m.encode(e);
+            }
+            Packet::Credit { dest, from } => {
+                e.u8(1);
+                e.u64(dest.encode());
+                e.u64(from.encode());
+            }
+            Packet::Return(m) => {
+                e.u8(2);
+                m.encode(e);
+            }
+            Packet::Coh(m) => {
+                e.u8(3);
+                m.encode(e);
+            }
+        }
+    }
+
+    /// Deserialize from a checkpoint stream.
+    pub fn decode(d: &mut Dec<'_>) -> Result<Packet, CkptError> {
+        Ok(match d.u8()? {
+            0 => Packet::User(Message::decode(d)?),
+            1 => Packet::Credit {
+                dest: NodeCoord::decode(d.u64()?),
+                from: NodeCoord::decode(d.u64()?),
+            },
+            2 => Packet::Return(Message::decode(d)?),
+            3 => Packet::Coh(Message::decode(d)?),
+            t => return Err(CkptError(format!("bad packet tag {t}"))),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -297,6 +489,7 @@ mod tests {
             dip: Word::from_u64(100),
             addr: Word::from_u64(200),
             body: std::iter::repeat_n(Word::from_u64(7), body).collect(),
+            wire: WireMeta::default(),
         }
     }
 
@@ -320,6 +513,44 @@ mod tests {
         };
         assert_eq!(p.wire_flits(), 1);
         assert_eq!(p.priority(), Priority::P1);
+    }
+
+    #[test]
+    fn crc_detects_corruption_and_truncation() {
+        let mut m = msg(3);
+        assert!(m.crc_ok(), "unsealed messages always verify");
+        m.seal_crc();
+        assert!(m.crc_ok(), "sealed, untouched payload verifies");
+
+        let mut corrupted = m.clone();
+        corrupted.corrupt_payload(2, 17);
+        assert!(!corrupted.crc_ok(), "payload bit flip breaks the seal");
+
+        let mut dropped = m.clone();
+        dropped.drop_flit();
+        assert!(!dropped.crc_ok(), "flit truncation breaks the seal");
+
+        let mut headless = msg(0);
+        headless.seal_crc();
+        headless.drop_flit();
+        assert!(
+            !headless.crc_ok(),
+            "empty-body drop upsets the address flit"
+        );
+    }
+
+    #[test]
+    fn message_codec_round_trip() {
+        let mut m = msg(4);
+        m.wire.seq = 42;
+        m.seal_crc();
+        let mut e = Enc::new();
+        m.encode(&mut e);
+        let buf = e.finish();
+        let mut d = Dec::new(&buf);
+        let back = Message::decode(&mut d).expect("decode");
+        assert_eq!(back, m);
+        assert_eq!(d.remaining(), 0);
     }
 
     #[test]

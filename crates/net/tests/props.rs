@@ -90,6 +90,7 @@ proptest! {
             dip: Word::ZERO,
             addr: Word::ZERO,
             body: std::iter::repeat_n(Word::ZERO, body).collect(),
+            wire: Default::default(),
         }));
         prop_assert_eq!(t, src.hops_to(dest) * 2 + 2 + body as u64);
     }

@@ -105,6 +105,15 @@ impl DeadlineLadder {
         self.block_min.fill(AWAKE);
     }
 
+    /// Overwrite node `i`'s slot with `deadline`, raising or lowering
+    /// freely — checkpoint restore reconstructing an exact sleep
+    /// schedule. Rebuilds the owning block's minimum, so it is `O(BLOCK)`
+    /// rather than `O(1)`; not for hot paths.
+    pub fn set_slot(&mut self, i: usize, deadline: u64) {
+        self.slots[i] = deadline;
+        self.rebuild_block(i / BLOCK);
+    }
+
     /// Lower node `i`'s slot to `deadline` if it is earlier than the
     /// current value (never raises — use the step-path's view write +
     /// [`DeadlineLadder::rebuild_block`] for that). `O(1)`.

@@ -211,6 +211,32 @@ impl<T> ReadyQueue<T> {
         }
         out.len() - before
     }
+
+    /// Every queued `(ready, item)` pair in pop order (`(ready, seq)`
+    /// ascending) — the checkpoint serialization view. Cold path: sorts
+    /// a temporary index, never mutates the queue.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(u64, &T)> {
+        let mut entries: Vec<&Entry<T>> = self.heap.iter().collect();
+        entries.sort_by_key(|e| (e.ready, e.seq));
+        entries.into_iter().map(|e| (e.ready, &e.item)).collect()
+    }
+
+    /// Replace the queue's contents with `items`, pushed in iteration
+    /// order — the checkpoint restore view. Feeding back exactly what
+    /// [`ReadyQueue::snapshot`] produced yields a queue whose pop order
+    /// is identical to the original's, including ties at equal ready
+    /// cycles against any *future* pushes (restored entries re-number
+    /// from fresh sequence values, but their relative order — and their
+    /// precedence over later pushes — is preserved).
+    pub fn restore<I: IntoIterator<Item = (u64, T)>>(&mut self, items: I) {
+        self.heap.clear();
+        self.seq = 0;
+        self.min_ready = u64::MAX;
+        for (ready, item) in items {
+            self.push(ready, item);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -255,6 +281,31 @@ mod tests {
         assert_eq!(q.drain_due_into(2, &mut out), 3);
         assert_eq!(out, vec![99, 0, 1, 2]);
         assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_pop_order() {
+        let mut q = ReadyQueue::new();
+        q.push(9, 'x');
+        q.push(4, 'a');
+        q.push(4, 'b');
+        q.push(6, 'm');
+        let snap: Vec<(u64, char)> = q.snapshot().into_iter().map(|(r, &c)| (r, c)).collect();
+        assert_eq!(snap, vec![(4, 'a'), (4, 'b'), (6, 'm'), (9, 'x')]);
+        let mut r = ReadyQueue::new();
+        r.push(0, 'z'); // restore clears pre-existing contents
+        r.restore(snap);
+        // Ties against future pushes break the same way as the original.
+        q.push(4, 'c');
+        r.push(4, 'c');
+        let drain = |q: &mut ReadyQueue<char>| {
+            let mut got = Vec::new();
+            while let Some(x) = q.pop_due(u64::MAX) {
+                got.push(x);
+            }
+            got
+        };
+        assert_eq!(drain(&mut q), drain(&mut r));
     }
 
     #[test]

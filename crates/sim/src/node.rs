@@ -13,6 +13,7 @@
 use crate::config::{NodeConfig, EVENT_SLOT, EXCEPTION_SLOT, NUM_CLUSTERS, NUM_SLOTS};
 use crate::event::{decode_record, format_event};
 use crate::regfile::ThreadRegs;
+use mm_faults::{CkptError, Dec, Enc};
 use mm_isa::instr::{Instruction, Program};
 use mm_isa::op::{AluKind, BranchCond, CmpKind, FpKind, FpOp, IntOp, MemOp, MemSlotOp, Priority};
 use mm_isa::pointer::{GuardedPointer, Perm};
@@ -347,6 +348,12 @@ pub struct Node {
     /// so a node skipped over idle cycles still reports wall-clock
     /// cycles observed, not steps executed).
     accounted: u64,
+    /// First cycle at which the issue stage runs again — a fault-injected
+    /// node-stall window (`u64::MAX` = fatal, the node never issues
+    /// again). Memory, writebacks and deliveries continue; only
+    /// instruction issue is gated. Zero when no fault is armed, so the
+    /// healthy path pays one always-false compare per step.
+    stall_all_until: u64,
     /// Pending unit writebacks, applied in `(ready, issue order)`. The
     /// queue header (its due-minimum mirror) lives here in the hot
     /// header; storage is heap-side.
@@ -406,6 +413,7 @@ impl Node {
             user_running: 0,
             user_finished: 0,
             accounted: 0,
+            stall_all_until: 0,
             stats: NodeStats::default(),
             cfg,
             coord,
@@ -780,7 +788,32 @@ impl Node {
                 }
             }
         }
+        // A fault-injected stall window gates the whole issue stage: a
+        // ready thread that produced no progress this step will issue
+        // the moment the window closes, so the engine must wake us then
+        // (fatal windows never close — no deadline).
+        if self.stall_all_until > now
+            && self.stall_all_until != u64::MAX
+            && self.running_word() != 0
+        {
+            best = earliest(best, Some(self.stall_all_until));
+        }
         best
+    }
+
+    /// Gate the issue stage until cycle `until` (fault injection:
+    /// a transient node stall; `u64::MAX` models a dead node). Memory,
+    /// writebacks and network delivery continue — only instruction
+    /// issue pauses.
+    pub fn stall_issue_until(&mut self, until: u64) {
+        self.stall_all_until = self.stall_all_until.max(until);
+    }
+
+    /// First cycle at which the issue stage may run again (0 = not
+    /// stalled).
+    #[must_use]
+    pub fn issue_stalled_until(&self) -> u64 {
+        self.stall_all_until
     }
 
     // ==================================================================
@@ -874,9 +907,13 @@ impl Node {
 
         // Phase 4: the synchronization stage issues at most one
         // instruction per cluster. (Branch bubbles are absolute
-        // deadlines checked at issue, so nothing decrements here.)
-        for c in 0..NUM_CLUSTERS {
-            progressed |= self.issue_cluster(now, c);
+        // deadlines checked at issue, so nothing decrements here.) A
+        // fault-injected stall window gates issue only — everything
+        // above (memory, writebacks, switch traffic) keeps draining.
+        if now >= self.stall_all_until {
+            for c in 0..NUM_CLUSTERS {
+                progressed |= self.issue_cluster(now, c);
+            }
         }
         progressed
     }
@@ -1746,4 +1783,313 @@ impl Node {
             FpOp::Nop => Ok(()),
         }
     }
+
+    // ==================================================================
+    // Checkpointing
+    // ==================================================================
+
+    /// Serialize the complete node state — thread control, register
+    /// files, queues, subsystems and statistics. Programs themselves are
+    /// **not** serialized (they are immutable and shared): restore
+    /// targets a node with the same programs loaded in the same slots,
+    /// and only presence is validated.
+    pub fn save_state(&self, e: &mut Enc) {
+        for c in 0..NUM_CLUSTERS {
+            e.u8(self.running[c]);
+            e.u8(self.rr[c]);
+            e.u32(self.event_records[c]);
+        }
+        e.u64(self.next_req_id);
+        e.u32(self.user_running);
+        e.u32(self.user_finished);
+        e.u64(self.accounted);
+        e.u64(self.stall_all_until);
+        let writes = self.local_writes.snapshot();
+        e.usize(writes.len());
+        for (ready, w) in writes {
+            e.u64(ready);
+            e.u64(
+                RegAddr {
+                    slot: w.slot as u8,
+                    cluster: w.cluster as u8,
+                    reg: w.reg,
+                }
+                .encode(),
+            );
+            e.u64(w.value.bits());
+            e.bool(w.value.is_pointer());
+        }
+        let transfers = self.csw.snapshot();
+        e.usize(transfers.len());
+        for (ready, t) in transfers {
+            e.u64(ready);
+            match t.target {
+                CswTarget::Reg { cluster, slot, reg } => {
+                    e.u8(0);
+                    e.u64(
+                        RegAddr {
+                            slot: slot as u8,
+                            cluster: cluster as u8,
+                            reg,
+                        }
+                        .encode(),
+                    );
+                }
+                CswTarget::GccBroadcast { slot, reg } => {
+                    e.u8(1);
+                    e.u64(
+                        RegAddr {
+                            slot: slot as u8,
+                            cluster: 0,
+                            reg,
+                        }
+                        .encode(),
+                    );
+                }
+            }
+            e.u64(t.value.bits());
+            e.bool(t.value.is_pointer());
+        }
+        for c in 0..NUM_CLUSTERS {
+            for s in 0..NUM_SLOTS {
+                let t = &self.threads[c][s];
+                e.bool(t.program.is_some());
+                e.u32(t.pc);
+                match t.state {
+                    HState::Idle => e.u8(0),
+                    HState::Running => e.u8(1),
+                    HState::Halted => e.u8(2),
+                    HState::Faulted(f) => {
+                        e.u8(3);
+                        e.u8(f as u8);
+                    }
+                }
+                e.u64(t.stall_until);
+                // The memoized issue-block proof rides along so the
+                // restored run probes exactly when the original would
+                // (keeps host counters like `issue_probes` identical).
+                match t.blocked {
+                    None => e.u8(0),
+                    Some(IssueBlock::Queue(b)) => {
+                        e.u8(1);
+                        e.u32(b.pc);
+                        e.u16(b.needs[0]);
+                        e.u16(b.needs[1]);
+                    }
+                    Some(IssueBlock::Regs { pc, version }) => {
+                        e.u8(2);
+                        e.u32(pc);
+                        e.u64(version);
+                    }
+                }
+                self.regs[c][s].save_state(e);
+            }
+        }
+        for q in self.event_q.iter().chain(&self.exc_q) {
+            e.usize(q.len());
+            for w in q {
+                e.u64(w.bits());
+                e.bool(w.is_pointer());
+            }
+        }
+        save_node_stats(e, &self.stats);
+        self.mem.save_state(e);
+        self.net.save_state(e);
+    }
+
+    /// Restore state produced by [`Node::save_state`] into a node built
+    /// with the same configuration and the same programs loaded.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation, malformed fields, a program-presence
+    /// mismatch, or a geometry mismatch in any subsystem.
+    pub fn load_state(&mut self, d: &mut Dec) -> Result<(), CkptError> {
+        for c in 0..NUM_CLUSTERS {
+            self.running[c] = d.u8()?;
+            self.rr[c] = d.u8()?;
+            self.event_records[c] = d.u32()?;
+        }
+        self.next_req_id = d.u64()?;
+        self.user_running = d.u32()?;
+        self.user_finished = d.u32()?;
+        self.accounted = d.u64()?;
+        self.stall_all_until = d.u64()?;
+        let n = d.usize()?;
+        let mut writes = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let ready = d.u64()?;
+            let ra = decode_reg_addr(d)?;
+            let value = Word::from_raw(d.u64()?, d.bool()?);
+            writes.push((
+                ready,
+                PendingWrite {
+                    cluster: ra.cluster as usize,
+                    slot: ra.slot as usize,
+                    reg: ra.reg,
+                    value,
+                },
+            ));
+        }
+        self.local_writes.restore(writes);
+        let n = d.usize()?;
+        let mut transfers = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let ready = d.u64()?;
+            let target = match d.u8()? {
+                0 => {
+                    let ra = decode_reg_addr(d)?;
+                    CswTarget::Reg {
+                        cluster: ra.cluster as usize,
+                        slot: ra.slot as usize,
+                        reg: ra.reg,
+                    }
+                }
+                1 => {
+                    let ra = decode_reg_addr(d)?;
+                    CswTarget::GccBroadcast {
+                        slot: ra.slot as usize,
+                        reg: ra.reg,
+                    }
+                }
+                t => return Err(CkptError(format!("bad C-Switch target tag {t}"))),
+            };
+            let value = Word::from_raw(d.u64()?, d.bool()?);
+            transfers.push((ready, CswTransfer { target, value }));
+        }
+        self.csw.restore(transfers);
+        for c in 0..NUM_CLUSTERS {
+            for s in 0..NUM_SLOTS {
+                let has_program = d.bool()?;
+                let pc = d.u32()?;
+                let state = match d.u8()? {
+                    0 => HState::Idle,
+                    1 => HState::Running,
+                    2 => HState::Halted,
+                    3 => HState::Faulted(decode_fault(d.u8()?)?),
+                    t => return Err(CkptError(format!("bad thread state tag {t}"))),
+                };
+                let stall_until = d.u64()?;
+                let blocked = match d.u8()? {
+                    0 => None,
+                    1 => {
+                        let pc = d.u32()?;
+                        let needs = [d.u16()?, d.u16()?];
+                        Some(IssueBlock::Queue(QueueBlock { pc, needs }))
+                    }
+                    2 => {
+                        let pc = d.u32()?;
+                        let version = d.u64()?;
+                        Some(IssueBlock::Regs { pc, version })
+                    }
+                    t => return Err(CkptError(format!("bad issue-block tag {t}"))),
+                };
+                let t = &mut self.threads[c][s];
+                if has_program != t.program.is_some() {
+                    return Err(CkptError(format!(
+                        "program presence mismatch at cluster {c} slot {s}: \
+                         checkpoint {has_program}, target {}",
+                        t.program.is_some()
+                    )));
+                }
+                t.pc = pc;
+                t.state = state;
+                t.stall_until = stall_until;
+                t.blocked = blocked;
+                self.regs[c][s].load_state(d)?;
+            }
+        }
+        for q in self.event_q.iter_mut().chain(&mut self.exc_q) {
+            q.clear();
+            let n = d.usize()?;
+            for _ in 0..n {
+                q.push_back(Word::from_raw(d.u64()?, d.bool()?));
+            }
+        }
+        self.stats = load_node_stats(d)?;
+        self.mem.load_state(d)?;
+        self.net.load_state(d)?;
+        Ok(())
+    }
+}
+
+fn decode_reg_addr(d: &mut Dec) -> Result<RegAddr, CkptError> {
+    let bits = d.u64()?;
+    RegAddr::decode(bits).ok_or_else(|| CkptError(format!("bad register address {bits:#x}")))
+}
+
+fn decode_fault(tag: u8) -> Result<Fault, CkptError> {
+    Ok(match tag {
+        0 => Fault::NotAPointer,
+        1 => Fault::Permission,
+        2 => Fault::OutOfSegment,
+        3 => Fault::Privilege,
+        4 => Fault::UnmappedSend,
+        5 => Fault::BadDip,
+        6 => Fault::DivByZero,
+        7 => Fault::PcOutOfRange,
+        8 => Fault::BadQueueAccess,
+        9 => Fault::GccOwnership,
+        t => return Err(CkptError(format!("bad fault tag {t}"))),
+    })
+}
+
+fn save_node_stats(e: &mut Enc, s: &NodeStats) {
+    e.u64(s.cycles);
+    e.u64(s.instructions);
+    e.u64(s.int_ops);
+    e.u64(s.mem_ops);
+    e.u64(s.fp_ops);
+    e.u64(s.loads);
+    e.u64(s.stores);
+    e.u64(s.sends);
+    e.u64(s.protected_calls);
+    e.u64(s.branches_taken);
+    e.u64(s.faults);
+    for v in s.events_enqueued {
+        e.u64(v);
+    }
+    e.u64(s.events_dropped);
+    for row in s.issued_per_slot {
+        for v in row {
+            e.u64(v);
+        }
+    }
+    e.u64(s.cswitch_transfers);
+    e.u64(s.last_response_cycle);
+    e.u64(s.responses);
+    e.u64(s.issue_probes);
+    e.u64(s.steps);
+}
+
+fn load_node_stats(d: &mut Dec) -> Result<NodeStats, CkptError> {
+    let mut s = NodeStats {
+        cycles: d.u64()?,
+        instructions: d.u64()?,
+        int_ops: d.u64()?,
+        mem_ops: d.u64()?,
+        fp_ops: d.u64()?,
+        loads: d.u64()?,
+        stores: d.u64()?,
+        sends: d.u64()?,
+        protected_calls: d.u64()?,
+        branches_taken: d.u64()?,
+        faults: d.u64()?,
+        ..NodeStats::default()
+    };
+    for v in &mut s.events_enqueued {
+        *v = d.u64()?;
+    }
+    s.events_dropped = d.u64()?;
+    for row in &mut s.issued_per_slot {
+        for v in row {
+            *v = d.u64()?;
+        }
+    }
+    s.cswitch_transfers = d.u64()?;
+    s.last_response_cycle = d.u64()?;
+    s.responses = d.u64()?;
+    s.issue_probes = d.u64()?;
+    s.steps = d.u64()?;
+    Ok(s)
 }

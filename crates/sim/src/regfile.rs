@@ -14,6 +14,7 @@
 //! register values are inline arrays — the old eight-`Vec` layout cost
 //! eight heap blocks and pointer chases per file, 192 per node.
 
+use mm_faults::{CkptError, Dec, Enc};
 use mm_isa::reg::{Reg, NUM_FP_REGS, NUM_GCC_REGS, NUM_INT_REGS, NUM_MC_REGS};
 use mm_isa::word::Word;
 
@@ -142,6 +143,34 @@ impl ThreadRegs {
             self.full &= !(1u64 << bit);
         }
         self.version += 1;
+    }
+
+    /// Serialize the full register file, scoreboard and mutation counter
+    /// included (the counter backs memoized issue-block proofs, so a
+    /// restored run re-probes exactly when the original would have).
+    pub fn save_state(&self, e: &mut Enc) {
+        e.u64(self.full);
+        e.u64(self.version);
+        e.u8(self.gcc);
+        for w in self.int.iter().chain(&self.fp).chain(&self.mc) {
+            e.u64(w.bits());
+            e.bool(w.is_pointer());
+        }
+    }
+
+    /// Restore state produced by [`ThreadRegs::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation.
+    pub fn load_state(&mut self, d: &mut Dec) -> Result<(), CkptError> {
+        self.full = d.u64()?;
+        self.version = d.u64()?;
+        self.gcc = d.u8()?;
+        for w in self.int.iter_mut().chain(&mut self.fp).chain(&mut self.mc) {
+            *w = Word::from_raw(d.u64()?, d.bool()?);
+        }
+        Ok(())
     }
 }
 

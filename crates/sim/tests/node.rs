@@ -539,3 +539,103 @@ fn execute_perm_jmp_is_not_a_protected_call() {
     // Plain EXECUTE jumps are ordinary control flow, not protected entry.
     assert_eq!(n.stats().protected_calls, 0);
 }
+
+#[test]
+fn node_state_round_trips_mid_flight() {
+    use mm_faults::{Dec, Enc};
+
+    // A memory-touching loop plus a second thread, checkpointed while
+    // writebacks, memory responses and the loop are all in flight.
+    let src = "loop: ld [r2], r3\n\
+               add r3, #1, r3\n\
+               st r3, [r2]\n\
+               br loop\n";
+    let prog = Arc::new(assemble(src).unwrap());
+    let side = Arc::new(assemble("fadd f1, f2, f3\n fmul f3, f3, f4\n halt\n").unwrap());
+    let mut n = booted_node();
+    n.write_reg(0, 0, Reg::Int(2), rw_ptr(16, 5));
+    n.load_program(0, 0, Arc::clone(&prog), 0);
+    n.load_program(1, 0, Arc::clone(&side), 0);
+    for cycle in 0..25 {
+        n.step(cycle);
+    }
+
+    let mut e = Enc::default();
+    n.save_state(&mut e);
+    let bytes = e.finish();
+
+    let mut restored = booted_node();
+    restored.load_program(0, 0, prog, 0);
+    restored.load_program(1, 0, side, 0);
+    let mut d = Dec::new(&bytes);
+    restored.load_state(&mut d).unwrap();
+    assert_eq!(d.remaining(), 0);
+
+    // Re-save must be byte-identical.
+    let mut e2 = Enc::default();
+    restored.save_state(&mut e2);
+    assert_eq!(e2.finish(), bytes, "re-saved checkpoint differs");
+
+    // Continue both nodes: identical architectural and counter state.
+    for cycle in 25..200 {
+        n.step(cycle);
+        restored.step(cycle);
+    }
+    assert_eq!(
+        n.read_reg(0, 0, Reg::Int(3)).bits(),
+        restored.read_reg(0, 0, Reg::Int(3)).bits()
+    );
+    assert!(n.read_reg(0, 0, Reg::Int(3)).bits() > 0, "loop progressed");
+    assert_eq!(n.stats().instructions, restored.stats().instructions);
+    assert_eq!(n.stats().issue_probes, restored.stats().issue_probes);
+    assert_eq!(n.stats().responses, restored.stats().responses);
+    assert_eq!(n.inspect(), restored.inspect());
+
+    // A node missing a loaded program refuses the checkpoint.
+    let mut bare = booted_node();
+    assert!(bare.load_state(&mut Dec::new(&bytes)).is_err());
+}
+
+#[test]
+fn stall_window_gates_issue_but_not_memory() {
+    let mut n = booted_node();
+    let prog = Arc::new(
+        assemble("add r1, #1, r1\n add r1, #1, r1\n add r1, #1, r1\n add r1, #1, r1\n halt\n")
+            .unwrap(),
+    );
+    n.load_program(0, 0, prog, 0);
+    n.step(0);
+    let issued_before = n.stats().instructions;
+    assert_eq!(issued_before, 1);
+
+    // Stall issue for cycles 1..=9: the pending writeback still lands
+    // (register becomes 1), but no further instruction issues.
+    n.stall_issue_until(10);
+    assert_eq!(n.issue_stalled_until(), 10);
+    for cycle in 1..10 {
+        n.step(cycle);
+    }
+    assert_eq!(n.stats().instructions, 1, "issue gated during window");
+    assert_eq!(
+        n.read_reg(0, 0, Reg::Int(1)).as_i64(),
+        1,
+        "writeback landed"
+    );
+    assert_eq!(n.next_activity(9), Some(10), "wakes when the window ends");
+
+    // Window closed: the loop finishes normally.
+    for cycle in 10..30 {
+        n.step(cycle);
+    }
+    assert_eq!(n.thread_state(0, 0), HState::Halted);
+    assert_eq!(n.read_reg(0, 0, Reg::Int(1)).as_i64(), 4);
+
+    // A fatal window never produces a wake-up deadline.
+    let mut dead = booted_node();
+    let prog2 = Arc::new(assemble("add r1, #1, r1\n halt\n").unwrap());
+    dead.load_program(0, 0, prog2, 0);
+    dead.stall_issue_until(u64::MAX);
+    assert!(!dead.step(0));
+    assert_eq!(dead.next_activity(0), None);
+    assert_eq!(dead.thread_state(0, 0), HState::Running);
+}

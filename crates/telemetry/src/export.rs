@@ -18,7 +18,9 @@ pub fn write_jsonl_line(s: &EpochSample, out: &mut String) {
          \"wall_ns\":{},\"cycles_per_sec\":{:.1},\"instructions\":{},\"issue_probes\":{},\
          \"issue_hit_rate\":{:.6},\"node_steps\":{},\"messages\":{},\"fabric_packets\":{},\
          \"flit_hops\":{},\"link_occupancy\":{:.6},\"coh_packets\":{},\"coh_misses\":{},\
-         \"coh_invalidations\":{},\"coh_writebacks\":{},\"sync_retries\":{},\"shard_steps\":[",
+         \"coh_invalidations\":{},\"coh_writebacks\":{},\"sync_retries\":{},\
+         \"ecc_corrected\":{},\"ecc_double_errors\":{},\"crc_nacks\":{},\"dup_drops\":{},\
+         \"retransmits\":{},\"bounces\":{},\"shard_steps\":[",
         s.epoch,
         s.start_cycle,
         s.end_cycle,
@@ -37,6 +39,12 @@ pub fn write_jsonl_line(s: &EpochSample, out: &mut String) {
         s.coh_invalidations,
         s.coh_writebacks,
         s.sync_retries,
+        s.ecc_corrected,
+        s.ecc_double_errors,
+        s.crc_nacks,
+        s.dup_drops,
+        s.retransmits,
+        s.bounces,
     );
     let shards = (s.shards as usize).clamp(1, MAX_SHARDS);
     for k in 0..shards {
@@ -67,6 +75,12 @@ pub const JSONL_FIELDS: &[&str] = &[
     "coh_invalidations",
     "coh_writebacks",
     "sync_retries",
+    "ecc_corrected",
+    "ecc_double_errors",
+    "crc_nacks",
+    "dup_drops",
+    "retransmits",
+    "bounces",
     "shard_steps",
 ];
 
@@ -86,6 +100,12 @@ pub fn prometheus(ring: &MetricsRing) -> String {
     let mut coh_invalidations = 0u64;
     let mut coh_writebacks = 0u64;
     let mut node_steps = 0u64;
+    let mut ecc_corrected = 0u64;
+    let mut ecc_double_errors = 0u64;
+    let mut crc_nacks = 0u64;
+    let mut dup_drops = 0u64;
+    let mut retransmits = 0u64;
+    let mut bounces = 0u64;
     for s in ring.iter() {
         cycles += s.end_cycle - s.start_cycle;
         instructions += s.instructions;
@@ -97,6 +117,12 @@ pub fn prometheus(ring: &MetricsRing) -> String {
         coh_invalidations += s.coh_invalidations;
         coh_writebacks += s.coh_writebacks;
         node_steps += s.node_steps;
+        ecc_corrected += s.ecc_corrected;
+        ecc_double_errors += s.ecc_double_errors;
+        crc_nacks += s.crc_nacks;
+        dup_drops += s.dup_drops;
+        retransmits += s.retransmits;
+        bounces += s.bounces;
     }
     for (name, help, v) in [
         (
@@ -133,6 +159,32 @@ pub fn prometheus(ring: &MetricsRing) -> String {
             coh_writebacks,
         ),
         ("mm_node_steps_total", "Node steps executed", node_steps),
+        (
+            "mm_ecc_corrected_total",
+            "SECDED single-bit corrections",
+            ecc_corrected,
+        ),
+        (
+            "mm_ecc_double_errors_total",
+            "Uncorrectable SECDED double-bit errors",
+            ecc_double_errors,
+        ),
+        (
+            "mm_crc_nacks_total",
+            "Messages NACKed on checksum mismatch",
+            crc_nacks,
+        ),
+        (
+            "mm_dup_drops_total",
+            "Duplicate retransmissions dropped",
+            dup_drops,
+        ),
+        (
+            "mm_retransmits_total",
+            "Pristine-copy retransmissions",
+            retransmits,
+        ),
+        ("mm_bounces_total", "Queue-full message bounces", bounces),
     ] {
         let _ = writeln!(out, "# HELP {name} {help}");
         let _ = writeln!(out, "# TYPE {name} counter");
@@ -189,6 +241,12 @@ mod tests {
             coh_invalidations: 3,
             coh_writebacks: 2,
             sync_retries: 1,
+            ecc_corrected: 5,
+            ecc_double_errors: 1,
+            crc_nacks: 7,
+            dup_drops: 2,
+            retransmits: 6,
+            bounces: 8,
             shards: 2,
             shard_steps: {
                 let mut a = [0; MAX_SHARDS];
@@ -242,13 +300,19 @@ mod tests {
             coh_invalidations: u64::MAX,
             coh_writebacks: u64::MAX,
             sync_retries: u64::MAX,
+            ecc_corrected: u64::MAX,
+            ecc_double_errors: u64::MAX,
+            crc_nacks: u64::MAX,
+            dup_drops: u64::MAX,
+            retransmits: u64::MAX,
+            bounces: u64::MAX,
             shards: MAX_SHARDS as u32,
             shard_steps: [u64::MAX; MAX_SHARDS],
         };
         let mut line = String::new();
         write_jsonl_line(&worst, &mut line);
         assert!(
-            line.len() < 1024,
+            line.len() < super::super::LINE_CAPACITY,
             "worst-case line ({} bytes) must fit the preallocated buffer",
             line.len()
         );

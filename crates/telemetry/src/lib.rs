@@ -55,7 +55,10 @@ pub const MAX_SHARDS: usize = 16;
 
 /// Version tag stamped into every JSONL record (`"v"`), bumped on any
 /// schema change together with `docs/telemetry.schema.json`.
-pub const STREAM_VERSION: u64 = 1;
+/// v2 added the fault/recovery counters (`ecc_corrected`,
+/// `ecc_double_errors`, `crc_nacks`, `dup_drops`, `retransmits`,
+/// `bounces`).
+pub const STREAM_VERSION: u64 = 2;
 
 /// Telemetry configuration. Disabled by default: a disabled machine
 /// carries no ring, no buffers, and pays one branch per processed
@@ -150,6 +153,18 @@ pub struct CounterSnapshot {
     pub coh_writebacks: u64,
     /// Synchronizing-fault retries.
     pub sync_retries: u64,
+    /// SECDED single-bit errors corrected in DRAM.
+    pub ecc_corrected: u64,
+    /// Uncorrectable SECDED double-bit errors observed.
+    pub ecc_double_errors: u64,
+    /// Messages NACKed back to senders on checksum mismatch.
+    pub crc_nacks: u64,
+    /// Duplicate retransmissions dropped by idempotent receive.
+    pub dup_drops: u64,
+    /// Pristine-copy retransmissions after a NACK.
+    pub retransmits: u64,
+    /// Messages bounced back to senders on queue overflow (§4.1).
+    pub bounces: u64,
     /// Shards the node phase is split into (1 = serial).
     pub shards: u32,
     /// Node steps per shard (first `shards` entries; shard
@@ -202,6 +217,19 @@ pub struct EpochSample {
     pub coh_writebacks: u64,
     /// Sync-fault retries this epoch.
     pub sync_retries: u64,
+    /// SECDED single-bit corrections this epoch.
+    pub ecc_corrected: u64,
+    /// Uncorrectable SECDED double-bit errors this epoch.
+    pub ecc_double_errors: u64,
+    /// Messages NACKed on checksum mismatch this epoch.
+    pub crc_nacks: u64,
+    /// Duplicate retransmissions dropped by the idempotent-receive
+    /// window this epoch.
+    pub dup_drops: u64,
+    /// Pristine-copy retransmissions this epoch.
+    pub retransmits: u64,
+    /// Queue-full §4.1 bounces this epoch.
+    pub bounces: u64,
     /// Shards reported in `shard_steps`.
     pub shards: u32,
     /// Per-shard node-step deltas (first `shards` entries meaningful).
@@ -300,9 +328,11 @@ impl<'a> IntoIterator for &'a MetricsRing {
 }
 
 /// Capacity reserved for one JSONL line. A full record with 16 shard
-/// entries measures ~420 bytes; 1 KiB leaves comfortable headroom so
-/// the line buffer never reallocates mid-run.
-const LINE_CAPACITY: usize = 1024;
+/// entries measures ~500 bytes at realistic values; the worst case
+/// (every counter at `u64::MAX`) stays under this bound (the
+/// `jsonl_line_fits_preallocated_capacity` test pins it), so the line
+/// buffer never reallocates mid-run.
+pub(crate) const LINE_CAPACITY: usize = 1536;
 
 /// The sampler: owns the ring, the previous snapshot, the pre-allocated
 /// line buffer and the optional stream sink. Driven by the machine —
@@ -413,6 +443,12 @@ impl Telemetry {
             coh_invalidations: cur.coh_invalidations - self.prev.coh_invalidations,
             coh_writebacks: cur.coh_writebacks - self.prev.coh_writebacks,
             sync_retries: cur.sync_retries - self.prev.sync_retries,
+            ecc_corrected: cur.ecc_corrected - self.prev.ecc_corrected,
+            ecc_double_errors: cur.ecc_double_errors - self.prev.ecc_double_errors,
+            crc_nacks: cur.crc_nacks - self.prev.crc_nacks,
+            dup_drops: cur.dup_drops - self.prev.dup_drops,
+            retransmits: cur.retransmits - self.prev.retransmits,
+            bounces: cur.bounces - self.prev.bounces,
             shards: cur.shards,
             shard_steps,
         };

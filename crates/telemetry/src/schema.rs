@@ -205,6 +205,12 @@ mod tests {
             coh_invalidations: 0,
             coh_writebacks: 0,
             sync_retries: 0,
+            ecc_corrected: 1,
+            ecc_double_errors: 0,
+            crc_nacks: 2,
+            dup_drops: 0,
+            retransmits: 2,
+            bounces: 0,
             shards: 2,
             shard_steps: [0; crate::MAX_SHARDS],
         };

@@ -4,21 +4,30 @@
 //! mmctl check <stream.jsonl> [--schema docs/telemetry.schema.json]
 //! mmctl tail <stream.jsonl> [-n 10] [--follow]
 //! mmctl snapshot <snapshot.json>
+//! mmctl snapshot --save <ckpt.bin> [--at N] [scenario flags]
+//! mmctl snapshot --restore <ckpt.bin> [scenario flags]
 //! mmctl prom <stream.jsonl>
 //! mmctl run [--dims 2x2x1] [--iters 64] [--workers 1] [--epoch 64]
-//!           [--out run.jsonl] [--snapshot-out snap.json] [--prom]
+//!           [--faults plan.json] [--out run.jsonl]
+//!           [--snapshot-out snap.json] [--prom]
 //! ```
 //!
 //! `check` validates every JSONL record against the committed schema
 //! plus the cross-line invariants (epoch monotonicity, contiguous cycle
-//! coverage) — CI's telemetry smoke runs exactly this. `snapshot`
+//! coverage) — CI's telemetry smoke runs exactly this; a stream cut off
+//! mid-record by a killed writer is tolerated and noted. `snapshot`
 //! renders a dumped [`mm_core::machine::MMachine::snapshot_json`]
-//! document as a per-node pipeline/queue/directory table and a
-//! per-link fabric heatmap. `run` attaches the whole pipeline to an
-//! in-process sim run of the busy-traffic scenario.
+//! document as a per-node pipeline/queue/directory table and a per-link
+//! fabric heatmap; `--save`/`--restore` round-trip a binary machine
+//! checkpoint of the busy scenario through disk. `run` attaches the
+//! whole pipeline to an in-process sim run of the busy-traffic
+//! scenario, optionally with a fault campaign armed from a plan file.
+//!
+//! Exit codes: 0 success, 1 check/render/run failure, 2 usage.
 
 use mm_telemetry::json::parse;
 use mm_telemetry::TelemetryConfig;
+use mm_tools::plan::plan_from_json;
 use mm_tools::render::{epoch_brief, prometheus_from_stream, render_snapshot};
 use mm_tools::stream::check_stream;
 
@@ -26,157 +35,241 @@ const USAGE: &str = "usage: mmctl <check|tail|snapshot|prom|run> [args]
   check <stream.jsonl> [--schema <schema.json>]   validate a telemetry stream
   tail <stream.jsonl> [-n N] [--follow]           show the last N epochs
   snapshot <snapshot.json>                        render node table + link heatmap
+  snapshot --save <ckpt.bin> [--at N] [--dims XxYxZ] [--iters N] [--workers N]
+           [--faults <plan.json>]                 checkpoint the busy scenario at cycle N
+  snapshot --restore <ckpt.bin> [--dims XxYxZ] [--iters N] [--workers N]
+           [--faults <plan.json>]                 restore and run to completion
   prom <stream.jsonl>                             convert JSONL to Prometheus text
-  run [--dims XxYxZ] [--iters N] [--workers N] [--epoch N]
+  run [--dims XxYxZ] [--iters N] [--workers N] [--epoch N] [--faults <plan.json>]
       [--out <stream.jsonl>] [--snapshot-out <snap.json>] [--prom]
                                                   run the busy scenario in-process";
 
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).map(|k| {
-        args.get(k + 1)
-            .unwrap_or_else(|| panic!("{flag} takes a value"))
-            .clone()
+/// A usage-class failure: printed with the usage text, exit code 2.
+type UsageError = String;
+
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, UsageError> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(k) => args
+            .get(k + 1)
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| format!("{flag} takes a value")),
+    }
+}
+
+fn parsed_flag<T: std::str::FromStr>(
+    args: &[String],
+    flag: &str,
+    default: T,
+    what: &str,
+) -> Result<T, UsageError> {
+    flag_value(args, flag)?.map_or(Ok(default), |v| {
+        v.parse().map_err(|_| format!("{flag} takes {what}"))
     })
 }
 
-fn read(path: &str) -> String {
-    std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("mmctl: read {path}: {e}");
-        std::process::exit(2);
-    })
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))
 }
 
-fn cmd_check(args: &[String]) -> i32 {
-    let Some(path) = args.first() else {
-        eprintln!("{USAGE}");
-        return 2;
-    };
-    let schema = flag_value(args, "--schema").map(|p| {
-        parse(&read(&p)).unwrap_or_else(|e| {
-            eprintln!("mmctl: schema {p}: {e}");
-            std::process::exit(2);
+fn parse_dims(s: &str) -> Result<(u8, u8, u8), UsageError> {
+    let parts: Vec<u8> = s.split('x').filter_map(|p| p.parse().ok()).collect();
+    if parts.len() != 3 || s.split('x').count() != 3 {
+        return Err(format!("--dims takes XxYxZ, got {s:?}"));
+    }
+    Ok((parts[0], parts[1], parts[2]))
+}
+
+/// The busy-scenario knobs shared by `run` and `snapshot --save/--restore`.
+/// Restore rebuilds the machine from the same flags, so the checkpoint's
+/// config/plan validation catches a mismatched invocation.
+struct Scenario {
+    dims: (u8, u8, u8),
+    iters: u64,
+    workers: usize,
+    faults: Option<mm_faults::FaultPlanConfig>,
+}
+
+impl Scenario {
+    fn from_args(args: &[String]) -> Result<Scenario, UsageError> {
+        let dims = match flag_value(args, "--dims")? {
+            Some(v) => parse_dims(&v)?,
+            None => (2, 2, 1),
+        };
+        let faults = match flag_value(args, "--faults")? {
+            Some(p) => {
+                let text = read(&p)?;
+                Some(plan_from_json(&text).map_err(|e| format!("{p}: {e}"))?)
+            }
+            None => None,
+        };
+        Ok(Scenario {
+            dims,
+            iters: parsed_flag(args, "--iters", 64, "a count")?,
+            workers: parsed_flag(args, "--workers", 1, "a count")?,
+            faults,
         })
-    });
-    let report = check_stream(&read(path), schema.as_ref());
+    }
+
+    fn build(&self, telemetry: TelemetryConfig) -> mm_core::machine::MMachine {
+        mm_bench::scaling::build_busy_scenario_full(
+            self.dims,
+            self.iters,
+            Some(self.workers),
+            telemetry,
+            self.faults.clone(),
+        )
+    }
+}
+
+fn cmd_check(args: &[String]) -> Result<i32, UsageError> {
+    let Some(path) = args.first() else {
+        return Err("check needs a stream path".into());
+    };
+    let schema = match flag_value(args, "--schema")? {
+        Some(p) => {
+            let text = read(&p)?;
+            Some(parse(&text).map_err(|e| format!("schema {p}: {e}"))?)
+        }
+        None => None,
+    };
+    let report = check_stream(&read(path)?, schema.as_ref());
     println!(
         "{path}: {} epochs, {} cycles, {} instructions",
         report.lines, report.cycles, report.instructions
     );
+    if report.truncated {
+        println!("note: stream ends in a truncated partial record (tolerated)");
+    }
     if report.lines == 0 {
         eprintln!("mmctl: {path}: stream is empty");
-        return 1;
+        return Ok(1);
     }
     if report.is_ok() {
         println!("ok: schema and stream invariants hold");
-        0
+        Ok(0)
     } else {
         for e in &report.errors {
             eprintln!("error: {e}");
         }
         eprintln!("mmctl: {} violation(s)", report.errors.len());
-        1
+        Ok(1)
     }
 }
 
+/// Print the last `n` complete epochs of `text` and return the byte
+/// offset past the last complete line — a partial trailing line (a
+/// writer mid-record) is left for the next poll.
 fn print_tail(text: &str, n: usize) -> usize {
-    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    let complete = if text.ends_with('\n') {
+        text.len()
+    } else {
+        text.rfind('\n').map_or(0, |k| k + 1)
+    };
+    let lines: Vec<&str> = text[..complete]
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .collect();
     let start = lines.len().saturating_sub(n);
     for l in &lines[start..] {
         println!("{}", epoch_brief(l));
     }
-    text.len()
+    complete
 }
 
-fn cmd_tail(args: &[String]) -> i32 {
+fn cmd_tail(args: &[String]) -> Result<i32, UsageError> {
     let Some(path) = args.first() else {
-        eprintln!("{USAGE}");
-        return 2;
+        return Err("tail needs a stream path".into());
     };
-    let n: usize = flag_value(args, "-n").map_or(10, |v| v.parse().expect("-n takes a count"));
+    let n: usize = parsed_flag(args, "-n", 10, "a count")?;
     let follow = args.iter().any(|a| a == "--follow");
-    let mut seen = print_tail(&read(path), n);
+    let mut seen = print_tail(&read(path)?, n);
     if follow {
         loop {
             std::thread::sleep(std::time::Duration::from_millis(200));
             let text = std::fs::read_to_string(path).unwrap_or_default();
-            if text.len() > seen {
-                // Print only complete new lines past the prior offset.
-                for l in text[seen..].lines().filter(|l| !l.trim().is_empty()) {
-                    println!("{}", epoch_brief(l));
-                }
-                seen = text.len();
+            if text.len() < seen {
+                // Truncated/rotated underneath us: start over.
+                seen = 0;
             }
+            seen += print_tail(&text[seen..], usize::MAX);
         }
     }
-    0
+    Ok(0)
 }
 
-fn cmd_snapshot(args: &[String]) -> i32 {
+fn cmd_snapshot(args: &[String]) -> Result<i32, UsageError> {
+    if let Some(path) = flag_value(args, "--save")? {
+        return snapshot_save(args, &path);
+    }
+    if let Some(path) = flag_value(args, "--restore")? {
+        return snapshot_restore(args, &path);
+    }
     let Some(path) = args.first() else {
-        eprintln!("{USAGE}");
-        return 2;
+        return Err("snapshot needs a snapshot path (or --save/--restore)".into());
     };
-    match render_snapshot(&read(path)) {
+    match render_snapshot(&read(path)?) {
         Ok(s) => {
             print!("{s}");
-            0
+            Ok(0)
         }
         Err(e) => {
             eprintln!("mmctl: {path}: {e}");
-            1
+            Ok(1)
         }
     }
 }
 
-fn cmd_prom(args: &[String]) -> i32 {
-    let Some(path) = args.first() else {
-        eprintln!("{USAGE}");
-        return 2;
-    };
-    match prometheus_from_stream(&read(path)) {
-        Ok(s) => {
-            print!("{s}");
-            0
-        }
+fn snapshot_save(args: &[String], path: &str) -> Result<i32, UsageError> {
+    let scenario = Scenario::from_args(args)?;
+    let at: u64 = parsed_flag(args, "--at", 1_000, "a cycle count")?;
+    let mut m = scenario.build(TelemetryConfig::default());
+    m.run_cycles(at);
+    let ckpt = m.checkpoint();
+    if let Err(e) = std::fs::write(path, &ckpt) {
+        eprintln!("mmctl: write {path}: {e}");
+        return Ok(1);
+    }
+    println!(
+        "checkpointed busy {}x{}x{} at cycle {} -> {path} ({} bytes)",
+        scenario.dims.0,
+        scenario.dims.1,
+        scenario.dims.2,
+        m.cycle(),
+        ckpt.len()
+    );
+    Ok(0)
+}
+
+fn snapshot_restore(args: &[String], path: &str) -> Result<i32, UsageError> {
+    let scenario = Scenario::from_args(args)?;
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
         Err(e) => {
-            eprintln!("mmctl: {path}: {e}");
-            1
+            eprintln!("mmctl: read {path}: {e}");
+            return Ok(1);
         }
-    }
-}
-
-fn parse_dims(s: &str) -> (u8, u8, u8) {
-    let parts: Vec<u8> = s
-        .split('x')
-        .map(|p| p.parse().expect("--dims takes XxYxZ"))
-        .collect();
-    assert!(parts.len() == 3, "--dims takes XxYxZ");
-    (parts[0], parts[1], parts[2])
-}
-
-fn cmd_run(args: &[String]) -> i32 {
-    let dims = flag_value(args, "--dims").map_or((2, 2, 1), |v| parse_dims(&v));
-    let iters: u64 =
-        flag_value(args, "--iters").map_or(64, |v| v.parse().expect("--iters takes a count"));
-    let workers: usize =
-        flag_value(args, "--workers").map_or(1, |v| v.parse().expect("--workers takes a count"));
-    let epoch: u64 =
-        flag_value(args, "--epoch").map_or(64, |v| v.parse().expect("--epoch takes a cycle count"));
-    let out = flag_value(args, "--out");
-    let snapshot_out = flag_value(args, "--snapshot-out");
-    let want_prom = args.iter().any(|a| a == "--prom");
-
-    let tel = TelemetryConfig {
-        enabled: true,
-        epoch_cycles: epoch,
-        ring_epochs: 0,
-        stream_path: out.clone().map(Into::into),
     };
-    let mut m = mm_bench::scaling::build_busy_scenario_telemetry(dims, iters, Some(workers), tel);
-    m.run_until_halt(mm_bench::scaling::RUN_LIMIT)
-        .expect("busy scenario completes");
-    m.telemetry_flush();
+    let mut m = scenario.build(TelemetryConfig::default());
+    if let Err(e) = m.restore(&bytes) {
+        eprintln!("mmctl: restore {path}: {e}");
+        eprintln!("mmctl: (the scenario flags must match the ones used with --save)");
+        return Ok(1);
+    }
+    println!("restored {path} at cycle {}", m.cycle());
+    if let Err(e) = m.run_until_halt(mm_bench::scaling::RUN_LIMIT) {
+        eprintln!("mmctl: restored run did not complete: {e}");
+        if let Some(d) = m.last_diagnostic() {
+            eprintln!("{d}");
+        }
+        return Ok(1);
+    }
+    print_run_summary(&m, scenario.dims, scenario.iters);
+    Ok(0)
+}
 
+fn print_run_summary(m: &mm_core::machine::MMachine, dims: (u8, u8, u8), iters: u64) {
     let stats = m.stats();
     println!(
         "ran busy {}x{}x{} ({} iters/node, {} workers): {} cycles, {} instructions, {} messages",
@@ -189,33 +282,100 @@ fn cmd_run(args: &[String]) -> i32 {
         stats.instructions,
         stats.messages
     );
-    let ring_jsonl = m.telemetry().expect("telemetry enabled").ring_jsonl();
+    if let Some(r) = m.fault_report() {
+        let snap = m.counter_snapshot();
+        println!(
+            "faults: {} corrupted, {} dropped, {} delayed, {} dram flips | \
+             recovery: {} crc-nacks, {} retransmits, {} dup-drops, {} ecc-corrected, \
+             {} ecc-double",
+            r.packets_corrupted,
+            r.packets_dropped,
+            r.packets_delayed,
+            r.dram_flips,
+            snap.crc_nacks,
+            snap.retransmits,
+            snap.dup_drops,
+            snap.ecc_corrected,
+            snap.ecc_double_errors
+        );
+    }
+}
+
+fn cmd_prom(args: &[String]) -> Result<i32, UsageError> {
+    let Some(path) = args.first() else {
+        return Err("prom needs a stream path".into());
+    };
+    match prometheus_from_stream(&read(path)?) {
+        Ok(s) => {
+            print!("{s}");
+            Ok(0)
+        }
+        Err(e) => {
+            eprintln!("mmctl: {path}: {e}");
+            Ok(1)
+        }
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<i32, UsageError> {
+    let scenario = Scenario::from_args(args)?;
+    let epoch: u64 = parsed_flag(args, "--epoch", 64, "a cycle count")?;
+    let out = flag_value(args, "--out")?;
+    let snapshot_out = flag_value(args, "--snapshot-out")?;
+    let want_prom = args.iter().any(|a| a == "--prom");
+
+    let tel = TelemetryConfig {
+        enabled: true,
+        epoch_cycles: epoch,
+        ring_epochs: 0,
+        stream_path: out.clone().map(Into::into),
+    };
+    let mut m = scenario.build(tel);
+    if let Err(e) = m.run_until_halt(mm_bench::scaling::RUN_LIMIT) {
+        eprintln!("mmctl: run did not complete: {e}");
+        if let Some(d) = m.last_diagnostic() {
+            eprintln!("{d}");
+        }
+        return Ok(1);
+    }
+    m.telemetry_flush();
+
+    print_run_summary(&m, scenario.dims, scenario.iters);
+    let Some(telemetry) = m.telemetry() else {
+        eprintln!("mmctl: telemetry unexpectedly disabled");
+        return Ok(1);
+    };
     println!("--- last epochs ---");
-    print_tail(&ring_jsonl, 5);
+    print_tail(&telemetry.ring_jsonl(), 5);
     if let Some(p) = &out {
         println!("wrote {p}");
     }
     if want_prom {
-        print!("{}", m.telemetry().expect("telemetry enabled").prometheus());
+        print!("{}", telemetry.prometheus());
     }
     if let Some(p) = snapshot_out {
-        std::fs::write(&p, m.snapshot_json()).expect("write snapshot");
+        if let Err(e) = std::fs::write(&p, m.snapshot_json()) {
+            eprintln!("mmctl: write {p}: {e}");
+            return Ok(1);
+        }
         println!("wrote {p}");
     }
     println!("--- snapshot ---");
     match render_snapshot(&m.snapshot_json()) {
-        Ok(s) => print!("{s}"),
+        Ok(s) => {
+            print!("{s}");
+            Ok(0)
+        }
         Err(e) => {
             eprintln!("mmctl: snapshot render: {e}");
-            return 1;
+            Ok(1)
         }
     }
-    0
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let code = match args.first().map(String::as_str) {
+    let result = match args.first().map(String::as_str) {
         Some("check") => cmd_check(&args[1..]),
         Some("tail") => cmd_tail(&args[1..]),
         Some("snapshot") => cmd_snapshot(&args[1..]),
@@ -223,8 +383,15 @@ fn main() {
         Some("run") => cmd_run(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
-            2
+            std::process::exit(2);
         }
     };
-    std::process::exit(code);
+    match result {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("mmctl: {e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
 }

@@ -1,5 +1,6 @@
 //! Library half of `mmctl` (unit-testable pieces live here; the binary
 //! is argument parsing plus I/O around these functions).
 
+pub mod plan;
 pub mod render;
 pub mod stream;

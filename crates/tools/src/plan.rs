@@ -1,0 +1,153 @@
+//! Fault-plan files: the JSON document `mmctl run --faults <plan.json>`
+//! accepts, decoded into an [`mm_faults::FaultPlanConfig`].
+//!
+//! ```json
+//! {
+//!   "seed": 7,
+//!   "dram":  [{"flips": 1, "double_every": 0, "window": [500, 4000],
+//!              "addr": [0, 4096]}],
+//!   "links": [{"window": [0, 1000000], "corrupt_pct": 20,
+//!              "drop_pct": 10, "delay_pct": 15, "delay_cycles": 9}],
+//!   "stalls": [{"node": 1, "window": [300, 900]}]
+//! }
+//! ```
+//!
+//! Every section is optional; omitted numeric fields default to 0.
+//! The same decoded plan drives the seeded, fully deterministic
+//! campaign regardless of engine or worker count.
+
+use mm_faults::{DramFaultConfig, FaultPlanConfig, LinkFaultConfig, StallFaultConfig};
+use mm_telemetry::json::{parse, JsonValue};
+
+fn u64_field(v: &JsonValue, key: &str) -> Result<u64, String> {
+    match v.get(key) {
+        None => Ok(0),
+        Some(f) => f
+            .as_u64()
+            .ok_or_else(|| format!("`{key}` must be a non-negative integer")),
+    }
+}
+
+fn pct_field(v: &JsonValue, key: &str) -> Result<u8, String> {
+    let n = u64_field(v, key)?;
+    if n > 100 {
+        return Err(format!("`{key}` is a percentage, got {n}"));
+    }
+    #[allow(clippy::cast_possible_truncation)]
+    Ok(n as u8)
+}
+
+fn window_field(v: &JsonValue, key: &str) -> Result<(u64, u64), String> {
+    let Some(w) = v.get(key) else {
+        return Ok((0, 0));
+    };
+    let arr = w
+        .as_array()
+        .filter(|a| a.len() == 2)
+        .ok_or_else(|| format!("`{key}` must be a [start, end] cycle pair"))?;
+    let bound = |k: usize| {
+        arr[k]
+            .as_u64()
+            .ok_or_else(|| format!("`{key}`[{k}] must be a non-negative integer"))
+    };
+    Ok((bound(0)?, bound(1)?))
+}
+
+fn section<'a>(v: &'a JsonValue, key: &str) -> Result<&'a [JsonValue], String> {
+    match v.get(key) {
+        None => Ok(&[]),
+        Some(s) => s
+            .as_array()
+            .ok_or_else(|| format!("`{key}` must be an array")),
+    }
+}
+
+/// Decode a fault-plan JSON document.
+///
+/// # Errors
+///
+/// Malformed JSON, a mistyped field, or an out-of-range percentage —
+/// each named in the message.
+pub fn plan_from_json(text: &str) -> Result<FaultPlanConfig, String> {
+    let v = parse(text).map_err(|e| format!("plan is not JSON: {e}"))?;
+    let mut plan = FaultPlanConfig {
+        seed: u64_field(&v, "seed")?,
+        ..FaultPlanConfig::default()
+    };
+    for (k, d) in section(&v, "dram")?.iter().enumerate() {
+        let flips = u64_field(d, "flips")?;
+        plan.dram.push(DramFaultConfig {
+            flips: u32::try_from(flips).map_err(|_| format!("dram[{k}]: `flips` too large"))?,
+            double_every: u32::try_from(u64_field(d, "double_every")?)
+                .map_err(|_| format!("dram[{k}]: `double_every` too large"))?,
+            window: window_field(d, "window").map_err(|e| format!("dram[{k}]: {e}"))?,
+            addr: window_field(d, "addr").map_err(|e| format!("dram[{k}]: {e}"))?,
+        });
+    }
+    for (k, l) in section(&v, "links")?.iter().enumerate() {
+        plan.links.push(LinkFaultConfig {
+            window: window_field(l, "window").map_err(|e| format!("links[{k}]: {e}"))?,
+            corrupt_pct: pct_field(l, "corrupt_pct").map_err(|e| format!("links[{k}]: {e}"))?,
+            drop_pct: pct_field(l, "drop_pct").map_err(|e| format!("links[{k}]: {e}"))?,
+            delay_pct: pct_field(l, "delay_pct").map_err(|e| format!("links[{k}]: {e}"))?,
+            delay_cycles: u64_field(l, "delay_cycles").map_err(|e| format!("links[{k}]: {e}"))?,
+        });
+    }
+    for (k, s) in section(&v, "stalls")?.iter().enumerate() {
+        plan.stalls.push(StallFaultConfig {
+            node: u32::try_from(u64_field(s, "node")?)
+                .map_err(|_| format!("stalls[{k}]: `node` too large"))?,
+            window: window_field(s, "window").map_err(|e| format!("stalls[{k}]: {e}"))?,
+        });
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_a_full_plan() {
+        let p = plan_from_json(
+            r#"{"seed": 7,
+                "dram":  [{"flips": 2, "double_every": 3, "window": [500, 4000],
+                           "addr": [0, 4096]}],
+                "links": [{"window": [0, 1000000], "corrupt_pct": 20,
+                           "drop_pct": 10, "delay_pct": 15, "delay_cycles": 9}],
+                "stalls": [{"node": 1, "window": [300, 900]}]}"#,
+        )
+        .unwrap();
+        assert_eq!(p.seed, 7);
+        assert_eq!(p.dram.len(), 1);
+        assert_eq!(p.dram[0].flips, 2);
+        assert_eq!(p.dram[0].double_every, 3);
+        assert_eq!(p.dram[0].window, (500, 4000));
+        assert_eq!(p.dram[0].addr, (0, 4096));
+        assert_eq!(p.links[0].corrupt_pct, 20);
+        assert_eq!(p.links[0].delay_cycles, 9);
+        assert_eq!(p.stalls[0].node, 1);
+        assert_eq!(p.stalls[0].window, (300, 900));
+    }
+
+    #[test]
+    fn sections_and_fields_default_to_empty() {
+        let p = plan_from_json(r#"{"seed": 1}"#).unwrap();
+        assert_eq!(p.seed, 1);
+        assert!(p.dram.is_empty() && p.links.is_empty() && p.stalls.is_empty());
+        let p = plan_from_json(r#"{"links": [{}]}"#).unwrap();
+        assert_eq!(p.links[0].corrupt_pct, 0);
+        assert_eq!(p.links[0].window, (0, 0));
+    }
+
+    #[test]
+    fn names_the_broken_field() {
+        assert!(plan_from_json("nope").unwrap_err().contains("not JSON"));
+        let e = plan_from_json(r#"{"links": [{"corrupt_pct": 250}]}"#).unwrap_err();
+        assert!(e.contains("links[0]") && e.contains("corrupt_pct"), "{e}");
+        let e = plan_from_json(r#"{"dram": [{"window": [1]}]}"#).unwrap_err();
+        assert!(e.contains("[start, end]"), "{e}");
+        let e = plan_from_json(r#"{"stalls": "all"}"#).unwrap_err();
+        assert!(e.contains("`stalls` must be an array"), "{e}");
+    }
+}

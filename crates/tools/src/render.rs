@@ -256,6 +256,36 @@ pub fn prometheus_from_stream(text: &str) -> Result<String, String> {
             "Node steps executed",
             sum("node_steps"),
         ),
+        (
+            "mm_ecc_corrected_total",
+            "SECDED single-bit corrections",
+            sum("ecc_corrected"),
+        ),
+        (
+            "mm_ecc_double_errors_total",
+            "Uncorrectable SECDED double-bit errors",
+            sum("ecc_double_errors"),
+        ),
+        (
+            "mm_crc_nacks_total",
+            "Messages NACKed on checksum mismatch",
+            sum("crc_nacks"),
+        ),
+        (
+            "mm_dup_drops_total",
+            "Duplicate retransmissions dropped",
+            sum("dup_drops"),
+        ),
+        (
+            "mm_retransmits_total",
+            "Pristine-copy retransmissions",
+            sum("retransmits"),
+        ),
+        (
+            "mm_bounces_total",
+            "Queue-full message bounces",
+            sum("bounces"),
+        ),
     ] {
         let _ = writeln!(out, "# HELP {name} {help}");
         let _ = writeln!(out, "# TYPE {name} counter");
@@ -352,16 +382,26 @@ mod tests {
         let jsonl = "{\"start_cycle\":0,\"end_cycle\":256,\"instructions\":100,\
                      \"messages\":3,\"fabric_packets\":6,\"flit_hops\":12,\"coh_packets\":0,\
                      \"coh_misses\":0,\"coh_invalidations\":0,\"coh_writebacks\":0,\
-                     \"node_steps\":512,\"cycles_per_sec\":5000.0,\"issue_hit_rate\":0.9,\
+                     \"node_steps\":512,\"ecc_corrected\":2,\"ecc_double_errors\":0,\
+                     \"crc_nacks\":3,\"dup_drops\":1,\"retransmits\":3,\"bounces\":4,\
+                     \"cycles_per_sec\":5000.0,\"issue_hit_rate\":0.9,\
                      \"link_occupancy\":0.01}\n\
                      {\"start_cycle\":256,\"end_cycle\":512,\"instructions\":50,\
                      \"messages\":1,\"fabric_packets\":2,\"flit_hops\":4,\"coh_packets\":0,\
                      \"coh_misses\":0,\"coh_invalidations\":0,\"coh_writebacks\":0,\
-                     \"node_steps\":512,\"cycles_per_sec\":4800.0,\"issue_hit_rate\":0.8,\
+                     \"node_steps\":512,\"ecc_corrected\":1,\"ecc_double_errors\":1,\
+                     \"crc_nacks\":2,\"dup_drops\":0,\"retransmits\":2,\"bounces\":0,\
+                     \"cycles_per_sec\":4800.0,\"issue_hit_rate\":0.8,\
                      \"link_occupancy\":0.02}\n";
         let p = prometheus_from_stream(jsonl).unwrap();
         assert!(p.contains("mm_cycles_total 512"));
         assert!(p.contains("mm_instructions_total 150"));
+        assert!(p.contains("mm_ecc_corrected_total 3"));
+        assert!(p.contains("mm_ecc_double_errors_total 1"));
+        assert!(p.contains("mm_crc_nacks_total 5"));
+        assert!(p.contains("mm_dup_drops_total 1"));
+        assert!(p.contains("mm_retransmits_total 5"));
+        assert!(p.contains("mm_bounces_total 4"));
         assert!(p.contains("mm_issue_hit_rate 0.800000"));
         assert!(p.contains("# TYPE mm_link_occupancy gauge"));
         assert!(prometheus_from_stream("").is_err());

@@ -17,6 +17,11 @@ pub struct StreamReport {
     pub instructions: u64,
     /// All violations found, each prefixed with its 1-based line number.
     pub errors: Vec<String>,
+    /// The stream ends in an unparseable partial line with no trailing
+    /// newline — a writer killed mid-record (watchdog abort, crash).
+    /// Tolerated: the partial line is excluded from every count and
+    /// invariant instead of reported as a violation.
+    pub truncated: bool,
 }
 
 impl StreamReport {
@@ -33,7 +38,16 @@ impl StreamReport {
 /// - `epoch` starts at 0 and increases by exactly 1 per record
 /// - `start_cycle` equals the previous record's `end_cycle`
 /// - `end_cycle` is strictly greater than `start_cycle`
+///
+/// A final line that fails to parse *and* lacks a trailing newline is
+/// treated as a truncated partial write (`StreamReport::truncated`),
+/// not a violation: a stream cut off mid-record by a crash or watchdog
+/// abort must still check clean up to the cut.
 pub fn check_stream(text: &str, schema: Option<&JsonValue>) -> StreamReport {
+    // Only the very last line can be a partial write, and only when the
+    // writer never got its newline out.
+    let has_partial_tail = !text.is_empty() && !text.ends_with('\n');
+    let last_idx = text.lines().count().saturating_sub(1);
     let mut report = StreamReport::default();
     let mut prev_epoch: Option<u64> = None;
     let mut prev_end: Option<u64> = None;
@@ -41,15 +55,21 @@ pub fn check_stream(text: &str, schema: Option<&JsonValue>) -> StreamReport {
         if line.trim().is_empty() {
             continue;
         }
-        report.lines += 1;
         let lineno = idx + 1;
+        let partial = has_partial_tail && idx == last_idx;
         let v = match parse(line) {
             Ok(v) => v,
             Err(e) => {
-                report.errors.push(format!("line {lineno}: not JSON: {e}"));
+                if partial {
+                    report.truncated = true;
+                } else {
+                    report.lines += 1;
+                    report.errors.push(format!("line {lineno}: not JSON: {e}"));
+                }
                 continue;
             }
         };
+        report.lines += 1;
         if let Some(schema) = schema {
             for e in validate(schema, &v) {
                 report.errors.push(format!("line {lineno}: {e}"));
@@ -104,11 +124,13 @@ mod tests {
 
     fn line(epoch: u64, start: u64, end: u64) -> String {
         format!(
-            "{{\"v\":1,\"epoch\":{epoch},\"start_cycle\":{start},\"end_cycle\":{end},\
+            "{{\"v\":2,\"epoch\":{epoch},\"start_cycle\":{start},\"end_cycle\":{end},\
              \"wall_ns\":10,\"cycles_per_sec\":1.0,\"instructions\":5,\"issue_probes\":10,\
              \"issue_hit_rate\":0.500000,\"node_steps\":8,\"messages\":0,\"fabric_packets\":0,\
              \"flit_hops\":0,\"link_occupancy\":0.000000,\"coh_packets\":0,\"coh_misses\":0,\
-             \"coh_invalidations\":0,\"coh_writebacks\":0,\"sync_retries\":0,\"shard_steps\":[8]}}\n"
+             \"coh_invalidations\":0,\"coh_writebacks\":0,\"sync_retries\":0,\
+             \"ecc_corrected\":0,\"ecc_double_errors\":0,\"crc_nacks\":0,\"dup_drops\":0,\
+             \"retransmits\":0,\"bounces\":0,\"shard_steps\":[8]}}\n"
         )
     }
 
@@ -151,6 +173,28 @@ mod tests {
             .errors
             .iter()
             .any(|e| e.contains("end_cycle 4096 <= start_cycle 4096")));
+    }
+
+    #[test]
+    fn tolerates_a_truncated_final_line() {
+        let schema = parse(SCHEMA).unwrap();
+        let full = format!("{}{}", line(0, 0, 4096), line(1, 4096, 8192));
+        // Cut the stream mid-record, as a killed writer would.
+        let cut = &full[..full.len() - 40];
+        assert!(!cut.ends_with('\n'));
+        let r = check_stream(cut, Some(&schema));
+        assert!(r.is_ok(), "{:?}", r.errors);
+        assert!(r.truncated);
+        assert_eq!(r.lines, 1, "partial line excluded from counts");
+        assert_eq!(r.cycles, 4096);
+
+        // The same garbage WITH its newline is a real violation.
+        let mut terminated = cut.to_owned();
+        terminated.push('\n');
+        let r = check_stream(&terminated, Some(&schema));
+        assert!(!r.is_ok());
+        assert!(!r.truncated);
+        assert_eq!(r.lines, 2);
     }
 
     #[test]

@@ -45,6 +45,13 @@ fn steady_state_busy_cycles_allocate_nothing() {
     let mut cfg = MachineConfig::with_dims(2, 1, 1);
     cfg.trace = false; // timeline recording allocates by design
     cfg.engine = m_machine::sim::EngineConfig::serial();
+    // Robustness hooks in their default stance: no fault campaign
+    // armed (the per-cycle fault hook is one branch) and the liveness
+    // watchdog polling every epoch. Both must cost zero allocations,
+    // so this window pins the "disabled hooks are free" contract.
+    cfg.faults = None;
+    cfg.watchdog_epochs = 4;
+    cfg.watchdog_epoch_cycles = 256;
     let mut m = MMachine::build(cfg).expect("valid config");
     let busy = Arc::new(
         m_machine::isa::assemble(&format!(
@@ -74,9 +81,13 @@ fn steady_state_busy_cycles_allocate_nothing() {
     m.run_cycles(ALLOC_WARM_CYCLES);
 
     // The measured window. Drain any allocator noise from the warm-up
-    // call itself by snapshotting *after* it returns.
+    // call itself by snapshotting *after* it returns. Driven through
+    // `run_until` (not `run_cycles`) so the watchdog's per-epoch
+    // progress poll runs inside the window — a spinning workload makes
+    // progress every epoch, so the poll must never trip and never
+    // allocate.
     let before = alloc_probe::allocations();
-    m.run_cycles(ALLOC_WINDOW_CYCLES);
+    let _ = m.run_until(ALLOC_WINDOW_CYCLES, |_| false);
     let delta = alloc_probe::allocations() - before;
 
     // The workload must still be busy (we measured busy cycles, not an
