@@ -1,0 +1,306 @@
+//! `analyze.toml` — the committed rule configuration.
+//!
+//! The workspace is dependency-free, so this is a hand-rolled parser
+//! for the exact TOML subset the config uses: `[section]` headers,
+//! `[[section.allow]]` array-of-tables, `key = "string"`,
+//! `key = true|false`, and (possibly multi-line) `key = ["a", "b"]`
+//! string arrays, with `#` comments. Anything outside that subset is a
+//! hard config error — the analyzer would rather refuse to run than
+//! silently ignore a rule someone thought they enabled.
+
+use std::collections::BTreeMap;
+
+/// One allowlist entry. Every entry must carry a non-empty `reason`:
+/// the allowlist *is* the justification record.
+#[derive(Debug, Clone, Default)]
+pub struct Allow {
+    /// Repo-relative path (forward slashes) the entry applies to.
+    pub file: String,
+    /// Substring that must appear in the finding message.
+    pub pattern: String,
+    /// Human justification (required, non-empty).
+    pub reason: String,
+}
+
+/// Per-rule switches and scopes, straight from `analyze.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct RuleConfig {
+    pub enabled: bool,
+    /// Crate short names (`core`, `sim`, …) the rule scans
+    /// (determinism, panic discipline).
+    pub crates: Vec<String>,
+    /// Repo-relative files registered with the rule (hot-path alloc).
+    pub modules: Vec<String>,
+    /// `"path:count"` entries (unsafe-hygiene baseline).
+    pub baseline: Vec<String>,
+    /// Allowlist entries.
+    pub allow: Vec<Allow>,
+}
+
+/// The whole parsed configuration, one [`RuleConfig`] per rule name.
+#[derive(Debug, Clone, Default)]
+pub struct AnalyzeConfig {
+    pub rules: BTreeMap<String, RuleConfig>,
+}
+
+/// The four rule names, in report order.
+pub const RULE_NAMES: [&str; 4] = [
+    "determinism",
+    "unsafe_hygiene",
+    "hot_alloc",
+    "panic_discipline",
+];
+
+impl AnalyzeConfig {
+    /// The config for `rule` (disabled default if absent).
+    #[must_use]
+    pub fn rule(&self, rule: &str) -> RuleConfig {
+        self.rules.get(rule).cloned().unwrap_or_default()
+    }
+
+    /// Parsed unsafe-hygiene baseline as (path, count), or an error
+    /// naming the malformed entry.
+    pub fn unsafe_baseline(&self) -> Result<BTreeMap<String, usize>, String> {
+        let mut out = BTreeMap::new();
+        for entry in &self.rule("unsafe_hygiene").baseline {
+            let Some((path, count)) = entry.rsplit_once(':') else {
+                return Err(format!("baseline entry {entry:?} is not \"path:count\""));
+            };
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("baseline entry {entry:?}: bad count"))?;
+            if out.insert(path.to_string(), count).is_some() {
+                return Err(format!("duplicate baseline entry for {path}"));
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Parse `analyze.toml` text. Errors carry 1-based line numbers.
+pub fn parse(text: &str) -> Result<AnalyzeConfig, String> {
+    let mut cfg = AnalyzeConfig::default();
+    // Where the next `key = value` lands: a rule table, or the newest
+    // allow entry of a rule.
+    enum Target {
+        None,
+        Rule(String),
+        Alw(String),
+    }
+    let mut target = Target::None;
+
+    let mut lines = text.lines().enumerate();
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix("[[").and_then(|r| r.strip_suffix("]]")) {
+            let Some(rule) = name.strip_suffix(".allow") else {
+                return Err(format!(
+                    "line {lineno}: only [[<rule>.allow]] tables are supported, got [[{name}]]"
+                ));
+            };
+            let rc = cfg.rules.entry(rule.to_string()).or_default();
+            rc.allow.push(Allow::default());
+            target = Target::Alw(rule.to_string());
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+            if !RULE_NAMES.contains(&name) {
+                return Err(format!(
+                    "line {lineno}: unknown rule section [{name}] (known: {RULE_NAMES:?})"
+                ));
+            }
+            cfg.rules.entry(name.to_string()).or_default();
+            target = Target::Rule(name.to_string());
+            continue;
+        }
+        let Some((key, mut value)) = split_kv(&line) else {
+            return Err(format!(
+                "line {lineno}: expected `key = value`, got {line:?}"
+            ));
+        };
+        // Multi-line arrays: keep consuming until the closing bracket.
+        if value.starts_with('[') && !balanced(&value) {
+            for (_, cont) in lines.by_ref() {
+                value.push(' ');
+                value.push_str(strip_comment(cont).trim());
+                if balanced(&value) {
+                    break;
+                }
+            }
+        }
+        let value = value.trim().to_string();
+        match &target {
+            Target::None => {
+                return Err(format!(
+                    "line {lineno}: key {key:?} outside any [rule] section"
+                ));
+            }
+            Target::Rule(rule) => {
+                let rc = cfg.rules.entry(rule.clone()).or_default();
+                match key.as_str() {
+                    "enabled" => rc.enabled = parse_bool(&value, lineno)?,
+                    "crates" => rc.crates = parse_array(&value, lineno)?,
+                    "modules" => rc.modules = parse_array(&value, lineno)?,
+                    "baseline" => rc.baseline = parse_array(&value, lineno)?,
+                    other => {
+                        return Err(format!("line {lineno}: unknown key {other:?} in [{rule}]"));
+                    }
+                }
+            }
+            Target::Alw(rule) => {
+                let rc = cfg.rules.entry(rule.clone()).or_default();
+                let Some(entry) = rc.allow.last_mut() else {
+                    return Err(format!("line {lineno}: allow entry vanished"));
+                };
+                match key.as_str() {
+                    "file" => entry.file = parse_string(&value, lineno)?,
+                    "pattern" => entry.pattern = parse_string(&value, lineno)?,
+                    "reason" => entry.reason = parse_string(&value, lineno)?,
+                    other => {
+                        return Err(format!(
+                            "line {lineno}: unknown key {other:?} in [[{rule}.allow]]"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // Allowlist entries are the justification record: all three fields
+    // are mandatory.
+    for (rule, rc) in &cfg.rules {
+        for a in &rc.allow {
+            if a.file.is_empty() || a.pattern.is_empty() || a.reason.is_empty() {
+                return Err(format!(
+                    "[[{rule}.allow]] entry for {:?} needs non-empty file, pattern and reason",
+                    a.file
+                ));
+            }
+        }
+    }
+    Ok(cfg)
+}
+
+/// Strip a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, b) in line.bytes().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn split_kv(line: &str) -> Option<(String, String)> {
+    let (k, v) = line.split_once('=')?;
+    Some((k.trim().to_string(), v.trim().to_string()))
+}
+
+fn balanced(value: &str) -> bool {
+    let mut in_str = false;
+    let mut depth = 0i32;
+    for b in value.bytes() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'[' if !in_str => depth += 1,
+            b']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth == 0
+}
+
+fn parse_bool(value: &str, lineno: usize) -> Result<bool, String> {
+    match value {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        other => Err(format!("line {lineno}: expected true/false, got {other:?}")),
+    }
+}
+
+fn parse_string(value: &str, lineno: usize) -> Result<String, String> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| format!("line {lineno}: expected a \"string\", got {value:?}"))?;
+    if inner.contains('"') || inner.contains('\\') {
+        return Err(format!(
+            "line {lineno}: escapes are outside the supported TOML subset: {value:?}"
+        ));
+    }
+    Ok(inner.to_string())
+}
+
+fn parse_array(value: &str, lineno: usize) -> Result<Vec<String>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|r| r.strip_suffix(']'))
+        .ok_or_else(|| format!("line {lineno}: expected a [\"..\"] array, got {value:?}"))?;
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue; // trailing comma
+        }
+        out.push(parse_string(part, lineno)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# top comment
+[determinism]
+enabled = true
+crates = ["core", "sim"]
+
+[[determinism.allow]]
+file = "crates/mem/src/ltlb.rs"
+pattern = "HashMap"
+reason = "never iterated"
+
+[unsafe_hygiene]
+enabled = true
+baseline = [
+  "crates/core/src/shard.rs:4",  # inline comment
+  "crates/bench/src/alloc_probe.rs:7",
+]
+"#;
+
+    #[test]
+    fn parses_sections_arrays_and_allow_tables() {
+        let cfg = parse(SAMPLE).unwrap();
+        let det = cfg.rule("determinism");
+        assert!(det.enabled);
+        assert_eq!(det.crates, vec!["core", "sim"]);
+        assert_eq!(det.allow.len(), 1);
+        assert_eq!(det.allow[0].pattern, "HashMap");
+        let base = cfg.unsafe_baseline().unwrap();
+        assert_eq!(base.get("crates/core/src/shard.rs"), Some(&4));
+        assert_eq!(base.len(), 2);
+    }
+
+    #[test]
+    fn unknown_keys_and_sections_are_errors() {
+        assert!(parse("[nonsense]\n").is_err());
+        assert!(parse("[determinism]\nbogus = true\n").is_err());
+        assert!(parse("stray = 1\n").is_err());
+    }
+
+    #[test]
+    fn allow_entries_require_justification() {
+        let text = "[[determinism.allow]]\nfile = \"x.rs\"\npattern = \"y\"\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.contains("reason"), "{err}");
+    }
+}

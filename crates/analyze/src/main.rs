@@ -1,0 +1,82 @@
+//! `mm-analyze` — run the workspace static-analysis pass.
+//!
+//! ```text
+//! cargo run -p mm-analyze [-- --root DIR] [--config FILE]
+//!                         [--format text|json] [--output report.json]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/config/io error. `--output`
+//! always writes the JSON report (CI uploads it as an artifact)
+//! regardless of the stdout `--format`.
+
+use std::path::PathBuf;
+
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(k) => args
+            .get(k + 1)
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| format!("{flag} takes a value")),
+    }
+}
+
+fn run(args: &[String]) -> Result<i32, String> {
+    let known = ["--root", "--config", "--format", "--output"];
+    let mut k = 0;
+    while k < args.len() {
+        if !known.contains(&args[k].as_str()) {
+            return Err(format!("unknown argument {:?}", args[k]));
+        }
+        k += 2;
+    }
+
+    let root = match flag_value(args, "--root")? {
+        Some(r) => PathBuf::from(r),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+            mm_analyze::find_root(&cwd)
+                .ok_or("no analyze.toml found between here and filesystem root (use --root)")?
+        }
+    };
+    let cfg_path = match flag_value(args, "--config")? {
+        Some(c) => PathBuf::from(c),
+        None => root.join("analyze.toml"),
+    };
+    let format = flag_value(args, "--format")?.unwrap_or_else(|| "text".into());
+    if format != "text" && format != "json" {
+        return Err(format!("--format takes text|json, got {format:?}"));
+    }
+
+    let cfg_text = std::fs::read_to_string(&cfg_path)
+        .map_err(|e| format!("read {}: {e}", cfg_path.display()))?;
+    let cfg =
+        mm_analyze::config::parse(&cfg_text).map_err(|e| format!("{}: {e}", cfg_path.display()))?;
+    let report = mm_analyze::analyze_workspace(&root, &cfg)?;
+
+    if let Some(out) = flag_value(args, "--output")? {
+        std::fs::write(&out, mm_analyze::report::to_json(&report))
+            .map_err(|e| format!("write {out}: {e}"))?;
+    }
+    match format.as_str() {
+        "json" => print!("{}", mm_analyze::report::to_json(&report)),
+        _ => print!("{}", mm_analyze::report::to_text(&report)),
+    }
+    Ok(i32::from(!report.is_clean()))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("mm-analyze: {e}");
+            eprintln!(
+                "usage: mm-analyze [--root DIR] [--config FILE] \
+                 [--format text|json] [--output report.json]"
+            );
+            std::process::exit(2);
+        }
+    }
+}

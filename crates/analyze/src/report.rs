@@ -1,0 +1,105 @@
+//! Report rendering: a machine-readable JSON document (the CI
+//! artifact) and the human `file:line: [rule] message` listing. The
+//! JSON writer is hand-rolled — field order is fixed and inputs are
+//! sorted, so the artifact is byte-stable for identical trees.
+
+use crate::Report;
+use std::fmt::Write as _;
+
+/// Schema version of the JSON report.
+pub const REPORT_VERSION: u32 = 1;
+
+fn esc(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// The JSON report document.
+#[must_use]
+pub fn to_json(r: &Report) -> String {
+    let mut s = String::with_capacity(4096);
+    let _ = write!(
+        s,
+        "{{\n  \"version\": {REPORT_VERSION},\n  \"clean\": {},\n  \"files_scanned\": {},\n",
+        r.is_clean(),
+        r.files_scanned
+    );
+    s.push_str("  \"findings\": [");
+    for (k, f) in r.findings.iter().enumerate() {
+        s.push_str(if k == 0 { "\n" } else { ",\n" });
+        let _ = write!(s, "    {{\"rule\": ");
+        esc(f.rule, &mut s);
+        s.push_str(", \"file\": ");
+        esc(&f.file, &mut s);
+        let _ = write!(s, ", \"line\": {}, \"message\": ", f.line);
+        esc(&f.message, &mut s);
+        s.push('}');
+    }
+    s.push_str("\n  ],\n  \"allowed\": [");
+    for (k, a) in r.allowed.iter().enumerate() {
+        s.push_str(if k == 0 { "\n" } else { ",\n" });
+        let _ = write!(s, "    {{\"rule\": ");
+        esc(a.finding.rule, &mut s);
+        s.push_str(", \"file\": ");
+        esc(&a.finding.file, &mut s);
+        let _ = write!(s, ", \"line\": {}, \"message\": ", a.finding.line);
+        esc(&a.finding.message, &mut s);
+        s.push_str(", \"reason\": ");
+        esc(&a.reason, &mut s);
+        s.push('}');
+    }
+    s.push_str("\n  ],\n  \"unsafe_inventory\": [");
+    for (k, u) in r.unsafe_inventory.iter().enumerate() {
+        s.push_str(if k == 0 { "\n" } else { ",\n" });
+        s.push_str("    {\"file\": ");
+        esc(&u.file, &mut s);
+        let _ = write!(s, ", \"line\": {}, \"kind\": ", u.line);
+        esc(u.kind, &mut s);
+        s.push_str(", \"justification\": ");
+        esc(&u.justification, &mut s);
+        s.push('}');
+    }
+    s.push_str("\n  ],\n  \"notes\": [");
+    for (k, n) in r.notes.iter().enumerate() {
+        s.push_str(if k == 0 { "\n    " } else { ",\n    " });
+        esc(n, &mut s);
+    }
+    s.push_str("\n  ]\n}\n");
+    s
+}
+
+/// The human listing: findings first, then a one-line summary.
+#[must_use]
+pub fn to_text(r: &Report) -> String {
+    let mut s = String::new();
+    for f in &r.findings {
+        let _ = writeln!(s, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+    }
+    for n in &r.notes {
+        let _ = writeln!(s, "note: {n}");
+    }
+    let _ = writeln!(
+        s,
+        "mm-analyze: {} file(s), {} finding(s), {} allowlisted, {} unsafe site(s) inventoried",
+        r.files_scanned,
+        r.findings.len(),
+        r.allowed.len(),
+        r.unsafe_inventory.len()
+    );
+    if r.is_clean() {
+        let _ = writeln!(s, "ok: workspace is clean under analyze.toml");
+    }
+    s
+}

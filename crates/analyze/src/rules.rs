@@ -1,0 +1,445 @@
+//! The four rule implementations. Each rule walks one file's token
+//! stream and emits [`Finding`]s; messages are prefixed with a stable
+//! sub-check tag (`hash-container:`, `undocumented:`, `alloc:` …) so
+//! allowlist patterns can target one sub-check without silencing the
+//! others.
+
+use crate::config::AnalyzeConfig;
+use crate::lexer::{LineKind, Tok, TokKind};
+use crate::scan::SourceFile;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+}
+
+/// One entry of the unsafe inventory (rule 2 emits these for *every*
+/// unsafe site, documented or not).
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    pub file: String,
+    pub line: u32,
+    /// `block`, `fn`, `impl`, or `trait`.
+    pub kind: &'static str,
+    /// The `// SAFETY:` text, empty when undocumented.
+    pub justification: String,
+}
+
+fn is(t: &Tok, kind: TokKind, text: &str) -> bool {
+    t.kind == kind && t.text == text
+}
+
+fn ident(t: &Tok) -> Option<&str> {
+    (t.kind == TokKind::Ident).then_some(t.text.as_str())
+}
+
+/// Does `path` live under `crates/<name>/src/` for one of `names`?
+fn in_crate_src(path: &str, names: &[String]) -> bool {
+    names
+        .iter()
+        .any(|c| path.starts_with(&format!("crates/{c}/src/")))
+}
+
+// ---------------------------------------------------------------- rule 1
+
+const HASH_ITER_METHODS: [&str; 8] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "retain",
+];
+
+/// Rule `determinism`: hash containers (declaration *and* iteration),
+/// wall-clock time, `rand`, and pointer-value leaks in the cycle-path
+/// crates. Iteration order of std hash containers is seeded per
+/// process, so any of these can silently break the bit-identical
+/// serial/parallel differentials.
+pub fn determinism(file: &SourceFile, cfg: &AnalyzeConfig, out: &mut Vec<Finding>) {
+    let rc = cfg.rule("determinism");
+    if !rc.enabled || !in_crate_src(&file.path, &rc.crates) {
+        return;
+    }
+    let toks = file.toks();
+    let push = |out: &mut Vec<Finding>, line: u32, message: String| {
+        out.push(Finding {
+            rule: "determinism",
+            file: file.path.clone(),
+            line,
+            message,
+        });
+    };
+
+    // Names bound or ascribed to a hash container type in this file:
+    // `name: HashMap<..>` fields/params/lets and `let name = HashMap::new()`.
+    let mut hash_names: Vec<String> = Vec::new();
+    for i in 0..toks.len() {
+        let Some(container) = ident(&toks[i]).filter(|t| *t == "HashMap" || *t == "HashSet") else {
+            continue;
+        };
+        if file.in_test_code(toks[i].line) {
+            continue;
+        }
+        push(
+            &mut *out,
+            toks[i].line,
+            format!(
+                "hash-container: `{container}` in cycle-path crate \
+                 (iteration order is nondeterministic; use Vec/BTreeMap \
+                 or allowlist a provably non-iterated use)"
+            ),
+        );
+        // Walk back over a possible qualifying path / generics to the
+        // `:` or `=` that binds a name.
+        let mut j = i;
+        while j >= 2
+            && (is(&toks[j - 1], TokKind::Punct, ":") && is(&toks[j - 2], TokKind::Punct, ":"))
+        {
+            j -= 2; // `::` path segment
+            if j >= 1 && toks[j - 1].kind == TokKind::Ident {
+                j -= 1;
+            }
+        }
+        if j >= 2 && is(&toks[j - 1], TokKind::Punct, ":") && toks[j - 2].kind == TokKind::Ident {
+            hash_names.push(toks[j - 2].text.clone());
+        }
+        if j >= 2 && is(&toks[j - 1], TokKind::Punct, "=") && toks[j - 2].kind == TokKind::Ident {
+            hash_names.push(toks[j - 2].text.clone());
+        }
+    }
+    hash_names.sort();
+    hash_names.dedup();
+
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        if file.in_test_code(line) {
+            continue;
+        }
+        match ident(&toks[i]) {
+            // `.iter()` / `.keys()` / … with a hash-typed receiver.
+            Some(m)
+                if HASH_ITER_METHODS.contains(&m)
+                    && i >= 2
+                    && is(&toks[i - 1], TokKind::Punct, ".")
+                    && ident(&toks[i - 2]).is_some_and(|r| hash_names.iter().any(|h| h == r)) =>
+            {
+                push(
+                    out,
+                    line,
+                    format!(
+                        "hash-iteration: `.{m}()` on hash container `{}`",
+                        toks[i - 2].text
+                    ),
+                );
+            }
+            // `for x in <expr containing a hash name> {`
+            Some("for") => {
+                let Some(in_idx) =
+                    (i..toks.len().min(i + 24)).find(|&k| is(&toks[k], TokKind::Ident, "in"))
+                else {
+                    continue;
+                };
+                for t in toks.iter().skip(in_idx) {
+                    if is(t, TokKind::Punct, "{") {
+                        break;
+                    }
+                    if ident(t).is_some_and(|r| hash_names.iter().any(|h| h == r)) {
+                        push(
+                            out,
+                            t.line,
+                            format!("hash-iteration: for-loop over hash container `{}`", t.text),
+                        );
+                        break;
+                    }
+                }
+            }
+            Some("Instant" | "SystemTime") => {
+                push(
+                    out,
+                    line,
+                    format!(
+                        "wall-clock: `{}` in cycle-path crate (cycle decisions must be \
+                         functions of simulated time only)",
+                        toks[i].text
+                    ),
+                );
+            }
+            Some("time")
+                if i >= 3
+                    && is(&toks[i - 1], TokKind::Punct, ":")
+                    && is(&toks[i - 2], TokKind::Punct, ":")
+                    && is(&toks[i - 3], TokKind::Ident, "std") =>
+            {
+                push(
+                    out,
+                    line,
+                    "wall-clock: `std::time` in cycle-path crate".into(),
+                );
+            }
+            Some("rand")
+                if i + 2 < toks.len()
+                    && is(&toks[i + 1], TokKind::Punct, ":")
+                    && is(&toks[i + 2], TokKind::Punct, ":") =>
+            {
+                push(
+                    out,
+                    line,
+                    "rng: `rand` in cycle-path crate (use the seeded splitmix \
+                     streams in mm-faults)"
+                        .into(),
+                );
+            }
+            // `<ptr> as usize` downstream of an `as *const/*mut` cast in
+            // the same statement, or `.as_ptr() as usize`: pointer
+            // values must never feed hashed or ordered state (ASLR
+            // makes them run-nondeterministic).
+            Some("as") if i + 1 < toks.len() && is(&toks[i + 1], TokKind::Ident, "usize") => {
+                let stmt_start = (0..i)
+                    .rev()
+                    .find(|&k| {
+                        toks[k].kind == TokKind::Punct
+                            && matches!(toks[k].text.as_str(), ";" | "{" | "}")
+                    })
+                    .map_or(0, |k| k + 1);
+                let mut ptr_cast = false;
+                for k in stmt_start..i {
+                    if is(&toks[k], TokKind::Ident, "as")
+                        && k + 2 < toks.len()
+                        && is(&toks[k + 1], TokKind::Punct, "*")
+                        && (is(&toks[k + 2], TokKind::Ident, "const")
+                            || is(&toks[k + 2], TokKind::Ident, "mut"))
+                    {
+                        ptr_cast = true;
+                    }
+                    if is(&toks[k], TokKind::Ident, "as_ptr")
+                        || is(&toks[k], TokKind::Ident, "as_mut_ptr")
+                    {
+                        ptr_cast = true;
+                    }
+                }
+                if ptr_cast {
+                    push(
+                        out,
+                        line,
+                        "ptr-value: pointer cast to `usize` in cycle-path crate \
+                         (address-dependent state is nondeterministic under ASLR)"
+                            .into(),
+                    );
+                }
+            }
+            _ => {}
+        }
+        // `{:p}` pointer formatting inside any string literal.
+        if toks[i].kind == TokKind::Str && toks[i].text.contains(":p}") {
+            push(
+                out,
+                line,
+                "ptr-value: `{:p}` pointer formatting in cycle-path crate".into(),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------- rule 2
+
+/// Rule `unsafe_hygiene` (per-file half): every `unsafe` block/fn/impl
+/// must be immediately preceded by a `// SAFETY:` comment, and every
+/// site — documented or not — lands in the inventory. The workspace
+/// half (baseline comparison) runs in [`crate::analyze_sources`].
+pub fn unsafe_hygiene(
+    file: &SourceFile,
+    cfg: &AnalyzeConfig,
+    out: &mut Vec<Finding>,
+    inventory: &mut Vec<UnsafeSite>,
+) {
+    if !cfg.rule("unsafe_hygiene").enabled {
+        return;
+    }
+    let toks = file.toks();
+    for i in 0..toks.len() {
+        if !is(&toks[i], TokKind::Ident, "unsafe") {
+            continue;
+        }
+        let kind = match toks.get(i + 1).and_then(ident) {
+            Some("fn") => "fn",
+            Some("impl") => "impl",
+            Some("trait") => "trait",
+            _ => "block",
+        };
+        let line = toks[i].line;
+        // A SAFETY comment on the same line, or on the contiguous run
+        // of comment/attribute lines immediately above.
+        let mut justification = safety_text(file.lexed.comment_on(line));
+        let mut l = line.saturating_sub(1);
+        while justification.is_empty() && l >= 1 {
+            match file.lexed.kind_of(l) {
+                LineKind::CommentOnly | LineKind::AttrOnly => {
+                    justification = safety_text(file.lexed.comment_on(l));
+                    l -= 1;
+                }
+                _ => break,
+            }
+        }
+        if justification.is_empty() {
+            out.push(Finding {
+                rule: "unsafe_hygiene",
+                file: file.path.clone(),
+                line,
+                message: format!(
+                    "undocumented: `unsafe {kind}` without an immediately \
+                     preceding `// SAFETY:` comment"
+                ),
+            });
+        }
+        inventory.push(UnsafeSite {
+            file: file.path.clone(),
+            line,
+            kind,
+            justification,
+        });
+    }
+}
+
+/// The text after `SAFETY:` in a comment ("" if absent).
+fn safety_text(comment: &str) -> String {
+    comment
+        .split_once("SAFETY:")
+        .map(|(_, rest)| {
+            let line = rest.trim();
+            // Strip a closing `*/` from block comments.
+            line.strip_suffix("*/").unwrap_or(line).trim().to_string()
+        })
+        .unwrap_or_default()
+}
+
+// ---------------------------------------------------------------- rule 3
+
+/// `Container::method` constructors that allocate.
+const ALLOC_PATHS: [(&str, &[&str]); 8] = [
+    ("Vec", &["new", "with_capacity", "from"]),
+    ("String", &["new", "with_capacity", "from"]),
+    ("Box", &["new"]),
+    ("VecDeque", &["new", "with_capacity"]),
+    ("BinaryHeap", &["new", "with_capacity"]),
+    ("BTreeMap", &["new"]),
+    ("BTreeSet", &["new"]),
+    ("HashMap", &["new", "with_capacity"]),
+];
+
+/// `expr.method()` calls that allocate.
+const ALLOC_METHODS: [&str; 5] = [
+    "to_string",
+    "to_vec",
+    "to_owned",
+    "collect",
+    "into_boxed_slice",
+];
+
+/// `macro!(..)` invocations that allocate.
+const ALLOC_MACROS: [&str; 2] = ["vec", "format"];
+
+/// Rule `hot_alloc`: modules registered as allocation-free may not call
+/// known-allocating constructors outside `#[cfg(test)]` or functions
+/// explicitly annotated cold (`#[cold]` / `// analyze: cold (...)`).
+/// The dynamic counting-allocator test samples one warm window; this
+/// pins the whole module, every path, at compile review time.
+pub fn hot_alloc(file: &SourceFile, cfg: &AnalyzeConfig, out: &mut Vec<Finding>) {
+    let rc = cfg.rule("hot_alloc");
+    if !rc.enabled || !rc.modules.iter().any(|m| m == &file.path) {
+        return;
+    }
+    let toks = file.toks();
+    let mut push = |line: u32, what: String| {
+        out.push(Finding {
+            rule: "hot_alloc",
+            file: file.path.clone(),
+            line,
+            message: format!(
+                "alloc: `{what}` in allocation-free module outside a cold fn \
+                 (mark the fn `// analyze: cold (why)` / `#[cold]`, or allowlist)"
+            ),
+        });
+    };
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        if file.in_test_code(line) || file.in_cold_fn(line) {
+            continue;
+        }
+        let Some(name) = ident(&toks[i]) else {
+            continue;
+        };
+        // `Vec::new`, `Box::new`, …
+        if let Some((_, methods)) = ALLOC_PATHS.iter().find(|(c, _)| *c == name) {
+            if i + 3 < toks.len()
+                && is(&toks[i + 1], TokKind::Punct, ":")
+                && is(&toks[i + 2], TokKind::Punct, ":")
+            {
+                if let Some(m) = ident(&toks[i + 3]).filter(|m| methods.contains(m)) {
+                    push(line, format!("{name}::{m}"));
+                }
+            }
+        }
+        // `vec![…]`, `format!(…)`
+        if ALLOC_MACROS.contains(&name)
+            && i + 1 < toks.len()
+            && is(&toks[i + 1], TokKind::Punct, "!")
+        {
+            push(line, format!("{name}!"));
+        }
+        // `.collect()`, `.to_vec()`, …
+        if ALLOC_METHODS.contains(&name) && i >= 1 && is(&toks[i - 1], TokKind::Punct, ".") {
+            push(line, format!(".{name}()"));
+        }
+    }
+}
+
+// ---------------------------------------------------------------- rule 4
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Rule `panic_discipline`: `unwrap`/`expect`/`panic!`-family forbidden
+/// outside test code in the registered crates (the operator tools exit
+/// with codes, never abort with a backtrace).
+pub fn panic_discipline(file: &SourceFile, cfg: &AnalyzeConfig, out: &mut Vec<Finding>) {
+    let rc = cfg.rule("panic_discipline");
+    if !rc.enabled || !in_crate_src(&file.path, &rc.crates) {
+        return;
+    }
+    let toks = file.toks();
+    let mut push = |line: u32, what: String| {
+        out.push(Finding {
+            rule: "panic_discipline",
+            file: file.path.clone(),
+            line,
+            message: format!("panic: `{what}` in panic-free crate"),
+        });
+    };
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        if file.in_test_code(line) {
+            continue;
+        }
+        let Some(name) = ident(&toks[i]) else {
+            continue;
+        };
+        if (name == "unwrap" || name == "expect")
+            && i >= 1
+            && is(&toks[i - 1], TokKind::Punct, ".")
+            && toks.get(i + 1).is_some_and(|t| is(t, TokKind::Punct, "("))
+        {
+            push(line, format!(".{name}()"));
+        }
+        if PANIC_MACROS.contains(&name)
+            && toks.get(i + 1).is_some_and(|t| is(t, TokKind::Punct, "!"))
+        {
+            push(line, format!("{name}!"));
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Hot-alloc fixture (bad): allocating constructors in a registered
+//! allocation-free module, outside any cold or test scope.
+
+pub fn hot(xs: &[u64]) -> u64 {
+    let mut v = Vec::new();
+    v.extend_from_slice(xs);
+    let label = format!("{}", v.len());
+    let copy = xs.to_vec();
+    (label.len() + copy.len()) as u64
+}

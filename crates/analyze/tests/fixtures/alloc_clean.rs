@@ -1,0 +1,32 @@
+//! Hot-alloc fixture (clean): allocation only in cold constructors
+//! and test code.
+
+pub struct Ring {
+    slots: Vec<u64>,
+}
+
+impl Ring {
+    /// Builds the ring once at startup.
+    // analyze: cold (constructor; the hot path reuses `slots`)
+    pub fn new(cap: usize) -> Ring {
+        Ring { slots: Vec::with_capacity(cap) }
+    }
+
+    #[cold]
+    pub fn grow(&mut self, extra: usize) {
+        self.slots.reserve(extra);
+    }
+
+    pub fn hot_push(&mut self, x: u64) {
+        self.slots.push(x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(super::Ring::new(4).slots.len() + v.len(), 3);
+    }
+}

@@ -1,0 +1,37 @@
+//! Determinism fixture (bad): every sub-check fires at least once.
+//! Never compiled — driven as text by `tests/fixtures.rs`.
+
+use std::collections::HashMap;
+
+pub struct Table {
+    pub routes: HashMap<u64, u32>,
+}
+
+pub fn keys_sum(t: &Table) -> u64 {
+    t.routes.keys().sum()
+}
+
+pub fn for_sum(t: &Table) -> u64 {
+    let mut acc = 0;
+    for k in &t.routes {
+        acc += k.0;
+    }
+    acc
+}
+
+pub fn stamp() -> u128 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos()
+}
+
+pub fn roll() -> u64 {
+    rand::random()
+}
+
+pub fn leak(x: &u64) -> usize {
+    x as *const u64 as usize
+}
+
+pub fn show(x: &u64) -> String {
+    format!("{x:p}")
+}

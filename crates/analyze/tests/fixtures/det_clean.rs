@@ -1,0 +1,30 @@
+//! Determinism fixture (clean): ordered containers, value casts, and
+//! test-only hash maps — none of it should fire.
+
+use std::collections::BTreeMap;
+
+pub struct Table {
+    pub routes: BTreeMap<u64, u32>,
+}
+
+pub fn keys_sum(t: &Table) -> u64 {
+    t.routes.keys().sum()
+}
+
+pub fn widen(x: u32) -> usize {
+    x as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn scratch_map_is_fine_in_tests() {
+        let mut m = HashMap::new();
+        m.insert(1u64, 2u64);
+        for (k, v) in m.iter() {
+            let _ = (k, v);
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Panic-discipline fixture (bad): aborting calls in a panic-free
+//! crate.
+
+pub fn pick(xs: &[u64]) -> u64 {
+    let first = xs.first().unwrap();
+    let second = xs.get(1).expect("second element");
+    if xs.len() > 2 {
+        panic!("too many");
+    }
+    first + second
+}

@@ -1,0 +1,17 @@
+//! Panic-discipline fixture (clean): errors are returned, and test
+//! code may unwrap.
+
+pub fn pick(xs: &[u64]) -> Result<u64, String> {
+    let Some(first) = xs.first() else {
+        return Err("empty input".into());
+    };
+    Ok(*first)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        assert_eq!(super::pick(&[7]).unwrap(), 7);
+    }
+}

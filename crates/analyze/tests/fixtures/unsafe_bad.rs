@@ -1,0 +1,18 @@
+//! Unsafe-hygiene fixture (bad): sites with missing or misplaced
+//! SAFETY comments.
+
+pub fn read(p: *const u64) -> u64 {
+    unsafe { *p }
+}
+
+// A nearby comment that is not a SAFETY justification.
+pub unsafe fn raw_add(p: *mut u64) {
+    unsafe { *p += 1 }
+}
+
+// SAFETY: a stale comment with code in between does not count.
+fn unrelated() {}
+
+pub fn read2(p: *const u64) -> u64 {
+    unsafe { *p }
+}

@@ -1,0 +1,20 @@
+//! Unsafe-hygiene fixture (clean): every site carries `// SAFETY:`,
+//! on the same line or in the contiguous comment/attribute block above.
+
+pub struct Token(u64);
+
+// SAFETY: `Token` is a plain integer id; no thread affinity.
+unsafe impl Send for Token {}
+
+pub fn read(p: *const u64) -> u64 {
+    // SAFETY: caller guarantees `p` is valid, aligned, and live.
+    unsafe { *p }
+}
+
+/// Reads with an attribute between the comment and the site.
+// SAFETY: same contract as `read`.
+#[inline]
+pub unsafe fn read_inline(p: *const u64) -> u64 {
+    // SAFETY: forwarded caller contract.
+    unsafe { *p }
+}

@@ -1,0 +1,61 @@
+//! Property tests for the mm-analyze mini-lexer: rule keywords hidden
+//! inside strings and comments must never surface as identifier
+//! tokens, and lexing arbitrary bytes must terminate without panicking.
+
+use mm_analyze::lexer::{lex, TokKind};
+use proptest::prelude::*;
+
+/// Source chunks that *mention* scary rule triggers (`unsafe`,
+/// `HashMap`, `.unwrap()`) only inside strings or comments, mixed with
+/// genuinely innocent code.
+fn masked_chunk() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::from("// unsafe HashMap .unwrap() vec![ format!\n")),
+        Just(String::from("/* unsafe { HashMap::new() } */ ")),
+        Just(String::from("/* outer /* unsafe nested */ HashMap */ ")),
+        Just(String::from("\"unsafe HashMap\" ")),
+        Just(String::from("\"escaped \\\" unsafe quote\" ")),
+        Just(String::from("r#\"unsafe // HashMap\"# ")),
+        Just(String::from("b\"unsafe bytes\" ")),
+        Just(String::from("'u' ")),
+        Just(String::from("let safe_total: u64 = 1; ")),
+        Just(String::from("fn tick<'a>(n: &'a u64) -> u64 { *n + 1 } ")),
+    ]
+}
+
+proptest! {
+    /// No concatenation of masked chunks ever produces an `unsafe`,
+    /// `HashMap`, or `unwrap` identifier token: the lexer never lets
+    /// string or comment contents leak into the token stream the rules
+    /// scan.
+    #[test]
+    fn masked_keywords_never_become_tokens(
+        chunks in prop::collection::vec(masked_chunk(), 0..12),
+    ) {
+        let src = chunks.concat();
+        let lexed = lex(&src);
+        for t in &lexed.toks {
+            if t.kind == TokKind::Ident {
+                prop_assert!(
+                    t.text != "unsafe" && t.text != "HashMap" && t.text != "unwrap",
+                    "leaked {:?} from {src:?}",
+                    t.text
+                );
+            }
+        }
+    }
+
+    /// Lexing arbitrary (lossily-decoded) bytes terminates and yields
+    /// tokens with sane line numbers.
+    #[test]
+    fn lexer_is_total_on_arbitrary_input(
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let lexed = lex(&src);
+        let lines = src.lines().count().max(1) as u32;
+        for t in &lexed.toks {
+            prop_assert!(t.line >= 1 && t.line <= lines, "line {} of {lines}", t.line);
+        }
+    }
+}

@@ -35,19 +35,31 @@ pub struct CountingAlloc;
 // SAFETY: defers entirely to `System`; the counter updates are lock-free
 // atomics and perform no allocation themselves.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: same contract as `System::alloc`; `layout` is forwarded
+    // unchanged and the counter bump cannot allocate or unwind.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        // SAFETY: caller upholds `GlobalAlloc::alloc`'s contract, which
+        // is exactly `System::alloc`'s.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: same contract as `System::dealloc`; `ptr`/`layout` came
+    // from `alloc`/`realloc` above, which defer to `System`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: caller guarantees `ptr` was allocated by this
+        // allocator with `layout`, i.e. by `System`.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: same contract as `System::realloc`; arguments are
+    // forwarded unchanged and the counter bump cannot allocate.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        // SAFETY: caller guarantees `ptr`/`layout` describe a live
+        // `System` allocation and `new_size` is non-zero.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

@@ -55,6 +55,7 @@ pub(crate) struct NodePool {
 impl NodePool {
     /// A pool for `n` nodes, every node awake (the conservative boot
     /// state) with empty tallies.
+    // analyze: cold (pool construction, once per machine)
     pub(crate) fn new(n: usize) -> NodePool {
         NodePool {
             ladder: DeadlineLadder::new(n),

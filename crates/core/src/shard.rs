@@ -270,6 +270,7 @@ impl std::fmt::Debug for WorkerPool {
 impl WorkerPool {
     /// Spawn `workers` shard threads (callers pass a resolved count
     /// ≥ 2; a count of 1 should use the serial path and no pool).
+    // analyze: cold (pool construction, once per machine)
     pub(crate) fn spawn(workers: usize) -> WorkerPool {
         let (done_tx, done_rx) = channel();
         let mut jobs = Vec::with_capacity(workers);
@@ -424,7 +425,14 @@ fn worker_loop(worker: usize, rx: &Receiver<Job>, done: &Sender<Done>) {
             // dangle. `start` is a BLOCK multiple, so the block_min
             // window [start / BLOCK, …) is disjoint too.
             let nodes = unsafe { std::slice::from_raw_parts_mut(nodes.0.add(start), len) };
+            // SAFETY: same dispatch protocol as `nodes` above — the
+            // handler array is indexed 1:1 with the node array, so the
+            // same disjoint window argument applies.
             let coh = unsafe { std::slice::from_raw_parts_mut(coh.0.add(start), len) };
+            // SAFETY: the five pool arrays are also indexed 1:1 with
+            // the node array (block_min at `start / BLOCK`, with
+            // `start` a BLOCK multiple), so every window below is
+            // disjoint between workers and outlives the barrier.
             let view = unsafe {
                 PoolViewMut {
                     ladder: mm_sched::LadderViewMut {
@@ -465,19 +473,27 @@ fn worker_loop(worker: usize, rx: &Receiver<Job>, done: &Sender<Done>) {
                 deltas,
                 panic: None,
             },
-            Err(payload) => Done {
-                worker,
-                stepped: Vec::new(),
-                staged: Vec::new(),
-                scratch: StepScratch::new(),
-                deltas: (0, 0),
-                panic: Some(payload),
-            },
+            Err(payload) => poisoned_done(worker, payload),
         };
         if done.send(report).is_err() {
             // The machine is gone; nothing left to report to.
             return;
         }
+    }
+}
+
+/// The poisoned-shard report: the job's buffers were lost to the
+/// unwinding closure, so the dispatcher gets fresh (empty, unallocated)
+/// ones alongside the payload it will re-panic with.
+// analyze: cold (panic path only; the replacement Vecs never grow)
+fn poisoned_done(worker: usize, payload: Box<dyn std::any::Any + Send>) -> Done {
+    Done {
+        worker,
+        stepped: Vec::new(),
+        staged: Vec::new(),
+        scratch: StepScratch::new(),
+        deltas: (0, 0),
+        panic: Some(payload),
     }
 }
 

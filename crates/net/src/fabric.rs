@@ -114,6 +114,7 @@ pub struct Fabric {
 
 impl Fabric {
     /// An idle fabric.
+    // analyze: cold (fabric construction, once per machine)
     #[must_use]
     pub fn new(cfg: FabricConfig) -> Fabric {
         let nodes = usize::from(cfg.dims.0) * usize::from(cfg.dims.1) * usize::from(cfg.dims.2);
@@ -213,6 +214,7 @@ impl Fabric {
     /// The dimension-order route from `src` to `dest` (diagnostics and
     /// tests; the injection hot path walks `next_hop` directly
     /// without materializing the route).
+    // analyze: cold (diagnostic/test view; injection uses next_hop)
     #[must_use]
     pub fn route(src: NodeCoord, dest: NodeCoord) -> Vec<(NodeCoord, Dir)> {
         let mut hops = Vec::new();
@@ -319,6 +321,7 @@ impl Fabric {
     /// Remove and return all packets due by cycle `now`, in (time, inject
     /// order) — the allocating convenience form of
     /// [`Fabric::deliveries_into`] for tests and debug paths.
+    // analyze: cold (allocating convenience form for tests/debug)
     pub fn deliveries(&mut self, now: u64) -> Vec<Packet> {
         let mut out = Vec::new();
         self.deliveries_into(now, &mut out);
@@ -386,6 +389,7 @@ impl Fabric {
     ///
     /// [`CkptError`] on truncated input or a link-table size mismatch
     /// (the checkpoint came from a different mesh).
+    // analyze: cold (checkpoint restore, never on the cycle path)
     pub fn load_state(&mut self, d: &mut Dec<'_>) -> Result<(), CkptError> {
         let n = d.usize()?;
         if n != self.link_free.len() {

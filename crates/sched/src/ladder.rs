@@ -53,6 +53,7 @@ impl DeadlineLadder {
     /// A ladder for `n` nodes, every node [`AWAKE`] (the conservative
     /// boot state: each node proves itself quiescent on its first
     /// no-progress step).
+    // analyze: cold (ladder construction, once per machine)
     #[must_use]
     pub fn new(n: usize) -> DeadlineLadder {
         DeadlineLadder {

@@ -107,6 +107,7 @@ impl<T> Default for ReadyQueue<T> {
 
 impl<T> ReadyQueue<T> {
     /// An empty queue.
+    // analyze: cold (queue construction; steady state reuses the storage)
     #[must_use]
     pub fn new() -> ReadyQueue<T> {
         ReadyQueue {
@@ -117,6 +118,7 @@ impl<T> ReadyQueue<T> {
     }
 
     /// An empty queue with room for `cap` items before reallocating.
+    // analyze: cold (queue construction; steady state reuses the storage)
     #[must_use]
     pub fn with_capacity(cap: usize) -> ReadyQueue<T> {
         ReadyQueue {
@@ -215,6 +217,7 @@ impl<T> ReadyQueue<T> {
     /// Every queued `(ready, item)` pair in pop order (`(ready, seq)`
     /// ascending) — the checkpoint serialization view. Cold path: sorts
     /// a temporary index, never mutates the queue.
+    // analyze: cold (checkpoint/diagnostic view only)
     #[must_use]
     pub fn snapshot(&self) -> Vec<(u64, &T)> {
         let mut entries: Vec<&Entry<T>> = self.heap.iter().collect();

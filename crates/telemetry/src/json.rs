@@ -279,9 +279,12 @@ impl Parser<'_> {
                     }
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is &str, so the
-                    // byte stream is valid UTF-8 by construction).
                     let rest = &self.bytes[self.pos..];
+                    // SAFETY: `self.bytes` came from a `&str`, so the
+                    // byte stream is valid UTF-8 by construction, and
+                    // `self.pos` only ever advances by whole scalar
+                    // widths (`ch.len_utf8()`), keeping the slice on a
+                    // character boundary.
                     let s = unsafe { std::str::from_utf8_unchecked(rest) };
                     let ch = s.chars().next().unwrap();
                     out.push(ch);

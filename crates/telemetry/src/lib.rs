@@ -255,6 +255,7 @@ impl MetricsRing {
     /// # Panics
     ///
     /// Panics on zero capacity.
+    // analyze: cold (ring construction; sampling writes into this storage)
     #[must_use]
     pub fn new(capacity: usize) -> MetricsRing {
         assert!(capacity > 0, "a telemetry ring needs capacity");
@@ -322,6 +323,7 @@ impl MetricsRing {
 impl<'a> IntoIterator for &'a MetricsRing {
     type Item = &'a EpochSample;
     type IntoIter = Box<dyn Iterator<Item = &'a EpochSample> + 'a>;
+    // analyze: cold (diagnostic iteration; sampling never iterates the ring)
     fn into_iter(self) -> Self::IntoIter {
         Box::new(self.iter())
     }
@@ -357,6 +359,7 @@ impl Telemetry {
     /// # Errors
     ///
     /// Any I/O error opening the stream path.
+    // analyze: cold (sampler construction; the line buffer is reused per epoch)
     pub fn new(cfg: TelemetryConfig) -> std::io::Result<Telemetry> {
         let sink = match &cfg.stream_path {
             Some(p) => Some(std::fs::File::create(p)?),
@@ -486,6 +489,7 @@ impl Telemetry {
     }
 
     /// Re-serialize the whole ring as JSONL (cold path, allocates).
+    // analyze: cold (end-of-run rendering for mmctl/tests)
     #[must_use]
     pub fn ring_jsonl(&self) -> String {
         let mut out = String::new();

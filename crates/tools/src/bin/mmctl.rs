@@ -1,6 +1,7 @@
 //! `mmctl` — operator inspector for the M-Machine simulator.
 //!
 //! ```text
+//! mmctl analyze [--root DIR] [--json] [--output report.json]
 //! mmctl check <stream.jsonl> [--schema docs/telemetry.schema.json]
 //! mmctl tail <stream.jsonl> [-n 10] [--follow]
 //! mmctl snapshot <snapshot.json>
@@ -31,7 +32,9 @@ use mm_tools::plan::plan_from_json;
 use mm_tools::render::{epoch_brief, prometheus_from_stream, render_snapshot};
 use mm_tools::stream::check_stream;
 
-const USAGE: &str = "usage: mmctl <check|tail|snapshot|prom|run> [args]
+const USAGE: &str = "usage: mmctl <analyze|check|tail|snapshot|prom|run> [args]
+  analyze [--root <dir>] [--json] [--output <report.json>]
+                                                  run the mm-analyze static pass
   check <stream.jsonl> [--schema <schema.json>]   validate a telemetry stream
   tail <stream.jsonl> [-n N] [--follow]           show the last N epochs
   snapshot <snapshot.json>                        render node table + link heatmap
@@ -301,6 +304,40 @@ fn print_run_summary(m: &mm_core::machine::MMachine, dims: (u8, u8, u8), iters: 
     }
 }
 
+/// `mmctl analyze` — the same pass as `cargo run -p mm-analyze`, so an
+/// operator who already has mmctl on hand can vet a tree without the
+/// second binary. Reads `analyze.toml` from `--root` (default: walk up
+/// from the current directory).
+fn cmd_analyze(args: &[String]) -> Result<i32, UsageError> {
+    let root = match flag_value(args, "--root")? {
+        Some(r) => std::path::PathBuf::from(r),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+            mm_analyze::find_root(&cwd)
+                .ok_or("no analyze.toml found between here and filesystem root (use --root)")?
+        }
+    };
+    let report = match mm_analyze::analyze_root(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mmctl: analyze: {e}");
+            return Ok(1);
+        }
+    };
+    if let Some(out) = flag_value(args, "--output")? {
+        if let Err(e) = std::fs::write(&out, mm_analyze::report::to_json(&report)) {
+            eprintln!("mmctl: write {out}: {e}");
+            return Ok(1);
+        }
+    }
+    if args.iter().any(|a| a == "--json") {
+        print!("{}", mm_analyze::report::to_json(&report));
+    } else {
+        print!("{}", mm_analyze::report::to_text(&report));
+    }
+    Ok(i32::from(!report.is_clean()))
+}
+
 fn cmd_prom(args: &[String]) -> Result<i32, UsageError> {
     let Some(path) = args.first() else {
         return Err("prom needs a stream path".into());
@@ -376,6 +413,7 @@ fn cmd_run(args: &[String]) -> Result<i32, UsageError> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
+        Some("analyze") => cmd_analyze(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("tail") => cmd_tail(&args[1..]),
         Some("snapshot") => cmd_snapshot(&args[1..]),

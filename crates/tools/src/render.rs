@@ -291,7 +291,9 @@ pub fn prometheus_from_stream(text: &str) -> Result<String, String> {
         let _ = writeln!(out, "# TYPE {name} counter");
         let _ = writeln!(out, "{name} {v}");
     }
-    let last = records.last().expect("nonempty");
+    let Some(last) = records.last() else {
+        return Err("telemetry stream is empty".into());
+    };
     let g = |k: &str| last.get(k).and_then(JsonValue::as_f64).unwrap_or(0.0);
     for (name, help, v) in [
         (
